@@ -1,0 +1,74 @@
+// Shared helpers for the experiment harnesses in bench/: flag parsing and
+// standard world configurations.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "eval/report.h"
+#include "eval/world.h"
+
+namespace rrr::bench {
+
+// Minimal flag parser: --name value or --name=value; bools as --name.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  long long get_int(const std::string& name, long long fallback) const {
+    std::string value;
+    return find(name, value) ? std::atoll(value.c_str()) : fallback;
+  }
+  double get_double(const std::string& name, double fallback) const {
+    std::string value;
+    return find(name, value) ? std::atof(value.c_str()) : fallback;
+  }
+  bool get_bool(const std::string& name) const {
+    std::string value;
+    return find(name, value);
+  }
+
+ private:
+  bool find(const std::string& name, std::string& value) const {
+    std::string flag = "--" + name;
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i] == flag) {
+        value = i + 1 < args_.size() && args_[i + 1].rfind("--", 0) != 0
+                    ? args_[i + 1]
+                    : "";
+        return true;
+      }
+      if (args_[i].rfind(flag + "=", 0) == 0) {
+        value = args_[i].substr(flag.size() + 1);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<std::string> args_;
+};
+
+// The standard retrospective-evaluation world (§5.1), scaled down from the
+// paper's 223k pairs to laptop size; flags override.
+inline eval::WorldParams retrospective_params(const Flags& flags) {
+  eval::WorldParams params;
+  params.days = static_cast<int>(flags.get_int("days", 18));
+  params.corpus_pair_target =
+      static_cast<int>(flags.get_int("pairs", 1200));
+  params.corpus_dest_count = static_cast<int>(flags.get_int("dests", 36));
+  params.public_traces_per_window =
+      static_cast<int>(flags.get_int("public-rate", 800));
+  params.platform.num_probes =
+      static_cast<int>(flags.get_int("probes", 700));
+  params.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  params.topology.num_transit = 48;
+  params.topology.num_stub = 200;
+  return params;
+}
+
+}  // namespace rrr::bench

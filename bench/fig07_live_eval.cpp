@@ -1,0 +1,95 @@
+// Figure 7 — live evaluation (§5.2): refresh traceroutes chosen by
+// staleness prediction signals vs chosen at random, under a fixed daily
+// probing budget.
+//
+// Paper reference: (a) refreshes chosen by signals reveal a change >80% of
+// the time across two months; random refreshes start far lower and only
+// slowly improve (more paths have changed as time passes). (b) Of the
+// changes the random arm stumbles on, signals had flagged 70-85%.
+//
+// Flags: --days N --pairs N --budget N --seed N
+#include <set>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace rrr;
+  bench::Flags flags(argc, argv);
+  eval::WorldParams params = bench::retrospective_params(flags);
+  params.days = static_cast<int>(flags.get_int("days", 24));
+  params.corpus_pair_target = static_cast<int>(flags.get_int("pairs", 2500));
+  // Live mode: no free daily remeasurement; refreshes cost budget.
+  params.recalibration_interval_windows = 0;
+  int budget = static_cast<int>(
+      flags.get_int("budget", params.corpus_pair_target / 25));
+
+  eval::print_banner(std::cout, "Figure 7",
+                     "live evaluation: signal-driven vs random refreshes",
+                     "(a) signal precision >~0.8 vs random <~0.3 rising; "
+                     "(b) signals flag 70-85% of changes random finds");
+  std::cout << "budget: " << budget << " refreshes/day/arm\n";
+
+  eval::World world(params);
+  world.run_until(world.corpus_t0());
+  std::size_t pairs = world.initialize_corpus();
+  std::cout << "corpus: " << pairs << " pairs\n\n";
+
+  // The random arm's shadow corpus: last refreshed measurement per pair.
+  std::map<tr::PairKey, tracemap::ProcessedTrace> random_store;
+  std::vector<tr::PairKey> all_pairs = world.ground_truth().pairs();
+  for (const tr::PairKey& pair : all_pairs) {
+    const tracemap::ProcessedTrace* processed =
+        world.engine().processed_of(pair);
+    if (processed != nullptr) random_store[pair] = *processed;
+  }
+
+  eval::TableWriter table({"day", "signal precision", "random precision",
+                           "signal-flagged share of random finds",
+                           "#flagged"});
+  Rng arm_rng(params.seed * 77 + 5);
+
+  eval::World::Hooks hooks;
+  hooks.on_day = [&](int day, TimePoint t) {
+    if (t <= world.corpus_t0()) return;
+    // --- signal arm ---
+    auto chosen = world.engine().plan_refreshes(budget);
+    int signal_hits = 0;
+    for (const tr::PairKey& pair : chosen) {
+      tr::Traceroute fresh = world.issue_corpus_traceroute(pair, t);
+      auto outcome = world.engine().apply_refresh(
+          world.platform().probe(pair.probe), fresh);
+      if (outcome.change != tracemap::ChangeKind::kNone) ++signal_hits;
+    }
+    // --- random arm ---
+    int random_hits = 0;
+    int random_flagged_hits = 0;
+    for (int i = 0; i < budget && !all_pairs.empty(); ++i) {
+      const tr::PairKey& pair = all_pairs[arm_rng.index(all_pairs.size())];
+      auto it = random_store.find(pair);
+      if (it == random_store.end()) continue;
+      bool was_flagged =
+          world.engine().freshness(pair) == tr::Freshness::kStale;
+      tr::Traceroute fresh = world.issue_corpus_traceroute(pair, t);
+      tracemap::ProcessedTrace processed = world.processing().process(fresh);
+      if (tracemap::classify_change(it->second, processed) !=
+          tracemap::ChangeKind::kNone) {
+        ++random_hits;
+        if (was_flagged) ++random_flagged_hits;
+      }
+      it->second = std::move(processed);
+    }
+    auto pct = [](int num, int den) {
+      return den > 0 ? eval::TableWriter::fmt(
+                           static_cast<double>(num) / den)
+                     : std::string("-");
+    };
+    table.add_row({std::to_string(day - params.warmup_days + 1),
+                   pct(signal_hits, static_cast<int>(chosen.size())),
+                   pct(random_hits, budget),
+                   pct(random_flagged_hits, random_hits),
+                   std::to_string(chosen.size())});
+  };
+  world.run_until(world.end(), hooks);
+  table.print(std::cout);
+  return 0;
+}

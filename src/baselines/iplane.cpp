@@ -1,0 +1,77 @@
+#include "baselines/iplane.h"
+
+namespace rrr::baselines {
+
+std::vector<Pop> IPlane::pops_of(const tracemap::ProcessedTrace& trace) {
+  std::vector<Pop> pops;
+  for (const tracemap::ProcessedHop& hop : trace.hops) {
+    if (!hop.responded()) continue;
+    Pop pop;
+    if (hop.asn.is_valid() && hop.city) {
+      pop = Pop{hop.asn, *hop.city, 0};
+    } else if (hop.ip) {
+      pop = Pop{Asn(), topo::kNoCity, hop.ip->value()};
+    } else {
+      continue;
+    }
+    if (pops.empty() || !(pops.back() == pop)) pops.push_back(pop);
+  }
+  return pops;
+}
+
+void IPlane::add(const tr::PairKey& key,
+                 const tracemap::ProcessedTrace& trace) {
+  remove(key);
+  std::vector<Pop> pops = pops_of(trace);
+  by_src_[key.probe].insert(key);
+  by_dst_[key.dst].insert(key);
+  for (const Pop& pop : pops) by_pop_[pop].insert(key);
+  pops_of_[key] = std::move(pops);
+}
+
+void IPlane::remove(const tr::PairKey& key) {
+  auto it = pops_of_.find(key);
+  if (it == pops_of_.end()) return;
+  for (const Pop& pop : it->second) {
+    auto pit = by_pop_.find(pop);
+    if (pit != by_pop_.end()) {
+      pit->second.erase(key);
+      if (pit->second.empty()) by_pop_.erase(pit);
+    }
+  }
+  by_src_[key.probe].erase(key);
+  by_dst_[key.dst].erase(key);
+  pops_of_.erase(it);
+}
+
+std::vector<SplicedPath> IPlane::predict_all(tr::ProbeId src, Ipv4 dst,
+                                             std::size_t limit) const {
+  std::vector<SplicedPath> out;
+  auto sit = by_src_.find(src);
+  auto dit = by_dst_.find(dst);
+  if (sit == by_src_.end() || dit == by_dst_.end()) return out;
+
+  for (const tr::PairKey& from_src : sit->second) {
+    if (from_src.dst == dst) continue;  // direct measurement, not a splice
+    auto pit = pops_of_.find(from_src);
+    if (pit == pops_of_.end()) continue;
+    for (const Pop& pop : pit->second) {
+      auto candidates = by_pop_.find(pop);
+      if (candidates == by_pop_.end()) continue;
+      for (const tr::PairKey& to_dst : candidates->second) {
+        if (to_dst.dst != dst || to_dst == from_src) continue;
+        out.push_back(SplicedPath{from_src, to_dst, pop});
+        if (out.size() >= limit) return out;
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<SplicedPath> IPlane::predict(tr::ProbeId src, Ipv4 dst) const {
+  auto all = predict_all(src, dst, 1);
+  if (all.empty()) return std::nullopt;
+  return all.front();
+}
+
+}  // namespace rrr::baselines

@@ -1,0 +1,62 @@
+// iPlane path splicing (Appendix D): predict the unmeasured route from s to
+// d by finding corpus traceroutes (s, d') and (s', d) that intersect at a
+// PoP p, approximating the real path with (s, p, d). Staleness invalidates
+// splices — the appendix's experiment prunes traceroutes our signals flag.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "netbase/asn.h"
+#include "topology/types.h"
+#include "tracemap/processed.h"
+#include "traceroute/corpus.h"
+
+namespace rrr::baselines {
+
+// A PoP in iPlane's sense: an ⟨AS, city⟩ tuple; ungeolocated addresses act
+// as their own PoP (keyed by address).
+struct Pop {
+  Asn asn;
+  topo::CityId city = topo::kNoCity;
+  std::uint32_t solo_ip = 0;  // nonzero for single-address PoPs
+
+  auto operator<=>(const Pop&) const = default;
+};
+
+struct SplicedPath {
+  tr::PairKey first;   // (s, d') traceroute
+  tr::PairKey second;  // (s', d) traceroute
+  Pop junction;
+};
+
+class IPlane {
+ public:
+  // Registers a corpus traceroute and its processed view.
+  void add(const tr::PairKey& key, const tracemap::ProcessedTrace& trace);
+  // Removes a traceroute (e.g. pruned as stale).
+  void remove(const tr::PairKey& key);
+
+  // Predicts the path from probe `src` to destination `dst` by splicing;
+  // nullopt when no junction exists.
+  std::optional<SplicedPath> predict(tr::ProbeId src, Ipv4 dst) const;
+
+  // All splices from `src` to `dst` (for validity-rate evaluation).
+  std::vector<SplicedPath> predict_all(tr::ProbeId src, Ipv4 dst,
+                                       std::size_t limit = 16) const;
+
+  std::size_t trace_count() const { return pops_of_.size(); }
+
+  // The PoP sequence of a registered traceroute.
+  static std::vector<Pop> pops_of(const tracemap::ProcessedTrace& trace);
+
+ private:
+  std::map<tr::PairKey, std::vector<Pop>> pops_of_;
+  std::map<tr::ProbeId, std::set<tr::PairKey>> by_src_;
+  std::map<Ipv4, std::set<tr::PairKey>> by_dst_;
+  std::map<Pop, std::set<tr::PairKey>> by_pop_;
+};
+
+}  // namespace rrr::baselines

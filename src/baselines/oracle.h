@@ -1,0 +1,45 @@
+// The trace-driven emulation substrate of §5.3: baselines decide what to
+// probe and when, and an oracle (backed by pseudo-ground-truth) answers
+// what any measurement would have returned.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netbase/time.h"
+
+namespace rrr::baselines {
+
+class PathOracle {
+ public:
+  virtual ~PathOracle() = default;
+
+  virtual std::size_t path_count() const = 0;
+
+  // Border-level path of `path` at `t` as opaque hop tokens (one per border
+  // crossing). Two calls return equal vectors iff the border-level path is
+  // unchanged between them.
+  virtual std::vector<std::uint64_t> border_tokens(std::size_t path,
+                                                   TimePoint t) const = 0;
+
+  // What a single TTL-limited probe to border hop `index` would reveal
+  // (token of the crossing), or 0 when the path is shorter than `index`.
+  virtual std::uint64_t hop_token(std::size_t path, std::size_t index,
+                                  TimePoint t) const = 0;
+};
+
+// Bookkeeping shared by every strategy: packets spent and changes found.
+struct ProbeBudget {
+  double packets_per_second = 0.0;  // average budget across all paths
+  int traceroute_cost = 15;         // packets per full traceroute
+  int detection_cost = 1;           // packets per TTL-limited probe
+};
+
+struct EmulationStats {
+  std::int64_t packets_spent = 0;
+  std::int64_t traceroutes = 0;
+  std::int64_t detection_probes = 0;
+  std::int64_t changes_detected = 0;
+};
+
+}  // namespace rrr::baselines

@@ -1,0 +1,37 @@
+#include "bgp/record.h"
+
+#include <sstream>
+
+namespace rrr::bgp {
+
+const char* to_string(RecordType type) {
+  switch (type) {
+    case RecordType::kRibEntry:
+      return "RIB";
+    case RecordType::kAnnouncement:
+      return "A";
+    case RecordType::kWithdrawal:
+      return "W";
+  }
+  return "?";
+}
+
+std::string BgpRecord::to_string() const {
+  std::ostringstream out;
+  out << "TIME: " << time.to_string() << "\n"
+      << "TYPE: " << bgp::to_string(type) << "\n"
+      << "FROM: " << peer_ip.to_string() << " " << peer_asn.to_string()
+      << "\n";
+  if (type != RecordType::kWithdrawal) {
+    out << "ASPATH: " << rrr::to_string(as_path) << "\n";
+    out << "COMMUNITY:";
+    for (Community c : communities) out << " " << c.to_string();
+    out << "\n";
+    out << "ANNOUNCE: " << prefix.to_string() << "\n";
+  } else {
+    out << "WITHDRAW: " << prefix.to_string() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace rrr::bgp

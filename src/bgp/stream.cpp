@@ -1,0 +1,62 @@
+#include "bgp/stream.h"
+
+#include <algorithm>
+
+namespace rrr::bgp {
+
+bool StreamFilter::matches(const BgpRecord& record) const {
+  if (from && record.time < *from) return false;
+  if (until && record.time >= *until) return false;
+  if (type && record.type != *type) return false;
+  if (!collectors.empty() &&
+      std::find(collectors.begin(), collectors.end(), record.collector) ==
+          collectors.end()) {
+    return false;
+  }
+  if (!peer_asns.empty() &&
+      std::find(peer_asns.begin(), peer_asns.end(), record.peer_asn) ==
+          peer_asns.end()) {
+    return false;
+  }
+  if (!prefixes.empty()) {
+    bool any = false;
+    for (const Prefix& p : prefixes) {
+      if (p.covers(record.prefix)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  return true;
+}
+
+void BgpStream::push(BgpRecord record) {
+  records_.push_back(std::move(record));
+  dirty_ = true;
+}
+
+void BgpStream::push_batch(std::vector<BgpRecord> records) {
+  for (BgpRecord& r : records) records_.push_back(std::move(r));
+  dirty_ = true;
+}
+
+void BgpStream::ensure_sorted() {
+  if (!dirty_) return;
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const BgpRecord& a, const BgpRecord& b) {
+                     return a.time < b.time;
+                   });
+  dirty_ = false;
+}
+
+std::optional<BgpRecord> BgpStream::next() {
+  ensure_sorted();
+  while (cursor_ < records_.size()) {
+    const BgpRecord& record = records_[cursor_++];
+    if (filter_.matches(record)) return record;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rrr::bgp

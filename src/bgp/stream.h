@@ -1,0 +1,55 @@
+// A BGPStream-like pull interface over record sources, with the filter
+// vocabulary libBGPStream exposes (time interval, collectors, prefixes,
+// peers, element type).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/record.h"
+#include "netbase/prefix.h"
+
+namespace rrr::bgp {
+
+struct StreamFilter {
+  std::optional<TimePoint> from;
+  std::optional<TimePoint> until;  // exclusive
+  std::vector<std::string> collectors;   // empty = all
+  std::vector<Prefix> prefixes;          // match records covered by any
+  std::vector<Asn> peer_asns;            // empty = all
+  std::optional<RecordType> type;
+
+  bool matches(const BgpRecord& record) const;
+};
+
+// Accumulates records (from the feed simulator or hand-built in tests) and
+// replays them in timestamp order through an optional filter.
+class BgpStream {
+ public:
+  void push(BgpRecord record);
+  void push_batch(std::vector<BgpRecord> records);
+
+  void set_filter(StreamFilter filter) { filter_ = std::move(filter); }
+  const StreamFilter& filter() const { return filter_; }
+
+  // Next matching record, or nullopt at end of stream. Records pushed after
+  // the cursor passed their timestamp are still delivered (the stream sorts
+  // lazily on first pull after a push), mirroring BGPStream's batching.
+  std::optional<BgpRecord> next();
+
+  // Restart iteration from the beginning.
+  void rewind() { cursor_ = 0; }
+
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  void ensure_sorted();
+
+  std::vector<BgpRecord> records_;
+  std::size_t cursor_ = 0;
+  bool dirty_ = false;
+  StreamFilter filter_;
+};
+
+}  // namespace rrr::bgp

@@ -1,0 +1,68 @@
+#include "bgp/table_view.h"
+
+namespace rrr::bgp {
+
+bool acceptable_prefix(const Prefix& prefix) { return prefix.length() <= 24; }
+
+AsPath strip_ixp_asns(const AsPath& path, const std::set<Asn>& ixp_asns) {
+  AsPath out;
+  out.reserve(path.size());
+  for (Asn asn : path) {
+    if (!ixp_asns.contains(asn)) out.push_back(asn);
+  }
+  return out;
+}
+
+AsPath collapse_prepending(const AsPath& path) {
+  AsPath out;
+  out.reserve(path.size());
+  for (Asn asn : path) {
+    if (out.empty() || out.back() != asn) out.push_back(asn);
+  }
+  return out;
+}
+
+bool VpTableView::apply(const BgpRecord& record) {
+  if (!acceptable_prefix(record.prefix)) return false;
+  RadixTrie<VpRoute>& table = tables_[record.vp];
+  if (record.type == RecordType::kWithdrawal) {
+    return table.erase(record.prefix);
+  }
+  VpRoute route;
+  route.path = collapse_prepending(strip_ixp_asns(record.as_path, ixp_asns_));
+  route.communities = record.communities;
+  route.updated = record.time;
+  table.insert(record.prefix, std::move(route));
+  return true;
+}
+
+const VpRoute* VpTableView::route(VpId vp, Ipv4 ip) const {
+  auto it = tables_.find(vp);
+  if (it == tables_.end()) return nullptr;
+  return it->second.lookup(ip);
+}
+
+std::optional<Prefix> VpTableView::most_specific_prefix(VpId vp,
+                                                        Ipv4 ip) const {
+  auto it = tables_.find(vp);
+  if (it == tables_.end()) return std::nullopt;
+  auto match = it->second.lookup_match(ip);
+  if (!match) return std::nullopt;
+  return match->prefix;
+}
+
+std::vector<VpId> VpTableView::vps() const {
+  std::vector<VpId> out;
+  out.reserve(tables_.size());
+  for (const auto& [vp, table] : tables_) {
+    if (table.size() > 0) out.push_back(vp);
+  }
+  return out;
+}
+
+std::size_t VpTableView::route_count(VpId vp) const {
+  auto it = tables_.find(vp);
+  return it == tables_.end() ? 0 : it->second.size();
+}
+
+}  // namespace rrr::bgp

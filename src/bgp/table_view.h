@@ -1,0 +1,63 @@
+// Consumer-side BGP table maintenance and feed preprocessing (§4.1.1).
+//
+// The paper initializes its BGP monitoring by maintaining per-vantage-point
+// table views from BGPStream, excluding prefixes more specific than /24,
+// stripping IXP route-server ASNs from paths, and finding the most specific
+// prefix each VP advertises toward every monitored destination.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "bgp/record.h"
+#include "netbase/radix_trie.h"
+
+namespace rrr::bgp {
+
+// §4.1.1: prefixes more specific than /24 generally do not propagate and
+// may indicate misconfiguration or blackholing; exclude them.
+bool acceptable_prefix(const Prefix& prefix);
+
+// §4.1.1: remove IXP route-server ASNs so paths link IXP members directly.
+AsPath strip_ixp_asns(const AsPath& path, const std::set<Asn>& ixp_asns);
+
+// Collapse prepending (consecutive identical ASNs) into a single hop.
+AsPath collapse_prepending(const AsPath& path);
+
+// The route a VP currently holds for a prefix.
+struct VpRoute {
+  AsPath path;  // already IXP-stripped and prepending-collapsed
+  CommunitySet communities;
+  TimePoint updated;
+};
+
+// Maintains each vantage point's table from a stream of records.
+class VpTableView {
+ public:
+  explicit VpTableView(std::set<Asn> ixp_asns = {})
+      : ixp_asns_(std::move(ixp_asns)) {}
+
+  // Applies one record (RIB entries and updates are treated alike; the
+  // latest information wins). Records with unacceptable prefixes are
+  // dropped; returns whether the record was applied.
+  bool apply(const BgpRecord& record);
+
+  // The VP's route for the most specific prefix covering `ip`, if any.
+  const VpRoute* route(VpId vp, Ipv4 ip) const;
+
+  // §4.1.1: the most specific prefix VP `vp` advertises covering `ip`.
+  std::optional<Prefix> most_specific_prefix(VpId vp, Ipv4 ip) const;
+
+  // All VPs with at least one route installed.
+  std::vector<VpId> vps() const;
+
+  std::size_t route_count(VpId vp) const;
+
+ private:
+  std::set<Asn> ixp_asns_;
+  std::map<VpId, RadixTrie<VpRoute>> tables_;
+};
+
+}  // namespace rrr::bgp

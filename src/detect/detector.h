@@ -1,0 +1,119 @@
+// Streaming outlier detection for signal time series.
+//
+// The paper uses two detectors: the Bitmap algorithm (Wei et al., SSDBM
+// 2005) for BGP-derived series (§4.1.2) and the modified z-score
+// (Iglewicz & Hoaglin) for the noisier traceroute-derived series (§4.2.1).
+// Both are wrapped behind a streaming interface that (a) withholds
+// judgement until a minimum history exists (20 observations, the
+// recommended floor for robust outlier detection) and (b) removes flagged
+// windows from the history so persistent changes keep registering as
+// outliers instead of becoming the new normal (§4.1.2's stationarity
+// maintenance).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+
+namespace rrr::detect {
+
+struct Judgement {
+  bool outlier = false;
+  double score = 0.0;  // detector-specific magnitude (z-score / distance)
+};
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+  // Feeds the next observed value (missing windows are simply not fed).
+  virtual Judgement update(double value) = 0;
+  // Fast path for long runs of an identical value: appends `count`
+  // repetitions to the history without computing judgements. Signal series
+  // are constant in the vast majority of windows, so callers batch those
+  // windows and only pay for judgement when the value moves.
+  virtual void backfill(double value, std::size_t count) = 0;
+  // Fresh detector with the same configuration.
+  virtual std::unique_ptr<Detector> clone_config() const = 0;
+  // Drops all state, keeping configuration.
+  virtual void reset() = 0;
+
+  virtual std::size_t history_size() const = 0;
+};
+
+// Modified z-score: M = 0.6745 (x - median) / MAD, outlier when |M| exceeds
+// the threshold (3.5 by convention). When the MAD degenerates to zero the
+// mean absolute deviation fallback from Iglewicz & Hoaglin is used.
+struct ZScoreParams {
+  double threshold = 3.5;
+  std::size_t min_history = 20;
+  std::size_t max_history = 96;
+  bool drop_outliers_from_history = true;
+  // Outliers must also deviate from the median by at least this much. For
+  // ratio series built from small per-window samples the MAD degenerates
+  // toward zero and routine binomial wobble would otherwise produce huge
+  // z-scores; a real path change moves the ratio by a large step.
+  double min_abs_deviation = 0.0;
+};
+
+class ModifiedZScoreDetector final : public Detector {
+ public:
+  explicit ModifiedZScoreDetector(const ZScoreParams& params = {})
+      : params_(params) {}
+
+  Judgement update(double value) override;
+  void backfill(double value, std::size_t count) override;
+  std::unique_ptr<Detector> clone_config() const override {
+    return std::make_unique<ModifiedZScoreDetector>(params_);
+  }
+  void reset() override { history_.clear(); }
+  std::size_t history_size() const override { return history_.size(); }
+
+ private:
+  ZScoreParams params_;
+  std::deque<double> history_;
+};
+
+// Bitmap anomaly detection: SAX-discretize the series, build chaos-game
+// bitmaps of subword frequencies over a lag (past) and lead (recent)
+// window, and score the current point by the normalized squared distance
+// between the two bitmaps. An observation is an outlier when its score
+// exceeds mean + threshold_sigmas * stddev of previous scores.
+struct BitmapParams {
+  std::size_t alphabet = 4;      // SAX symbols (fixed breakpoints for N(0,1))
+  std::size_t word_length = 2;   // subword size -> alphabet^word bitmap cells
+  std::size_t lag_window = 32;   // model of "normal" behaviour
+  std::size_t lead_window = 8;   // recent behaviour under test
+  double threshold_sigmas = 3.0;
+  std::size_t min_history = 20;
+  bool drop_outliers_from_history = true;
+};
+
+class BitmapDetector final : public Detector {
+ public:
+  explicit BitmapDetector(const BitmapParams& params = {});
+
+  Judgement update(double value) override;
+  void backfill(double value, std::size_t count) override;
+  std::unique_ptr<Detector> clone_config() const override {
+    return std::make_unique<BitmapDetector>(params_);
+  }
+  void reset() override {
+    values_.clear();
+    scores_.clear();
+  }
+  std::size_t history_size() const override { return values_.size(); }
+
+ private:
+  int discretize(double value) const;
+  double bitmap_distance() const;
+
+  BitmapParams params_;
+  std::deque<double> values_;   // lag + lead raw values (outliers dropped)
+  std::deque<double> scores_;   // past anomaly scores for thresholding
+};
+
+enum class DetectorKind : std::uint8_t { kBitmap, kModifiedZScore };
+
+std::unique_ptr<Detector> make_detector(DetectorKind kind);
+
+}  // namespace rrr::detect

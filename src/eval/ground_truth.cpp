@@ -1,0 +1,162 @@
+#include "eval/ground_truth.h"
+
+#include <climits>
+
+#include "netbase/rng.h"
+
+namespace rrr::eval {
+
+std::uint64_t GroundTruth::flow_of(Ipv4 probe_ip, Ipv4 dst) {
+  return hash_combine(hash_combine(probe_ip.value(), dst.value()), 0);
+}
+
+ChangeKind GroundTruth::classify(const routing::ForwardPath& before,
+                                 const routing::ForwardPath& after) {
+  if (before.as_path != after.as_path) return ChangeKind::kAsLevel;
+  if (before.crossings != after.crossings) return ChangeKind::kBorderLevel;
+  return ChangeKind::kNone;
+}
+
+std::uint64_t GroundTruth::border_sig_of(const routing::ForwardPath& path) {
+  std::uint64_t h = 0xB04DE4;
+  for (const routing::BorderCrossing& c : path.crossings) {
+    h = hash_combine(h, (std::uint64_t{c.interconnect} << 1) |
+                            (c.forward ? 1u : 0u));
+  }
+  return h;
+}
+
+std::uint64_t GroundTruth::as_sig_of(const routing::ForwardPath& path) {
+  std::uint64_t h = 0xA5A5;
+  for (topo::AsIndex as : path.as_path) h = hash_combine(h, as);
+  return h;
+}
+
+std::uint64_t GroundTruth::border_signature_at(const tr::PairKey& pair,
+                                               TimePoint t) const {
+  const Tracked& tracked = tracked_.at(pair);
+  std::uint64_t sig = 0;
+  for (const HistoryPoint& point : tracked.history) {
+    if (point.time > t) break;
+    sig = point.border_sig;
+  }
+  return sig;
+}
+
+std::uint64_t GroundTruth::as_signature_at(const tr::PairKey& pair,
+                                           TimePoint t) const {
+  const Tracked& tracked = tracked_.at(pair);
+  std::uint64_t sig = 0;
+  for (const HistoryPoint& point : tracked.history) {
+    if (point.time > t) break;
+    sig = point.as_sig;
+  }
+  return sig;
+}
+
+routing::ForwardPath GroundTruth::resolve(const Tracked& tracked) const {
+  return cp_.resolver().resolve(tracked.probe.as, tracked.probe.city,
+                                tracked.dst,
+                                flow_of(tracked.probe.ip, tracked.dst),
+                                /*with_ip_hops=*/false);
+}
+
+void GroundTruth::track(const tr::Probe& probe, Ipv4 dst) {
+  tr::PairKey key{probe.id, dst};
+  Tracked tracked;
+  tracked.probe = probe;
+  tracked.dst = dst;
+  // Warm the origin so later impacts report its route changes.
+  topo::AsIndex origin = cp_.topology().announced_owner_of(dst);
+  if (origin != topo::kNoAs) cp_.warm_origin(origin);
+  tracked.initial = resolve(tracked);
+  tracked.current = tracked.initial;
+  tracked.history.push_back(HistoryPoint{TimePoint(INT64_MIN),
+                                         border_sig_of(tracked.current),
+                                         as_sig_of(tracked.current)});
+  reindex(key, routing::ForwardPath{}, tracked.current);
+  if (origin != topo::kNoAs) {
+    by_route_[{probe.as, origin}].insert(key);
+  }
+  tracked_[key] = std::move(tracked);
+}
+
+void GroundTruth::reindex(const tr::PairKey& key,
+                          const routing::ForwardPath& old_path,
+                          const routing::ForwardPath& new_path) {
+  const topo::Topology& topology = cp_.topology();
+  for (const routing::BorderCrossing& c : old_path.crossings) {
+    by_link_[topology.interconnect_at(c.interconnect).link].erase(key);
+  }
+  for (const routing::BorderCrossing& c : new_path.crossings) {
+    by_link_[topology.interconnect_at(c.interconnect).link].insert(key);
+  }
+}
+
+void GroundTruth::recheck(const tr::PairKey& key, TimePoint t,
+                          std::uint64_t cause_event) {
+  auto it = tracked_.find(key);
+  if (it == tracked_.end()) return;
+  Tracked& tracked = it->second;
+  routing::ForwardPath fresh = resolve(tracked);
+  ChangeKind kind = classify(tracked.current, fresh);
+  if (kind == ChangeKind::kNone) return;
+  std::vector<routing::BorderCrossing> before_crossings =
+      tracked.current.crossings;
+  reindex(key, tracked.current, fresh);
+  tracked.current = std::move(fresh);
+  tracked.history.push_back(HistoryPoint{t, border_sig_of(tracked.current),
+                                         as_sig_of(tracked.current)});
+  int changed_crossing = -1;
+  std::size_t n = std::min(before_crossings.size(),
+                           tracked.current.crossings.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(before_crossings[i] == tracked.current.crossings[i])) {
+      changed_crossing = static_cast<int>(i);
+      break;
+    }
+  }
+  if (changed_crossing < 0 &&
+      before_crossings.size() != tracked.current.crossings.size()) {
+    changed_crossing = static_cast<int>(n);
+  }
+  changes_.push_back(ChangeEvent{key, t, kind, cause_event,
+                                 changed_crossing});
+}
+
+void GroundTruth::on_impact(const routing::Event& event,
+                            const routing::ControlPlane::Impact& impact) {
+  std::set<tr::PairKey> candidates;
+  for (const auto& [viewer, origin] : impact.as_route_changes) {
+    auto it = by_route_.find({viewer, origin});
+    if (it == by_route_.end()) continue;
+    candidates.insert(it->second.begin(), it->second.end());
+  }
+  for (topo::LinkId link : impact.touched_links) {
+    auto it = by_link_.find(link);
+    if (it == by_link_.end()) continue;
+    candidates.insert(it->second.begin(), it->second.end());
+  }
+  for (const tr::PairKey& key : candidates) {
+    recheck(key, event.time, event.id);
+  }
+}
+
+const routing::ForwardPath& GroundTruth::current(
+    const tr::PairKey& pair) const {
+  return tracked_.at(pair).current;
+}
+
+const routing::ForwardPath& GroundTruth::initial(
+    const tr::PairKey& pair) const {
+  return tracked_.at(pair).initial;
+}
+
+std::vector<tr::PairKey> GroundTruth::pairs() const {
+  std::vector<tr::PairKey> out;
+  out.reserve(tracked_.size());
+  for (const auto& [key, tracked] : tracked_) out.push_back(key);
+  return out;
+}
+
+}  // namespace rrr::eval

@@ -1,0 +1,105 @@
+// Ground-truth tracking for evaluation: the simulator knows the exact
+// border-level path of every monitored (probe, destination) pair at all
+// times, so precision/coverage of staleness signals can be measured
+// directly (§5.1's role of the repeated anchoring measurements).
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "routing/control_plane.h"
+#include "tracemap/processed.h"
+#include "traceroute/corpus.h"
+#include "traceroute/traceroute.h"
+
+namespace rrr::eval {
+
+using tracemap::ChangeKind;
+
+struct ChangeEvent {
+  tr::PairKey pair;
+  TimePoint time;
+  ChangeKind kind = ChangeKind::kNone;
+  std::uint64_t cause_event = 0;  // routing event id (diagnostics)
+  // Index of the first border crossing that differs (diagnostics; -1 when
+  // the crossing count changed in a way that defies alignment).
+  int changed_crossing = -1;
+};
+
+class GroundTruth {
+ public:
+  explicit GroundTruth(routing::ControlPlane& control_plane)
+      : cp_(control_plane) {}
+
+  // Starts tracking a pair; snapshots its current true path.
+  void track(const tr::Probe& probe, Ipv4 dst);
+
+  // Applies a routing event's impact: recomputes the true paths of affected
+  // pairs and logs changes.
+  void on_impact(const routing::Event& event,
+                 const routing::ControlPlane::Impact& impact);
+
+  // The pair's current true forward path (border-level).
+  const routing::ForwardPath& current(const tr::PairKey& pair) const;
+  // The path at tracking start.
+  const routing::ForwardPath& initial(const tr::PairKey& pair) const;
+
+  // Signatures of the pair's true path at time `t` (border-level signature
+  // covers the crossing sequence; AS-level just the AS path). Signatures
+  // differ iff the paths differ at that granularity.
+  std::uint64_t border_signature_at(const tr::PairKey& pair,
+                                    TimePoint t) const;
+  std::uint64_t as_signature_at(const tr::PairKey& pair, TimePoint t) const;
+  // Whether the pair's true border-level path at `t` differs from the one
+  // at `reference` (reference < t: e.g. its last refresh time).
+  bool stale_at(const tr::PairKey& pair, TimePoint t,
+                TimePoint reference) const {
+    return border_signature_at(pair, t) !=
+           border_signature_at(pair, reference);
+  }
+
+  const std::vector<ChangeEvent>& changes() const { return changes_; }
+  std::vector<tr::PairKey> pairs() const;
+
+  // Classifies the difference between two forward paths (§3 definitions).
+  static ChangeKind classify(const routing::ForwardPath& before,
+                             const routing::ForwardPath& after);
+
+  // Canonical flow id for a pair (matches Platform::issue variant 0).
+  static std::uint64_t flow_of(Ipv4 probe_ip, Ipv4 dst);
+
+ private:
+  struct HistoryPoint {
+    TimePoint time;
+    std::uint64_t border_sig = 0;
+    std::uint64_t as_sig = 0;
+  };
+  struct Tracked {
+    tr::Probe probe;
+    Ipv4 dst;
+    routing::ForwardPath initial;
+    routing::ForwardPath current;
+    std::vector<HistoryPoint> history;  // appended on every change
+  };
+
+  static std::uint64_t border_sig_of(const routing::ForwardPath& path);
+  static std::uint64_t as_sig_of(const routing::ForwardPath& path);
+
+  routing::ForwardPath resolve(const Tracked& tracked) const;
+  void reindex(const tr::PairKey& key, const routing::ForwardPath& old_path,
+               const routing::ForwardPath& new_path);
+  void recheck(const tr::PairKey& key, TimePoint t,
+               std::uint64_t cause_event);
+
+  routing::ControlPlane& cp_;
+  std::map<tr::PairKey, Tracked> tracked_;
+  // link -> pairs whose current path crosses it.
+  std::map<topo::LinkId, std::set<tr::PairKey>> by_link_;
+  // (src AS, origin AS) -> pairs.
+  std::map<std::pair<topo::AsIndex, topo::AsIndex>, std::set<tr::PairKey>>
+      by_route_;
+  std::vector<ChangeEvent> changes_;
+};
+
+}  // namespace rrr::eval

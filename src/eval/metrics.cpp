@@ -1,0 +1,264 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace rrr::eval {
+namespace {
+
+int tech_index(signals::Technique t) { return static_cast<int>(t); }
+
+}  // namespace
+
+bool StalenessOracle::stale(const tr::PairKey& pair, TimePoint t) const {
+  TimePoint reference = corpus_t0;
+  auto it = std::upper_bound(refresh_times.begin(), refresh_times.end(), t);
+  if (it != refresh_times.begin()) reference = *(it - 1);
+  return ground_truth->stale_at(pair, t, reference);
+}
+
+SignalMatcher::SignalMatcher(
+    const std::vector<signals::StalenessSignal>& sigs,
+    const std::vector<ChangeEvent>& changes, const MatchParams& params,
+    const StalenessOracle* oracle)
+    : signals_(sigs), changes_(changes), params_(params) {
+  // Per-pair sorted change times and signal times.
+  std::map<tr::PairKey, std::vector<std::pair<std::int64_t, std::size_t>>>
+      changes_by_pair;
+  for (std::size_t c = 0; c < changes_.size(); ++c) {
+    changes_by_pair[changes_[c].pair].emplace_back(
+        changes_[c].time.seconds(), c);
+  }
+  for (auto& [pair, list] : changes_by_pair) {
+    std::sort(list.begin(), list.end());
+  }
+
+  matched_.assign(signals_.size(), false);
+  correct_.assign(signals_.size(), false);
+  change_mask_.assign(changes_.size(), 0u);
+
+  for (std::size_t s = 0; s < signals_.size(); ++s) {
+    const signals::StalenessSignal& signal = signals_[s];
+    auto it = changes_by_pair.find(signal.pair);
+    if (it != changes_by_pair.end()) {
+      const auto& list = it->second;
+      // The change the signal reports lies inside its generation window,
+      // so the matching interval stretches back across the window's span
+      // plus the tolerance (§5.3's 30-minute slack); the forward grace
+      // credits signals that take a few windows to confirm a change.
+      std::int64_t t = signal.time.seconds();
+      std::int64_t from = t - signal.span_seconds -
+                          params_.tolerance_seconds -
+                          params_.forward_grace_seconds;
+      auto lo = std::lower_bound(list.begin(), list.end(),
+                                 std::make_pair(from, std::size_t{0}));
+      for (auto iter = lo; iter != list.end(); ++iter) {
+        if (iter->first > t + params_.tolerance_seconds) break;
+        matched_[s] = true;
+        change_mask_[iter->second] |= 1u << tech_index(signal.technique);
+      }
+    }
+    // Precision: "the traceroute has actually changed" — when an oracle is
+    // available, check whether the pair was genuinely stale when flagged.
+    correct_[s] = oracle != nullptr
+                      ? oracle->stale(signal.pair, signal.time)
+                      : matched_[s];
+  }
+}
+
+Table2Result SignalMatcher::table2(bool strict_precision) const {
+  Table2Result result;
+  result.total_changes = static_cast<std::int64_t>(changes_.size());
+  for (const ChangeEvent& change : changes_) {
+    if (change.kind == ChangeKind::kAsLevel) ++result.as_changes;
+    if (change.kind == ChangeKind::kBorderLevel) ++result.border_changes;
+  }
+
+  std::array<std::int64_t, signals::kTechniqueCount> sig_count{};
+  std::array<std::int64_t, signals::kTechniqueCount> sig_matched{};
+  for (std::size_t s = 0; s < signals_.size(); ++s) {
+    int t = tech_index(signals_[s].technique);
+    ++sig_count[static_cast<std::size_t>(t)];
+    bool good = strict_precision ? correct_[s] : matched_[s];
+    if (good) ++sig_matched[static_cast<std::size_t>(t)];
+  }
+
+  constexpr unsigned kBgpMask =
+      (1u << 0) | (1u << 1) | (1u << 2);  // aspath, community, burst
+  constexpr unsigned kTraceMask = (1u << 3) | (1u << 4) | (1u << 5);
+
+  // Per-category coverage counters: [technique] x {all, as, border}, plus
+  // unique variants and the combined masks.
+  auto coverage_rows = [&](auto include_change,
+                           std::int64_t denom) {
+    std::array<std::int64_t, signals::kTechniqueCount> covered{};
+    std::array<std::int64_t, signals::kTechniqueCount> unique{};
+    std::int64_t any = 0, bgp_any = 0, trace_any = 0;
+    for (std::size_t c = 0; c < changes_.size(); ++c) {
+      if (!include_change(changes_[c])) continue;
+      unsigned mask = change_mask_[c];
+      if (mask != 0) ++any;
+      if (mask & kBgpMask) ++bgp_any;
+      if (mask & kTraceMask) ++trace_any;
+      for (int t = 0; t < signals::kTechniqueCount; ++t) {
+        if (mask & (1u << t)) {
+          ++covered[static_cast<std::size_t>(t)];
+          if ((mask & ~(1u << t)) == 0) {
+            ++unique[static_cast<std::size_t>(t)];
+          }
+        }
+      }
+    }
+    struct Out {
+      std::array<double, signals::kTechniqueCount> cov, uniq;
+      double any, bgp, trace;
+    } out{};
+    double d = denom > 0 ? static_cast<double>(denom) : 1.0;
+    for (int t = 0; t < signals::kTechniqueCount; ++t) {
+      out.cov[static_cast<std::size_t>(t)] =
+          static_cast<double>(covered[static_cast<std::size_t>(t)]) / d;
+      out.uniq[static_cast<std::size_t>(t)] =
+          static_cast<double>(unique[static_cast<std::size_t>(t)]) / d;
+    }
+    out.any = static_cast<double>(any) / d;
+    out.bgp = static_cast<double>(bgp_any) / d;
+    out.trace = static_cast<double>(trace_any) / d;
+    return out;
+  };
+
+  auto all_cov = coverage_rows(
+      [](const ChangeEvent& c) { return c.kind != ChangeKind::kNone; },
+      result.total_changes);
+  auto as_cov = coverage_rows(
+      [](const ChangeEvent& c) { return c.kind == ChangeKind::kAsLevel; },
+      result.as_changes);
+  auto border_cov = coverage_rows(
+      [](const ChangeEvent& c) {
+        return c.kind == ChangeKind::kBorderLevel;
+      },
+      result.border_changes);
+
+  auto precision_of = [&](std::int64_t matched, std::int64_t total) {
+    return total > 0 ? static_cast<double>(matched) /
+                           static_cast<double>(total)
+                     : 0.0;
+  };
+
+  for (int t = 0; t < signals::kTechniqueCount; ++t) {
+    auto ti = static_cast<std::size_t>(t);
+    TechniqueRow row;
+    row.name = signals::to_string(static_cast<signals::Technique>(t));
+    row.signal_count = sig_count[ti];
+    row.precision = precision_of(sig_matched[ti], sig_count[ti]);
+    row.cov_all = all_cov.cov[ti];
+    row.cov_all_unique = all_cov.uniq[ti];
+    row.cov_as = as_cov.cov[ti];
+    row.cov_as_unique = as_cov.uniq[ti];
+    row.cov_border = border_cov.cov[ti];
+    row.cov_border_unique = border_cov.uniq[ti];
+    result.techniques.push_back(std::move(row));
+  }
+
+  auto total_row = [&](unsigned mask, const char* name, double cov_all,
+                       double cov_as, double cov_border) {
+    TechniqueRow row;
+    row.name = name;
+    std::int64_t count = 0, matched = 0;
+    for (int t = 0; t < signals::kTechniqueCount; ++t) {
+      if (mask & (1u << t)) {
+        count += sig_count[static_cast<std::size_t>(t)];
+        matched += sig_matched[static_cast<std::size_t>(t)];
+      }
+    }
+    row.signal_count = count;
+    row.precision = precision_of(matched, count);
+    row.cov_all = cov_all;
+    row.cov_as = cov_as;
+    row.cov_border = cov_border;
+    return row;
+  };
+  result.bgp_total = total_row(kBgpMask, "BGP Total", all_cov.bgp,
+                               as_cov.bgp, border_cov.bgp);
+  result.trace_total = total_row(kTraceMask, "Traceroute total",
+                                 all_cov.trace, as_cov.trace,
+                                 border_cov.trace);
+  result.all = total_row(kBgpMask | kTraceMask, "All techniques",
+                         all_cov.any, as_cov.any, border_cov.any);
+  return result;
+}
+
+std::vector<SignalMatcher::DailyPoint> SignalMatcher::daily_series(
+    TimePoint origin, int days) const {
+  std::vector<DailyPoint> series(static_cast<std::size_t>(days));
+  for (int d = 0; d < days; ++d) series[static_cast<std::size_t>(d)].day = d;
+
+  std::vector<std::array<std::int64_t, 4>> sig_stats(
+      static_cast<std::size_t>(days));  // {as_n, as_tp, b_n, b_tp}
+  for (std::size_t s = 0; s < signals_.size(); ++s) {
+    std::int64_t day = (signals_[s].time - origin) / kSecondsPerDay;
+    if (day < 0 || day >= days) continue;
+    bool as_level = signals_[s].border_index == signals::kWholePath &&
+                    signals_[s].meta.as_level;
+    auto& stats = sig_stats[static_cast<std::size_t>(day)];
+    if (as_level) {
+      ++stats[0];
+      if (matched_[s]) ++stats[1];
+    } else {
+      ++stats[2];
+      if (matched_[s]) ++stats[3];
+    }
+    ++series[static_cast<std::size_t>(day)].signals;
+  }
+  std::vector<std::array<std::int64_t, 4>> chg_stats(
+      static_cast<std::size_t>(days));  // {as_n, as_cov, b_n, b_cov}
+  for (std::size_t c = 0; c < changes_.size(); ++c) {
+    std::int64_t day = (changes_[c].time - origin) / kSecondsPerDay;
+    if (day < 0 || day >= days) continue;
+    auto& stats = chg_stats[static_cast<std::size_t>(day)];
+    bool covered = change_mask_[c] != 0;
+    if (changes_[c].kind == ChangeKind::kAsLevel) {
+      ++stats[0];
+      if (covered) ++stats[1];
+    } else if (changes_[c].kind == ChangeKind::kBorderLevel) {
+      ++stats[2];
+      if (covered) ++stats[3];
+    }
+    ++series[static_cast<std::size_t>(day)].changes;
+  }
+  for (int d = 0; d < days; ++d) {
+    auto di = static_cast<std::size_t>(d);
+    auto ratio = [](std::int64_t num, std::int64_t den) {
+      return den > 0 ? static_cast<double>(num) / static_cast<double>(den)
+                     : 0.0;
+    };
+    series[di].precision_as = ratio(sig_stats[di][1], sig_stats[di][0]);
+    series[di].precision_border = ratio(sig_stats[di][3], sig_stats[di][2]);
+    series[di].coverage_as = ratio(chg_stats[di][1], chg_stats[di][0]);
+    series[di].coverage_border = ratio(chg_stats[di][3], chg_stats[di][2]);
+  }
+  return series;
+}
+
+double Cdf::quantile(double q) const {
+  if (values_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  auto index = static_cast<std::size_t>(
+      q * static_cast<double>(values_.size() - 1) + 0.5);
+  return values_[index];
+}
+
+double Cdf::fraction_at_most(double x) const {
+  if (values_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(it - values_.begin()) /
+         static_cast<double>(values_.size());
+}
+
+}  // namespace rrr::eval

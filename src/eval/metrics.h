@@ -1,0 +1,130 @@
+// Evaluation metrics: matching staleness prediction signals against
+// ground-truth path changes, and the precision/coverage accounting used by
+// Table 2 and Figures 6-10.
+//
+// Definitions follow §5: precision = fraction of signals that identify a
+// real change of their pair (within a matching tolerance, §5.3 uses 30
+// minutes); coverage = fraction of changes for which at least one signal
+// fired. "Unique" coverage counts changes detected by exactly one
+// technique.
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "eval/ground_truth.h"
+#include "signals/signal.h"
+
+namespace rrr::eval {
+
+struct MatchParams {
+  std::int64_t tolerance_seconds = 30 * kSecondsPerMinute;
+  // Detection-delay allowance when crediting a change as covered: adaptive
+  // traceroute windows and membership discovery report changes late.
+  std::int64_t forward_grace_seconds = 12 * kSecondsPerHour;
+};
+
+// Answers "was this pair's true path, at time t, different from what its
+// owner believes?" — the paper's precision semantics ("traceroutes that our
+// techniques signal as stale have indeed changed"). Belief resets at the
+// corpus initialization and at every recalibration round.
+struct StalenessOracle {
+  const GroundTruth* ground_truth = nullptr;
+  TimePoint corpus_t0;
+  std::vector<TimePoint> refresh_times;  // sorted
+
+  bool stale(const tr::PairKey& pair, TimePoint t) const;
+};
+
+struct TechniqueRow {
+  std::string name;
+  std::int64_t signal_count = 0;
+  double precision = 0.0;
+  // Coverage over {all, AS-level, border-level} changes.
+  double cov_all = 0.0, cov_all_unique = 0.0;
+  double cov_as = 0.0, cov_as_unique = 0.0;
+  double cov_border = 0.0, cov_border_unique = 0.0;
+};
+
+struct Table2Result {
+  std::vector<TechniqueRow> techniques;     // the six techniques
+  TechniqueRow bgp_total;                   // three BGP rows combined
+  TechniqueRow trace_total;                 // three traceroute rows combined
+  TechniqueRow all;                         // everything combined
+  std::int64_t total_changes = 0;
+  std::int64_t as_changes = 0;
+  std::int64_t border_changes = 0;
+};
+
+class SignalMatcher {
+ public:
+  // Without an oracle, precision falls back to window matching (a signal is
+  // precise when a change of its pair lies inside its window ± tolerance).
+  SignalMatcher(const std::vector<signals::StalenessSignal>& sigs,
+                const std::vector<ChangeEvent>& changes,
+                const MatchParams& params = {},
+                const StalenessOracle* oracle = nullptr);
+
+  // `strict_precision` grades a signal by whether its pair was genuinely
+  // stale relative to its owner's last refresh (needs the oracle);
+  // otherwise precision follows the paper's construction — a signal is
+  // correct when a change of its pair falls inside its window ± matching
+  // slack (the anchoring mesh remeasures every round, so reverts count as
+  // changes too).
+  Table2Result table2(bool strict_precision = false) const;
+
+  // Daily precision/coverage series (Figure 6); day 0 starts at `origin`.
+  struct DailyPoint {
+    int day = 0;
+    double precision_as = 0.0;
+    double precision_border = 0.0;
+    double coverage_as = 0.0;
+    double coverage_border = 0.0;
+    std::int64_t signals = 0;
+    std::int64_t changes = 0;
+  };
+  std::vector<DailyPoint> daily_series(TimePoint origin, int days) const;
+
+  // Whether a particular signal matched a real change.
+  bool signal_matched(std::size_t signal_index) const {
+    return matched_[signal_index];
+  }
+  // Techniques that matched a particular change (bitmask by technique).
+  unsigned change_matched_mask(std::size_t change_index) const {
+    return change_mask_[change_index];
+  }
+
+ private:
+  const std::vector<signals::StalenessSignal>& signals_;
+  const std::vector<ChangeEvent>& changes_;
+  MatchParams params_;
+  std::vector<bool> matched_;        // per signal: window-matched a change
+  std::vector<bool> correct_;        // per signal: precision verdict
+  std::vector<unsigned> change_mask_;  // per change: bit i = technique i
+};
+
+// Simple accumulator for empirical CDFs (Figures 9, 10, 12, 14, 15).
+class Cdf {
+ public:
+  void add(double value) {
+    values_.push_back(value);
+    sorted_ = false;
+  }
+  void add(double value, std::int64_t count) {
+    for (std::int64_t i = 0; i < count; ++i) values_.push_back(value);
+    sorted_ = false;
+  }
+  double quantile(double q) const;
+  double fraction_at_most(double x) const;
+  double median() const { return quantile(0.5); }
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace rrr::eval

@@ -1,0 +1,105 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace rrr::eval {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TableWriter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TableWriter::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::string TableWriter::fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string TableWriter::fmt_pct(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, value * 100.0);
+  return buf;
+}
+
+std::string TableWriter::fmt_int(std::int64_t value) {
+  // Thousands separators for readability of signal counts.
+  std::string digits = std::to_string(value < 0 ? -value : value);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count > 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (value < 0) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+void TableWriter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t i = 0; i < row.cells.size(); ++i) {
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+  auto print_line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << (i == 0 ? "| " : " | ");
+      os << cells[i];
+      os << std::string(widths[i] - cells[i].size(), ' ');
+    }
+    os << " |\n";
+  };
+  auto print_sep = [&] {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      os << (i == 0 ? "+" : "+") << std::string(widths[i] + 2, '-');
+    }
+    os << "+\n";
+  };
+  print_sep();
+  print_line(headers_);
+  print_sep();
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      print_sep();
+    } else {
+      print_line(row.cells);
+    }
+  }
+  print_sep();
+}
+
+void print_banner(std::ostream& os, const std::string& id,
+                  const std::string& title, const std::string& paper_note) {
+  os << "\n=== " << id << ": " << title << " ===\n";
+  if (!paper_note.empty()) os << "paper: " << paper_note << "\n";
+  os << "\n";
+}
+
+void print_cdf(std::ostream& os, const std::string& label, const Cdf& cdf) {
+  os << label << " (n=" << cdf.size() << "): ";
+  if (cdf.empty()) {
+    os << "no data\n";
+    return;
+  }
+  const double quantiles[] = {0.10, 0.25, 0.50, 0.75, 0.90, 1.0};
+  for (double q : quantiles) {
+    os << "p" << static_cast<int>(q * 100) << "="
+       << TableWriter::fmt(cdf.quantile(q), 2) << " ";
+  }
+  os << "\n";
+}
+
+}  // namespace rrr::eval

@@ -1,0 +1,42 @@
+// Plain-text report rendering for the experiment harnesses: aligned tables
+// with optional paper-reference columns, and CDF summaries.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace rrr::eval {
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void add_separator();
+  void print(std::ostream& os) const;
+
+  static std::string fmt(double value, int decimals = 2);
+  static std::string fmt_pct(double value, int decimals = 0);
+  static std::string fmt_int(std::int64_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<Row> rows_;
+};
+
+// Prints a standard experiment banner: what is being reproduced and what
+// the paper reported.
+void print_banner(std::ostream& os, const std::string& id,
+                  const std::string& title, const std::string& paper_note);
+
+// Renders a CDF as quantile rows.
+void print_cdf(std::ostream& os, const std::string& label, const Cdf& cdf);
+
+}  // namespace rrr::eval

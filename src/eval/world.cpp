@@ -1,0 +1,254 @@
+#include "eval/world.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rrr::eval {
+
+World::World(const WorldParams& params)
+    : params_(params),
+      rng_(Rng(params.seed).fork(0x0E1D)),
+      topology_([&] {
+        topo::TopologyParams tp = params.topology;
+        tp.seed = Rng(params.seed).fork(1).seed();
+        return topo::build_topology(tp);
+      }()),
+      now_(start()) {
+  cp_ = std::make_unique<routing::ControlPlane>(topology_,
+                                                rng_.fork(2).seed());
+
+  tr::ProberParams prober = params_.prober;
+  prober.seed = rng_.fork(3).seed();
+  tr::PlatformParams plat = params_.platform;
+  plat.seed = rng_.fork(4).seed();
+  platform_ = std::make_unique<tr::Platform>(*cp_, prober, plat);
+
+  // Destinations: the first anchors are the corpus targets; public targets
+  // are fresh host addresses scattered across ASes.
+  for (int i = 0; i < params_.corpus_dest_count &&
+                  i < static_cast<int>(platform_->anchors().size());
+       ++i) {
+    corpus_dests_.push_back(
+        platform_->probe(platform_->anchors()[static_cast<std::size_t>(i)])
+            .ip);
+  }
+  // Public targets: §5.1.2 excludes only the anchoring *targets*, not their
+  // host networks, so half of the public feed probes other hosts inside the
+  // corpus destination ASes (giving the traceroute techniques visibility of
+  // destination-side borders) and half probes random ASes.
+  for (int i = 0; i < params_.public_dest_count; ++i) {
+    topo::AsIndex as;
+    if (i % 2 == 0 && !corpus_dests_.empty()) {
+      Ipv4 anchor = corpus_dests_[static_cast<std::size_t>(i / 2) %
+                                  corpus_dests_.size()];
+      as = topology_.announced_owner_of(anchor);
+      if (as == topo::kNoAs) {
+        as = static_cast<topo::AsIndex>(rng_.index(topology_.as_count()));
+      }
+    } else {
+      as = static_cast<topo::AsIndex>(rng_.index(topology_.as_count()));
+    }
+    public_dests_.push_back(topology_.allocate_host_ip(as));
+  }
+
+  for (Ipv4 dst : corpus_dests_) {
+    topo::AsIndex origin = topology_.announced_owner_of(dst);
+    if (origin != topo::kNoAs) monitored_origins_.push_back(origin);
+  }
+  std::sort(monitored_origins_.begin(), monitored_origins_.end());
+  monitored_origins_.erase(
+      std::unique(monitored_origins_.begin(), monitored_origins_.end()),
+      monitored_origins_.end());
+
+  // BGP feed over all ASes as VP candidates.
+  std::vector<topo::AsIndex> candidates(topology_.as_count());
+  for (topo::AsIndex as = 0; as < topology_.as_count(); ++as) {
+    candidates[as] = as;
+  }
+  bgp::FeedParams feed_params = params_.feed;
+  feed_params.seed = rng_.fork(5).seed();
+  feed_ = std::make_unique<bgp::FeedSimulator>(*cp_, feed_params, candidates,
+                                               monitored_origins_);
+
+  tracemap::PipelineParams pipeline = params_.pipeline;
+  pipeline.seed = rng_.fork(6).seed();
+  processing_ = std::make_unique<tracemap::ProcessingContext>(topology_,
+                                                              pipeline);
+
+  // Engine wiring: VP metadata, IXP route-server ASNs, relationships,
+  // PeeringDB membership snapshot.
+  std::vector<bgp::VantagePoint> vps = feed_->vantage_points();
+  std::vector<topo::AsIndex> vp_as;
+  std::vector<topo::CityId> vp_city;
+  std::vector<topo::AsIndex> vp_as_for_schedule;
+  for (const bgp::VantagePoint& vp : vps) {
+    vp_as.push_back(vp.as_index);
+    vp_city.push_back(topology_.as_at(vp.as_index).pops.front());
+    vp_as_for_schedule.push_back(vp.as_index);
+  }
+  std::set<Asn> rs_asns;
+  for (const topo::Ixp& ixp : topology_.ixps()) {
+    rs_asns.insert(ixp.route_server_asn);
+  }
+  Rng pdb_rng = rng_.fork(7);
+  topo::PeeringDbSnapshot pdb =
+      topo::make_peeringdb(topology_, params_.peeringdb_completeness,
+                           pdb_rng);
+  std::map<topo::IxpId, std::set<Asn>> members;
+  for (topo::IxpId i = 0; i < pdb.ixp_members.size(); ++i) {
+    members[i] = std::set<Asn>(pdb.ixp_members[i].begin(),
+                               pdb.ixp_members[i].end());
+  }
+  signals::EngineParams engine_params;
+  engine_params.t0 = start();
+  engine_params.window_seconds = kBaseWindowSeconds;
+  engine_params.subpath = params_.subpath;
+  engine_params.border = params_.border;
+  engine_params.seed = rng_.fork(8).seed();
+  engine_ = std::make_unique<signals::StalenessEngine>(
+      engine_params, *processing_, std::move(vps), std::move(vp_as),
+      std::move(vp_city), std::move(rs_asns),
+      signals::AsRelDb::from_topology(topology_), std::move(members));
+
+  ground_truth_ = std::make_unique<GroundTruth>(*cp_);
+
+  schedule_ = routing::generate_schedule(
+      topology_, params_.dynamics, start(), end(), monitored_origins_,
+      vp_as_for_schedule, rng_.fork(9).seed());
+
+  // Probe split: half public, half corpus (§5.1.1).
+  std::vector<tr::ProbeId> regular = platform_->regular_probes();
+  rng_.shuffle(regular);
+  for (std::size_t i = 0; i < regular.size(); ++i) {
+    (i % 2 == 0 ? public_probes_ : corpus_probes_).push_back(regular[i]);
+  }
+
+  // Bootstrap the engine's table view from a RIB dump.
+  for (bgp::BgpRecord& record : feed_->initial_rib(start())) {
+    engine_->on_bgp_record(record);
+  }
+}
+
+std::size_t World::initialize_corpus() {
+  assert(now_ == corpus_t0());
+  std::vector<std::pair<tr::ProbeId, Ipv4>> pairs;
+  for (tr::ProbeId probe : corpus_probes_) {
+    for (Ipv4 dst : corpus_dests_) {
+      pairs.emplace_back(probe, dst);
+    }
+  }
+  rng_.shuffle(pairs);
+  std::size_t target = std::min<std::size_t>(
+      pairs.size(), static_cast<std::size_t>(params_.corpus_pair_target));
+  std::size_t created = 0;
+  for (std::size_t i = 0; i < pairs.size() && created < target; ++i) {
+    const auto& [probe_id, dst] = pairs[i];
+    const tr::Probe& probe = platform_->probe(probe_id);
+    tr::Traceroute trace = platform_->issue(probe_id, dst, now_, 0);
+    if (!trace.reached && trace.hops.empty()) continue;  // unroutable
+    engine_->watch(probe, trace);
+    ground_truth_->track(probe, dst);
+    ++created;
+  }
+  return created;
+}
+
+tr::Traceroute World::issue_corpus_traceroute(const tr::PairKey& pair,
+                                              TimePoint t) {
+  return platform_->issue(pair.probe, pair.dst, t, 0);
+}
+
+void World::recalibrate_all(TimePoint t) {
+  recalibration_times_.push_back(t);
+  for (const tr::PairKey& pair : ground_truth_->pairs()) {
+    const tr::Probe& probe = platform_->probe(pair.probe);
+    tr::Traceroute fresh = platform_->issue(pair.probe, pair.dst, t, 0);
+    engine_->apply_refresh(probe, fresh);
+  }
+}
+
+void World::process_event(const routing::Event& event) {
+  routing::ControlPlane::Impact impact = cp_->apply(event);
+  for (bgp::BgpRecord& record : feed_->on_event(event, impact)) {
+    engine_->on_bgp_record(record);
+  }
+  ground_truth_->on_impact(event, impact);
+}
+
+void World::issue_public_trace(TimePoint t) {
+  if (public_probes_.empty() || public_dests_.empty()) return;
+  // Retry a few times to find an active probe.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    tr::ProbeId probe_id = public_probes_[rng_.index(public_probes_.size())];
+    if (!platform_->probe(probe_id).active) continue;
+    Ipv4 dst = public_dests_[rng_.index(public_dests_.size())];
+    int variant = static_cast<int>(rng_.uniform_int(0, 15));
+    tr::Traceroute trace = platform_->issue(probe_id, dst, t, variant);
+    engine_->on_public_trace(trace);
+    return;
+  }
+}
+
+void World::run_until(TimePoint t, const Hooks& hooks) {
+  const std::int64_t w = window_seconds();
+  while (now_ + w <= t) {
+    TimePoint window_end = now_ + w;
+    std::int64_t window = (now_ - start()) / w;
+
+    // Public measurement slots, evenly spaced through the window.
+    int per_window = params_.public_traces_per_window;
+    std::int64_t slot_spacing =
+        per_window > 0 ? std::max<std::int64_t>(w / per_window, 1) : w;
+    std::int64_t next_slot_offset = 0;
+    int slots_done = 0;
+
+    // Merge events and measurement slots in time order.
+    while (true) {
+      TimePoint next_event_time =
+          event_cursor_ < schedule_.size() ? schedule_[event_cursor_].time
+                                           : TimePoint(INT64_MAX);
+      TimePoint next_slot_time = slots_done < per_window
+                                     ? now_ + next_slot_offset
+                                     : TimePoint(INT64_MAX);
+      TimePoint next = std::min(next_event_time, next_slot_time);
+      if (next >= window_end) break;
+      if (next_event_time <= next_slot_time) {
+        process_event(schedule_[event_cursor_++]);
+      } else {
+        issue_public_trace(next_slot_time);
+        ++slots_done;
+        next_slot_offset += slot_spacing;
+      }
+    }
+
+    std::vector<signals::StalenessSignal> sigs =
+        engine_->advance_to(window_end);
+    if (hooks.on_signals) {
+      hooks.on_signals(window, window_end, std::move(sigs));
+    }
+
+    if (params_.recalibration_interval_windows > 0 &&
+        (window + 1) % params_.recalibration_interval_windows == 0 &&
+        window_end > corpus_t0()) {
+      recalibrate_all(window_end);
+    }
+    bool day_boundary = window_end.seconds() % kSecondsPerDay == 0;
+    if (day_boundary) {
+      platform_->advance_churn(window_end);
+      if (hooks.on_day) {
+        hooks.on_day(
+            static_cast<int>(window_end.seconds() / kSecondsPerDay) - 1,
+            window_end);
+      }
+    }
+    now_ = window_end;
+  }
+}
+
+void World::run_all(const Hooks& hooks) {
+  run_until(corpus_t0(), hooks);
+  initialize_corpus();
+  run_until(end(), hooks);
+}
+
+}  // namespace rrr::eval

@@ -1,0 +1,149 @@
+// World: one fully-wired experiment instance — topology, control plane,
+// BGP feed, measurement platform, processing pipeline, staleness engine,
+// and ground truth — plus the timeline runner every bench builds on.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bgp/feed.h"
+#include "eval/ground_truth.h"
+#include "routing/control_plane.h"
+#include "routing/events.h"
+#include "signals/engine.h"
+#include "topology/builder.h"
+#include "tracemap/pipeline.h"
+#include "traceroute/platform.h"
+
+namespace rrr::eval {
+
+struct WorldParams {
+  topo::TopologyParams topology;
+  routing::DynamicsParams dynamics;
+  bgp::FeedParams feed;
+  tr::ProberParams prober;
+  tr::PlatformParams platform;
+  tracemap::PipelineParams pipeline;
+  signals::SubpathParams subpath;
+  signals::BorderMonitorParams border;
+
+  double peeringdb_completeness = 0.9;
+
+  // Corpus shape (retrospective evaluation, §5.1): probes split into
+  // P_public / P_corpus; anchors are the destinations.
+  int corpus_pair_target = 2000;   // (probe, anchor) pairs monitored
+  int corpus_dest_count = 40;      // anchors used as destinations
+
+  // Public traceroute feed.
+  int public_dest_count = 120;
+  int public_traces_per_window = 200;
+
+  int days = 30;
+  int warmup_days = 2;  // BGP collection starts before corpus init (§5)
+  // Retrospective mode (§5.1): the anchoring mesh remeasures every pair
+  // every 900 s, so the engine gets refresh feedback (and the paper's
+  // calibration, Appendix B) continuously at no modeled probing cost. We
+  // model it every `recalibration_interval_windows` base windows (0 = off);
+  // grading must be frequent relative to event durations or correct
+  // signals about since-reverted changes are graded as false positives.
+  int recalibration_interval_windows = 8;
+  std::uint64_t seed = 42;
+};
+
+class World {
+ public:
+  explicit World(const WorldParams& params);
+
+  // --- components ---
+  const WorldParams& params() const { return params_; }
+  topo::Topology& topology() { return topology_; }
+  routing::ControlPlane& control_plane() { return *cp_; }
+  bgp::FeedSimulator& feed() { return *feed_; }
+  tr::Platform& platform() { return *platform_; }
+  tracemap::ProcessingContext& processing() { return *processing_; }
+  signals::StalenessEngine& engine() { return *engine_; }
+  GroundTruth& ground_truth() { return *ground_truth_; }
+  Rng& rng() { return rng_; }
+
+  // --- timeline ---
+  TimePoint start() const { return TimePoint(0); }
+  TimePoint corpus_t0() const {
+    return start() + params_.warmup_days * kSecondsPerDay;
+  }
+  TimePoint end() const {
+    return corpus_t0() + params_.days * kSecondsPerDay;
+  }
+
+  const std::vector<tr::ProbeId>& corpus_probes() const {
+    return corpus_probes_;
+  }
+  const std::vector<tr::ProbeId>& public_probes() const {
+    return public_probes_;
+  }
+  const std::vector<Ipv4>& corpus_dests() const { return corpus_dests_; }
+  const std::vector<Ipv4>& public_dests() const { return public_dests_; }
+
+  // Issues the t0 traceroutes for the monitored (probe, anchor) pairs and
+  // registers them with the engine and ground truth. Call after running the
+  // warmup (so the BGP table view is populated). Returns the pair count.
+  std::size_t initialize_corpus();
+
+  // Issues (and tracks) one corpus refresh measurement right now.
+  tr::Traceroute issue_corpus_traceroute(const tr::PairKey& pair,
+                                         TimePoint t);
+
+  // Remeasures every corpus pair and feeds the outcomes to the engine's
+  // calibration (the daily_recalibration step).
+  void recalibrate_all(TimePoint t);
+  // Times at which recalibrate_all ran (for the staleness oracle).
+  const std::vector<TimePoint>& recalibration_times() const {
+    return recalibration_times_;
+  }
+
+  struct Hooks {
+    // Signals generated in a closed window.
+    std::function<void(std::int64_t window, TimePoint window_end,
+                       std::vector<signals::StalenessSignal>&&)>
+        on_signals;
+    // End of a simulated day (relative to world start).
+    std::function<void(int day_index, TimePoint day_end)> on_day;
+  };
+
+  // Advances the world to `t`: applies routing events and public
+  // measurements in time order, feeds the engine, closes windows.
+  void run_until(TimePoint t, const Hooks& hooks = {});
+
+  // Convenience: warmup + corpus init + full run.
+  void run_all(const Hooks& hooks = {});
+
+  std::int64_t window_seconds() const { return kBaseWindowSeconds; }
+
+ private:
+  void process_event(const routing::Event& event);
+  void issue_public_trace(TimePoint t);
+
+  WorldParams params_;
+  Rng rng_;
+  topo::Topology topology_;
+  std::unique_ptr<routing::ControlPlane> cp_;
+  std::unique_ptr<bgp::FeedSimulator> feed_;
+  std::unique_ptr<tr::Platform> platform_;
+  std::unique_ptr<tracemap::ProcessingContext> processing_;
+  std::unique_ptr<signals::StalenessEngine> engine_;
+  std::unique_ptr<GroundTruth> ground_truth_;
+
+  std::vector<routing::Event> schedule_;
+  std::size_t event_cursor_ = 0;
+  TimePoint now_;
+  std::int64_t next_public_trace_slot_ = 0;
+
+  std::vector<TimePoint> recalibration_times_;
+  std::vector<tr::ProbeId> corpus_probes_;
+  std::vector<tr::ProbeId> public_probes_;
+  std::vector<Ipv4> corpus_dests_;
+  std::vector<Ipv4> public_dests_;
+  std::vector<topo::AsIndex> monitored_origins_;
+};
+
+}  // namespace rrr::eval

@@ -1,0 +1,227 @@
+#include "io/serialize.h"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace rrr::io {
+namespace {
+
+std::vector<std::string_view> split(std::string_view line, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = line.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::optional<std::int64_t> parse_int(std::string_view text) {
+  std::int64_t value = 0;
+  auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                 value);
+  if (ec != std::errc{} || p != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<double> parse_double(std::string_view text) {
+  // from_chars for doubles is not universally available; strtod via string.
+  std::string buffer(text);
+  char* end = nullptr;
+  double value = std::strtod(buffer.c_str(), &end);
+  if (end != buffer.c_str() + buffer.size()) return std::nullopt;
+  return value;
+}
+
+char type_char(bgp::RecordType type) {
+  switch (type) {
+    case bgp::RecordType::kAnnouncement:
+      return 'A';
+    case bgp::RecordType::kWithdrawal:
+      return 'W';
+    case bgp::RecordType::kRibEntry:
+      return 'R';
+  }
+  return '?';
+}
+
+std::optional<bgp::RecordType> type_of(std::string_view text) {
+  if (text == "A") return bgp::RecordType::kAnnouncement;
+  if (text == "W") return bgp::RecordType::kWithdrawal;
+  if (text == "R") return bgp::RecordType::kRibEntry;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string to_line(const bgp::BgpRecord& record) {
+  std::ostringstream out;
+  out << record.time.seconds() << '|' << type_char(record.type) << '|'
+      << record.collector << '|' << record.peer_asn.number() << '|'
+      << record.peer_ip.to_string() << '|' << record.vp << '|'
+      << record.prefix.to_string() << '|';
+  for (std::size_t i = 0; i < record.as_path.size(); ++i) {
+    if (i) out << ' ';
+    out << record.as_path[i].number();
+  }
+  out << '|';
+  bool first = true;
+  for (Community c : record.communities) {
+    if (!first) out << ' ';
+    first = false;
+    out << c.to_string();
+  }
+  return out.str();
+}
+
+std::optional<bgp::BgpRecord> bgp_record_from_line(std::string_view line) {
+  auto fields = split(line, '|');
+  if (fields.size() != 9) return std::nullopt;
+  bgp::BgpRecord record;
+  auto time = parse_int(fields[0]);
+  auto type = type_of(fields[1]);
+  auto peer_asn = parse_int(fields[3]);
+  auto peer_ip = Ipv4::parse(fields[4]);
+  auto vp = parse_int(fields[5]);
+  auto prefix = Prefix::parse(fields[6]);
+  if (!time || !type || !peer_asn || !peer_ip || !vp || !prefix) {
+    return std::nullopt;
+  }
+  record.time = TimePoint(*time);
+  record.type = *type;
+  record.collector = std::string(fields[2]);
+  record.peer_asn = Asn(static_cast<std::uint32_t>(*peer_asn));
+  record.peer_ip = *peer_ip;
+  record.vp = static_cast<bgp::VpId>(*vp);
+  record.prefix = *prefix;
+  if (!fields[7].empty()) {
+    for (std::string_view hop : split(fields[7], ' ')) {
+      auto asn = parse_int(hop);
+      if (!asn) return std::nullopt;
+      record.as_path.push_back(Asn(static_cast<std::uint32_t>(*asn)));
+    }
+  }
+  if (!fields[8].empty()) {
+    for (std::string_view text : split(fields[8], ' ')) {
+      auto community = Community::parse(text);
+      if (!community) return std::nullopt;
+      record.communities.insert(*community);
+    }
+  }
+  return record;
+}
+
+void write_bgp_records(std::ostream& os,
+                       const std::vector<bgp::BgpRecord>& records) {
+  for (const bgp::BgpRecord& record : records) {
+    os << to_line(record) << '\n';
+  }
+}
+
+std::vector<bgp::BgpRecord> read_bgp_records(std::istream& is,
+                                             std::size_t* errors) {
+  std::vector<bgp::BgpRecord> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (auto record = bgp_record_from_line(line)) {
+      out.push_back(std::move(*record));
+    } else if (errors != nullptr) {
+      ++*errors;
+    }
+  }
+  return out;
+}
+
+void write_traceroute(std::ostream& os, const tr::Traceroute& trace) {
+  os << "T|" << trace.id << '|' << trace.probe << '|'
+     << trace.src_ip.to_string() << '|' << trace.dst_ip.to_string() << '|'
+     << trace.time.seconds() << '|' << trace.flow_id << '|'
+     << (trace.reached ? 1 : 0) << '\n';
+  int ttl = 1;
+  for (const tr::Hop& hop : trace.hops) {
+    os << "H|" << ttl++ << '|';
+    if (hop.responded()) {
+      char rtt[32];
+      std::snprintf(rtt, sizeof rtt, "%.3f", hop.rtt_ms);
+      os << hop.ip->to_string() << '|' << rtt;
+    } else {
+      os << "*|0";
+    }
+    os << '\n';
+  }
+}
+
+void write_traceroutes(std::ostream& os,
+                       const std::vector<tr::Traceroute>& traces) {
+  for (const tr::Traceroute& trace : traces) write_traceroute(os, trace);
+}
+
+std::vector<tr::Traceroute> read_traceroutes(std::istream& is,
+                                             std::size_t* errors) {
+  std::vector<tr::Traceroute> out;
+  std::string line;
+  auto fail = [&] {
+    if (errors != nullptr) ++*errors;
+  };
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    auto fields = split(line, '|');
+    if (fields[0] == "T") {
+      if (fields.size() != 8) {
+        fail();
+        continue;
+      }
+      auto id = parse_int(fields[1]);
+      auto probe = parse_int(fields[2]);
+      auto src = Ipv4::parse(fields[3]);
+      auto dst = Ipv4::parse(fields[4]);
+      auto time = parse_int(fields[5]);
+      auto flow = parse_int(fields[6]);
+      auto reached = parse_int(fields[7]);
+      if (!id || !probe || !src || !dst || !time || !flow || !reached) {
+        fail();
+        continue;
+      }
+      tr::Traceroute trace;
+      trace.id = static_cast<std::uint64_t>(*id);
+      trace.probe = static_cast<tr::ProbeId>(*probe);
+      trace.src_ip = *src;
+      trace.dst_ip = *dst;
+      trace.time = TimePoint(*time);
+      trace.flow_id = static_cast<std::uint64_t>(*flow);
+      trace.reached = *reached != 0;
+      out.push_back(std::move(trace));
+    } else if (fields[0] == "H") {
+      if (out.empty() || fields.size() != 4) {
+        fail();
+        continue;
+      }
+      tr::Hop hop;
+      if (fields[2] != "*") {
+        auto ip = Ipv4::parse(fields[2]);
+        auto rtt = parse_double(fields[3]);
+        if (!ip || !rtt) {
+          fail();
+          continue;
+        }
+        hop.ip = *ip;
+        hop.rtt_ms = *rtt;
+      }
+      out.back().hops.push_back(hop);
+    } else {
+      fail();
+    }
+  }
+  return out;
+}
+
+}  // namespace rrr::io

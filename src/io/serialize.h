@@ -1,0 +1,44 @@
+// Text serialization for measurement data: BGP records in an MRT-dump-like
+// line format and traceroutes in a warts-inspired one. A deployment uses
+// these to archive feeds, replay captured data through the engine, and
+// interchange corpora between runs.
+//
+// Formats are line-oriented, one element per line, '#' comments allowed:
+//
+//   BGP:  <time>|<type A|W|R>|<collector>|<peer_asn>|<peer_ip>|<vp>|
+//         <prefix>|<as path space-separated>|<communities space-separated>
+//
+//   TRR:  T|<id>|<probe>|<src>|<dst>|<time>|<flow>|<reached>
+//         followed by one "H|<ttl>|<ip or *>|<rtt_ms>" line per hop.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/record.h"
+#include "traceroute/traceroute.h"
+
+namespace rrr::io {
+
+// --- BGP records ---
+std::string to_line(const bgp::BgpRecord& record);
+// Parses one line; nullopt for malformed input (never throws: feed parsing
+// sits on ingest paths where bad lines are skipped and counted).
+std::optional<bgp::BgpRecord> bgp_record_from_line(std::string_view line);
+
+void write_bgp_records(std::ostream& os,
+                       const std::vector<bgp::BgpRecord>& records);
+// Reads until EOF; `errors` (optional) counts skipped lines.
+std::vector<bgp::BgpRecord> read_bgp_records(std::istream& is,
+                                             std::size_t* errors = nullptr);
+
+// --- traceroutes ---
+void write_traceroute(std::ostream& os, const tr::Traceroute& trace);
+void write_traceroutes(std::ostream& os,
+                       const std::vector<tr::Traceroute>& traces);
+std::vector<tr::Traceroute> read_traceroutes(std::istream& is,
+                                             std::size_t* errors = nullptr);
+
+}  // namespace rrr::io

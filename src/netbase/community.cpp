@@ -1,0 +1,50 @@
+#include "netbase/community.h"
+
+#include <charconv>
+#include <ostream>
+
+namespace rrr {
+
+std::optional<Community> Community::parse(std::string_view text) {
+  auto colon = text.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  unsigned definer = 0;
+  unsigned value = 0;
+  auto head = text.substr(0, colon);
+  auto tail = text.substr(colon + 1);
+  auto [p1, e1] = std::from_chars(head.data(), head.data() + head.size(),
+                                  definer);
+  auto [p2, e2] = std::from_chars(tail.data(), tail.data() + tail.size(),
+                                  value);
+  if (e1 != std::errc{} || e2 != std::errc{} ||
+      p1 != head.data() + head.size() || p2 != tail.data() + tail.size() ||
+      definer > 0xFFFF || value > 0xFFFF) {
+    return std::nullopt;
+  }
+  return Community(Asn(definer), static_cast<std::uint16_t>(value));
+}
+
+std::string Community::to_string() const {
+  return std::to_string(definer().number()) + ":" + std::to_string(value());
+}
+
+std::ostream& operator<<(std::ostream& os, Community community) {
+  return os << community.to_string();
+}
+
+CommunityDiff diff_communities(const CommunitySet& before,
+                               const CommunitySet& after, Asn definer) {
+  CommunityDiff diff;
+  auto relevant = [&](Community c) {
+    return !definer.is_valid() || c.definer() == definer;
+  };
+  for (Community c : after) {
+    if (relevant(c) && !before.contains(c)) diff.added.insert(c);
+  }
+  for (Community c : before) {
+    if (relevant(c) && !after.contains(c)) diff.removed.insert(c);
+  }
+  return diff;
+}
+
+}  // namespace rrr

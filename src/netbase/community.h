@@ -1,0 +1,71 @@
+// BGP community attribute value (RFC 1997 style "ASN:value").
+//
+// The paper's §4.1.3 monitors changes in the communities attached to routes:
+// by convention the top 16 bits identify the AS that defines the community
+// and the bottom 16 bits carry the AS-specific meaning (e.g. the PoP where a
+// route was learned).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "netbase/asn.h"
+
+namespace rrr {
+
+class Community {
+ public:
+  constexpr Community() = default;
+  constexpr explicit Community(std::uint32_t raw) : raw_(raw) {}
+  constexpr Community(Asn definer, std::uint16_t value)
+      : raw_((definer.number() << 16) | value) {}
+
+  // Parses "13030:51701".
+  static std::optional<Community> parse(std::string_view text);
+
+  constexpr std::uint32_t raw() const { return raw_; }
+  // The AS that defines this community (top 16 bits, by convention).
+  constexpr Asn definer() const { return Asn(raw_ >> 16); }
+  constexpr std::uint16_t value() const {
+    return static_cast<std::uint16_t>(raw_ & 0xFFFF);
+  }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(Community, Community) = default;
+
+ private:
+  std::uint32_t raw_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Community community);
+
+// Routes carry an ordered set of communities; set semantics make the
+// add/remove diffing in the community monitor straightforward.
+using CommunitySet = std::set<Community>;
+
+// Communities in `after` but not `before` (added) and vice versa (removed),
+// restricted to those defined by `definer` when it is valid.
+struct CommunityDiff {
+  CommunitySet added;
+  CommunitySet removed;
+  bool empty() const { return added.empty() && removed.empty(); }
+};
+CommunityDiff diff_communities(const CommunitySet& before,
+                               const CommunitySet& after,
+                               Asn definer = Asn());
+
+}  // namespace rrr
+
+template <>
+struct std::hash<rrr::Community> {
+  std::size_t operator()(rrr::Community c) const noexcept {
+    return static_cast<std::size_t>(c.raw()) * 0x9E3779B97F4A7C15ULL;
+  }
+};

@@ -1,0 +1,45 @@
+#include "netbase/ipv4.h"
+
+#include <array>
+#include <charconv>
+#include <ostream>
+
+namespace rrr {
+
+std::optional<Ipv4> Ipv4::parse(std::string_view text) {
+  std::array<std::uint32_t, 4> octets{};
+  const char* cursor = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (cursor == end || *cursor != '.') return std::nullopt;
+      ++cursor;
+    }
+    auto [next, ec] = std::from_chars(cursor, end, octets[i]);
+    if (ec != std::errc{} || next == cursor || octets[i] > 255) {
+      return std::nullopt;
+    }
+    cursor = next;
+  }
+  if (cursor != end) return std::nullopt;
+  return from_octets(static_cast<std::uint8_t>(octets[0]),
+                     static_cast<std::uint8_t>(octets[1]),
+                     static_cast<std::uint8_t>(octets[2]),
+                     static_cast<std::uint8_t>(octets[3]));
+}
+
+std::string Ipv4::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (shift != 24) out.push_back('.');
+    out += std::to_string((value_ >> shift) & 0xFF);
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, Ipv4 ip) {
+  return os << ip.to_string();
+}
+
+}  // namespace rrr

@@ -1,0 +1,33 @@
+#include "netbase/prefix.h"
+
+#include <charconv>
+#include <ostream>
+
+namespace rrr {
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto ip = Ipv4::parse(text.substr(0, slash));
+  if (!ip) return std::nullopt;
+  std::string_view len_text = text.substr(slash + 1);
+  unsigned length = 0;
+  auto [next, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(),
+                      length);
+  if (ec != std::errc{} || next != len_text.data() + len_text.size() ||
+      length > 32) {
+    return std::nullopt;
+  }
+  return Prefix(*ip, static_cast<std::uint8_t>(length));
+}
+
+std::string Prefix::to_string() const {
+  return network_.to_string() + "/" + std::to_string(length_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Prefix& prefix) {
+  return os << prefix.to_string();
+}
+
+}  // namespace rrr

@@ -1,0 +1,22 @@
+#include "netbase/time.h"
+
+#include <cstdio>
+
+namespace rrr {
+
+std::string TimePoint::to_string() const {
+  std::int64_t s = seconds_;
+  bool negative = s < 0;
+  if (negative) s = -s;
+  std::int64_t days = s / kSecondsPerDay;
+  std::int64_t rem = s % kSecondsPerDay;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%sd%02lld %02lld:%02lld:%02lld",
+                negative ? "-" : "", static_cast<long long>(days),
+                static_cast<long long>(rem / kSecondsPerHour),
+                static_cast<long long>((rem / kSecondsPerMinute) % 60),
+                static_cast<long long>(rem % 60));
+  return buf;
+}
+
+}  // namespace rrr

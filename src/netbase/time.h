@@ -1,0 +1,83 @@
+// Simulation time and measurement-window arithmetic.
+//
+// All libraries in this project run on simulated time: an integral number of
+// seconds from an arbitrary epoch. Nothing reads the wall clock, keeping
+// every experiment deterministic and replayable.
+#pragma once
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace rrr {
+
+// Seconds since the simulation epoch.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t seconds) : seconds_(seconds) {}
+
+  constexpr std::int64_t seconds() const { return seconds_; }
+
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+  constexpr TimePoint operator+(std::int64_t delta_seconds) const {
+    return TimePoint(seconds_ + delta_seconds);
+  }
+  constexpr TimePoint operator-(std::int64_t delta_seconds) const {
+    return TimePoint(seconds_ - delta_seconds);
+  }
+  constexpr std::int64_t operator-(TimePoint other) const {
+    return seconds_ - other.seconds_;
+  }
+
+  // "d02 07:45:00" style rendering for logs and reports.
+  std::string to_string() const;
+
+ private:
+  std::int64_t seconds_ = 0;
+};
+
+inline constexpr std::int64_t kSecondsPerMinute = 60;
+inline constexpr std::int64_t kSecondsPerHour = 3600;
+inline constexpr std::int64_t kSecondsPerDay = 86400;
+
+// The paper's base signal-generation window: 15 minutes, the duration of a
+// RouteViews dump cycle (§4.1.2 footnote 1).
+inline constexpr std::int64_t kBaseWindowSeconds = 15 * kSecondsPerMinute;
+
+// Maps time points onto consecutive fixed-duration windows [t_i, t_{i+1}).
+class WindowClock {
+ public:
+  WindowClock(TimePoint origin, std::int64_t window_seconds)
+      : origin_(origin), window_seconds_(window_seconds) {
+    assert(window_seconds > 0);
+  }
+
+  std::int64_t window_seconds() const { return window_seconds_; }
+  TimePoint origin() const { return origin_; }
+
+  // Index of the window containing `t`; negative for t < origin.
+  std::int64_t index_of(TimePoint t) const {
+    std::int64_t delta = t - origin_;
+    // Floor division so pre-origin times land in negative windows instead of
+    // all collapsing into window 0.
+    std::int64_t q = delta / window_seconds_;
+    if (delta % window_seconds_ != 0 && delta < 0) --q;
+    return q;
+  }
+
+  TimePoint window_start(std::int64_t index) const {
+    return origin_ + index * window_seconds_;
+  }
+  TimePoint window_end(std::int64_t index) const {
+    return window_start(index + 1);
+  }
+
+ private:
+  TimePoint origin_;
+  std::int64_t window_seconds_;
+};
+
+}  // namespace rrr

@@ -1,0 +1,300 @@
+#include "routing/events.h"
+
+#include <algorithm>
+
+#include "netbase/rng.h"
+
+namespace rrr::routing {
+namespace {
+
+using topo::AsIndex;
+using topo::InterconnectId;
+using topo::LinkId;
+using topo::Topology;
+
+class ScheduleBuilder {
+ public:
+  ScheduleBuilder(const Topology& topology, const DynamicsParams& params,
+                  TimePoint t_begin, TimePoint t_end,
+                  const std::vector<AsIndex>& origins,
+                  const std::vector<AsIndex>& vp_ases, std::uint64_t seed)
+      : topo_(topology),
+        params_(params),
+        t_begin_(t_begin),
+        t_end_(t_end),
+        origins_(origins),
+        vp_ases_(vp_ases),
+        rng_(Rng(seed).fork(0xE7E47)) {
+    collect_targets();
+  }
+
+  std::vector<Event> build() {
+    add_interconnect_flaps();
+    add_egress_shifts();
+    add_adjacency_flaps();
+    add_preferred_link_shifts();
+    add_te_churn();
+    add_parrots();
+    add_ixp_joins();
+    std::sort(events_.begin(), events_.end(),
+              [](const Event& a, const Event& b) {
+                if (a.time != b.time) return a.time < b.time;
+                return a.id < b.id;
+              });
+    return std::move(events_);
+  }
+
+ private:
+  void collect_targets() {
+    // Interconnects safe to flap without severing the adjacency: those on
+    // links with at least two interconnects.
+    for (const topo::AsLink& link : topo_.links()) {
+      if (link.interconnects.size() >= 2) {
+        for (InterconnectId ic : link.interconnects) {
+          flappable_ics_.push_back(ic);
+          // Failures on the primary (carrying) interconnect are what
+          // operators and measurements actually notice; bias toward them.
+          if (topo_.interconnect_at(ic).base_weight == 0.0) {
+            flappable_ics_.push_back(ic);
+            flappable_ics_.push_back(ic);
+          }
+        }
+        shiftable_links_.push_back(link.id);
+      }
+      // Adjacencies safe to fail without partitioning: both endpoints keep
+      // at least one other adjacency.
+      if (topo_.neighbors(link.a).size() >= 2 &&
+          topo_.neighbors(link.b).size() >= 2) {
+        failable_links_.push_back(link.id);
+      }
+    }
+  }
+
+  // Number of occurrences for a Poisson process of `per_day` over the run.
+  int draw_count(double per_day) {
+    double days =
+        static_cast<double>(t_end_ - t_begin_) / double(kSecondsPerDay);
+    double expected = per_day * days;
+    if (expected <= 0.0) return 0;
+    std::poisson_distribution<int> dist(expected);
+    return dist(rng_.engine());
+  }
+
+  TimePoint random_time() {
+    return TimePoint(t_begin_.seconds() +
+                     rng_.uniform_int(0, t_end_ - t_begin_ - 1));
+  }
+
+  Event base(EventKind kind, TimePoint t) {
+    Event e;
+    e.id = next_id_++;
+    e.kind = kind;
+    e.time = t;
+    return e;
+  }
+
+  void add_interconnect_flaps() {
+    if (flappable_ics_.empty()) return;
+    int n = draw_count(params_.interconnect_flap_per_day);
+    for (int i = 0; i < n; ++i) {
+      InterconnectId ic = flappable_ics_[rng_.index(flappable_ics_.size())];
+      TimePoint down = random_time();
+      auto outage = static_cast<std::int64_t>(
+          rng_.exponential(1.0 / (params_.interconnect_outage_mean_hours *
+                                  double(kSecondsPerHour))));
+      Event e_down = base(EventKind::kInterconnectDown, down);
+      e_down.interconnect = ic;
+      e_down.link = topo_.interconnect_at(ic).link;
+      events_.push_back(e_down);
+      TimePoint up = down + std::max<std::int64_t>(outage, 3600);
+      if (up < t_end_) {
+        Event e_up = base(EventKind::kInterconnectUp, up);
+        e_up.interconnect = ic;
+        e_up.link = e_down.link;
+        events_.push_back(e_up);
+      }
+    }
+  }
+
+  void add_egress_shifts() {
+    if (shiftable_links_.empty()) return;
+    int n = draw_count(params_.egress_shift_per_day);
+    for (int i = 0; i < n; ++i) {
+      LinkId link = shiftable_links_[rng_.index(shiftable_links_.size())];
+      auto ics = topo_.link_interconnects(link);
+      InterconnectId ic = ics[rng_.index(ics.size())];
+      // Prefer the carrying interconnect: an IGP penalty on an idle backup
+      // moves no traffic and no routes.
+      for (int attempt = 0;
+           attempt < 3 && topo_.interconnect_at(ic).base_weight != 0.0;
+           ++attempt) {
+        ic = ics[rng_.index(ics.size())];
+      }
+      TimePoint start = random_time();
+      Event e_set = base(EventKind::kEgressWeightSet, start);
+      e_set.interconnect = ic;
+      e_set.link = link;
+      e_set.weight = params_.egress_shift_weight;
+      events_.push_back(e_set);
+      if (!rng_.bernoulli(params_.egress_shift_permanent_prob)) {
+        auto duration = static_cast<std::int64_t>(rng_.exponential(
+            1.0 /
+            (params_.egress_shift_mean_hours * double(kSecondsPerHour))));
+        TimePoint end = start + std::max<std::int64_t>(duration, 1800);
+        if (end < t_end_) {
+          Event e_clear = base(EventKind::kEgressWeightSet, end);
+          e_clear.interconnect = ic;
+          e_clear.link = link;
+          e_clear.weight = 0.0;
+          events_.push_back(e_clear);
+        }
+      }
+    }
+  }
+
+  void add_adjacency_flaps() {
+    if (failable_links_.empty()) return;
+    int n = draw_count(params_.adjacency_flap_per_day);
+    for (int i = 0; i < n; ++i) {
+      LinkId link = failable_links_[rng_.index(failable_links_.size())];
+      TimePoint down = random_time();
+      Event e_down = base(EventKind::kAdjacencyDown, down);
+      e_down.link = link;
+      events_.push_back(e_down);
+      auto outage = static_cast<std::int64_t>(rng_.exponential(
+          1.0 / (params_.adjacency_outage_mean_hours * double(kSecondsPerHour))));
+      TimePoint up = down + std::max<std::int64_t>(outage, 1200);
+      if (up < t_end_) {
+        Event e_up = base(EventKind::kAdjacencyUp, up);
+        e_up.link = link;
+        events_.push_back(e_up);
+      }
+    }
+  }
+
+  void add_preferred_link_shifts() {
+    if (origins_.empty()) return;
+    int n = draw_count(params_.preferred_link_shift_per_day);
+    for (int i = 0; i < n; ++i) {
+      // A viewer with at least two neighbors can meaningfully re-prefer.
+      AsIndex viewer =
+          static_cast<AsIndex>(rng_.index(topo_.as_count()));
+      auto neighbors = topo_.neighbors(viewer);
+      if (neighbors.size() < 2) continue;
+      const topo::Neighbor& nb = neighbors[rng_.index(neighbors.size())];
+      AsIndex origin = origins_[rng_.index(origins_.size())];
+      if (origin == viewer) continue;
+      TimePoint start = random_time();
+      Event e_set = base(EventKind::kPreferredLinkSet, start);
+      e_set.as = viewer;
+      e_set.origin = origin;
+      e_set.link = nb.link;
+      events_.push_back(e_set);
+      auto duration = static_cast<std::int64_t>(rng_.exponential(
+          1.0 / (params_.preferred_link_mean_hours * double(kSecondsPerHour))));
+      TimePoint end = start + std::max<std::int64_t>(duration, 1800);
+      if (end < t_end_) {
+        Event e_clear = base(EventKind::kPreferredLinkClear, end);
+        e_clear.as = viewer;
+        e_clear.origin = origin;
+        events_.push_back(e_clear);
+      }
+    }
+  }
+
+  void add_te_churn() {
+    if (origins_.empty()) return;
+    // TE churn concentrates in a minority of ASes that actively steer
+    // traffic, each rotating among a couple of values; this is what lets
+    // community calibration (Appendix B) converge on "that community is
+    // noise" instead of facing a fresh community every event.
+    std::vector<AsIndex> te_pool;
+    int pool_size = std::max<int>(8, static_cast<int>(topo_.as_count()) / 15);
+    for (int i = 0; i < pool_size; ++i) {
+      te_pool.push_back(static_cast<AsIndex>(rng_.index(topo_.as_count())));
+    }
+    int n = draw_count(params_.te_community_churn_per_day);
+    for (int i = 0; i < n; ++i) {
+      Event e = base(EventKind::kTeCommunitySet, random_time());
+      e.as = te_pool[rng_.index(te_pool.size())];
+      e.origin = origins_[rng_.index(origins_.size())];
+      e.value = static_cast<std::uint16_t>(rng_.uniform_int(1, 2));
+      events_.push_back(e);
+    }
+  }
+
+  void add_parrots() {
+    if (vp_ases_.empty() || origins_.empty()) return;
+    int n = draw_count(params_.parrot_update_per_day);
+    for (int i = 0; i < n; ++i) {
+      Event e = base(EventKind::kParrotUpdate, random_time());
+      e.as = vp_ases_[rng_.index(vp_ases_.size())];
+      e.origin = origins_[rng_.index(origins_.size())];
+      events_.push_back(e);
+    }
+  }
+
+  void add_ixp_joins() {
+    if (topo_.ixps().empty()) return;
+    int n = draw_count(params_.ixp_join_per_day);
+    for (int i = 0; i < n; ++i) {
+      const topo::Ixp& ixp = topo_.ixps()[rng_.index(topo_.ixps().size())];
+      // Candidate joiners: ASes with a PoP at the IXP city, not yet members.
+      std::vector<AsIndex> candidates;
+      for (AsIndex as = 0; as < topo_.as_count(); ++as) {
+        if (topo_.as_at(as).has_pop(ixp.city) && !ixp.has_member(as)) {
+          candidates.push_back(as);
+        }
+      }
+      if (candidates.empty()) continue;
+      Event e = base(EventKind::kIxpJoin, random_time());
+      e.as = candidates[rng_.index(candidates.size())];
+      e.ixp = ixp.id;
+      events_.push_back(e);
+    }
+  }
+
+  const Topology& topo_;
+  const DynamicsParams& params_;
+  TimePoint t_begin_;
+  TimePoint t_end_;
+  const std::vector<AsIndex>& origins_;
+  const std::vector<AsIndex>& vp_ases_;
+  Rng rng_;
+  std::vector<Event> events_;
+  std::uint64_t next_id_ = 1;
+  std::vector<InterconnectId> flappable_ics_;
+  std::vector<LinkId> shiftable_links_;
+  std::vector<LinkId> failable_links_;
+};
+
+}  // namespace
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kInterconnectDown: return "interconnect-down";
+    case EventKind::kInterconnectUp: return "interconnect-up";
+    case EventKind::kEgressWeightSet: return "egress-weight-set";
+    case EventKind::kAdjacencyDown: return "adjacency-down";
+    case EventKind::kAdjacencyUp: return "adjacency-up";
+    case EventKind::kPreferredLinkSet: return "preferred-link-set";
+    case EventKind::kPreferredLinkClear: return "preferred-link-clear";
+    case EventKind::kTeCommunitySet: return "te-community-set";
+    case EventKind::kParrotUpdate: return "parrot-update";
+    case EventKind::kIxpJoin: return "ixp-join";
+  }
+  return "unknown";
+}
+
+std::vector<Event> generate_schedule(const topo::Topology& topology,
+                                     const DynamicsParams& params,
+                                     TimePoint t_begin, TimePoint t_end,
+                                     const std::vector<topo::AsIndex>& origins,
+                                     const std::vector<topo::AsIndex>& vp_ases,
+                                     std::uint64_t seed) {
+  ScheduleBuilder builder(topology, params, t_begin, t_end, origins, vp_ases,
+                          seed);
+  return builder.build();
+}
+
+}  // namespace rrr::routing

@@ -1,0 +1,81 @@
+// Routing dynamics: the events that change paths over time, and the
+// generator that produces a deterministic Poisson schedule of them.
+//
+// Event kinds map onto the phenomena the paper's techniques detect:
+//  * interconnect down/up and egress-weight shifts produce border-level
+//    changes invisible in BGP AS paths (§4.1.3/§4.1.4 territory);
+//  * adjacency down/up and preferred-link shifts produce AS-level changes
+//    (§4.1.2 territory);
+//  * TE-community churn and parrot updates are pure noise that the
+//    suppression and calibration machinery must reject;
+//  * IXP joins create new peering links (§4.2.3 territory).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netbase/time.h"
+#include "topology/topology.h"
+
+namespace rrr::routing {
+
+enum class EventKind : std::uint8_t {
+  kInterconnectDown,
+  kInterconnectUp,
+  kEgressWeightSet,    // weight -> Event::weight
+  kAdjacencyDown,
+  kAdjacencyUp,
+  kPreferredLinkSet,   // (as=viewer, origin, link)
+  kPreferredLinkClear,
+  kTeCommunitySet,     // (as, origin, value)
+  kParrotUpdate,       // (as=VP, origin): spurious duplicate, no state change
+  kIxpJoin,            // (as, ixp)
+};
+
+const char* to_string(EventKind kind);
+
+struct Event {
+  std::uint64_t id = 0;
+  EventKind kind = EventKind::kParrotUpdate;
+  TimePoint time;
+  topo::InterconnectId interconnect = topo::kNoInterconnect;
+  topo::LinkId link = topo::kNoLink;
+  topo::AsIndex as = topo::kNoAs;
+  topo::AsIndex origin = topo::kNoAs;
+  topo::IxpId ixp = topo::kNoIxp;
+  double weight = 0.0;
+  std::uint16_t value = 0;
+};
+
+// Expected number of events per day, by category. Rates are totals across
+// the whole topology, tuned so that over 60 days roughly 28% of paths see a
+// border-level change and 15% an AS-level change (paper Figure 1).
+struct DynamicsParams {
+  double interconnect_flap_per_day = 9.0;
+  double interconnect_outage_mean_hours = 14.0;
+  double egress_shift_per_day = 7.0;
+  double egress_shift_mean_hours = 30.0;
+  double egress_shift_permanent_prob = 0.35;
+  double adjacency_flap_per_day = 4.0;
+  double adjacency_outage_mean_hours = 16.0;
+  double preferred_link_shift_per_day = 4.0;
+  double preferred_link_mean_hours = 48.0;
+  double te_community_churn_per_day = 12.0;
+  double parrot_update_per_day = 40.0;
+  double ixp_join_per_day = 0.25;
+  // Weight applied by egress shifts, in km-equivalents; must exceed typical
+  // inter-PoP distances to actually move the egress.
+  double egress_shift_weight = 15000.0;
+};
+
+// Builds the full event schedule for [t_begin, t_end), sorted by time.
+// Origin-targeted events draw from `origins` (the destination ASes the
+// experiment monitors); parrot events draw VPs from `vp_ases`.
+std::vector<Event> generate_schedule(const topo::Topology& topology,
+                                     const DynamicsParams& params,
+                                     TimePoint t_begin, TimePoint t_end,
+                                     const std::vector<topo::AsIndex>& origins,
+                                     const std::vector<topo::AsIndex>& vp_ases,
+                                     std::uint64_t seed);
+
+}  // namespace rrr::routing

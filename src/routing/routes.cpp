@@ -1,0 +1,143 @@
+#include "routing/routes.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace rrr::routing {
+namespace {
+
+int base_local_pref(topo::NeighborKind kind) {
+  switch (kind) {
+    case topo::NeighborKind::kCustomer:
+      return 300;
+    case topo::NeighborKind::kPeer:
+      return 200;
+    case topo::NeighborKind::kProvider:
+      return 100;
+  }
+  return 0;
+}
+
+struct Candidate {
+  int local_pref = -1;
+  std::size_t path_length = 0;
+  std::uint32_t neighbor_asn = 0;
+  LinkId link = topo::kNoLink;
+
+  // True when this candidate is preferred over `other`.
+  bool better_than(const Candidate& other) const {
+    if (local_pref != other.local_pref) return local_pref > other.local_pref;
+    if (path_length != other.path_length)
+      return path_length < other.path_length;
+    if (neighbor_asn != other.neighbor_asn)
+      return neighbor_asn < other.neighbor_asn;
+    return link < other.link;
+  }
+};
+
+// Whether `u` (holding `route`) exports that route to neighbor `v`, where
+// `u_kind_for_v` is how v sees u. Valley-free: customer-learned routes (and
+// the origin's own) go to everyone; peer/provider routes only to customers,
+// i.e. only when v sees u as its provider.
+bool exports_to(const Route& route, bool u_is_origin,
+                topo::NeighborKind u_kind_for_v) {
+  if (u_is_origin) return true;
+  if (route.learned_from == topo::NeighborKind::kCustomer) return true;
+  return u_kind_for_v == topo::NeighborKind::kProvider;
+}
+
+}  // namespace
+
+RouteTable compute_routes(const Topology& topology, const RoutingState& state,
+                          AsIndex origin) {
+  const std::size_t n = topology.as_count();
+  RouteTable table;
+  table.origin = origin;
+  table.routes.assign(n, Route{});
+  table.routes[origin].path = {topology.as_at(origin).asn};
+
+  // Cached selection metadata mirroring table.routes, so re-selection does
+  // not have to recompute preference of the incumbent.
+  std::vector<Candidate> best(n);
+  best[origin] = Candidate{.local_pref = 1 << 20,
+                           .path_length = 0,
+                           .neighbor_asn = 0,
+                           .link = topo::kNoLink};
+
+  std::deque<AsIndex> queue;
+  std::vector<bool> queued(n, false);
+  auto enqueue = [&](AsIndex as) {
+    if (!queued[as]) {
+      queued[as] = true;
+      queue.push_back(as);
+    }
+  };
+  for (const topo::Neighbor& nb : topology.neighbors(origin)) enqueue(nb.as);
+
+  // Guard against livelock under adversarial preference settings; the
+  // Gao-Rexford lattice converges far below this bound in practice.
+  std::size_t budget = 50 * (n + 1) * 8;
+
+  while (!queue.empty() && budget-- > 0) {
+    AsIndex v = queue.front();
+    queue.pop_front();
+    queued[v] = false;
+    if (v == origin) continue;
+
+    // Full re-selection over all neighbors of v.
+    Candidate chosen;
+    const topo::Neighbor* chosen_nb = nullptr;
+    for (const topo::Neighbor& nb : topology.neighbors(v)) {
+      const Route& route = table.routes[nb.as];
+      if (!route.reachable()) continue;
+      if (!state.adjacency_usable(topology, nb.link)) continue;
+      // How v's neighbor u sees v: invert the kind.
+      topo::NeighborKind u_kind_for_v = nb.kind;  // how v sees u; export rule
+      if (!exports_to(route, nb.as == origin, u_kind_for_v)) continue;
+      if (contains(route.path, topology.as_at(v).asn)) continue;
+      Candidate candidate{
+          .local_pref = base_local_pref(nb.kind) +
+                        (state.preferred_link(v, origin) == nb.link ? 50 : 0),
+          .path_length = route.path.size() + 1,
+          .neighbor_asn = topology.as_at(nb.as).asn.number(),
+          .link = nb.link,
+      };
+      if (chosen_nb == nullptr || candidate.better_than(chosen)) {
+        chosen = candidate;
+        chosen_nb = &nb;
+      }
+    }
+
+    Route updated;
+    if (chosen_nb != nullptr) {
+      updated.path.reserve(table.routes[chosen_nb->as].path.size() + 1);
+      updated.path.push_back(topology.as_at(v).asn);
+      const AsPath& tail = table.routes[chosen_nb->as].path;
+      updated.path.insert(updated.path.end(), tail.begin(), tail.end());
+      updated.via_link = chosen_nb->link;
+      updated.learned_from = chosen_nb->kind;
+    }
+
+    if (updated.path != table.routes[v].path ||
+        updated.via_link != table.routes[v].via_link) {
+      table.routes[v] = std::move(updated);
+      best[v] = chosen;
+      for (const topo::Neighbor& nb : topology.neighbors(v)) enqueue(nb.as);
+    }
+  }
+  return table;
+}
+
+std::vector<LinkId> used_links(const RouteTable& table) {
+  std::vector<LinkId> links;
+  for (const Route& route : table.routes) {
+    if (route.reachable() && route.via_link != topo::kNoLink) {
+      links.push_back(route.via_link);
+    }
+  }
+  std::sort(links.begin(), links.end());
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+  return links;
+}
+
+}  // namespace rrr::routing

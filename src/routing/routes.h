@@ -1,0 +1,48 @@
+// Control-plane route computation: per-origin BGP best paths under the
+// Gao–Rexford policy model.
+//
+// Selection: higher local preference (customer 300 > peer 200 > provider
+// 100, plus a +50 per-(viewer, origin) preferred-link boost), then shorter
+// AS path, then lower neighbor ASN, then lower link id. Export follows the
+// valley-free rule: routes learned from customers are exported to everyone;
+// routes learned from peers or providers only to customers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netbase/asn.h"
+#include "routing/state.h"
+#include "topology/topology.h"
+
+namespace rrr::routing {
+
+struct Route {
+  // AS-level path from the viewer to the origin, viewer first (matches the
+  // AS_PATH a collector peer would announce). Empty => unreachable.
+  AsPath path;
+  // The adjacency over which the viewer learned the route (kNoLink for the
+  // origin itself).
+  LinkId via_link = topo::kNoLink;
+  topo::NeighborKind learned_from = topo::NeighborKind::kCustomer;
+  bool reachable() const { return !path.empty(); }
+};
+
+// Routes of every AS toward one origin; indexed by AsIndex.
+struct RouteTable {
+  AsIndex origin = topo::kNoAs;
+  std::vector<Route> routes;
+
+  const Route& at(AsIndex as) const { return routes[as]; }
+};
+
+// Computes the converged route table for `origin` under the current state.
+// Deterministic: identical inputs yield identical tables.
+RouteTable compute_routes(const Topology& topology, const RoutingState& state,
+                          AsIndex origin);
+
+// All adjacencies used by any best path in `table` (for event -> affected
+// origin indexing).
+std::vector<LinkId> used_links(const RouteTable& table);
+
+}  // namespace rrr::routing

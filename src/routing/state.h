@@ -1,0 +1,130 @@
+// Mutable routing state layered over the static topology.
+//
+// Events (src/routing/events.h) perturb this state; the route computer and
+// forwarding resolver read it. Keeping dynamics out of `Topology` makes the
+// static structure shareable across experiment arms.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace rrr::routing {
+
+using topo::AsIndex;
+using topo::InterconnectId;
+using topo::LinkId;
+using topo::Topology;
+
+class RoutingState {
+ public:
+  explicit RoutingState(const Topology& topology)
+      : interconnect_active_(topology.interconnects().size(), true),
+        adjacency_enabled_(topology.links().size(), true),
+        egress_weight_(topology.interconnects().size(), 0.0) {}
+
+  // --- interconnect (border) level ---
+  bool interconnect_active(InterconnectId ic) const {
+    return ic < interconnect_active_.size() ? interconnect_active_[ic] : true;
+  }
+  void set_interconnect_active(InterconnectId ic, bool active) {
+    grow(ic);
+    interconnect_active_[ic] = active;
+    ++version_;
+  }
+
+  // Hot-potato egress penalty in km-equivalents: IGP weight changes shift
+  // which interconnect wins without any AS-level effect.
+  double egress_weight(InterconnectId ic) const {
+    return ic < egress_weight_.size() ? egress_weight_[ic] : 0.0;
+  }
+  void set_egress_weight(InterconnectId ic, double weight) {
+    grow(ic);
+    egress_weight_[ic] = weight;
+    ++version_;
+  }
+
+  // --- adjacency (AS) level ---
+  bool adjacency_enabled(LinkId link) const {
+    return link < adjacency_enabled_.size() ? adjacency_enabled_[link] : true;
+  }
+  void set_adjacency_enabled(LinkId link, bool enabled) {
+    if (link >= adjacency_enabled_.size()) {
+      adjacency_enabled_.resize(link + 1, true);
+    }
+    adjacency_enabled_[link] = enabled;
+    ++version_;
+  }
+
+  // An adjacency is usable when enabled and at least one of its
+  // interconnects is active.
+  bool adjacency_usable(const Topology& topology, LinkId link) const {
+    if (!adjacency_enabled(link)) return false;
+    for (InterconnectId ic : topology.link_interconnects(link)) {
+      if (interconnect_active(ic)) return true;
+    }
+    return false;
+  }
+
+  // --- policy overrides ---
+  // A viewer AS boosts routes to `origin` learned over `link` (+50 local
+  // pref: enough to win within a relationship class, never across classes).
+  void set_preferred_link(AsIndex viewer, AsIndex origin, LinkId link) {
+    preferred_link_[{viewer, origin}] = link;
+    ++version_;
+  }
+  void clear_preferred_link(AsIndex viewer, AsIndex origin) {
+    preferred_link_.erase({viewer, origin});
+    ++version_;
+  }
+  LinkId preferred_link(AsIndex viewer, AsIndex origin) const {
+    auto it = preferred_link_.find({viewer, origin});
+    return it == preferred_link_.end() ? topo::kNoLink : it->second;
+  }
+
+  // --- per-(AS, origin) traffic-engineering community values ---
+  // Unrelated to the traversed path; exercises the §4.1.3 suppression rules.
+  void set_te_community_value(AsIndex as, AsIndex origin,
+                              std::uint16_t value) {
+    te_value_[{as, origin}] = value;
+    ++version_;
+  }
+  std::uint16_t te_community_value(AsIndex as, AsIndex origin) const {
+    auto it = te_value_.find({as, origin});
+    return it == te_value_.end() ? 0 : it->second;
+  }
+
+  // Monotone counter bumped by every mutation; caches key off it.
+  std::uint64_t version() const { return version_; }
+  // New topology objects (IXP joins create links/interconnects) may appear
+  // after construction; vectors grow on demand with neutral defaults.
+  void sync_sizes(const Topology& topology) {
+    if (interconnect_active_.size() < topology.interconnects().size()) {
+      interconnect_active_.resize(topology.interconnects().size(), true);
+      egress_weight_.resize(topology.interconnects().size(), 0.0);
+    }
+    if (adjacency_enabled_.size() < topology.links().size()) {
+      adjacency_enabled_.resize(topology.links().size(), true);
+    }
+  }
+
+ private:
+  void grow(InterconnectId ic) {
+    if (ic >= interconnect_active_.size()) {
+      interconnect_active_.resize(ic + 1, true);
+      egress_weight_.resize(ic + 1, 0.0);
+    }
+  }
+
+  std::vector<bool> interconnect_active_;
+  std::vector<bool> adjacency_enabled_;
+  std::vector<double> egress_weight_;
+  std::map<std::pair<AsIndex, AsIndex>, LinkId> preferred_link_;
+  std::map<std::pair<AsIndex, AsIndex>, std::uint16_t> te_value_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace rrr::routing

@@ -1,0 +1,216 @@
+#include "signals/aspath_monitor.h"
+
+#include <algorithm>
+
+namespace rrr::signals {
+namespace {
+
+// First AS of `path` (VP end first) that appears in `tau`: the intersection
+// point farthest from the destination. Returns its index in `tau`, or -1.
+int first_intersection(const AsPath& path, const AsPath& tau) {
+  for (Asn asn : path) {
+    int idx = index_of(tau, asn);
+    if (idx >= 0) return idx;
+  }
+  return -1;
+}
+
+}  // namespace
+
+void AsPathMonitor::watch(const CorpusView& view, PotentialIndex& index) {
+  const tracemap::ProcessedTrace& pt = view.processed;
+  if (pt.as_path.empty()) return;
+
+  // Pin V0 per AS hop: VPs whose standing route to d first intersects τ at
+  // that hop. Hops no VP can see are unmonitorable and get no entry.
+  std::vector<std::set<bgp::VpId>> v0s(pt.as_path.size());
+  for (const bgp::VantagePoint& vp : *context_.vps) {
+    const bgp::VpRoute* route = context_.table->route(vp.id, view.key.dst);
+    if (route == nullptr || route->path.empty()) continue;
+    int j = first_intersection(route->path, pt.as_path);
+    if (j < 0) continue;
+    v0s[static_cast<std::size_t>(j)].insert(vp.id);
+  }
+
+  for (std::size_t j = 0; j < pt.as_path.size(); ++j) {
+    if (v0s[j].empty()) continue;
+    auto entry = std::make_unique<Entry>(Entry{
+        .id = index.create(Technique::kBgpAsPath),
+        .pair = view.key,
+        .as = pt.as_path[j],
+        .tau_path = pt.as_path,
+        .tau_index = j,
+        .border_index = kWholePath,
+        .v0 = std::move(v0s[j]),
+        .series = detect::LazySeries(
+            std::make_unique<detect::BitmapDetector>(),
+            detect::GapPolicy::kCarryLast),
+        .baseline_ratio = 1.0,
+        .dirty = false,
+        .window_updates = {},
+    });
+    // The border whose far side is a_j (its ingress interconnection).
+    for (std::size_t b = 0; b < pt.borders.size(); ++b) {
+      if (pt.borders[b].far_as == pt.as_path[j]) {
+        entry->border_index = b;
+        break;
+      }
+    }
+    Entry* raw = entry.get();
+    index.relate(raw->id, view.key, raw->border_index);
+    by_pair_[view.key].push_back(raw);
+    by_dst_[view.key.dst].push_back(raw);
+    dst_index_.add(view.key.dst);
+    by_potential_[raw->id] = raw;
+    auto [num, den] = counts(*raw);
+    raw->baseline_ratio =
+        den > 0 ? static_cast<double>(num) / static_cast<double>(den) : 1.0;
+    // Seed the series with a warm history of the standing ratio: the feed
+    // has been collected since before the corpus was initialized, so the
+    // detector starts armed rather than blind to the first change.
+    raw->series.seed(view.window, raw->baseline_ratio, 24);
+    entries_.emplace(raw->id, std::move(entry));
+  }
+}
+
+void AsPathMonitor::unwatch(const tr::PairKey& pair) {
+  auto it = by_pair_.find(pair);
+  if (it == by_pair_.end()) return;
+  for (Entry* entry : it->second) {
+    auto& dst_list = by_dst_[pair.dst];
+    std::erase(dst_list, entry);
+    dst_index_.remove(pair.dst);
+    by_potential_.erase(entry->id);
+    std::erase(dirty_, entry);
+    std::erase(hot_, entry);
+    entries_.erase(entry->id);
+  }
+  by_pair_.erase(it);
+}
+
+void AsPathMonitor::on_record(const DispatchedRecord& record,
+                              std::int64_t window) {
+  (void)window;
+  dst_index_.for_covered(record.record->prefix, [&](Ipv4 dst) {
+    auto it = by_dst_.find(dst);
+    if (it == by_dst_.end()) return;
+    for (Entry* entry : it->second) {
+      if (!entry->v0.contains(record.record->vp)) continue;
+      entry->window_updates.emplace_back(record.record->vp, record.path);
+      if (!entry->dirty) {
+        entry->dirty = true;
+        dirty_.push_back(entry);
+      }
+    }
+  });
+}
+
+bool AsPathMonitor::path_counts(const Entry& entry, const AsPath& path,
+                                int& num, int& den) {
+  int j = first_intersection(path, entry.tau_path);
+  if (j < 0 || static_cast<std::size_t>(j) != entry.tau_index) return false;
+  ++den;
+  if (suffix_matches(path, static_cast<std::size_t>(index_of(
+                               path, entry.tau_path[entry.tau_index])),
+                     entry.tau_path)) {
+    ++num;
+  }
+  return true;
+}
+
+std::pair<int, int> AsPathMonitor::counts(const Entry& entry) const {
+  int num = 0;
+  int den = 0;
+  for (bgp::VpId vp : entry.v0) {
+    const bgp::VpRoute* standing = context_.table->route(vp, entry.pair.dst);
+    if (standing != nullptr && !standing->path.empty()) {
+      path_counts(entry, standing->path, num, den);
+    }
+    for (const auto& [uvp, path] : entry.window_updates) {
+      if (uvp == vp && !path.empty()) path_counts(entry, path, num, den);
+    }
+  }
+  return {num, den};
+}
+
+void AsPathMonitor::fill_meta(const Entry& entry, double score,
+                              SignalMeta& meta) const {
+  meta.as_overlap =
+      static_cast<int>(entry.tau_path.size() - entry.tau_index);
+  meta.as_level = true;
+  meta.vp_count = static_cast<int>(entry.v0.size());
+  meta.deviation = std::abs(score);
+}
+
+std::vector<StalenessSignal> AsPathMonitor::close_window(
+    std::int64_t window, TimePoint window_end) {
+  std::vector<StalenessSignal> signals;
+  auto evaluate = [&](Entry* entry, bool from_update) {
+    auto [num, den] = counts(*entry);
+    entry->window_updates.clear();
+    if (den == 0) return;  // missing window (§4.1.2)
+    double ratio = static_cast<double>(num) / static_cast<double>(den);
+    bool moved = !entry->series.has_last() ||
+                 ratio != entry->series.last_value();
+    detect::Judgement judgement = entry->series.feed(window, ratio);
+    if (from_update || moved) {
+      // Keep re-scoring while the shifted level fills the lead window.
+      if (entry->hot_windows == 0) hot_.push_back(entry);
+      entry->hot_windows = 8;
+    }
+    if (judgement.outlier) {
+      StalenessSignal signal;
+      signal.technique = Technique::kBgpAsPath;
+      signal.potential = entry->id;
+      signal.time = window_end;
+      signal.window = window;
+      signal.pair = entry->pair;
+      signal.border_index = entry->border_index;
+      fill_meta(*entry, judgement.score, signal.meta);
+      signals.push_back(std::move(signal));
+    }
+  };
+
+  // Evaluate dirty entries (updates arrived), then still-hot entries whose
+  // lead windows are filling; rebuild the hot queue afterwards.
+  std::vector<Entry*> dirty;
+  dirty.swap(dirty_);
+  std::vector<Entry*> hot;
+  hot.swap(hot_);
+  for (Entry* entry : dirty) {
+    entry->dirty = false;
+    evaluate(entry, /*from_update=*/true);
+  }
+  for (Entry* entry : hot) {
+    if (entry->hot_windows <= 0) continue;
+    --entry->hot_windows;
+    evaluate(entry, /*from_update=*/false);  // no-op if fed this window
+  }
+  // Deduplicated rebuild: hot_ may have gained entries inside evaluate().
+  std::vector<Entry*> requeued;
+  requeued.swap(hot_);
+  auto enqueue = [&](Entry* entry) {
+    if (entry->hot_windows > 0 &&
+        std::find(hot_.begin(), hot_.end(), entry) == hot_.end()) {
+      hot_.push_back(entry);
+    }
+  };
+  for (Entry* entry : requeued) enqueue(entry);
+  for (Entry* entry : dirty) enqueue(entry);
+  for (Entry* entry : hot) enqueue(entry);
+  return signals;
+}
+
+bool AsPathMonitor::reverted(PotentialId id) const {
+  auto it = by_potential_.find(id);
+  if (it == by_potential_.end()) return false;
+  const Entry& entry = *it->second;
+  // Reverted when the standing routes reproduce the ratio seen at watch
+  // time (the window-update buffer is empty between windows).
+  auto [num, den] = counts(entry);
+  if (den == 0) return false;
+  double ratio = static_cast<double>(num) / static_cast<double>(den);
+  return std::abs(ratio - entry.baseline_ratio) < 1e-9;
+}
+
+}  // namespace rrr::signals

@@ -1,0 +1,76 @@
+// §4.1.2 — staleness signals from overlapping BGP AS paths.
+//
+// For a corpus traceroute τ_d and each AS a_j on its AS-level path, the
+// monitor tracks P_ratio = |P_match| / |P_intersect| over 15-minute windows:
+// among BGP paths toward d that first intersect τ_d at a_j (counting the
+// standing route at window start plus every update within the window, from
+// the pinned VP set V_0 that intersected at watch time), the fraction whose
+// suffix from a_j matches τ_d's. Outliers in the Bitmap-detected series are
+// staleness prediction signals; flagged windows are excluded from history so
+// persistent changes keep signalling (§4.1.2).
+#pragma once
+
+#include <map>
+#include <unordered_map>
+
+#include "detect/series.h"
+#include "signals/bgp_context.h"
+#include "signals/monitor.h"
+
+namespace rrr::signals {
+
+class AsPathMonitor final : public BgpMonitor {
+ public:
+  explicit AsPathMonitor(const BgpContext& context) : context_(context) {}
+
+  Technique technique() const override { return Technique::kBgpAsPath; }
+  void watch(const CorpusView& view, PotentialIndex& index) override;
+  void unwatch(const tr::PairKey& pair) override;
+  void on_record(const DispatchedRecord& record,
+                 std::int64_t window) override;
+  std::vector<StalenessSignal> close_window(std::int64_t window,
+                                            TimePoint window_end) override;
+  bool reverted(PotentialId id) const override;
+
+  std::size_t entry_count() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    PotentialId id = kNoPotential;
+    tr::PairKey pair;
+    Asn as;                 // a_j
+    AsPath tau_path;        // τ_d's full AS path
+    std::size_t tau_index;  // position of a_j in tau_path
+    std::size_t border_index = kWholePath;
+    std::set<bgp::VpId> v0;
+    detect::LazySeries series;
+    double baseline_ratio = 1.0;
+    bool dirty = false;
+    // Windows left in which the series must be re-evaluated even without
+    // new updates: the Bitmap detector's lead window needs several samples
+    // of a shifted level before the bitmap distance peaks, so a value
+    // change keeps the entry "hot" for a few windows.
+    int hot_windows = 0;
+    // Update paths observed in the open window, per VP.
+    std::vector<std::pair<bgp::VpId, AsPath>> window_updates;
+  };
+
+  // Computes (match, intersect) counts for `entry` from standing routes and
+  // its buffered window updates.
+  std::pair<int, int> counts(const Entry& entry) const;
+  static bool path_counts(const Entry& entry, const AsPath& path, int& num,
+                          int& den);
+  void fill_meta(const Entry& entry, double score, SignalMeta& meta) const;
+
+  const BgpContext& context_;
+  std::unordered_map<PotentialId, std::unique_ptr<Entry>> entries_;
+  std::map<tr::PairKey, std::vector<Entry*>> by_pair_;
+  // Destination IP -> entries monitoring it, plus the prefix-cover index.
+  std::unordered_map<Ipv4, std::vector<Entry*>> by_dst_;
+  DstIndex dst_index_;
+  std::vector<Entry*> dirty_;
+  std::vector<Entry*> hot_;
+  std::unordered_map<PotentialId, Entry*> by_potential_;
+};
+
+}  // namespace rrr::signals

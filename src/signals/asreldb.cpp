@@ -1,0 +1,38 @@
+#include "signals/asreldb.h"
+
+namespace rrr::signals {
+
+void AsRelDb::add(Asn a, Asn b, AsRel rel_a_to_b, bool via_ixp) {
+  rels_[{a, b}] = Info{rel_a_to_b, via_ixp};
+  AsRel inverse = rel_a_to_b;
+  if (rel_a_to_b == AsRel::kCustomer) inverse = AsRel::kProvider;
+  if (rel_a_to_b == AsRel::kProvider) inverse = AsRel::kCustomer;
+  rels_[{b, a}] = Info{inverse, via_ixp};
+}
+
+AsRelDb::Info AsRelDb::relation(Asn a, Asn b) const {
+  auto it = rels_.find({a, b});
+  return it == rels_.end() ? Info{} : it->second;
+}
+
+AsRelDb AsRelDb::from_topology(const topo::Topology& topology) {
+  AsRelDb db;
+  for (const topo::AsLink& link : topology.links()) {
+    bool via_ixp = false;
+    for (topo::InterconnectId ic : link.interconnects) {
+      if (topology.interconnect_at(ic).ixp != topo::kNoIxp) {
+        via_ixp = true;
+        break;
+      }
+    }
+    Asn a = topology.as_at(link.a).asn;
+    Asn b = topology.as_at(link.b).asn;
+    AsRel rel = link.rel == topo::RelType::kCustomerProvider
+                    ? AsRel::kCustomer
+                    : AsRel::kPeer;
+    db.add(a, b, rel, via_ixp);
+  }
+  return db;
+}
+
+}  // namespace rrr::signals

@@ -1,0 +1,43 @@
+// AS relationship database (CAIDA-style) used by the IXP membership
+// technique (§4.2.3) to decide whether a new IXP peering is likely to
+// replace an existing next hop.
+#pragma once
+
+#include <map>
+#include <utility>
+
+#include "netbase/asn.h"
+#include "topology/topology.h"
+
+namespace rrr::signals {
+
+enum class AsRel : std::uint8_t {
+  kUnknown,
+  kCustomer,  // first AS is a customer of the second
+  kProvider,  // first AS is a provider of the second
+  kPeer,
+};
+
+class AsRelDb {
+ public:
+  struct Info {
+    AsRel rel = AsRel::kUnknown;
+    bool via_ixp = false;  // public peering (over an IXP LAN)
+  };
+
+  void add(Asn a, Asn b, AsRel rel_a_to_b, bool via_ixp);
+
+  // Relationship of `a` toward `b` (kUnknown when unrecorded).
+  Info relation(Asn a, Asn b) const;
+
+  // Derives the database from ground truth, as CAIDA's inference would from
+  // public BGP data (it is near-complete for links visible in BGP).
+  static AsRelDb from_topology(const topo::Topology& topology);
+
+  std::size_t size() const { return rels_.size(); }
+
+ private:
+  std::map<std::pair<Asn, Asn>, Info> rels_;
+};
+
+}  // namespace rrr::signals

@@ -1,0 +1,23 @@
+// Shared state the BGP-based monitors read: the standing per-VP table view
+// and vantage-point metadata for signal attributes.
+#pragma once
+
+#include <vector>
+
+#include "bgp/record.h"
+#include "bgp/table_view.h"
+#include "topology/types.h"
+
+namespace rrr::signals {
+
+struct BgpContext {
+  const bgp::VpTableView* table = nullptr;
+  const std::vector<bgp::VantagePoint>* vps = nullptr;
+  // Per-VpId location, for the Table 1 bootstrap attributes.
+  std::vector<topo::AsIndex> vp_as;
+  std::vector<topo::CityId> vp_city;
+
+  std::size_t vp_count() const { return vps ? vps->size() : 0; }
+};
+
+}  // namespace rrr::signals

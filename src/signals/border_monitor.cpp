@@ -1,0 +1,151 @@
+#include "signals/border_monitor.h"
+
+#include <cmath>
+
+namespace rrr::signals {
+
+std::optional<BorderMonitor::CityPairKey> BorderMonitor::key_of(
+    const tracemap::BorderView& b) {
+  if (!b.near_city || !b.far_city || *b.near_city == *b.far_city) {
+    return std::nullopt;  // §4.2.2 requires c_m != c_n (and both located)
+  }
+  return CityPairKey{b.near_as, *b.near_city, b.far_as, *b.far_city};
+}
+
+void BorderMonitor::watch(const CorpusView& view, PotentialIndex& index) {
+  const tracemap::ProcessedTrace& pt = view.processed;
+  for (std::size_t b = 0; b < pt.borders.size(); ++b) {
+    auto key = key_of(pt.borders[b]);
+    if (!key) continue;
+    auto& entry = entries_[*key];
+    if (!entry) {
+      entry = std::make_unique<Entry>();
+      entry->key = *key;
+    }
+    RouterSeries* rs = nullptr;
+    for (auto& candidate : entry->routers) {
+      if (candidate->router == pt.borders[b].border_router) {
+        rs = candidate.get();
+        break;
+      }
+    }
+    if (rs == nullptr) {
+      auto created = std::make_unique<RouterSeries>(RouterSeries{
+          .id = index.create(Technique::kTraceBorder),
+          .router = pt.borders[b].border_router,
+          .series = detect::AdaptiveRatioSeries(
+              prototype_, params_.max_window_multiplier),
+          .subscribers = {},
+          .baseline_ratio = -1.0,
+          .touched = false,
+      });
+      rs = created.get();
+      by_potential_[rs->id] = rs;
+      entry->routers.push_back(std::move(created));
+    }
+    bool found = false;
+    for (Subscriber& sub : rs->subscribers) {
+      if (sub.pair == view.key && sub.border == b) {
+        sub.zombie = false;
+        found = true;
+        break;
+      }
+    }
+    if (!found) rs->subscribers.push_back(Subscriber{view.key, b, false});
+    index.relate(rs->id, view.key, b);
+    by_pair_[view.key].push_back(rs);
+  }
+}
+
+void BorderMonitor::unwatch(const tr::PairKey& pair) {
+  auto it = by_pair_.find(pair);
+  if (it == by_pair_.end()) return;
+  for (RouterSeries* rs : it->second) {
+    for (Subscriber& sub : rs->subscribers) {
+      if (sub.pair == pair) sub.zombie = true;
+    }
+  }
+  by_pair_.erase(it);
+}
+
+void BorderMonitor::on_public_trace(const tracemap::ProcessedTrace& trace,
+                                    std::int64_t window) {
+  for (const tracemap::BorderView& border : trace.borders) {
+    auto key = key_of(border);
+    if (!key) continue;
+    auto eit = entries_.find(*key);
+    if (eit == entries_.end()) continue;
+    for (auto& rs : eit->second->routers) {
+      bool match = rs->router == border.border_router;
+      rs->series.add(window, match ? 1 : 0, 1);
+      if (!rs->touched) {
+        rs->touched = true;
+        touched_.push_back(rs.get());
+      }
+    }
+  }
+}
+
+std::vector<StalenessSignal> BorderMonitor::close_window(
+    std::int64_t window, TimePoint window_end) {
+  std::vector<StalenessSignal> signals;
+  auto close_series = [&](RouterSeries* rs) {
+    for (const detect::ClosedRatioWindow& closed :
+         rs->series.close_through(window + 1)) {
+      if (rs->baseline_ratio < 0.0 && rs->series.armed()) {
+        rs->baseline_ratio = closed.ratio;
+      }
+      bool drop = closed.judgement.outlier && closed.judgement.score < 0 &&
+                  closed.intersect >= params_.min_intersect;
+      // The monitored router can only *lose* share when the border moves;
+      // thin windows need two consecutive drops.
+      bool confirmed =
+          drop && (closed.intersect >= params_.single_shot_intersect ||
+                   rs->pending_drop);
+      rs->pending_drop = drop;
+      if (!confirmed) continue;
+      std::int64_t agg_end =
+          closed.aggregate_window * closed.multiplier + closed.multiplier - 1;
+      TimePoint at = window_end -
+                     (window - agg_end) * params_.base_window_seconds;
+      for (const Subscriber& sub : rs->subscribers) {
+        StalenessSignal signal;
+        signal.technique = Technique::kTraceBorder;
+        signal.potential = rs->id;
+        signal.time = at;
+        signal.window = agg_end;
+        signal.span_seconds =
+            closed.multiplier * params_.base_window_seconds;
+        signal.pair = sub.pair;
+        signal.border_index = sub.border;
+        signal.meta.deviation = std::abs(closed.judgement.score);
+        signals.push_back(std::move(signal));
+      }
+    }
+  };
+  for (RouterSeries* rs : touched_) {
+    rs->touched = false;
+    close_series(rs);
+  }
+  touched_.clear();
+  if (window % 96 == 95) {
+    for (auto& [key, entry] : entries_) {
+      for (auto& rs : entry->routers) {
+        close_series(rs.get());
+        std::erase_if(rs->subscribers,
+                      [](const Subscriber& sub) { return sub.zombie; });
+      }
+    }
+  }
+  return signals;
+}
+
+bool BorderMonitor::reverted(PotentialId id) const {
+  auto it = by_potential_.find(id);
+  if (it == by_potential_.end()) return false;
+  const RouterSeries& rs = *it->second;
+  if (rs.baseline_ratio < 0.0 || !rs.series.has_ratio()) return false;
+  return std::abs(rs.series.last_ratio() - rs.baseline_ratio) < 0.1;
+}
+
+}  // namespace rrr::signals

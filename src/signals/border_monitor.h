@@ -1,0 +1,91 @@
+// §4.2.2 — staleness signals from router-level border usage between
+// ⟨AS, city⟩ pairs.
+//
+// When IP-level subpaths are too noisy, routing decisions are still
+// consistent at PoP granularity: if public traceroutes between ⟨AS_m, c_m⟩
+// and ⟨AS_n, c_n⟩ consistently cross border router r and later consistently
+// cross r', the ASes changed routing policy (Figure 5). The monitor keeps,
+// per city pair, one adaptive ratio series per border router that corpus
+// traceroutes use, fed by public traceroutes crossing the same city pair.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+
+#include "detect/series.h"
+#include "signals/monitor.h"
+#include "tracemap/alias.h"
+
+namespace rrr::signals {
+
+struct BorderMonitorParams {
+  std::int64_t max_window_multiplier = 96;
+  std::int64_t base_window_seconds = kBaseWindowSeconds;
+  std::int64_t min_intersect = 2;
+  // Windows at least this thick may signal on a single drop-outlier;
+  // thinner ones need two consecutive drops (binomial noise guard).
+  std::int64_t single_shot_intersect = 5;
+  detect::ZScoreParams zscore{.threshold = 3.5,
+                               .min_history = 20,
+                               .max_history = 96,
+                               .drop_outliers_from_history = true,
+                               .min_abs_deviation = 0.35};
+};
+
+class BorderMonitor final : public TraceMonitor {
+ public:
+  explicit BorderMonitor(const BorderMonitorParams& params = {})
+      : params_(params), prototype_(params.zscore) {}
+
+  Technique technique() const override { return Technique::kTraceBorder; }
+  void watch(const CorpusView& view, PotentialIndex& index) override;
+  void unwatch(const tr::PairKey& pair) override;
+  void on_public_trace(const tracemap::ProcessedTrace& trace,
+                       std::int64_t window) override;
+  std::vector<StalenessSignal> close_window(std::int64_t window,
+                                            TimePoint window_end) override;
+  bool reverted(PotentialId id) const override;
+
+  std::size_t city_pair_count() const { return entries_.size(); }
+
+ private:
+  // ⟨AS_m, c_m⟩ -> ⟨AS_n, c_n⟩.
+  struct CityPairKey {
+    Asn as_m;
+    topo::CityId c_m = topo::kNoCity;
+    Asn as_n;
+    topo::CityId c_n = topo::kNoCity;
+    auto operator<=>(const CityPairKey&) const = default;
+  };
+
+  struct Subscriber {
+    tr::PairKey pair;
+    std::size_t border = 0;
+    bool zombie = false;
+  };
+  struct RouterSeries {
+    PotentialId id = kNoPotential;
+    tracemap::RouterKey router;
+    detect::AdaptiveRatioSeries series;
+    std::vector<Subscriber> subscribers;
+    double baseline_ratio = -1.0;
+    bool touched = false;
+    bool pending_drop = false;
+  };
+
+  struct Entry {
+    CityPairKey key;
+    std::vector<std::unique_ptr<RouterSeries>> routers;
+  };
+
+  static std::optional<CityPairKey> key_of(const tracemap::BorderView& b);
+
+  BorderMonitorParams params_;
+  detect::ModifiedZScoreDetector prototype_;
+  std::map<CityPairKey, std::unique_ptr<Entry>> entries_;
+  std::map<tr::PairKey, std::vector<RouterSeries*>> by_pair_;
+  std::unordered_map<PotentialId, RouterSeries*> by_potential_;
+  std::vector<RouterSeries*> touched_;
+};
+
+}  // namespace rrr::signals

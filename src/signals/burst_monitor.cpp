@@ -1,0 +1,212 @@
+#include "signals/burst_monitor.h"
+
+#include <algorithm>
+
+namespace rrr::signals {
+namespace {
+
+// Whether `path` ends with exactly `suffix` (same origin-side hops).
+bool shares_suffix(const AsPath& path, const AsPath& suffix) {
+  if (suffix.empty() || path.size() < suffix.size()) return false;
+  return std::equal(suffix.begin(), suffix.end(),
+                    path.end() - static_cast<std::ptrdiff_t>(suffix.size()));
+}
+
+}  // namespace
+
+void BurstMonitor::watch(const CorpusView& view, PotentialIndex& index) {
+  const tracemap::ProcessedTrace& pt = view.processed;
+  if (pt.as_path.empty()) return;
+
+  // Gather each VP's standing path toward d once.
+  std::vector<std::pair<bgp::VpId, const AsPath*>> vp_paths;
+  for (const bgp::VantagePoint& vp : *context_.vps) {
+    const bgp::VpRoute* route = context_.table->route(vp.id, view.key.dst);
+    if (route != nullptr && !route->path.empty()) {
+      vp_paths.emplace_back(vp.id, &route->path);
+    }
+  }
+
+  for (std::size_t j = 0; j < pt.as_path.size(); ++j) {
+    AsPath suffix(pt.as_path.begin() + static_cast<std::ptrdiff_t>(j),
+                  pt.as_path.end());
+    auto entry = std::make_unique<Entry>(Entry{
+        .id = kNoPotential,
+        .pair = view.key,
+        .suffix = suffix,
+        .border_index = kWholePath,
+        .v0 = {},
+        .series = detect::LazySeries(
+            std::make_unique<detect::BitmapDetector>(),
+            detect::GapPolicy::kZero),
+        .window_dups = {},
+        .extras = {},
+        .vp_extras = {},
+        .dirty = false,
+    });
+    for (auto& [vp, path] : vp_paths) {
+      if (shares_suffix(*path, suffix)) entry->v0.insert(vp);
+    }
+    if (entry->v0.size() < 2) continue;  // need corroboration across VPs
+
+    // Extra ASes: on >= 2 V0 paths but not on τ.
+    std::map<Asn, std::set<bgp::VpId>> outside;
+    for (auto& [vp, path] : vp_paths) {
+      if (!entry->v0.contains(vp)) continue;
+      for (Asn asn : *path) {
+        if (!contains(pt.as_path, asn)) outside[asn].insert(vp);
+      }
+    }
+    for (auto& [asn, vps_on] : outside) {
+      if (vps_on.size() < 2) continue;
+      ExtraSeries extra{
+          .as = asn,
+          .vps = {},
+          .series = detect::LazySeries(
+              std::make_unique<detect::BitmapDetector>(),
+              detect::GapPolicy::kZero),
+          .window_dups = {},
+          .outlier_this_window = false,
+      };
+      // W^{k,d}: VPs traversing a_k toward d but NOT the whole suffix.
+      for (auto& [vp, path] : vp_paths) {
+        if (contains(*path, asn) && !shares_suffix(*path, suffix)) {
+          extra.vps.insert(vp);
+        }
+      }
+      if (extra.vps.empty()) continue;
+      std::size_t extra_index = entry->extras.size();
+      entry->extras.push_back(std::move(extra));
+      for (bgp::VpId vp : vps_on) {
+        entry->vp_extras[vp].push_back(extra_index);
+      }
+    }
+
+    for (std::size_t b = 0; b < pt.borders.size(); ++b) {
+      if (pt.borders[b].far_as == pt.as_path[j]) {
+        entry->border_index = b;
+        break;
+      }
+    }
+    entry->id = index.create(Technique::kBgpBurst);
+    Entry* raw = entry.get();
+    // Seed with a warm zero baseline (duplicates are absent most windows).
+    raw->series.seed(view.window, 0.0, 24);
+    for (ExtraSeries& extra : raw->extras) {
+      extra.series.seed(view.window, 0.0, 24);
+    }
+    index.relate(raw->id, view.key, raw->border_index);
+    by_pair_[view.key].push_back(raw);
+    by_dst_[view.key.dst].push_back(raw);
+    dst_index_.add(view.key.dst);
+    entries_.emplace(raw->id, std::move(entry));
+  }
+}
+
+void BurstMonitor::unwatch(const tr::PairKey& pair) {
+  auto it = by_pair_.find(pair);
+  if (it == by_pair_.end()) return;
+  for (Entry* entry : it->second) {
+    std::erase(by_dst_[pair.dst], entry);
+    dst_index_.remove(pair.dst);
+    std::erase(dirty_, entry);
+    entries_.erase(entry->id);
+  }
+  by_pair_.erase(it);
+}
+
+void BurstMonitor::on_record(const DispatchedRecord& record,
+                             std::int64_t window) {
+  (void)window;
+  if (!record.duplicate) return;
+  const bgp::BgpRecord& rec = *record.record;
+  dst_index_.for_covered(rec.prefix, [&](Ipv4 dst) {
+    auto dit = by_dst_.find(dst);
+    if (dit == by_dst_.end()) return;
+    for (Entry* entry : dit->second) {
+      bool touched = false;
+      if (entry->v0.contains(rec.vp)) {
+        entry->window_dups.insert(rec.vp);
+        touched = true;
+      }
+      for (ExtraSeries& extra : entry->extras) {
+        if (extra.vps.contains(rec.vp)) {
+          extra.window_dups.insert(rec.vp);
+          touched = true;
+        }
+      }
+      if (touched && !entry->dirty) {
+        entry->dirty = true;
+        dirty_.push_back(entry);
+      }
+    }
+  });
+}
+
+std::vector<StalenessSignal> BurstMonitor::close_window(
+    std::int64_t window, TimePoint window_end) {
+  std::vector<StalenessSignal> signals;
+  for (Entry* entry : dirty_) {
+    entry->dirty = false;
+    // Extras first: their contemporaneous-outlier status gates the signal.
+    for (ExtraSeries& extra : entry->extras) {
+      if (extra.window_dups.empty()) {
+        // Zero windows are reconstructed lazily by the gap policy.
+        extra.outlier_this_window = false;
+      } else {
+        double u_prime = static_cast<double>(extra.window_dups.size());
+        extra.outlier_this_window =
+            extra.series.feed(window, u_prime).outlier;
+      }
+      extra.window_dups.clear();
+    }
+
+    double u = static_cast<double>(entry->window_dups.size());
+    detect::Judgement judgement = entry->series.feed(window, u);
+    // §4.1.4 rests on *contemporaneous* duplicates from multiple peers: a
+    // single parroting VP is never a burst, whatever the detector says,
+    // and with many watching VPs a couple of stragglers is routine noise.
+    std::size_t quorum = std::max<std::size_t>(
+        3, static_cast<std::size_t>(0.4 * double(entry->v0.size()) + 0.5));
+    if (entry->window_dups.size() < quorum) judgement.outlier = false;
+    if (judgement.outlier) {
+      // Figure 4's disambiguation: at least one bursting VP must traverse
+      // no extra AS that is simultaneously bursting.
+      bool independent_vp = false;
+      for (bgp::VpId vp : entry->window_dups) {
+        bool blamed_elsewhere = false;
+        auto eit = entry->vp_extras.find(vp);
+        if (eit != entry->vp_extras.end()) {
+          for (std::size_t idx : eit->second) {
+            if (entry->extras[idx].outlier_this_window) {
+              blamed_elsewhere = true;
+              break;
+            }
+          }
+        }
+        if (!blamed_elsewhere) {
+          independent_vp = true;
+          break;
+        }
+      }
+      if (independent_vp) {
+        StalenessSignal signal;
+        signal.technique = Technique::kBgpBurst;
+        signal.potential = entry->id;
+        signal.time = window_end;
+        signal.window = window;
+        signal.pair = entry->pair;
+        signal.border_index = entry->border_index;
+        signal.meta.as_overlap = static_cast<int>(entry->suffix.size());
+        signal.meta.vp_count = static_cast<int>(entry->v0.size());
+        signal.meta.deviation = judgement.score;
+        signals.push_back(std::move(signal));
+      }
+    }
+    entry->window_dups.clear();
+  }
+  dirty_.clear();
+  return signals;
+}
+
+}  // namespace rrr::signals

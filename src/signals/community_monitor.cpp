@@ -1,0 +1,251 @@
+#include "signals/community_monitor.h"
+
+#include <algorithm>
+
+namespace rrr::signals {
+
+void CommunityReputation::record_outcome(Community community,
+                                         const tr::PairKey& pair,
+                                         bool true_positive) {
+  Stats& stats = stats_[community];
+  Stats& pair_stats = pair_stats_[{community, pair}];
+  Stats& definer_stats = definer_stats_[{community.definer(), pair}];
+  if (true_positive) {
+    ++stats.tp;
+    ++pair_stats.tp;
+    ++definer_stats.tp;
+  } else {
+    ++stats.fp;
+    ++pair_stats.fp;
+    ++definer_stats.fp;
+  }
+}
+
+bool CommunityReputation::pruned_for(Community community,
+                                     const tr::PairKey& pair) const {
+  if (pruned(community)) return true;
+  auto it = pair_stats_.find({community, pair});
+  if (it != pair_stats_.end()) {
+    const Stats& s = it->second;
+    if (s.fp >= pair_prune_fp_threshold && s.tp == 0) return true;
+  }
+  auto dit = definer_stats_.find({community.definer(), pair});
+  if (dit != definer_stats_.end()) {
+    const Stats& s = dit->second;
+    if (s.fp >= definer_prune_fp_threshold && s.tp == 0) return true;
+  }
+  return false;
+}
+
+bool CommunityReputation::pruned(Community community) const {
+  auto it = stats_.find(community);
+  if (it == stats_.end()) return false;
+  const Stats& s = it->second;
+  if (s.fp < prune_fp_threshold) return false;
+  double precision =
+      static_cast<double>(s.tp) / static_cast<double>(s.tp + s.fp);
+  return precision < prune_precision_floor;
+}
+
+std::size_t CommunityReputation::active_false_positive_communities() const {
+  std::size_t count = 0;
+  for (const auto& [community, s] : stats_) {
+    if (s.fp > 0 && !pruned(community)) ++count;
+  }
+  return count;
+}
+
+std::size_t CommunityReputation::pruned_count() const {
+  std::size_t count = 0;
+  for (const auto& [community, s] : stats_) {
+    if (pruned(community)) ++count;
+  }
+  return count;
+}
+
+bool CommunityMonitor::overlaps_suffix(const Entry& entry,
+                                       const AsPath& path) {
+  int pos = index_of(path, entry.as);
+  if (pos < 0) return false;
+  return suffix_matches(path, static_cast<std::size_t>(pos),
+                        entry.tau_path);
+}
+
+CommunitySet CommunityMonitor::baseline_communities(
+    const Entry& entry) const {
+  CommunitySet baseline;
+  for (const bgp::VantagePoint& vp : *context_.vps) {
+    const bgp::VpRoute* route = context_.table->route(vp.id, entry.pair.dst);
+    if (route == nullptr || !overlaps_suffix(entry, route->path)) continue;
+    for (Community c : route->communities) {
+      if (c.definer() == entry.as) baseline.insert(c);
+    }
+  }
+  return baseline;
+}
+
+void CommunityMonitor::watch(const CorpusView& view, PotentialIndex& index) {
+  const tracemap::ProcessedTrace& pt = view.processed;
+  if (pt.as_path.empty()) return;
+  for (std::size_t j = 0; j < pt.as_path.size(); ++j) {
+    auto entry = std::make_unique<Entry>();
+    entry->id = index.create(Technique::kBgpCommunity);
+    entry->pair = view.key;
+    entry->as = pt.as_path[j];
+    entry->tau_path = pt.as_path;
+    entry->tau_index = j;
+    for (std::size_t b = 0; b < pt.borders.size(); ++b) {
+      if (pt.borders[b].far_as == pt.as_path[j]) {
+        entry->border_index = b;
+        break;
+      }
+    }
+    entry->baseline = baseline_communities(*entry);
+    Entry* raw = entry.get();
+    index.relate(raw->id, view.key, raw->border_index);
+    by_pair_[view.key].push_back(raw);
+    by_dst_[view.key.dst].push_back(raw);
+    dst_index_.add(view.key.dst);
+    by_potential_[raw->id] = raw;
+    entries_.emplace(raw->id, std::move(entry));
+  }
+}
+
+void CommunityMonitor::unwatch(const tr::PairKey& pair) {
+  auto it = by_pair_.find(pair);
+  if (it == by_pair_.end()) return;
+  for (Entry* entry : it->second) {
+    std::erase(by_dst_[pair.dst], entry);
+    dst_index_.remove(pair.dst);
+    by_potential_.erase(entry->id);
+    std::erase(pending_, entry);
+    entries_.erase(entry->id);
+  }
+  by_pair_.erase(it);
+}
+
+bool CommunityMonitor::community_known_elsewhere(const Entry& entry,
+                                                 Community community,
+                                                 bgp::VpId except_vp) const {
+  for (const bgp::VantagePoint& vp : *context_.vps) {
+    if (vp.id == except_vp) continue;
+    const bgp::VpRoute* route = context_.table->route(vp.id, entry.pair.dst);
+    if (route == nullptr || !overlaps_suffix(entry, route->path)) continue;
+    if (route->communities.contains(community)) return true;
+  }
+  return false;
+}
+
+void CommunityMonitor::on_record(const DispatchedRecord& record,
+                                 std::int64_t window) {
+  (void)window;
+  const bgp::BgpRecord& rec = *record.record;
+  if (rec.type == bgp::RecordType::kWithdrawal) return;
+
+  ++stats_.records;
+  dst_index_.for_covered(rec.prefix, [&](Ipv4 dst) {
+    auto dit = by_dst_.find(dst);
+    if (dit == by_dst_.end()) return;
+    // Standing (start-of-window) route of this VP.
+    const bgp::VpRoute* prev = context_.table->route(rec.vp, dst);
+    if (prev == nullptr || prev->path.empty()) return;
+
+    bool emptiness_flip =
+        prev->communities.empty() != rec.communities.empty();
+    bool path_changed = record.path != prev->path;
+    for (Entry* entry : dit->second) {
+      if (entry->pending) continue;  // one signal per window suffices
+      // The VP must overlap τ's suffix at a_j — on its established route
+      // AND on the announced one. A route that moved away from a_j drops
+      // a_j's communities trivially; that is an AS-path event about the
+      // VP, not evidence that τ's border at a_j moved.
+      if (!overlaps_suffix(*entry, prev->path)) {
+        ++stats_.no_prev_overlap;
+        continue;
+      }
+      if (!overlaps_suffix(*entry, record.path)) {
+        ++stats_.no_new_overlap;
+        continue;
+      }
+      CommunityDiff diff =
+          diff_communities(prev->communities, rec.communities, entry->as);
+      if (diff.empty()) continue;
+      ++stats_.diffs;
+      // Suppression 1 (§4.1.3): communities are optional and transitive —
+      // any AS on the way may strip them, so a path change (even upstream
+      // of a_j) can make a_j's communities appear or vanish without any
+      // change at a_j. With a changed path, only a *value change* (one of
+      // a_j's communities replaced by another) is trustworthy evidence.
+      if (path_changed && (diff.added.empty() || diff.removed.empty())) {
+        ++stats_.path_rule;
+        continue;
+      }
+      if (emptiness_flip && path_changed) continue;
+      for (Community c : diff.added) {
+        if (reputation_.pruned_for(c, entry->pair)) {
+          ++stats_.pruned;
+          continue;
+        }
+        // Suppression 2: a community already visible on another
+        // overlapping path is not a new signal of change.
+        if (community_known_elsewhere(*entry, c, rec.vp)) {
+          ++stats_.known_elsewhere;
+          continue;
+        }
+        entry->pending = true;
+        ++stats_.fired;
+        entry->pending_community = c;
+        ++entry->pending_vp_count;
+        pending_.push_back(entry);
+        break;
+      }
+      if (entry->pending) continue;
+      for (Community c : diff.removed) {
+        if (reputation_.pruned_for(c, entry->pair)) {
+          ++stats_.pruned;
+          continue;
+        }
+        entry->pending = true;
+        ++stats_.fired;
+        entry->pending_community = c;
+        ++entry->pending_vp_count;
+        pending_.push_back(entry);
+        break;
+      }
+    }
+  });
+}
+
+std::vector<StalenessSignal> CommunityMonitor::close_window(
+    std::int64_t window, TimePoint window_end) {
+  std::vector<StalenessSignal> signals;
+  for (Entry* entry : pending_) {
+    if (!entry->pending) continue;
+    StalenessSignal signal;
+    signal.technique = Technique::kBgpCommunity;
+    signal.potential = entry->id;
+    signal.time = window_end;
+    signal.window = window;
+    signal.pair = entry->pair;
+    signal.border_index = entry->border_index;
+    signal.community = entry->pending_community;
+    signal.meta.as_overlap =
+        static_cast<int>(entry->tau_path.size() - entry->tau_index);
+    signal.meta.as_level = false;
+    signal.meta.vp_count = entry->pending_vp_count;
+    signals.push_back(std::move(signal));
+    entry->pending = false;
+    entry->pending_vp_count = 0;
+  }
+  pending_.clear();
+  return signals;
+}
+
+bool CommunityMonitor::reverted(PotentialId id) const {
+  auto it = by_potential_.find(id);
+  if (it == by_potential_.end()) return false;
+  const Entry& entry = *it->second;
+  return baseline_communities(entry) == entry.baseline;
+}
+
+}  // namespace rrr::signals

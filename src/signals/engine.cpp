@@ -1,0 +1,352 @@
+#include "signals/engine.h"
+
+#include <algorithm>
+
+namespace rrr::signals {
+namespace {
+
+EngineParams normalized(EngineParams params) {
+  params.subpath.base_window_seconds = params.window_seconds;
+  params.border.base_window_seconds = params.window_seconds;
+  return params;
+}
+
+}  // namespace
+
+StalenessEngine::StalenessEngine(
+    const EngineParams& params, tracemap::ProcessingContext& processing,
+    std::vector<bgp::VantagePoint> vps, std::vector<topo::AsIndex> vp_as,
+    std::vector<topo::CityId> vp_city, std::set<Asn> ixp_route_server_asns,
+    AsRelDb rels, std::map<topo::IxpId, std::set<Asn>> ixp_members)
+    : params_(normalized(params)),
+      clock_(params.t0, params.window_seconds),
+      processing_(processing),
+      rng_(Rng(params.seed).fork(0xE9619E)),
+      vps_(std::move(vps)),
+      table_(std::move(ixp_route_server_asns)),
+      calibration_(params.calibration_windows),
+      rels_(std::move(rels)),
+      aspath_(bgp_context_),
+      community_(bgp_context_, reputation_),
+      burst_(bgp_context_),
+      subpath_(params_.subpath),
+      border_(params_.border),
+      ixp_(rels_, std::move(ixp_members)) {
+  bgp_context_.table = &table_;
+  bgp_context_.vps = &vps_;
+  bgp_context_.vp_as = std::move(vp_as);
+  bgp_context_.vp_city = std::move(vp_city);
+}
+
+Monitor* StalenessEngine::monitor_for(Technique technique) {
+  switch (technique) {
+    case Technique::kBgpAsPath: return &aspath_;
+    case Technique::kBgpCommunity: return &community_;
+    case Technique::kBgpBurst: return &burst_;
+    case Technique::kColocation: return &ixp_;
+    case Technique::kTraceSubpath: return &subpath_;
+    case Technique::kTraceBorder: return &border_;
+  }
+  return nullptr;
+}
+
+const Monitor* StalenessEngine::monitor_for(Technique technique) const {
+  return const_cast<StalenessEngine*>(this)->monitor_for(technique);
+}
+
+tr::Freshness StalenessEngine::initial_freshness(
+    const tr::PairKey& pair, const CorpusView& view) const {
+  // Fresh only when every border of the traceroute is monitored by at
+  // least one potential signal; otherwise its state is unknowable (§6.2).
+  const auto& relations = index_.relations_of(pair);
+  for (std::size_t b = 0; b < view.processed.borders.size(); ++b) {
+    bool covered = false;
+    for (const auto& relation : relations) {
+      if (relation.border_index == b || relation.border_index == kWholePath) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return tr::Freshness::kUnknown;
+  }
+  return relations.empty() ? tr::Freshness::kUnknown : tr::Freshness::kFresh;
+}
+
+void StalenessEngine::watch(const tr::Probe& probe,
+                            const tr::Traceroute& trace) {
+  tr::PairKey key{trace.probe, trace.dst_ip};
+  PairState state;
+  state.view.key = key;
+  state.view.probe_as = probe.as;
+  state.view.probe_city = probe.city;
+  state.view.window = clock_.index_of(trace.time);
+  state.view.processed = processing_.ingest(trace);
+  state.watched_window = state.view.window;
+
+  aspath_.watch(state.view, index_);
+  community_.watch(state.view, index_);
+  burst_.watch(state.view, index_);
+  subpath_.watch(state.view, index_);
+  border_.watch(state.view, index_);
+  ixp_.watch(state.view, index_);
+
+  state.freshness = initial_freshness(key, state.view);
+  corpus_[key] = std::move(state);
+}
+
+void StalenessEngine::on_bgp_record(const bgp::BgpRecord& record) {
+  pending_records_.push_back(record);
+}
+
+void StalenessEngine::on_public_trace(const tr::Traceroute& trace) {
+  tracemap::ProcessedTrace processed = processing_.ingest(trace);
+  std::int64_t window = clock_.index_of(trace.time);
+  subpath_.on_public_trace(processed, window);
+  border_.on_public_trace(processed, window);
+  ixp_.on_public_trace(processed, window);
+}
+
+void StalenessEngine::register_signals(
+    std::vector<StalenessSignal>& out, std::vector<StalenessSignal>&& batch) {
+  for (StalenessSignal& signal : batch) {
+    auto it = corpus_.find(signal.pair);
+    if (it == corpus_.end()) continue;  // pair refreshed mid-window
+    auto fired = last_fired_.find(signal.potential);
+    if (fired != last_fired_.end() &&
+        signal.window - fired->second < params_.signal_cooldown_windows) {
+      continue;  // persistent change already reported recently
+    }
+    last_fired_[signal.potential] = signal.window;
+    PairState& state = it->second;
+    if (state.freshness != tr::Freshness::kStale) {
+      state.freshness = tr::Freshness::kStale;
+    }
+    ActiveSignal active;
+    active.potential = signal.potential;
+    active.technique = signal.technique;
+    active.meta = signal.meta;
+    active.pair = signal.pair;
+    active.community = signal.community;
+    state.active[signal.potential] = std::move(active);
+    out.push_back(std::move(signal));
+  }
+}
+
+void StalenessEngine::close_one_window(std::int64_t window,
+                                       std::vector<StalenessSignal>& out) {
+  TimePoint end = clock_.window_end(window);
+  // Dispatch this window's BGP records to the monitors against the
+  // start-of-window table, then absorb them into the table.
+  auto in_window = [&](const bgp::BgpRecord& r) {
+    return clock_.index_of(r.time) <= window;
+  };
+  std::stable_sort(pending_records_.begin(), pending_records_.end(),
+                   [](const bgp::BgpRecord& a, const bgp::BgpRecord& b) {
+                     return a.time < b.time;
+                   });
+  std::size_t cut = 0;
+  while (cut < pending_records_.size() && in_window(pending_records_[cut])) {
+    ++cut;
+  }
+  for (std::size_t i = 0; i < cut; ++i) {
+    const bgp::BgpRecord& record = pending_records_[i];
+    DispatchedRecord dispatched;
+    dispatched.record = &record;
+    dispatched.path = bgp::collapse_prepending(record.as_path);
+    const bgp::VpRoute* standing = table_.route(record.vp,
+                                                record.prefix.network());
+    dispatched.duplicate = record.type == bgp::RecordType::kAnnouncement &&
+                           standing != nullptr &&
+                           standing->path == dispatched.path &&
+                           standing->communities == record.communities;
+    aspath_.on_record(dispatched, window);
+    community_.on_record(dispatched, window);
+    burst_.on_record(dispatched, window);
+  }
+
+  register_signals(out, aspath_.close_window(window, end));
+  register_signals(out, community_.close_window(window, end));
+  register_signals(out, burst_.close_window(window, end));
+
+  for (std::size_t i = 0; i < cut; ++i) table_.apply(pending_records_[i]);
+  pending_records_.erase(pending_records_.begin(),
+                         pending_records_.begin() +
+                             static_cast<std::ptrdiff_t>(cut));
+
+  register_signals(out, subpath_.close_window(window, end));
+  register_signals(out, border_.close_window(window, end));
+  register_signals(out, ixp_.close_window(window, end));
+
+  if (params_.revocation_check_interval > 0 &&
+      window % params_.revocation_check_interval ==
+          params_.revocation_check_interval - 1) {
+    run_revocation(window);
+  }
+}
+
+void StalenessEngine::run_revocation(std::int64_t window) {
+  (void)window;
+  for (auto& [key, state] : corpus_) {
+    if (state.freshness != tr::Freshness::kStale || state.active.empty()) {
+      continue;
+    }
+    // §4.3.2: revocation applies when every AS-path, community, subpath,
+    // and border signal has returned to its issue-time state. Burst and
+    // colocation signals carry no revertible state; they neither revoke
+    // nor block (a pair flagged *only* by them stays flagged).
+    bool all_reverted = true;
+    int revocable = 0;
+    for (const auto& [potential, active] : state.active) {
+      if (active.technique == Technique::kBgpBurst ||
+          active.technique == Technique::kColocation) {
+        continue;
+      }
+      ++revocable;
+      const Monitor* monitor = monitor_for(active.technique);
+      if (monitor == nullptr || !monitor->reverted(potential)) {
+        all_reverted = false;
+        break;
+      }
+    }
+    if (revocable == 0) all_reverted = false;
+    if (all_reverted) {
+      state.active.clear();
+      state.freshness = initial_freshness(key, state.view);
+    }
+  }
+}
+
+std::vector<StalenessSignal> StalenessEngine::advance_to(TimePoint t) {
+  std::vector<StalenessSignal> out;
+  std::int64_t last = clock_.index_of(t) - 1;  // windows fully ended by t
+  if (clock_.window_end(last + 1) == t) last += 1;
+  while (next_window_ <= last) {
+    close_one_window(next_window_, out);
+    ++next_window_;
+  }
+  return out;
+}
+
+std::vector<tr::PairKey> StalenessEngine::plan_refreshes(int budget) {
+  std::map<tr::PairKey, RefreshScheduler::PairState> pairs;
+  for (const auto& [key, state] : corpus_) {
+    if (state.active.empty()) continue;
+    RefreshScheduler::PairState ps;
+    for (const auto& [potential, active] : state.active) {
+      ps.firing.push_back(active);
+    }
+    for (const auto& relation : index_.relations_of(key)) {
+      if (!state.active.contains(relation.id)) {
+        ps.silent.push_back(relation.id);
+      }
+    }
+    pairs.emplace(key, std::move(ps));
+  }
+  return RefreshScheduler::plan(pairs, calibration_, budget, rng_);
+}
+
+bool StalenessEngine::portion_changed(const tracemap::ProcessedTrace& before,
+                                      const tracemap::ProcessedTrace& after,
+                                      std::size_t border_index) const {
+  if (border_index == kWholePath) return before.as_path != after.as_path;
+  if (border_index >= before.borders.size()) return false;
+  const tracemap::BorderView& old_border = before.borders[border_index];
+  bool same_as_pair_seen = false;
+  for (const tracemap::BorderView& candidate : after.borders) {
+    if (candidate.near_as == old_border.near_as &&
+        candidate.far_as == old_border.far_as) {
+      if (candidate.border_router == old_border.border_router) {
+        return false;  // the portion survives in the new measurement
+      }
+      same_as_pair_seen = true;
+    }
+  }
+  // The same AS pair crossed through a different router: a border change.
+  if (same_as_pair_seen) return true;
+  // The border is absent entirely. With a changed AS path that is a real
+  // change; with the same AS path it is almost always an unresponsive-hop
+  // artifact, and wildcards cannot indicate a change (Appendix A).
+  return before.as_path != after.as_path;
+}
+
+RefreshOutcome StalenessEngine::apply_refresh(const tr::Probe& probe,
+                                              const tr::Traceroute& fresh) {
+  tr::PairKey key{fresh.probe, fresh.dst_ip};
+  RefreshOutcome outcome;
+  outcome.pair = key;
+
+  tracemap::ProcessedTrace new_processed = processing_.ingest(fresh);
+  auto it = corpus_.find(key);
+  if (it != corpus_.end()) {
+    PairState& state = it->second;
+    outcome.was_flagged_stale = state.freshness == tr::Freshness::kStale;
+    outcome.change =
+        tracemap::classify_change(state.view.processed, new_processed);
+
+    // Grade every related potential (§4.3.1).
+    std::int64_t window = clock_.index_of(fresh.time);
+    for (const auto& relation : index_.relations_of(key)) {
+      bool fired = state.active.contains(relation.id);
+      bool changed = portion_changed(state.view.processed, new_processed,
+                                     relation.border_index);
+      Outcome graded =
+          fired ? (changed ? Outcome::kTruePositive : Outcome::kFalsePositive)
+                : (changed ? Outcome::kFalseNegative
+                           : Outcome::kTrueNegative);
+      calibration_.record(key.probe, relation.id, window, graded);
+    }
+    // Community reputation: grade the fired community signals.
+    for (const auto& [potential, active] : state.active) {
+      if (active.technique != Technique::kBgpCommunity) continue;
+      bool changed = true;
+      for (const auto& relation : index_.relations_of(key)) {
+        if (relation.id == potential) {
+          changed = portion_changed(state.view.processed, new_processed,
+                                    relation.border_index);
+          break;
+        }
+      }
+      if (active.community.raw() != 0) {
+        reputation_.record_outcome(active.community, key, changed);
+      }
+    }
+
+    // Unregister the old measurement everywhere.
+    aspath_.unwatch(key);
+    community_.unwatch(key);
+    burst_.unwatch(key);
+    subpath_.unwatch(key);
+    border_.unwatch(key);
+    ixp_.unwatch(key);
+    index_.unrelate_pair(key);
+    corpus_.erase(it);
+  }
+
+  // Register the fresh measurement.
+  tr::Probe probe_copy = probe;
+  tr::Traceroute fresh_copy = fresh;
+  watch(probe_copy, fresh_copy);
+  return outcome;
+}
+
+tr::Freshness StalenessEngine::freshness(const tr::PairKey& pair) const {
+  auto it = corpus_.find(pair);
+  return it == corpus_.end() ? tr::Freshness::kUnknown
+                             : it->second.freshness;
+}
+
+std::vector<tr::PairKey> StalenessEngine::stale_pairs() const {
+  std::vector<tr::PairKey> out;
+  for (const auto& [key, state] : corpus_) {
+    if (state.freshness == tr::Freshness::kStale) out.push_back(key);
+  }
+  return out;
+}
+
+const tracemap::ProcessedTrace* StalenessEngine::processed_of(
+    const tr::PairKey& pair) const {
+  auto it = corpus_.find(pair);
+  return it == corpus_.end() ? nullptr : &it->second.view.processed;
+}
+
+}  // namespace rrr::signals

@@ -1,0 +1,151 @@
+// StalenessEngine: the public API of the paper's system.
+//
+// Wires the six monitors to their data feeds, maintains the corpus's
+// freshness state, applies the calibration/scheduling policy of §4.3.1 and
+// the revocation rule of §4.3.2.
+//
+// Contract: feed all BGP records and public traceroutes belonging to a
+// window before calling advance_to() past that window's end.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "bgp/record.h"
+#include "bgp/table_view.h"
+#include "signals/aspath_monitor.h"
+#include "signals/asreldb.h"
+#include "signals/bgp_context.h"
+#include "signals/border_monitor.h"
+#include "signals/burst_monitor.h"
+#include "signals/calibration.h"
+#include "signals/community_monitor.h"
+#include "signals/ixp_monitor.h"
+#include "signals/monitor.h"
+#include "signals/subpath_monitor.h"
+#include "tracemap/pipeline.h"
+#include "traceroute/traceroute.h"
+
+namespace rrr::signals {
+
+struct EngineParams {
+  TimePoint t0;
+  std::int64_t window_seconds = kBaseWindowSeconds;
+  std::int64_t calibration_windows = 30;
+  std::int64_t revocation_check_interval = 8;  // in windows
+  // A potential signal that keeps flagging a persistent change re-fires at
+  // most once per cooldown (the pair is already marked stale; repeats only
+  // add noise to downstream consumers).
+  std::int64_t signal_cooldown_windows = 8;
+  SubpathParams subpath;
+  BorderMonitorParams border;
+  std::uint64_t seed = 31;
+};
+
+// What a refresh revealed, returned to callers for their own accounting.
+struct RefreshOutcome {
+  tr::PairKey pair;
+  tracemap::ChangeKind change = tracemap::ChangeKind::kNone;
+  bool was_flagged_stale = false;
+};
+
+class StalenessEngine {
+ public:
+  StalenessEngine(const EngineParams& params,
+                  tracemap::ProcessingContext& processing,
+                  std::vector<bgp::VantagePoint> vps,
+                  std::vector<topo::AsIndex> vp_as,
+                  std::vector<topo::CityId> vp_city,
+                  std::set<Asn> ixp_route_server_asns, AsRelDb rels,
+                  std::map<topo::IxpId, std::set<Asn>> ixp_members);
+
+  // --- corpus management ---
+  void watch(const tr::Probe& probe, const tr::Traceroute& trace);
+  std::size_t corpus_size() const { return corpus_.size(); }
+
+  // --- data feeds ---
+  void on_bgp_record(const bgp::BgpRecord& record);
+  void on_public_trace(const tr::Traceroute& trace);
+
+  // Closes every window ending at or before `t`; returns the staleness
+  // prediction signals generated in them.
+  std::vector<StalenessSignal> advance_to(TimePoint t);
+
+  // --- refresh cycle (§4.3.1) ---
+  // Chooses up to `budget` pairs to remeasure now.
+  std::vector<tr::PairKey> plan_refreshes(int budget);
+  // Grades related potential signals against the new measurement, updates
+  // calibration and community reputation, and re-registers the pair.
+  RefreshOutcome apply_refresh(const tr::Probe& probe,
+                               const tr::Traceroute& fresh);
+
+  // --- queries ---
+  tr::Freshness freshness(const tr::PairKey& pair) const;
+  std::vector<tr::PairKey> stale_pairs() const;
+  const Calibration& calibration() const { return calibration_; }
+  const CommunityReputation& community_reputation() const {
+    return reputation_;
+  }
+  const bgp::VpTableView& table_view() const { return table_; }
+  const PotentialIndex& potentials() const { return index_; }
+  std::int64_t current_window() const { return next_window_; }
+  const WindowClock& clock() const { return clock_; }
+  const tracemap::ProcessedTrace* processed_of(const tr::PairKey& pair) const;
+  const SubpathMonitor& subpath_monitor() const { return subpath_; }
+  const BorderMonitor& border_monitor() const { return border_; }
+  const AsPathMonitor& aspath_monitor() const { return aspath_; }
+  const CommunityMonitor& community_monitor() const { return community_; }
+
+ private:
+  struct PairState {
+    CorpusView view;
+    tr::Freshness freshness = tr::Freshness::kFresh;
+    std::int64_t watched_window = 0;
+    // Fired-and-unrevoked signals, keyed by potential.
+    std::map<PotentialId, ActiveSignal> active;
+  };
+
+  void register_signals(std::vector<StalenessSignal>& out,
+                        std::vector<StalenessSignal>&& batch);
+  void close_one_window(std::int64_t window,
+                        std::vector<StalenessSignal>& out);
+  void run_revocation(std::int64_t window);
+  bool portion_changed(const tracemap::ProcessedTrace& before,
+                       const tracemap::ProcessedTrace& after,
+                       std::size_t border_index) const;
+  tr::Freshness initial_freshness(const tr::PairKey& pair,
+                                  const CorpusView& view) const;
+  Monitor* monitor_for(Technique technique);
+  const Monitor* monitor_for(Technique technique) const;
+
+  EngineParams params_;
+  WindowClock clock_;
+  tracemap::ProcessingContext& processing_;
+  Rng rng_;
+
+  // BGP side.
+  std::vector<bgp::VantagePoint> vps_;
+  bgp::VpTableView table_;
+  BgpContext bgp_context_;
+  std::vector<bgp::BgpRecord> pending_records_;
+
+  PotentialIndex index_;
+  Calibration calibration_;
+  CommunityReputation reputation_;
+  AsRelDb rels_;
+
+  AsPathMonitor aspath_;
+  CommunityMonitor community_;
+  BurstMonitor burst_;
+  SubpathMonitor subpath_;
+  BorderMonitor border_;
+  IxpMonitor ixp_;
+
+  std::map<tr::PairKey, PairState> corpus_;
+  std::map<PotentialId, std::int64_t> last_fired_;
+  std::int64_t next_window_ = 0;  // first window not yet closed
+};
+
+}  // namespace rrr::signals

@@ -1,0 +1,140 @@
+#include "signals/ixp_monitor.h"
+
+namespace rrr::signals {
+
+const std::set<Asn>& IxpMonitor::members_of(topo::IxpId ixp) const {
+  static const std::set<Asn> kEmpty;
+  auto it = members_.find(ixp);
+  return it == members_.end() ? kEmpty : it->second;
+}
+
+void IxpMonitor::watch(const CorpusView& view, PotentialIndex& index) {
+  index_ = &index;
+  const tracemap::ProcessedTrace& pt = view.processed;
+  if (pt.as_path.empty()) return;
+  WatchedPair watched;
+  watched.key = view.key;
+  watched.path = pt.as_path;
+  watched.ingress_border.assign(pt.as_path.size(), kWholePath);
+  for (std::size_t p = 0; p < pt.as_path.size(); ++p) {
+    for (std::size_t b = 0; b < pt.borders.size(); ++b) {
+      if (pt.borders[b].far_as == pt.as_path[p]) {
+        watched.ingress_border[p] = b;
+        break;
+      }
+    }
+    by_as_[pt.as_path[p]].insert(view.key);
+  }
+  // Seed membership from the corpus trace itself (no signals for members
+  // that were present when monitoring started): the near-end neighbor of
+  // an IXP interface is a member.
+  for (std::size_t i = 1; i < pt.hops.size(); ++i) {
+    const tracemap::ProcessedHop& hop = pt.hops[i];
+    if (!hop.responded() || !hop.is_ixp || hop.ixp == topo::kNoIxp) continue;
+    const tracemap::ProcessedHop& near = pt.hops[i - 1];
+    if (near.responded() && near.asn.is_valid() && !near.is_ixp) {
+      members_[hop.ixp].insert(near.asn);
+    }
+  }
+  watched_[view.key] = std::move(watched);
+}
+
+void IxpMonitor::unwatch(const tr::PairKey& pair) {
+  auto it = watched_.find(pair);
+  if (it == watched_.end()) return;
+  for (Asn asn : it->second.path) {
+    auto ait = by_as_.find(asn);
+    if (ait != by_as_.end()) {
+      ait->second.erase(pair);
+      if (ait->second.empty()) by_as_.erase(ait);
+    }
+  }
+  watched_.erase(it);
+}
+
+void IxpMonitor::handle_new_member(topo::IxpId ixp, Asn joiner) {
+  std::set<Asn>& members = members_[ixp];
+  if (!members.insert(joiner).second) return;
+  ++detected_joins_;
+  if (index_ == nullptr) return;
+
+  auto pit = by_as_.find(joiner);
+  if (pit == by_as_.end()) return;
+  for (const tr::PairKey& key : pit->second) {
+    auto wit = watched_.find(key);
+    if (wit == watched_.end()) continue;
+    const WatchedPair& watched = wit->second;
+    int pos = index_of(watched.path, joiner);
+    if (pos < 0 || static_cast<std::size_t>(pos) + 1 >= watched.path.size()) {
+      continue;  // joiner is the last hop: nothing to shortcut
+    }
+    auto p = static_cast<std::size_t>(pos);
+    Asn next_hop = watched.path[p + 1];
+    // Is some established member of this IXP further along the path (and
+    // not already the next hop)?
+    bool member_downstream = false;
+    for (std::size_t q = p + 2; q < watched.path.size(); ++q) {
+      if (members.contains(watched.path[q])) {
+        member_downstream = true;
+        break;
+      }
+    }
+    if (!member_downstream) continue;
+
+    AsRelDb::Info rel = rels_.relation(joiner, next_hop);
+    bool signal = false;
+    if (rel.rel == AsRel::kCustomer) {
+      // The joiner pays `next_hop` for transit; a free IXP path wins.
+      signal = true;
+    } else if (rel.rel == AsRel::kPeer && rel.via_ixp) {
+      // Public peer over another IXP: same class, shortest AS path wins.
+      signal = true;
+    } else if (rel.rel == AsRel::kPeer && !rel.via_ixp) {
+      // Private peers usually carry higher local preference; only signal
+      // when equal-preference behaviour has been learned for this AS.
+      signal = equal_pref_.contains(joiner);
+    }
+    if (!signal) continue;
+
+    StalenessSignal s;
+    s.technique = Technique::kColocation;
+    s.potential = index_->create(Technique::kColocation);
+    // Membership is discovered from whichever public traceroute first
+    // crosses the new peering; the underlying change may be much older.
+    s.span_seconds = 3 * kSecondsPerDay;
+    s.pair = key;
+    std::size_t border = watched.ingress_border[p + 1];
+    s.border_index = border;
+    index_->relate(s.potential, key, border);
+    s.meta.as_overlap = 1;
+    pending_.push_back(std::move(s));
+  }
+}
+
+void IxpMonitor::on_public_trace(const tracemap::ProcessedTrace& trace,
+                                 std::int64_t window) {
+  (void)window;
+  for (std::size_t i = 1; i < trace.hops.size(); ++i) {
+    const tracemap::ProcessedHop& hop = trace.hops[i];
+    if (!hop.responded() || !hop.is_ixp) continue;
+    if (hop.ixp == topo::kNoIxp) continue;
+    const tracemap::ProcessedHop& near = trace.hops[i - 1];
+    if (!near.responded() || !near.asn.is_valid() || near.is_ixp) continue;
+    // The near-end (left-adjacent) neighbor of an IXP interface is a
+    // member; far-end neighbors are ignored (§4.2.3).
+    handle_new_member(hop.ixp, near.asn);
+  }
+}
+
+std::vector<StalenessSignal> IxpMonitor::close_window(std::int64_t window,
+                                                      TimePoint window_end) {
+  std::vector<StalenessSignal> signals;
+  signals.swap(pending_);
+  for (StalenessSignal& s : signals) {
+    s.window = window;
+    s.time = window_end;
+  }
+  return signals;
+}
+
+}  // namespace rrr::signals

@@ -1,0 +1,72 @@
+#include "signals/monitor.h"
+
+#include <stdexcept>
+
+namespace rrr::signals {
+
+const char* to_string(Technique technique) {
+  switch (technique) {
+    case Technique::kBgpAsPath:
+      return "BGP AS-paths";
+    case Technique::kBgpCommunity:
+      return "BGP communities";
+    case Technique::kBgpBurst:
+      return "BGP update bursts";
+    case Technique::kColocation:
+      return "Colocation changes";
+    case Technique::kTraceSubpath:
+      return "Traceroute subpaths";
+    case Technique::kTraceBorder:
+      return "Traceroute borders";
+  }
+  return "?";
+}
+
+std::string StalenessSignal::to_string() const {
+  std::string out = "[";
+  out += signals::to_string(technique);
+  out += "] pair(probe=" + std::to_string(pair.probe) +
+         ", dst=" + pair.dst.to_string() + ") window=" +
+         std::to_string(window);
+  if (border_index != kWholePath) {
+    out += " border#" + std::to_string(border_index);
+  } else {
+    out += " (AS-level)";
+  }
+  return out;
+}
+
+PotentialId PotentialIndex::create(Technique technique) {
+  techniques_.push_back(technique);
+  return static_cast<PotentialId>(techniques_.size());
+}
+
+Technique PotentialIndex::technique_of(PotentialId id) const {
+  if (id == kNoPotential || id > techniques_.size()) {
+    throw std::out_of_range("unknown potential id");
+  }
+  return techniques_[id - 1];
+}
+
+void PotentialIndex::relate(PotentialId id, const tr::PairKey& pair,
+                            std::size_t border_index) {
+  auto& relations = by_pair_[pair];
+  Relation relation{id, border_index};
+  for (const Relation& existing : relations) {
+    if (existing == relation) return;
+  }
+  relations.push_back(relation);
+}
+
+void PotentialIndex::unrelate_pair(const tr::PairKey& pair) {
+  by_pair_.erase(pair);
+}
+
+const std::vector<PotentialIndex::Relation>& PotentialIndex::relations_of(
+    const tr::PairKey& pair) const {
+  static const std::vector<Relation> kEmpty;
+  auto it = by_pair_.find(pair);
+  return it == by_pair_.end() ? kEmpty : it->second;
+}
+
+}  // namespace rrr::signals

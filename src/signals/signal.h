@@ -1,0 +1,77 @@
+// Staleness prediction signals — the paper's central artifact (§4).
+//
+// A *potential signal* is a monitor instance watching one portion (border or
+// destination/subpath) of one or more corpus traceroutes. When the monitor
+// detects a change it emits a `StalenessSignal` naming the corpus pair and
+// the portion; potential signals that stay quiet implicitly vouch that their
+// portion is unchanged (§4.3.1's true-negative accounting).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "netbase/community.h"
+#include "netbase/time.h"
+#include "traceroute/corpus.h"
+
+namespace rrr::signals {
+
+// The six techniques of Table 2.
+enum class Technique : std::uint8_t {
+  kBgpAsPath,      // §4.1.2
+  kBgpCommunity,   // §4.1.3
+  kBgpBurst,       // §4.1.4
+  kColocation,     // §4.2.3 (IXP membership changes)
+  kTraceSubpath,   // §4.2.1
+  kTraceBorder,    // §4.2.2
+};
+inline constexpr int kTechniqueCount = 6;
+
+const char* to_string(Technique technique);
+inline bool is_bgp_technique(Technique t) {
+  return t == Technique::kBgpAsPath || t == Technique::kBgpCommunity ||
+         t == Technique::kBgpBurst;
+}
+
+// Identity of a potential signal: unique per (technique, monitored element).
+using PotentialId = std::uint64_t;
+inline constexpr PotentialId kNoPotential = 0;
+
+inline constexpr std::size_t kWholePath = std::numeric_limits<std::size_t>::max();
+
+// Bootstrap-priority attributes (Table 1) carried by every signal so the
+// scheduler can order signals before TPR/TNR calibration is warmed up.
+struct SignalMeta {
+  int ip_overlap = 0;        // longest IP-level overlap with trigger data
+  int as_overlap = 0;        // longest AS-level overlap
+  int vps_same_as_city = 0;  // trigger VPs colocated with the corpus VP
+  int vps_same_as = 0;
+  int vps_same_city = 0;
+  bool as_level = false;     // signal indicates an AS-level change
+  int vp_count = 0;          // tie-break for BGP signals
+  double deviation = 0.0;    // tie-break for traceroute signals (|z|)
+};
+
+struct StalenessSignal {
+  Technique technique = Technique::kBgpAsPath;
+  PotentialId potential = kNoPotential;
+  TimePoint time;              // end of the generation window
+  std::int64_t window = 0;     // base-window index
+  // Duration of the generation window: base-sized for BGP techniques, up
+  // to 24 h for adaptive traceroute series. The change this signal reports
+  // happened somewhere inside [time - span_seconds, time].
+  std::int64_t span_seconds = kBaseWindowSeconds;
+  tr::PairKey pair;            // corpus traceroute implicated
+  // Border index within the corpus traceroute's processed view that this
+  // signal claims changed; kWholePath for AS-level claims.
+  std::size_t border_index = kWholePath;
+  SignalMeta meta;
+  // For community signals: the community whose change triggered it (drives
+  // the Appendix-B reputation learning).
+  Community community{};
+
+  std::string to_string() const;
+};
+
+}  // namespace rrr::signals

@@ -1,0 +1,116 @@
+// §4.2.1 — staleness signals from IP-level subpath overlap with public
+// traceroutes.
+//
+// For every border-crossing IP segment of a corpus traceroute, the monitor
+// tracks T_ratio: among recent public traceroutes that pass through the
+// segment's first hop and later its last hop (regardless of destination),
+// the fraction that follow the exact hop sequence. Window sizes adapt per
+// segment (15 minutes to 24 hours) until 20 consecutive populated windows
+// exist (§4.2.1's configuration rule); the modified z-score flags outliers,
+// which become staleness prediction signals for every corpus traceroute
+// subscribed to the segment. Segments are deduplicated by content, so one
+// busy border feeds signals to the many corpus paths crossing it
+// (Appendix C, Figure 14).
+#pragma once
+
+#include <map>
+#include <unordered_map>
+
+#include "detect/series.h"
+#include "signals/monitor.h"
+
+namespace rrr::signals {
+
+struct SubpathParams {
+  // Hops of context kept around each border when carving segments.
+  int flank_hops = 1;
+  std::int64_t max_window_multiplier = 96;  // 96 x 15 min = 24 h
+  std::int64_t base_window_seconds = kBaseWindowSeconds;
+  // Aggregate windows with fewer public traceroutes than this are too thin
+  // to report outliers from.
+  std::int64_t min_intersect = 2;
+  // Windows at least this thick may signal on a single drop-outlier;
+  // thinner ones need two consecutive drops (binomial noise guard).
+  std::int64_t single_shot_intersect = 5;
+  detect::ZScoreParams zscore{.threshold = 3.5,
+                               .min_history = 20,
+                               .max_history = 96,
+                               .drop_outliers_from_history = true,
+                               .min_abs_deviation = 0.35};
+};
+
+class SubpathMonitor final : public TraceMonitor {
+ public:
+  explicit SubpathMonitor(const SubpathParams& params = {})
+      : params_(params),
+        prototype_(params.zscore) {}
+
+  Technique technique() const override { return Technique::kTraceSubpath; }
+  void watch(const CorpusView& view, PotentialIndex& index) override;
+  void unwatch(const tr::PairKey& pair) override;
+  void on_public_trace(const tracemap::ProcessedTrace& trace,
+                       std::int64_t window) override;
+  std::vector<StalenessSignal> close_window(std::int64_t window,
+                                            TimePoint window_end) override;
+  bool reverted(PotentialId id) const override;
+
+  std::size_t segment_count() const { return segments_.size(); }
+
+  struct Stats {
+    std::size_t segments = 0;
+    std::size_t armed = 0;
+    std::size_t dormant = 0;
+    std::size_t subscribed = 0;  // segments with at least one subscriber
+    double mean_multiplier = 0.0;
+    std::uint64_t observations = 0;  // total (segment, trace) data points
+  };
+  Stats stats() const;
+
+  struct SegmentInfo {
+    std::size_t border_index = 0;
+    std::size_t length = 0;
+    bool armed = false;
+    bool dormant = false;
+    std::int64_t multiplier = 1;
+    bool has_ratio = false;
+    double last_ratio = 0.0;
+  };
+  // Diagnostic view of the segments monitoring `pair`.
+  std::vector<SegmentInfo> segments_for(const tr::PairKey& pair) const;
+
+ private:
+  // Subscriptions survive a refresh as "zombies" until the segment's
+  // pending aggregate windows flush: a change detected by a slow window is
+  // still a valid signal about the pair even if the corpus was refreshed
+  // meanwhile.
+  struct Subscriber {
+    tr::PairKey pair;
+    std::size_t border = 0;
+    bool zombie = false;
+  };
+  struct Segment {
+    PotentialId id = kNoPotential;
+    std::vector<Ipv4> ips;  // ι_m .. ι_n
+    detect::AdaptiveRatioSeries series;
+    std::vector<Subscriber> subscribers;
+    double baseline_ratio = -1.0;  // first armed ratio (for revocation)
+    bool touched = false;          // data since last close sweep
+    bool pending_drop = false;     // previous closed window was a drop
+  };
+
+  // Content hash identifying a segment.
+  static std::uint64_t key_of(const std::vector<Ipv4>& ips);
+  Segment* ensure_segment(const std::vector<Ipv4>& ips,
+                          PotentialIndex& index);
+
+  SubpathParams params_;
+  detect::ModifiedZScoreDetector prototype_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Segment>> segments_;
+  std::unordered_map<Ipv4, std::vector<Segment*>> by_first_ip_;
+  std::map<tr::PairKey, std::vector<Segment*>> by_pair_;
+  std::unordered_map<PotentialId, Segment*> by_potential_;
+  std::vector<Segment*> touched_;
+  std::uint64_t observations_ = 0;
+};
+
+}  // namespace rrr::signals

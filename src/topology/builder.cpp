@@ -1,0 +1,445 @@
+#include "topology/builder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace rrr::topo {
+namespace {
+
+// Builder-internal scratch state.
+class Builder {
+ public:
+  explicit Builder(const TopologyParams& params)
+      : params_(params), rng_(Rng(params.seed).fork(/*salt=*/0xB01D)) {}
+
+  Topology build();
+
+ private:
+  // --- AS creation -------------------------------------------------------
+  AsIndex make_as(AsTier tier, int min_pops, int max_pops);
+  std::vector<CityId> sample_pops(int count);
+  void make_internal_routers(AsIndex as);
+
+  // --- edges --------------------------------------------------------------
+  void connect_tier1_clique();
+  void attach_transit(AsIndex as);
+  void attach_stub(AsIndex as);
+  void build_ixps();
+  void multilateral_peering();
+
+  LinkId connect(AsIndex customer_or_a, AsIndex provider_or_b, RelType rel,
+                 IxpId via_ixp = kNoIxp);
+  InterconnectId make_interconnect(LinkId link, CityId city, IxpId ixp);
+  RouterId border_router(AsIndex as, CityId city);
+  CityId ensure_common_city(AsIndex a, AsIndex b);
+  AsIndex pick_weighted_by_degree(const std::vector<AsIndex>& candidates);
+
+  const TopologyParams& params_;
+  Rng rng_;
+  Topology topo_;
+  std::vector<AsIndex> tier1_;
+  std::vector<AsIndex> transit_;
+  std::vector<AsIndex> stubs_;
+  std::vector<int> degree_;
+  // (as, city) -> border routers created there.
+  std::map<std::pair<AsIndex, CityId>, std::vector<RouterId>> borders_;
+};
+
+Topology Builder::build() {
+  for (int i = 0; i < params_.num_tier1; ++i) {
+    tier1_.push_back(make_as(AsTier::kTier1, 10, 16));
+  }
+  for (int i = 0; i < params_.num_transit; ++i) {
+    transit_.push_back(make_as(AsTier::kTransit, 2, 6));
+  }
+  for (int i = 0; i < params_.num_stub; ++i) {
+    stubs_.push_back(make_as(AsTier::kStub, 1, 2));
+  }
+  degree_.assign(topo_.as_count(), 0);
+
+  connect_tier1_clique();
+  for (AsIndex as : transit_) attach_transit(as);
+  for (AsIndex as : stubs_) attach_stub(as);
+  build_ixps();
+  multilateral_peering();
+  return std::move(topo_);
+}
+
+AsIndex Builder::make_as(AsTier tier, int min_pops, int max_pops) {
+  AsNode node;
+  node.asn = Asn(static_cast<std::uint32_t>(101 + topo_.as_count()));
+  node.tier = tier;
+  node.pops = sample_pops(
+      static_cast<int>(rng_.uniform_int(min_pops, max_pops)));
+  node.adds_geo_communities = rng_.bernoulli(params_.geo_community_prob);
+  node.strips_communities = rng_.bernoulli(params_.strip_communities_prob);
+  if (rng_.bernoulli(params_.lb_as_prob)) {
+    node.lb_branches =
+        static_cast<int>(rng_.uniform_int(2, params_.max_lb_branches));
+  }
+  AsIndex index = static_cast<AsIndex>(topo_.as_count());
+  // Announce the whole /16 plus a few more-specifics (so "most specific
+  // prefix per VP", §4.1.1, has something to choose between).
+  node.originated.push_back(as_block(index));
+  int extras = static_cast<int>(rng_.uniform_int(0, params_.max_extra_prefixes));
+  for (int i = 0; i < extras; ++i) {
+    auto len = static_cast<std::uint8_t>(rng_.uniform_int(18, 24));
+    std::uint32_t span = Prefix::mask_for(16) ^ Prefix::mask_for(len);
+    std::uint32_t offset =
+        static_cast<std::uint32_t>(rng_.uniform_int(0, span)) &
+        Prefix::mask_for(len);
+    node.originated.push_back(
+        Prefix(Ipv4(as_block(index).network().value() | offset), len));
+  }
+  AsIndex created = topo_.add_as(std::move(node));
+  assert(created == index);
+  (void)index;
+  make_internal_routers(created);
+  return created;
+}
+
+std::vector<CityId> Builder::sample_pops(int count) {
+  count = std::min<int>(count, city_count());
+  std::vector<CityId> all(city_count());
+  for (CityId c = 0; c < city_count(); ++c) all[c] = c;
+  rng_.shuffle(all);
+  all.resize(static_cast<std::size_t>(count));
+  return all;
+}
+
+void Builder::make_internal_routers(AsIndex as) {
+  const AsNode& node = topo_.as_at(as);
+  for (CityId c : node.pops) {
+    // One router per ECMP branch: traceroute flows hash across them,
+    // producing intra-domain diamonds for load-balancing ASes.
+    for (int b = 0; b < node.lb_branches; ++b) {
+      Router r;
+      r.owner = as;
+      r.city = c;
+      r.is_border = false;
+      RouterId id = topo_.add_router(std::move(r));
+      int n_ifaces = static_cast<int>(rng_.uniform_int(1, 2));
+      for (int i = 0; i < n_ifaces; ++i) {
+        topo_.attach_interface(id, topo_.allocate_infra_ip(as));
+      }
+    }
+  }
+}
+
+void Builder::connect_tier1_clique() {
+  for (std::size_t i = 0; i < tier1_.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1_.size(); ++j) {
+      connect(tier1_[i], tier1_[j], RelType::kPeerPeer);
+    }
+  }
+}
+
+AsIndex Builder::pick_weighted_by_degree(
+    const std::vector<AsIndex>& candidates) {
+  std::vector<double> weights;
+  weights.reserve(candidates.size());
+  for (AsIndex as : candidates) weights.push_back(1.0 + degree_[as]);
+  return candidates[rng_.weighted_index(weights)];
+}
+
+void Builder::attach_transit(AsIndex as) {
+  std::vector<AsIndex> candidates = tier1_;
+  for (AsIndex t : transit_) {
+    if (t == as) break;  // only earlier transits, keeps the hierarchy acyclic
+    candidates.push_back(t);
+  }
+  int n_providers = static_cast<int>(rng_.uniform_int(
+      params_.min_transit_providers, params_.max_transit_providers));
+  std::set<AsIndex> chosen;
+  for (int i = 0; i < n_providers && chosen.size() < candidates.size(); ++i) {
+    AsIndex provider = pick_weighted_by_degree(candidates);
+    if (chosen.insert(provider).second) {
+      connect(as, provider, RelType::kCustomerProvider);
+    }
+  }
+  // Bilateral peering with other transits.
+  for (AsIndex t : transit_) {
+    if (t == as) break;
+    if (chosen.contains(t)) continue;
+    if (rng_.bernoulli(params_.transit_peer_prob)) {
+      connect(std::min(as, t), std::max(as, t), RelType::kPeerPeer);
+      chosen.insert(t);
+    }
+  }
+}
+
+void Builder::attach_stub(AsIndex as) {
+  int n_providers = static_cast<int>(rng_.uniform_int(
+      params_.min_stub_providers, params_.max_stub_providers));
+  std::set<AsIndex> chosen;
+  for (int i = 0; i < n_providers; ++i) {
+    // Mostly transit providers, occasionally direct tier-1 transit.
+    AsIndex provider = rng_.bernoulli(0.12)
+                           ? pick_weighted_by_degree(tier1_)
+                           : pick_weighted_by_degree(transit_);
+    if (chosen.insert(provider).second) {
+      connect(as, provider, RelType::kCustomerProvider);
+    }
+  }
+}
+
+void Builder::build_ixps() {
+  int n = std::min<int>(params_.num_ixps, city_count());
+  for (int i = 0; i < n; ++i) {
+    Ixp ixp;
+    ixp.city = static_cast<CityId>(i);  // the first cities are the hubs
+    ixp.name = std::string(city(ixp.city).name) + "-IX";
+    ixp.route_server_asn = Asn(59001u + static_cast<std::uint32_t>(i));
+    IxpId id = topo_.add_ixp(std::move(ixp));
+    topo_.ixp_at(id).lan = ixp_block(id);
+  }
+  // Membership: ASes join IXPs in cities where they have a PoP.
+  for (AsIndex as = 0; as < topo_.as_count(); ++as) {
+    const AsNode& node = topo_.as_at(as);
+    double join_prob = node.tier == AsTier::kTier1
+                           ? params_.ixp_join_prob_tier1
+                           : node.tier == AsTier::kTransit
+                                 ? params_.ixp_join_prob_transit
+                                 : params_.ixp_join_prob_stub;
+    for (const Ixp& ixp : topo_.ixps()) {
+      if (node.has_pop(ixp.city) && rng_.bernoulli(join_prob)) {
+        topo_.ixp_at(ixp.id).members.push_back(as);
+      }
+    }
+  }
+}
+
+void Builder::multilateral_peering() {
+  for (const Ixp& ixp : topo_.ixps()) {
+    std::vector<AsIndex> members = ixp.members;
+    std::vector<int> new_peers(members.size(), 0);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        if (new_peers[i] >= params_.max_ixp_peers_per_member ||
+            new_peers[j] >= params_.max_ixp_peers_per_member) {
+          continue;
+        }
+        AsIndex a = members[i];
+        AsIndex b = members[j];
+        if (topo_.link_between(a, b) != kNoLink) continue;
+        if (!rng_.bernoulli(params_.ixp_peer_prob)) continue;
+        connect(std::min(a, b), std::max(a, b), RelType::kPeerPeer, ixp.id);
+        ++new_peers[i];
+        ++new_peers[j];
+      }
+    }
+  }
+}
+
+CityId Builder::ensure_common_city(AsIndex a, AsIndex b) {
+  const AsNode& na = topo_.as_at(a);
+  const AsNode& nb = topo_.as_at(b);
+  std::vector<CityId> common;
+  for (CityId c : na.pops) {
+    if (nb.has_pop(c)) common.push_back(c);
+  }
+  if (!common.empty()) return common[rng_.index(common.size())];
+  // No shared PoP: the customer colocates at the provider city nearest its
+  // primary PoP (how interconnection works in practice).
+  CityId primary = na.pops.front();
+  CityId best = nb.pops.front();
+  double best_dist = city_distance_km(primary, best);
+  for (CityId c : nb.pops) {
+    double d = city_distance_km(primary, c);
+    if (d < best_dist) {
+      best_dist = d;
+      best = c;
+    }
+  }
+  topo_.as_at(a).pops.push_back(best);
+  // Give the newly present AS an internal router there too.
+  Router r;
+  r.owner = a;
+  r.city = best;
+  r.is_border = false;
+  RouterId id = topo_.add_router(std::move(r));
+  topo_.attach_interface(id, topo_.allocate_infra_ip(a));
+  return best;
+}
+
+RouterId Builder::border_router(AsIndex as, CityId city) {
+  auto& existing = borders_[{as, city}];
+  if (!existing.empty() && rng_.bernoulli(params_.reuse_border_router_prob)) {
+    return existing[rng_.index(existing.size())];
+  }
+  Router r;
+  r.owner = as;
+  r.city = city;
+  r.is_border = true;
+  RouterId id = topo_.add_router(std::move(r));
+  // Internal-facing interface: the address a traceroute reveals just before
+  // leaving the AS.
+  topo_.attach_interface(id, topo_.allocate_infra_ip(as));
+  existing.push_back(id);
+  return id;
+}
+
+InterconnectId Builder::make_interconnect(LinkId link, CityId city,
+                                          IxpId ixp) {
+  const AsLink& l = topo_.link_at(link);
+  Interconnect ic;
+  ic.link = link;
+  ic.city = city;
+  ic.ixp = ixp;
+  if (ixp != kNoIxp) {
+    // One LAN address per (member, IXP), shared by all its peerings there
+    // and bound to a single fabric-facing router.
+    ic.ip_a = topo_.member_ixp_ip(ixp, l.a, border_router(l.a, city));
+    ic.router_a = topo_.router_of_interface(ic.ip_a);
+    ic.ip_b = topo_.member_ixp_ip(ixp, l.b, border_router(l.b, city));
+    ic.router_b = topo_.router_of_interface(ic.ip_b);
+    return topo_.add_interconnect(ic);
+  }
+  ic.router_a = border_router(l.a, city);
+  ic.router_b = border_router(l.b, city);
+  ic.ip_a = topo_.allocate_infra_ip(l.a);
+  // Most PNIs number both ends from distinct blocks; some use the near
+  // side's block for both, the messy case border inference must survive.
+  ic.ip_b = rng_.bernoulli(params_.messy_pni_prob)
+                ? topo_.allocate_infra_ip(l.a)
+                : topo_.allocate_infra_ip(l.b);
+  InterconnectId id = topo_.add_interconnect(ic);
+  topo_.attach_interface(ic.router_a, ic.ip_a);
+  topo_.attach_interface(ic.router_b, ic.ip_b);
+  return id;
+}
+
+LinkId Builder::connect(AsIndex a, AsIndex b, RelType rel, IxpId via_ixp) {
+  LinkId link = topo_.add_link(a, b, rel);
+  degree_[a] += 1;
+  degree_[b] += 1;
+  if (via_ixp != kNoIxp) {
+    make_interconnect(link, topo_.ixp_at(via_ixp).city, via_ixp);
+    return link;
+  }
+  CityId first_city = ensure_common_city(a, b);
+  make_interconnect(link, first_city, kNoIxp);
+  // Additional interconnection points in other (preferably distinct) common
+  // cities: these are what make border-level changes possible without
+  // AS-level changes. Backup interconnects carry increasing static egress
+  // penalties so that, absent IGP events, most traffic converges on the
+  // primary.
+  std::vector<CityId> common;
+  for (CityId c : topo_.as_at(a).pops) {
+    if (topo_.as_at(b).has_pop(c) && c != first_city) common.push_back(c);
+  }
+  int extras = 0;
+  for (int i = 0; i < params_.max_extra_interconnects; ++i) {
+    if (!rng_.bernoulli(params_.extra_interconnect_prob)) break;
+    // Some backups terminate in the same city on distinct routers: the
+    // router-level border changes §4.2.2 detects.
+    CityId c = (common.empty() || rng_.bernoulli(0.4))
+                   ? first_city
+                   : common[rng_.index(common.size())];
+    InterconnectId ic = make_interconnect(link, c, kNoIxp);
+    topo_.interconnect_mut(ic).base_weight =
+        3000.0 * (extras + 1) * (rng_.bernoulli(0.05) ? 0.0 : 1.0);
+    ++extras;
+  }
+  // Interdomain diamond: flows hash across two parallel interconnects
+  // instead of deterministic hot-potato selection (§5.4).
+  const AsLink& l = topo_.link_at(link);
+  if (l.interconnects.size() >= 2 &&
+      rng_.bernoulli(params_.interdomain_diamond_prob)) {
+    topo_.interconnect_mut(l.interconnects[0]).ecmp_group = 0;
+    topo_.interconnect_mut(l.interconnects[1]).ecmp_group = 0;
+  }
+  return link;
+}
+
+}  // namespace
+
+Topology build_topology(const TopologyParams& params) {
+  Builder builder(params);
+  return builder.build();
+}
+
+namespace {
+
+// Shared with Builder::border_router in spirit: reuse an existing border
+// router at (as, city) or create one with an internal-facing interface.
+RouterId runtime_border_router(Topology& topology, AsIndex as, CityId city,
+                               Rng& rng, double reuse_prob) {
+  auto existing = topology.border_routers(as, city);
+  if (!existing.empty() && rng.bernoulli(reuse_prob)) {
+    return existing[rng.index(existing.size())];
+  }
+  Router r;
+  r.owner = as;
+  r.city = city;
+  r.is_border = true;
+  RouterId id = topology.add_router(std::move(r));
+  topology.attach_interface(id, topology.allocate_infra_ip(as));
+  return id;
+}
+
+}  // namespace
+
+std::vector<LinkId> ixp_join(Topology& topology, IxpId ixp_id, AsIndex joiner,
+                             double peer_prob, int max_new_peers, Rng& rng) {
+  std::vector<LinkId> created;
+  Ixp& ixp = topology.ixp_at(ixp_id);
+  if (ixp.has_member(joiner)) return created;
+  // Ensure the joiner has a PoP at the IXP city (colocation).
+  if (!topology.as_at(joiner).has_pop(ixp.city)) {
+    topology.as_at(joiner).pops.push_back(ixp.city);
+  }
+  std::vector<AsIndex> members = ixp.members;  // copy: we mutate below
+  ixp.members.push_back(joiner);
+  int added = 0;
+  for (AsIndex member : members) {
+    if (added >= max_new_peers) break;
+    if (topology.link_between(joiner, member) != kNoLink) continue;
+    if (!rng.bernoulli(peer_prob)) continue;
+    AsIndex a = std::min(joiner, member);
+    AsIndex b = std::max(joiner, member);
+    LinkId link = topology.add_link(a, b, RelType::kPeerPeer);
+    Interconnect ic;
+    ic.link = link;
+    ic.city = ixp.city;
+    ic.ixp = ixp_id;
+    ic.ip_a = topology.member_ixp_ip(
+        ixp_id, a, runtime_border_router(topology, a, ixp.city, rng, 0.7));
+    ic.router_a = topology.router_of_interface(ic.ip_a);
+    ic.ip_b = topology.member_ixp_ip(
+        ixp_id, b, runtime_border_router(topology, b, ixp.city, rng, 0.7));
+    ic.router_b = topology.router_of_interface(ic.ip_b);
+    topology.add_interconnect(ic);
+    created.push_back(link);
+    ++added;
+  }
+  return created;
+}
+
+PeeringDbSnapshot make_peeringdb(const Topology& topology, double completeness,
+                                 Rng& rng) {
+  PeeringDbSnapshot snapshot;
+  snapshot.ixp_members.resize(topology.ixps().size());
+  snapshot.as_presence.resize(topology.as_count());
+  for (const Ixp& ixp : topology.ixps()) {
+    for (AsIndex m : ixp.members) {
+      if (rng.bernoulli(completeness)) {
+        snapshot.ixp_members[ixp.id].push_back(topology.as_at(m).asn);
+      }
+    }
+  }
+  for (AsIndex as = 0; as < topology.as_count(); ++as) {
+    for (CityId c : topology.as_at(as).pops) {
+      if (rng.bernoulli(completeness)) {
+        snapshot.as_presence[as].push_back(c);
+      }
+    }
+  }
+  return snapshot;
+}
+
+}  // namespace rrr::topo

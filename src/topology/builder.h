@@ -1,0 +1,81 @@
+// Deterministic generator for the simulated Internet topology.
+//
+// Produces an AS-level graph with the structural properties the paper's
+// techniques depend on: a tier-1 clique, transit and stub tiers attached via
+// customer-provider links with preferential attachment, settlement-free
+// peering (bilateral and via IXP route servers), multiple interconnection
+// points per AS pair in distinct cities, shared border routers across AS
+// pairs (Appendix C, Figure 14), intra- and inter-domain load-balancer
+// diamonds (§5.4), and per-AS BGP community policies (§4.1.3).
+#pragma once
+
+#include <cstdint>
+
+#include "netbase/rng.h"
+#include "topology/topology.h"
+
+namespace rrr::topo {
+
+struct TopologyParams {
+  int num_tier1 = 8;
+  int num_transit = 56;
+  int num_stub = 240;
+  int num_ixps = 10;
+
+  // Degree / attachment knobs.
+  int min_transit_providers = 1;
+  int max_transit_providers = 3;
+  int min_stub_providers = 1;
+  int max_stub_providers = 3;
+  double transit_peer_prob = 0.06;  // bilateral peering between transit pairs
+
+  // IXP knobs.
+  double ixp_join_prob_tier1 = 0.35;
+  double ixp_join_prob_transit = 0.5;
+  double ixp_join_prob_stub = 0.22;
+  double ixp_peer_prob = 0.25;  // peering with a co-located member
+  int max_ixp_peers_per_member = 8;
+
+  // Interconnection richness.
+  int max_extra_interconnects = 2;     // beyond the first, per link
+  double extra_interconnect_prob = 0.55;
+  double reuse_border_router_prob = 0.7;  // share border routers across pairs
+  double messy_pni_prob = 0.2;  // far-side PNI address from near side's block
+
+  // Policy / attribute knobs.
+  double geo_community_prob = 0.45;
+  double strip_communities_prob = 0.15;
+
+  // Load balancing (§5.4).
+  double lb_as_prob = 0.25;  // AS runs intra-domain ECMP
+  int max_lb_branches = 3;
+  double interdomain_diamond_prob = 0.06;  // link hashes across interconnects
+
+  // Addressing.
+  int max_extra_prefixes = 3;  // sub-prefixes announced beyond the /16
+
+  std::uint64_t seed = 1;
+};
+
+// Builds a topology; identical params (including seed) yield an identical
+// topology object graph.
+Topology build_topology(const TopologyParams& params);
+
+// A PeeringDB-like snapshot: IXP membership and AS city presence as an
+// external database would (incompletely) record them. `completeness` is the
+// probability that any individual fact is present.
+struct PeeringDbSnapshot {
+  std::vector<std::vector<Asn>> ixp_members;  // indexed by IxpId
+  std::vector<std::vector<CityId>> as_presence;  // indexed by AsIndex
+};
+PeeringDbSnapshot make_peeringdb(const Topology& topology,
+                                 double completeness, Rng& rng);
+
+// Adds `joiner` to `ixp` at runtime (the §4.2.3 membership-change scenario):
+// records membership and creates peer links over the IXP to existing members
+// with probability `peer_prob` (capped at `max_new_peers`). Returns the new
+// link ids; no links are created to ASes already adjacent to the joiner.
+std::vector<LinkId> ixp_join(Topology& topology, IxpId ixp, AsIndex joiner,
+                             double peer_prob, int max_new_peers, Rng& rng);
+
+}  // namespace rrr::topo

@@ -1,0 +1,32 @@
+// Built-in world city table used for PoP placement and geolocation.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "netbase/geo.h"
+#include "topology/types.h"
+
+namespace rrr::topo {
+
+struct City {
+  std::string_view name;
+  GeoPoint location;
+};
+
+// The full built-in table (48 major interconnection cities).
+std::span<const City> world_cities();
+
+// Name/location of a city id; asserts on out-of-range ids.
+const City& city(CityId id);
+
+// Number of cities in the table.
+CityId city_count();
+
+// Distance between two cities in km.
+double city_distance_km(CityId a, CityId b);
+
+// Id of the named city, or kNoCity.
+CityId find_city(std::string_view name);
+
+}  // namespace rrr::topo

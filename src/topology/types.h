@@ -1,0 +1,32 @@
+// Shared identifier and enum types for the simulated Internet topology.
+#pragma once
+
+#include <cstdint>
+
+namespace rrr::topo {
+
+using AsIndex = std::uint32_t;        // dense index into Topology::ases()
+using CityId = std::uint16_t;         // dense index into the city table
+using RouterId = std::uint32_t;       // dense index into Topology::routers()
+using InterconnectId = std::uint32_t; // dense index into Topology::interconnects()
+using LinkId = std::uint32_t;         // dense index into Topology::links()
+using IxpId = std::uint16_t;          // dense index into Topology::ixps()
+
+inline constexpr AsIndex kNoAs = 0xFFFFFFFFu;
+inline constexpr RouterId kNoRouter = 0xFFFFFFFFu;
+inline constexpr InterconnectId kNoInterconnect = 0xFFFFFFFFu;
+inline constexpr LinkId kNoLink = 0xFFFFFFFFu;
+inline constexpr CityId kNoCity = 0xFFFFu;
+inline constexpr IxpId kNoIxp = 0xFFFFu;
+
+// Position of an AS in the (simplified) Internet hierarchy; drives degree,
+// PoP footprint, and policy defaults in the builder.
+enum class AsTier : std::uint8_t { kTier1, kTransit, kStub };
+
+// Business relationship between two adjacent ASes (Gao–Rexford model).
+enum class RelType : std::uint8_t {
+  kCustomerProvider,  // link.a is a customer of link.b
+  kPeerPeer,          // settlement-free peers
+};
+
+}  // namespace rrr::topo

@@ -1,0 +1,28 @@
+#include "tracemap/alias.h"
+
+namespace rrr::tracemap {
+
+AliasResolver::AliasResolver(const topo::Topology& topology,
+                             const AliasParams& params) {
+  Rng rng(Rng(params.seed).fork(0xA11A5));
+  for (const topo::Router& router : topology.routers()) {
+    // Routers with a single covered interface still resolve (trivially); a
+    // router escapes resolution per-interface, matching MIDAR's behavior of
+    // partially discovered alias sets.
+    for (Ipv4 ip : router.interfaces) {
+      if (rng.bernoulli(params.coverage)) {
+        resolved_.emplace(ip, router.id);
+      }
+    }
+  }
+}
+
+RouterKey AliasResolver::resolve(Ipv4 ip) const {
+  auto it = resolved_.find(ip);
+  if (it != resolved_.end()) {
+    return RouterKey{RouterKey::kResolvedBit | it->second};
+  }
+  return RouterKey{ip.value()};
+}
+
+}  // namespace rrr::tracemap

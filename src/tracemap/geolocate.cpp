@@ -1,0 +1,69 @@
+#include "tracemap/geolocate.h"
+
+#include "topology/city.h"
+
+namespace rrr::tracemap {
+
+const char* to_string(GeoMethod method) {
+  switch (method) {
+    case GeoMethod::kIpMap:
+      return "ipmap";
+    case GeoMethod::kShortestPing:
+      return "shortest-ping";
+    case GeoMethod::kCfs:
+      return "cfs";
+    case GeoMethod::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+Geolocator::Geolocator(const topo::Topology& topology,
+                       const GeoParams& params) {
+  for (const topo::Router& router : topology.routers()) {
+    for (Ipv4 ip : router.interfaces) {
+      // Per-IP deterministic draw: which technique (if any) locates it.
+      Rng rng(hash_combine(params.seed, 0x6E0ull + ip.value()));
+      Entry entry{router.city, GeoMethod::kNone};
+      if (rng.bernoulli(params.ipmap_coverage)) {
+        entry.method = GeoMethod::kIpMap;
+      } else if (rng.bernoulli(params.shortest_ping_success)) {
+        // A vantage point within 1 ms RTT pins the true city.
+        entry.method = GeoMethod::kShortestPing;
+      } else if (rng.bernoulli(params.cfs_success)) {
+        entry.method = GeoMethod::kCfs;
+        if (rng.bernoulli(params.cfs_error_prob)) {
+          // Wrong facility: report the nearest *other* city of the owner AS,
+          // or a uniformly random city when the AS has a single PoP.
+          const topo::AsNode& owner = topology.as_at(router.owner);
+          if (owner.pops.size() > 1) {
+            topo::CityId wrong = owner.pops[rng.index(owner.pops.size())];
+            if (wrong == router.city) wrong = owner.pops.front() == wrong
+                                                  ? owner.pops.back()
+                                                  : owner.pops.front();
+            entry.city = wrong;
+          } else {
+            entry.city =
+                static_cast<topo::CityId>(rng.index(topo::city_count()));
+          }
+        }
+      }
+      if (entry.method != GeoMethod::kNone) {
+        located_.emplace(ip, entry);
+      }
+    }
+  }
+}
+
+std::optional<topo::CityId> Geolocator::locate(Ipv4 ip) const {
+  auto it = located_.find(ip);
+  if (it == located_.end()) return std::nullopt;
+  return it->second.city;
+}
+
+GeoMethod Geolocator::method(Ipv4 ip) const {
+  auto it = located_.find(ip);
+  return it == located_.end() ? GeoMethod::kNone : it->second.method;
+}
+
+}  // namespace rrr::tracemap

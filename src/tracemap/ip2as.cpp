@@ -1,0 +1,30 @@
+#include "tracemap/ip2as.h"
+
+namespace rrr::tracemap {
+
+void Ip2As::add_route(const Prefix& prefix, Asn origin) {
+  routes_.insert(prefix, origin);
+}
+
+void Ip2As::add_ixp_lan(const Prefix& lan, topo::IxpId ixp) {
+  ixp_lans_.insert(lan, ixp);
+}
+
+void Ip2As::add_ixp_interface(Ipv4 ip, Asn member) {
+  ixp_interfaces_.emplace(ip, member);
+}
+
+MapResult Ip2As::map(Ipv4 ip) const {
+  MapResult result;
+  if (const topo::IxpId* ixp = ixp_lans_.lookup(ip)) {
+    result.is_ixp = true;
+    result.ixp = *ixp;
+    auto it = ixp_interfaces_.find(ip);
+    if (it != ixp_interfaces_.end()) result.asn = it->second;
+    return result;
+  }
+  if (const Asn* asn = routes_.lookup(ip)) result.asn = *asn;
+  return result;
+}
+
+}  // namespace rrr::tracemap

@@ -1,0 +1,48 @@
+// IP-to-ASN mapping (Appendix A): longest prefix matching over BGP
+// announcements, augmented with IXP LAN handling in the style of traIXroute.
+//
+// This is the *inference-side* view: it is built from the same public data a
+// real deployment would use (collector RIBs plus a PeeringDB-like IXP dump),
+// so it can be wrong in the same ways (IXP interfaces with unknown members,
+// PNI addresses numbered from the neighbor's block, unannounced space).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "netbase/asn.h"
+#include "netbase/ipv4.h"
+#include "netbase/prefix.h"
+#include "netbase/radix_trie.h"
+#include "topology/types.h"
+
+namespace rrr::tracemap {
+
+struct MapResult {
+  Asn asn;                       // invalid when unmapped
+  bool is_ixp = false;           // address on an IXP LAN
+  topo::IxpId ixp = topo::kNoIxp;
+
+  bool mapped() const { return asn.is_valid(); }
+};
+
+class Ip2As {
+ public:
+  // Longest-prefix routes from BGP data.
+  void add_route(const Prefix& prefix, Asn origin);
+  // Registers an IXP LAN; addresses inside map to is_ixp=true.
+  void add_ixp_lan(const Prefix& lan, topo::IxpId ixp);
+  // Known IXP interface assignment (PeeringDB netixlan-style record).
+  void add_ixp_interface(Ipv4 ip, Asn member);
+
+  MapResult map(Ipv4 ip) const;
+
+  std::size_t route_count() const { return routes_.size(); }
+
+ private:
+  RadixTrie<Asn> routes_;
+  RadixTrie<topo::IxpId> ixp_lans_;
+  std::unordered_map<Ipv4, Asn> ixp_interfaces_;
+};
+
+}  // namespace rrr::tracemap

@@ -1,0 +1,37 @@
+#include "tracemap/patch.h"
+
+namespace rrr::tracemap {
+
+void HopPatcher::observe(const tr::Traceroute& trace) {
+  const auto& hops = trace.hops;
+  for (std::size_t i = 1; i + 1 < hops.size(); ++i) {
+    if (hops[i - 1].responded() && hops[i].responded() &&
+        hops[i + 1].responded()) {
+      middles_[{*hops[i - 1].ip, *hops[i + 1].ip}].insert(*hops[i].ip);
+    }
+  }
+}
+
+std::optional<Ipv4> HopPatcher::unique_middle(Ipv4 prev, Ipv4 next) const {
+  auto it = middles_.find({prev, next});
+  if (it == middles_.end() || it->second.size() != 1) return std::nullopt;
+  return *it->second.begin();
+}
+
+tr::Traceroute HopPatcher::patch(const tr::Traceroute& trace) const {
+  tr::Traceroute patched = trace;
+  auto& hops = patched.hops;
+  for (std::size_t i = 1; i + 1 < hops.size(); ++i) {
+    if (!hops[i].responded() && hops[i - 1].responded() &&
+        hops[i + 1].responded()) {
+      if (auto middle = unique_middle(*hops[i - 1].ip, *hops[i + 1].ip)) {
+        hops[i].ip = middle;
+        // Interpolated latency: midway between the neighbors.
+        hops[i].rtt_ms = (hops[i - 1].rtt_ms + hops[i + 1].rtt_ms) / 2.0;
+      }
+    }
+  }
+  return patched;
+}
+
+}  // namespace rrr::tracemap

@@ -1,0 +1,33 @@
+// Unresponsive-hop patching (Appendix A): for a '*' flanked by responsive
+// hops, if every observed traceroute with that (previous, next) pair shows a
+// single responsive hop between them, fill the star with it. Remaining stars
+// are wildcards that can never indicate a change.
+#pragma once
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "netbase/ipv4.h"
+#include "traceroute/traceroute.h"
+
+namespace rrr::tracemap {
+
+class HopPatcher {
+ public:
+  // Learns (prev, middle, next) triples from a measurement.
+  void observe(const tr::Traceroute& trace);
+
+  // Returns a copy of `trace` with uniquely-determined stars filled in.
+  tr::Traceroute patch(const tr::Traceroute& trace) const;
+
+  // The unique middle hop for (prev, next), when exactly one was observed.
+  std::optional<Ipv4> unique_middle(Ipv4 prev, Ipv4 next) const;
+
+  std::size_t triple_count() const { return middles_.size(); }
+
+ private:
+  std::map<std::pair<Ipv4, Ipv4>, std::set<Ipv4>> middles_;
+};
+
+}  // namespace rrr::tracemap

@@ -1,0 +1,37 @@
+#include "tracemap/pipeline.h"
+
+#include "netbase/rng.h"
+
+namespace rrr::tracemap {
+
+Ip2As build_ip2as(const topo::Topology& topology,
+                  double ixp_interface_coverage, std::uint64_t seed) {
+  Ip2As ip2as;
+  for (topo::AsIndex as = 0; as < topology.as_count(); ++as) {
+    const topo::AsNode& node = topology.as_at(as);
+    for (const Prefix& prefix : node.originated) {
+      ip2as.add_route(prefix, node.asn);
+    }
+  }
+  Rng rng(Rng(seed).fork(0x192A5));
+  for (const topo::Ixp& ixp : topology.ixps()) {
+    ip2as.add_ixp_lan(ixp.lan, ixp.id);
+  }
+  // IXP interface assignments: which member answers from which LAN address.
+  for (const topo::Interconnect& ic : topology.interconnects()) {
+    if (ic.ixp == topo::kNoIxp) continue;
+    if (rng.bernoulli(ixp_interface_coverage)) {
+      ip2as.add_ixp_interface(
+          ic.ip_a,
+          topology.as_at(topology.link_at(ic.link).a).asn);
+    }
+    if (rng.bernoulli(ixp_interface_coverage)) {
+      ip2as.add_ixp_interface(
+          ic.ip_b,
+          topology.as_at(topology.link_at(ic.link).b).asn);
+    }
+  }
+  return ip2as;
+}
+
+}  // namespace rrr::tracemap

@@ -1,0 +1,91 @@
+#include "tracemap/processed.h"
+
+#include <set>
+
+namespace rrr::tracemap {
+
+ChangeKind classify_change(const ProcessedTrace& before,
+                           const ProcessedTrace& after) {
+  if (before.as_path != after.as_path) return ChangeKind::kAsLevel;
+  if (before.border_router_path() != after.border_router_path()) {
+    return ChangeKind::kBorderLevel;
+  }
+  return ChangeKind::kNone;
+}
+
+ProcessedTrace TraceProcessor::process(const tr::Traceroute& raw) const {
+  tr::Traceroute trace = patcher_ ? patcher_->patch(raw) : raw;
+
+  ProcessedTrace out;
+  out.trace_id = trace.id;
+  out.probe = trace.probe;
+  out.src_ip = trace.src_ip;
+  out.dst_ip = trace.dst_ip;
+  out.time = trace.time;
+  out.reached = trace.reached;
+
+  out.hops.reserve(trace.hops.size());
+  for (const tr::Hop& hop : trace.hops) {
+    ProcessedHop ph;
+    if (hop.responded()) {
+      ph.ip = hop.ip;
+      MapResult mapped = ip2as_.map(*hop.ip);
+      ph.asn = mapped.asn;
+      ph.is_ixp = mapped.is_ixp;
+      ph.ixp = mapped.ixp;
+      ph.router = aliases_.resolve(*hop.ip);
+      ph.city = geo_.locate(*hop.ip);
+    }
+    out.hops.push_back(std::move(ph));
+  }
+
+  // Merged AS path: collapse consecutive duplicates; bridge unmapped or
+  // wildcard gaps between identical ASes (Appendix A). IXP hops with an
+  // unknown member are treated as unmapped.
+  Asn last_mapped;
+  for (const ProcessedHop& hop : out.hops) {
+    if (!hop.responded() || !hop.asn.is_valid()) continue;
+    if (hop.asn != last_mapped) {
+      out.as_path.push_back(hop.asn);
+      last_mapped = hop.asn;
+    }
+  }
+  // Loop check: an AS appearing twice non-consecutively after merging.
+  std::set<Asn> seen;
+  for (Asn asn : out.as_path) {
+    if (!seen.insert(asn).second) {
+      out.has_as_loop = true;
+      break;
+    }
+  }
+  if (out.has_as_loop) out.as_path.clear();
+
+  // Border extraction: scan adjacent *mapped* hop pairs (skipping wildcards
+  // and unmapped hops in between) for AS transitions.
+  int prev = -1;
+  for (std::size_t i = 0; i < out.hops.size(); ++i) {
+    const ProcessedHop& hop = out.hops[i];
+    if (!hop.responded() || !hop.asn.is_valid()) continue;
+    if (prev >= 0) {
+      const ProcessedHop& near = out.hops[static_cast<std::size_t>(prev)];
+      if (near.asn != hop.asn) {
+        BorderView border;
+        border.near_index = static_cast<std::size_t>(prev);
+        border.far_index = i;
+        border.near_as = near.asn;
+        border.far_as = hop.asn;
+        border.near_ip = *near.ip;
+        border.far_ip = *hop.ip;
+        border.border_router = hop.router;
+        border.via_ixp = hop.is_ixp || near.is_ixp;
+        border.near_city = near.city;
+        border.far_city = hop.city;
+        out.borders.push_back(std::move(border));
+      }
+    }
+    prev = static_cast<int>(i);
+  }
+  return out;
+}
+
+}  // namespace rrr::tracemap

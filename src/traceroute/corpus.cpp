@@ -1,0 +1,39 @@
+#include "traceroute/corpus.h"
+
+namespace rrr::tr {
+
+CorpusEntry& Corpus::upsert(Traceroute trace) {
+  PairKey key{trace.probe, trace.dst_ip};
+  auto [it, inserted] = entries_.try_emplace(key);
+  CorpusEntry& entry = it->second;
+  entry.key = key;
+  entry.measured = trace.time;
+  entry.trace = std::move(trace);
+  entry.freshness = Freshness::kFresh;
+  if (!inserted) ++entry.refresh_count;
+  return entry;
+}
+
+CorpusEntry* Corpus::find(const PairKey& key) {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const CorpusEntry* Corpus::find(const PairKey& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void Corpus::set_freshness(const PairKey& key, Freshness freshness) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) it->second.freshness = freshness;
+}
+
+std::vector<PairKey> Corpus::keys() const {
+  std::vector<PairKey> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace rrr::tr

@@ -1,0 +1,76 @@
+#include "traceroute/platform.h"
+
+#include <cassert>
+
+namespace rrr::tr {
+
+Platform::Platform(routing::ControlPlane& control_plane,
+                   const ProberParams& prober, const PlatformParams& params)
+    : cp_(control_plane),
+      prober_(control_plane, prober),
+      params_(params),
+      rng_(Rng(params.seed).fork(0x9147F0)),
+      churn_clock_(TimePoint(0)) {
+  topo::Topology& topology = cp_.topology_mut();
+
+  // Weight ASes for probe placement: Atlas probes are mostly in edge
+  // networks, with some in transit providers.
+  std::vector<double> weights(topology.as_count());
+  for (topo::AsIndex as = 0; as < topology.as_count(); ++as) {
+    switch (topology.as_at(as).tier) {
+      case topo::AsTier::kTier1:
+        weights[as] = 0.5;
+        break;
+      case topo::AsTier::kTransit:
+        weights[as] = 2.0;
+        break;
+      case topo::AsTier::kStub:
+        weights[as] = 1.0;
+        break;
+    }
+  }
+
+  auto place = [&](bool is_anchor) {
+    Probe probe;
+    probe.id = static_cast<ProbeId>(probes_.size());
+    probe.as = static_cast<topo::AsIndex>(rng_.weighted_index(weights));
+    const topo::AsNode& node = topology.as_at(probe.as);
+    probe.city = node.pops[rng_.index(node.pops.size())];
+    probe.ip = topology.allocate_host_ip(probe.as);
+    probe.is_anchor = is_anchor;
+    (is_anchor ? anchors_ : regular_).push_back(probe.id);
+    probes_.push_back(probe);
+  };
+  for (int i = 0; i < params_.num_anchors; ++i) place(true);
+  for (int i = 0; i < params_.num_probes; ++i) place(false);
+}
+
+Traceroute Platform::issue(ProbeId probe, Ipv4 dst, TimePoint t,
+                           int flow_variant) {
+  assert(probe < probes_.size());
+  const Probe& p = probes_[probe];
+  // Paris traceroute: flow id fully determined by (src, dst, variant).
+  std::uint64_t flow = hash_combine(
+      hash_combine(p.ip.value(), dst.value()),
+      static_cast<std::uint64_t>(flow_variant & 0xF));
+  return prober_.measure(p, dst, t, flow);
+}
+
+std::vector<ProbeId> Platform::advance_churn(TimePoint t) {
+  std::vector<ProbeId> died;
+  if (t <= churn_clock_) return died;
+  double days =
+      static_cast<double>(t - churn_clock_) / double(kSecondsPerDay);
+  churn_clock_ = t;
+  double p_death = 1.0 - std::pow(1.0 - params_.probe_death_per_day, days);
+  for (Probe& probe : probes_) {
+    if (probe.is_anchor || !probe.active) continue;
+    if (rng_.bernoulli(p_death)) {
+      probe.active = false;
+      died.push_back(probe.id);
+    }
+  }
+  return died;
+}
+
+}  // namespace rrr::tr

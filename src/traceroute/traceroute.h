@@ -1,0 +1,52 @@
+// Traceroute data model: what a measurement platform records and publishes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netbase/ipv4.h"
+#include "netbase/time.h"
+#include "topology/types.h"
+
+namespace rrr::tr {
+
+using ProbeId = std::uint32_t;
+inline constexpr ProbeId kNoProbe = 0xFFFFFFFFu;
+
+struct Hop {
+  // nullopt renders as '*': no reply within the per-hop timeout.
+  std::optional<Ipv4> ip;
+  double rtt_ms = 0.0;
+
+  bool responded() const { return ip.has_value(); }
+};
+
+struct Traceroute {
+  std::uint64_t id = 0;
+  ProbeId probe = kNoProbe;
+  Ipv4 src_ip;
+  Ipv4 dst_ip;
+  TimePoint time;
+  std::uint64_t flow_id = 0;  // Paris-traceroute flow identifier
+  // Hops after the source, in order; when the destination replied the last
+  // hop is the destination itself.
+  std::vector<Hop> hops;
+  bool reached = false;
+
+  std::string to_string() const;
+};
+
+// A vantage point of the measurement platform. Anchors are better-provisioned
+// devices that also serve as the anchoring mesh's targets.
+struct Probe {
+  ProbeId id = kNoProbe;
+  topo::AsIndex as = topo::kNoAs;
+  topo::CityId city = topo::kNoCity;
+  Ipv4 ip;
+  bool is_anchor = false;
+  bool active = true;
+};
+
+}  // namespace rrr::tr

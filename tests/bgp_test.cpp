@@ -1,0 +1,212 @@
+// Tests for the BGP layer: table views, preprocessing (§4.1.1), the stream
+// API, and the feed simulator's update semantics.
+#include <gtest/gtest.h>
+
+#include "bgp/feed.h"
+#include "bgp/stream.h"
+#include "bgp/table_view.h"
+#include "topology/builder.h"
+
+namespace rrr::bgp {
+namespace {
+
+BgpRecord make_record(VpId vp, const char* prefix, AsPath path,
+                      CommunitySet communities = {},
+                      RecordType type = RecordType::kAnnouncement,
+                      std::int64_t t = 0) {
+  BgpRecord record;
+  record.time = TimePoint(t);
+  record.type = type;
+  record.vp = vp;
+  record.prefix = *Prefix::parse(prefix);
+  record.as_path = std::move(path);
+  record.communities = std::move(communities);
+  return record;
+}
+
+TEST(Preprocess, RejectsMoreSpecificThanSlash24) {
+  EXPECT_TRUE(acceptable_prefix(*Prefix::parse("10.0.0.0/24")));
+  EXPECT_FALSE(acceptable_prefix(*Prefix::parse("10.0.0.0/25")));
+  EXPECT_FALSE(acceptable_prefix(*Prefix::parse("10.0.0.1/32")));
+}
+
+TEST(Preprocess, StripsIxpAsnsAndPrepending) {
+  AsPath path = {Asn(100), Asn(100), Asn(59001), Asn(200), Asn(200),
+                 Asn(200), Asn(300)};
+  AsPath stripped = strip_ixp_asns(path, {Asn(59001)});
+  EXPECT_EQ(to_string(stripped), "100 100 200 200 200 300");
+  EXPECT_EQ(to_string(collapse_prepending(stripped)), "100 200 300");
+}
+
+TEST(VpTableView, MostSpecificPrefixWins) {
+  VpTableView view;
+  view.apply(make_record(1, "10.0.0.0/8", {Asn(1), Asn(2)}));
+  view.apply(make_record(1, "10.1.0.0/16", {Asn(1), Asn(3)}));
+  const VpRoute* route = view.route(1, *Ipv4::parse("10.1.5.5"));
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(to_string(route->path), "1 3");
+  EXPECT_EQ(view.most_specific_prefix(1, *Ipv4::parse("10.1.5.5"))
+                ->to_string(),
+            "10.1.0.0/16");
+  EXPECT_EQ(view.most_specific_prefix(1, *Ipv4::parse("10.9.5.5"))
+                ->to_string(),
+            "10.0.0.0/8");
+}
+
+TEST(VpTableView, WithdrawalRemovesRoute) {
+  VpTableView view;
+  view.apply(make_record(1, "10.1.0.0/16", {Asn(1)}));
+  view.apply(make_record(1, "10.1.0.0/16", {}, {},
+                         RecordType::kWithdrawal, 10));
+  EXPECT_EQ(view.route(1, *Ipv4::parse("10.1.0.1")), nullptr);
+}
+
+TEST(VpTableView, TablesAreIsolatedPerVp) {
+  VpTableView view;
+  view.apply(make_record(1, "10.1.0.0/16", {Asn(1)}));
+  EXPECT_NE(view.route(1, *Ipv4::parse("10.1.0.1")), nullptr);
+  EXPECT_EQ(view.route(2, *Ipv4::parse("10.1.0.1")), nullptr);
+  EXPECT_EQ(view.vps().size(), 1u);
+}
+
+TEST(VpTableView, DropsUnacceptablePrefixes) {
+  VpTableView view;
+  EXPECT_FALSE(view.apply(make_record(1, "10.1.0.0/28", {Asn(1)})));
+  EXPECT_EQ(view.route_count(1), 0u);
+}
+
+TEST(Stream, FiltersByTimeTypeAndPrefix) {
+  BgpStream stream;
+  stream.push(make_record(1, "10.0.0.0/16", {Asn(1)}, {},
+                          RecordType::kAnnouncement, 100));
+  stream.push(make_record(2, "11.0.0.0/16", {Asn(2)}, {},
+                          RecordType::kAnnouncement, 200));
+  stream.push(make_record(3, "10.0.0.0/16", {}, {},
+                          RecordType::kWithdrawal, 300));
+
+  StreamFilter filter;
+  filter.from = TimePoint(150);
+  filter.type = RecordType::kAnnouncement;
+  stream.set_filter(filter);
+  auto record = stream.next();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->vp, 2u);
+  EXPECT_FALSE(stream.next().has_value());
+
+  stream.rewind();
+  StreamFilter by_prefix;
+  by_prefix.prefixes = {*Prefix::parse("10.0.0.0/8")};
+  stream.set_filter(by_prefix);
+  int count = 0;
+  while (stream.next()) ++count;
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Stream, DeliversInTimestampOrder) {
+  BgpStream stream;
+  stream.push(make_record(1, "10.0.0.0/16", {Asn(1)}, {},
+                          RecordType::kAnnouncement, 300));
+  stream.push(make_record(1, "10.0.0.0/16", {Asn(1)}, {},
+                          RecordType::kAnnouncement, 100));
+  stream.push(make_record(1, "10.0.0.0/16", {Asn(1)}, {},
+                          RecordType::kAnnouncement, 200));
+  std::int64_t last = -1;
+  while (auto record = stream.next()) {
+    EXPECT_GE(record->time.seconds(), last);
+    last = record->time.seconds();
+  }
+  EXPECT_EQ(last, 300);
+}
+
+class FeedFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    topo::TopologyParams params;
+    params.num_tier1 = 4;
+    params.num_transit = 16;
+    params.num_stub = 40;
+    params.seed = 31;
+    topology_ = topo::build_topology(params);
+    cp_ = std::make_unique<routing::ControlPlane>(topology_, 31);
+    std::vector<topo::AsIndex> candidates;
+    for (topo::AsIndex as = 0; as < topology_.as_count(); ++as) {
+      candidates.push_back(as);
+    }
+    origins_ = {1, 2, 3, 4, 5};
+    FeedParams fp;
+    fp.vp_as_fraction = 0.3;
+    fp.seed = 31;
+    feed_ = std::make_unique<FeedSimulator>(*cp_, fp, candidates, origins_);
+  }
+  topo::Topology topology_;
+  std::unique_ptr<routing::ControlPlane> cp_;
+  std::unique_ptr<FeedSimulator> feed_;
+  std::vector<topo::AsIndex> origins_;
+};
+
+TEST_F(FeedFixture, InitialRibCoversCachedRoutes) {
+  auto rib = feed_->initial_rib(TimePoint(0));
+  EXPECT_GT(rib.size(), feed_->vantage_points().size());
+  for (const BgpRecord& record : rib) {
+    EXPECT_EQ(record.type, RecordType::kRibEntry);
+    EXPECT_FALSE(record.as_path.empty());
+    // The announcing VP's own AS leads the path.
+    EXPECT_EQ(record.as_path.front(), record.peer_asn);
+  }
+}
+
+TEST_F(FeedFixture, AdjacencyFailureEmitsNewPathsOrWithdrawals) {
+  // Fail an adjacency that some VP uses for origin 1.
+  cp_->warm_origin(1);
+  const routing::RouteTable& table = cp_->table_for(1);
+  topo::LinkId victim = topo::kNoLink;
+  for (const VantagePoint& vp : feed_->vantage_points()) {
+    const routing::Route& route = table.at(vp.as_index);
+    if (route.reachable() && route.via_link != topo::kNoLink) {
+      victim = route.via_link;
+      break;
+    }
+  }
+  ASSERT_NE(victim, topo::kNoLink);
+
+  routing::Event down;
+  down.kind = routing::EventKind::kAdjacencyDown;
+  down.link = victim;
+  down.time = TimePoint(1000);
+  auto impact = cp_->apply(down);
+  auto records = feed_->on_event(down, impact);
+  ASSERT_FALSE(records.empty());
+  bool path_change_seen = false;
+  for (const BgpRecord& record : records) {
+    EXPECT_GE(record.time, down.time);  // jitter is forward-only
+    if (record.type == RecordType::kAnnouncement &&
+        !record.as_path.empty()) {
+      path_change_seen = true;
+    }
+  }
+  EXPECT_TRUE(path_change_seen);
+}
+
+TEST_F(FeedFixture, ParrotEmitsIdenticalAnnouncement) {
+  ASSERT_FALSE(feed_->vantage_points().empty());
+  const VantagePoint& vp = feed_->vantage_points().front();
+  const routing::RouteAttributes* cached =
+      feed_->cached_attributes(vp.id, origins_[0]);
+  if (cached == nullptr || !cached->reachable()) GTEST_SKIP();
+
+  routing::Event parrot;
+  parrot.kind = routing::EventKind::kParrotUpdate;
+  parrot.as = vp.as_index;
+  parrot.origin = origins_[0];
+  parrot.time = TimePoint(5000);
+  routing::ControlPlane::Impact no_impact;
+  auto records = feed_->on_event(parrot, no_impact);
+  ASSERT_FALSE(records.empty());
+  for (const BgpRecord& record : records) {
+    EXPECT_EQ(record.as_path, cached->path);
+    EXPECT_EQ(record.communities, cached->communities);
+  }
+}
+
+}  // namespace
+}  // namespace rrr::bgp

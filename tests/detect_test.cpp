@@ -1,0 +1,230 @@
+// Unit tests for the outlier detectors and series helpers (src/detect).
+#include <gtest/gtest.h>
+
+#include "detect/detector.h"
+#include "detect/series.h"
+
+namespace rrr::detect {
+namespace {
+
+TEST(ModifiedZScore, FlagsLevelShiftImmediately) {
+  ModifiedZScoreDetector detector;
+  for (int i = 0; i < 30; ++i) {
+    Judgement j = detector.update(0.8 + 0.01 * (i % 3));
+    EXPECT_FALSE(j.outlier) << "window " << i;
+  }
+  Judgement j = detector.update(0.1);
+  EXPECT_TRUE(j.outlier);
+  EXPECT_LT(j.score, -3.5);
+}
+
+TEST(ModifiedZScore, SilentUntilMinHistory) {
+  ZScoreParams params;
+  params.min_history = 20;
+  ModifiedZScoreDetector detector(params);
+  for (int i = 0; i < 19; ++i) {
+    EXPECT_FALSE(detector.update(1.0).outlier);
+  }
+  // Even a wild value cannot be judged before 20 observations exist.
+  EXPECT_FALSE(detector.update(100.0).outlier);
+}
+
+TEST(ModifiedZScore, StationarityMaintenanceKeepsFlaggingPersistentChange) {
+  ModifiedZScoreDetector detector;
+  for (int i = 0; i < 30; ++i) detector.update(1.0);
+  // A persistent shift: every post-change window keeps flagging because
+  // flagged values are excluded from history (§4.1.2).
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(detector.update(0.2).outlier) << "post-change window " << i;
+  }
+}
+
+TEST(ModifiedZScore, AblatedStationarityAbsorbsTheShift) {
+  ZScoreParams params;
+  params.drop_outliers_from_history = false;
+  params.max_history = 30;
+  ModifiedZScoreDetector detector(params);
+  for (int i = 0; i < 30; ++i) detector.update(1.0);
+  int flagged = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (detector.update(0.2).outlier) ++flagged;
+  }
+  // The level shift becomes the new normal: flagging stops long before 40.
+  EXPECT_LT(flagged, 25);
+}
+
+TEST(ModifiedZScore, ConstantHistoryTreatsAnyDeviationAsOutlier) {
+  ModifiedZScoreDetector detector;
+  for (int i = 0; i < 25; ++i) detector.update(1.0);
+  EXPECT_TRUE(detector.update(0.5).outlier);
+  EXPECT_FALSE(detector.update(1.0).outlier);
+}
+
+TEST(Bitmap, FlagsBurstAfterQuietBaseline) {
+  BitmapDetector detector;
+  bool flagged = false;
+  for (int i = 0; i < 40; ++i) detector.update(0.0);
+  for (int i = 0; i < 6; ++i) {
+    if (detector.update(5.0).outlier) flagged = true;
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(Bitmap, ToleratesStationaryNoise) {
+  BitmapDetector detector;
+  // Alternating small values: periodic, stationary.
+  int flagged = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (detector.update(i % 2 == 0 ? 0.48 : 0.52).outlier) ++flagged;
+  }
+  EXPECT_LE(flagged, 4);
+}
+
+TEST(Bitmap, BackfillKeepsThresholdCalibrated) {
+  BitmapDetector detector;
+  detector.backfill(1.0, 30);
+  // After a long constant stretch, a level shift is detected within the
+  // lead window.
+  bool flagged = false;
+  for (int i = 0; i < 8; ++i) {
+    if (detector.update(0.0).outlier) flagged = true;
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(LazySeries, CarryForwardFillsGaps) {
+  LazySeries series(std::make_unique<ModifiedZScoreDetector>(),
+                    GapPolicy::kCarryLast);
+  series.feed(0, 1.0);
+  // A judgement 50 windows later sees 49 carried 1.0s in history.
+  Judgement j = series.feed(50, 0.0);
+  EXPECT_TRUE(j.outlier);
+}
+
+TEST(LazySeries, MissingPolicySkipsGaps) {
+  LazySeries series(std::make_unique<ModifiedZScoreDetector>(),
+                    GapPolicy::kMissing);
+  series.feed(0, 1.0);
+  Judgement j = series.feed(50, 0.0);
+  // Only 1 observation in history: cannot be an outlier yet.
+  EXPECT_FALSE(j.outlier);
+  EXPECT_EQ(series.history_size(), 2u);
+}
+
+TEST(LazySeries, ZeroPolicyFillsZeroes) {
+  LazySeries series(std::make_unique<ModifiedZScoreDetector>(),
+                    GapPolicy::kZero);
+  series.feed(0, 0.0);
+  Judgement j = series.feed(40, 7.0);
+  EXPECT_TRUE(j.outlier);
+}
+
+TEST(LazySeries, SeedArmsTheDetector) {
+  LazySeries series(std::make_unique<ModifiedZScoreDetector>(),
+                    GapPolicy::kCarryLast);
+  series.seed(100, 1.0, 24);
+  Judgement j = series.feed(101, 0.0);
+  EXPECT_TRUE(j.outlier);
+}
+
+TEST(LazySeries, IgnoresOutOfOrderWindows) {
+  LazySeries series(std::make_unique<ModifiedZScoreDetector>(),
+                    GapPolicy::kCarryLast);
+  series.feed(10, 1.0);
+  Judgement j = series.feed(10, 0.0);  // duplicate window
+  EXPECT_FALSE(j.outlier);
+  EXPECT_EQ(series.last_value(), 1.0);
+}
+
+class AdaptiveRatioTest : public ::testing::Test {
+ protected:
+  AdaptiveRatioSeries make(std::int64_t max_mult = 96) {
+    ModifiedZScoreDetector prototype;
+    return AdaptiveRatioSeries(prototype, max_mult);
+  }
+};
+
+TEST_F(AdaptiveRatioTest, ArmsAfterTwentyConsecutiveWindows) {
+  AdaptiveRatioSeries series = make();
+  std::size_t emitted = 0;
+  for (std::int64_t w = 0; w < 30; ++w) {
+    series.add(w, 8, 10);
+    emitted += series.close_through(w + 1).size();
+  }
+  EXPECT_TRUE(series.armed());
+  EXPECT_EQ(series.multiplier(), 1);
+  // Windows 0..19 arm the series; 20..29 emit judgements as they close.
+  EXPECT_GE(emitted, 9u);
+}
+
+TEST_F(AdaptiveRatioTest, EscalatesWindowOnMissingData) {
+  AdaptiveRatioSeries series = make();
+  // Data only every other base window: multiplier must grow to >= 2.
+  for (std::int64_t w = 0; w < 120; w += 2) {
+    series.add(w, 1, 1);
+    series.close_through(w + 1);
+  }
+  EXPECT_GE(series.multiplier(), 2);
+}
+
+TEST_F(AdaptiveRatioTest, DetectsRatioDropOnceArmed) {
+  AdaptiveRatioSeries series = make();
+  bool outlier_seen = false;
+  for (std::int64_t w = 0; w < 40; ++w) {
+    series.add(w, 9, 10);
+    series.close_through(w + 1);
+  }
+  ASSERT_TRUE(series.armed());
+  for (std::int64_t w = 40; w < 44; ++w) {
+    series.add(w, 0, 10);
+    for (const ClosedRatioWindow& closed : series.close_through(w + 1)) {
+      if (closed.judgement.outlier && closed.judgement.score < 0) {
+        outlier_seen = true;
+      }
+    }
+  }
+  EXPECT_TRUE(outlier_seen);
+}
+
+TEST_F(AdaptiveRatioTest, MissingWindowsAfterArmingAreSkipped) {
+  AdaptiveRatioSeries series = make();
+  for (std::int64_t w = 0; w < 25; ++w) {
+    series.add(w, 1, 1);
+    series.close_through(w + 1);
+  }
+  ASSERT_TRUE(series.armed());
+  // A long silent stretch must not unarm or emit.
+  auto closed = series.close_through(60);
+  EXPECT_TRUE(closed.empty());
+  EXPECT_TRUE(series.armed());
+  series.add(60, 1, 1);
+  auto after = series.close_through(62);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_FALSE(after[0].judgement.outlier);
+}
+
+TEST_F(AdaptiveRatioTest, DormantAtMaxMultiplierWithoutData) {
+  AdaptiveRatioSeries series = make(4);
+  series.add(0, 1, 1);
+  // Escalation proceeds one step per close call; a data-free series caps
+  // its multiplier and eventually goes dormant.
+  for (std::int64_t t = 1; t < 500; ++t) series.close_through(t);
+  EXPECT_TRUE(series.dormant());
+  EXPECT_EQ(series.multiplier(), 4);
+}
+
+TEST_F(AdaptiveRatioTest, ReportsIntersectCounts) {
+  AdaptiveRatioSeries series = make();
+  for (std::int64_t w = 0; w < 25; ++w) {
+    series.add(w, 3, 7);
+    auto closed = series.close_through(w + 1);
+    for (const auto& c : closed) {
+      EXPECT_EQ(c.intersect, 7);
+      EXPECT_NEAR(c.ratio, 3.0 / 7.0, 1e-12);
+      EXPECT_EQ(c.multiplier, 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rrr::detect

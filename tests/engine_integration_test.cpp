@@ -1,0 +1,198 @@
+// End-to-end integration tests of the staleness engine on a quiet world
+// with hand-injected routing events: every technique is exercised against a
+// change whose ground truth is known exactly.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "eval/metrics.h"
+#include "eval/world.h"
+
+namespace rrr {
+namespace {
+
+eval::WorldParams quiet_params() {
+  eval::WorldParams params;
+  params.days = 6;
+  params.warmup_days = 1;
+  params.corpus_pair_target = 400;
+  params.corpus_dest_count = 20;
+  params.public_dest_count = 80;
+  params.public_traces_per_window = 600;
+  params.platform.num_probes = 500;
+  params.topology.num_transit = 40;
+  params.topology.num_stub = 150;
+  params.seed = 97;
+  // A perfectly quiet control plane: no scheduled events at all.
+  params.dynamics = routing::DynamicsParams{};
+  params.dynamics.interconnect_flap_per_day = 0;
+  params.dynamics.egress_shift_per_day = 0;
+  params.dynamics.adjacency_flap_per_day = 0;
+  params.dynamics.preferred_link_shift_per_day = 0;
+  params.dynamics.te_community_churn_per_day = 0;
+  params.dynamics.parrot_update_per_day = 0;
+  params.dynamics.ixp_join_per_day = 0;
+  // No recalibration sweeps: freshness flags must persist for assertions.
+  params.recalibration_interval_windows = 0;
+  // No measurement noise: keeps ground truth sharp for the assertions.
+  params.prober.silent_router_fraction = 0;
+  params.prober.intermittent_loss_prob = 0;
+  params.prober.unresponsive_destination_prob = 0;
+  return params;
+}
+
+class QuietWorldTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = std::make_unique<eval::World>(quiet_params());
+    hooks_.on_signals = [this](std::int64_t, TimePoint,
+                               std::vector<signals::StalenessSignal>&& s) {
+      for (auto& signal : s) signals_.push_back(std::move(signal));
+    };
+    world_->run_until(world_->corpus_t0(), hooks_);
+    pairs_ = world_->initialize_corpus();
+  }
+
+  // Applies a routing event right now and routes its consequences to the
+  // BGP feed and ground truth, exactly as World::process_event does.
+  void inject(routing::Event event) {
+    auto impact = world_->control_plane().apply(event);
+    for (bgp::BgpRecord& record : world_->feed().on_event(event, impact)) {
+      world_->engine().on_bgp_record(record);
+    }
+    world_->ground_truth().on_impact(event, impact);
+  }
+
+  // Finds a corpus pair whose true path crosses a link with at least two
+  // interconnects, returning (pair, crossing) of the first such border.
+  struct Target {
+    tr::PairKey pair;
+    routing::BorderCrossing crossing;
+    topo::LinkId link;
+  };
+  std::optional<Target> find_multihomed_border() {
+    const topo::Topology& topology = world_->topology();
+    for (const tr::PairKey& pair : world_->ground_truth().pairs()) {
+      const routing::ForwardPath& path = world_->ground_truth().current(pair);
+      for (const routing::BorderCrossing& crossing : path.crossings) {
+        topo::LinkId link =
+            topology.interconnect_at(crossing.interconnect).link;
+        if (topology.link_interconnects(link).size() >= 2) {
+          return Target{pair, crossing, link};
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::unique_ptr<eval::World> world_;
+  eval::World::Hooks hooks_;
+  std::vector<signals::StalenessSignal> signals_;
+  std::size_t pairs_ = 0;
+};
+
+TEST_F(QuietWorldTest, QuietWorldProducesNoChangesAndFewSignals) {
+  world_->run_until(world_->corpus_t0() + 3 * kSecondsPerDay, hooks_);
+  EXPECT_TRUE(world_->ground_truth().changes().empty());
+  // Without any routing event there is nothing to (correctly) report;
+  // residual signals are sampling-noise false positives and must be rare.
+  EXPECT_LE(signals_.size(), pairs_ / 20)
+      << "noise signals: " << signals_.size();
+}
+
+TEST_F(QuietWorldTest, InterconnectFailureIsDetected) {
+  // Let the traceroute series arm first.
+  world_->run_until(world_->corpus_t0() + 2 * kSecondsPerDay, hooks_);
+  auto target = find_multihomed_border();
+  ASSERT_TRUE(target.has_value());
+
+  routing::Event event;
+  event.id = 9001;
+  event.kind = routing::EventKind::kInterconnectDown;
+  event.time = world_->corpus_t0() + 2 * kSecondsPerDay;
+  event.interconnect = target->crossing.interconnect;
+  event.link = target->link;
+  inject(event);
+
+  // The pair's true path must have changed (that is what we injected).
+  ASSERT_FALSE(world_->ground_truth().changes().empty());
+
+  signals_.clear();
+  world_->run_until(world_->corpus_t0() + 5 * kSecondsPerDay, hooks_);
+
+  // Some signal must implicate a pair that the event actually changed.
+  std::set<tr::PairKey> changed_pairs;
+  for (const auto& change : world_->ground_truth().changes()) {
+    changed_pairs.insert(change.pair);
+  }
+  bool flagged = false;
+  std::map<signals::Technique, int> by_technique;
+  for (const auto& signal : signals_) {
+    if (changed_pairs.contains(signal.pair)) {
+      flagged = true;
+      ++by_technique[signal.technique];
+    }
+  }
+  if (!flagged) {
+    std::string diag = "segments of first changed pair:";
+    const tr::PairKey& first = *changed_pairs.begin();
+    for (const auto& info :
+         world_->engine().subpath_monitor().segments_for(first)) {
+      diag += " [b#" + std::to_string(info.border_index) +
+              (info.armed ? " armed" : "") +
+              (info.dormant ? " dormant" : "") +
+              " mult=" + std::to_string(info.multiplier) + " r=" +
+              std::to_string(info.last_ratio) + "]";
+    }
+    ADD_FAILURE() << "no signal for any of the " << changed_pairs.size()
+                  << " changed pairs (total signals " << signals_.size()
+                  << "); " << diag;
+  }
+  // The engine must also have marked at least one changed pair stale.
+  bool any_stale = false;
+  for (const tr::PairKey& pair : changed_pairs) {
+    if (world_->engine().freshness(pair) == tr::Freshness::kStale) {
+      any_stale = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_stale);
+}
+
+TEST_F(QuietWorldTest, SubpathMonitorSeesPersistentEgressShift) {
+  world_->run_until(world_->corpus_t0() + 2 * kSecondsPerDay, hooks_);
+  auto target = find_multihomed_border();
+  ASSERT_TRUE(target.has_value());
+
+  // Permanent egress-weight shift: the crossing moves and stays moved.
+  routing::Event event;
+  event.id = 9002;
+  event.kind = routing::EventKind::kEgressWeightSet;
+  event.time = world_->corpus_t0() + 2 * kSecondsPerDay;
+  event.interconnect = target->crossing.interconnect;
+  event.link = target->link;
+  event.weight = 50000.0;
+  inject(event);
+  ASSERT_FALSE(world_->ground_truth().changes().empty());
+
+  signals_.clear();
+  world_->run_until(world_->corpus_t0() + 5 * kSecondsPerDay, hooks_);
+
+  std::set<tr::PairKey> changed_pairs;
+  for (const auto& change : world_->ground_truth().changes()) {
+    changed_pairs.insert(change.pair);
+  }
+  int subpath_hits = 0;
+  for (const auto& signal : signals_) {
+    if (signal.technique == signals::Technique::kTraceSubpath &&
+        changed_pairs.contains(signal.pair)) {
+      ++subpath_hits;
+    }
+  }
+  EXPECT_GT(subpath_hits, 0)
+      << "subpath monitor missed a persistent border shift ("
+      << signals_.size() << " signals total)";
+}
+
+}  // namespace
+}  // namespace rrr

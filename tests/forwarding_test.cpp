@@ -1,0 +1,156 @@
+// Focused tests of data-plane behaviors: ECMP interconnect groups
+// (interdomain diamonds, §5.4), intra-domain load-balancer branches, egress
+// weight dominance, and hop emission structure.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "routing/control_plane.h"
+#include "topology/builder.h"
+
+namespace rrr::routing {
+namespace {
+
+class ForwardingBehavior : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    topo::TopologyParams params;
+    params.num_tier1 = 4;
+    params.num_transit = 20;
+    params.num_stub = 60;
+    params.interdomain_diamond_prob = 0.5;  // make diamonds common
+    params.lb_as_prob = 0.6;
+    params.seed = 81;
+    topology_ = topo::build_topology(params);
+    cp_ = std::make_unique<ControlPlane>(topology_, 81);
+  }
+
+  Ipv4 target_of(topo::AsIndex origin) {
+    return Ipv4(topo::as_block(origin).network().value() + 1);
+  }
+
+  topo::Topology topology_;
+  std::unique_ptr<ControlPlane> cp_;
+};
+
+TEST_F(ForwardingBehavior, EcmpGroupsSplitFlowsAcrossInterconnects) {
+  // Find an ECMP interconnect group and a source routed across it.
+  topo::LinkId diamond_link = topo::kNoLink;
+  for (const topo::AsLink& link : topology_.links()) {
+    int grouped = 0;
+    for (topo::InterconnectId ic : link.interconnects) {
+      if (topology_.interconnect_at(ic).ecmp_group >= 0) ++grouped;
+    }
+    if (grouped >= 2) {
+      diamond_link = link.id;
+      break;
+    }
+  }
+  ASSERT_NE(diamond_link, topo::kNoLink);
+  const topo::AsLink& link = topology_.link_at(diamond_link);
+
+  // Flows from a's primary city toward b's space must hash across the
+  // group's members.
+  std::set<topo::InterconnectId> chosen;
+  for (std::uint64_t flow = 0; flow < 64; ++flow) {
+    chosen.insert(cp_->resolver().egress_choice(
+        link.a, link.b, topology_.as_at(link.a).pops.front(), flow));
+  }
+  EXPECT_GE(chosen.size(), 2u) << "flows never spread across the diamond";
+  for (topo::InterconnectId ic : chosen) {
+    EXPECT_GE(topology_.interconnect_at(ic).ecmp_group, 0);
+  }
+}
+
+TEST_F(ForwardingBehavior, LoadBalancedAsVariesInternalHopsByFlow) {
+  // An AS with multiple branches yields different internal routers for
+  // different flows, while the border path stays identical (intra-domain
+  // diamonds never extend across the border).
+  topo::AsIndex lb_as = topo::kNoAs;
+  for (topo::AsIndex as = 0; as < topology_.as_count(); ++as) {
+    if (topology_.as_at(as).lb_branches >= 2 &&
+        topology_.as_at(as).tier == topo::AsTier::kStub) {
+      lb_as = as;
+      break;
+    }
+  }
+  ASSERT_NE(lb_as, topo::kNoAs);
+  topo::AsIndex origin = lb_as == 0 ? 1 : 0;
+  std::set<std::vector<Ipv4>> hop_sets;
+  ForwardPath reference;
+  for (std::uint64_t flow = 0; flow < 32; ++flow) {
+    ForwardPath path = cp_->resolver().resolve(
+        lb_as, topology_.as_at(lb_as).pops.front(), target_of(origin), flow);
+    if (!path.reachable) continue;
+    if (reference.as_path.empty()) reference = path;
+    EXPECT_EQ(path.as_path, reference.as_path);
+    hop_sets.insert(path.hops);
+  }
+  EXPECT_GE(hop_sets.size(), 2u)
+      << "no per-flow hop diversity in a load-balancing AS";
+}
+
+TEST_F(ForwardingBehavior, EgressWeightOverridesHotPotato) {
+  // Penalizing the chosen interconnect of a multi-interconnect link must
+  // move the choice for every ingress city.
+  for (const topo::AsLink& link : topology_.links()) {
+    if (link.interconnects.size() < 2) continue;
+    bool any_grouped = false;
+    for (topo::InterconnectId ic : link.interconnects) {
+      if (topology_.interconnect_at(ic).ecmp_group >= 0) any_grouped = true;
+    }
+    if (any_grouped) continue;  // groups hash, not hot-potato
+    topo::CityId city = topology_.as_at(link.a).pops.front();
+    topo::InterconnectId before =
+        cp_->resolver().egress_choice(link.a, link.b, city, 1);
+    ASSERT_NE(before, topo::kNoInterconnect);
+    cp_->state_mut().set_egress_weight(before, 1e9);
+    topo::InterconnectId after =
+        cp_->resolver().egress_choice(link.a, link.b, city, 1);
+    EXPECT_NE(after, before);
+    cp_->state_mut().set_egress_weight(before, 0.0);
+    return;  // one link suffices
+  }
+  FAIL() << "no suitable multi-interconnect link found";
+}
+
+TEST_F(ForwardingBehavior, HopsEndAtDestinationAndCrossActiveBorders) {
+  topo::AsIndex src = static_cast<topo::AsIndex>(topology_.as_count() - 1);
+  topo::AsIndex origin = 2;
+  ForwardPath path = cp_->resolver().resolve(
+      src, topology_.as_at(src).pops.front(), target_of(origin), 9);
+  ASSERT_TRUE(path.reachable);
+  ASSERT_FALSE(path.hops.empty());
+  EXPECT_EQ(path.hops.back(), target_of(origin));
+  EXPECT_EQ(path.hop_routers.back(), topo::kNoRouter);
+  ASSERT_EQ(path.hops.size(), path.hop_routers.size());
+  // Every named router actually owns the revealed interface.
+  for (std::size_t i = 0; i + 1 < path.hops.size(); ++i) {
+    if (path.hop_routers[i] == topo::kNoRouter) continue;
+    EXPECT_EQ(topology_.router_of_interface(path.hops[i]),
+              path.hop_routers[i]);
+  }
+}
+
+TEST_F(ForwardingBehavior, BorderOnlyResolveSkipsHopMaterialization) {
+  topo::AsIndex src = 5;
+  topo::AsIndex origin = 7;
+  ForwardPath full = cp_->resolver().resolve(
+      src, topology_.as_at(src).pops.front(), target_of(origin), 3, true);
+  ForwardPath borders_only = cp_->resolver().resolve(
+      src, topology_.as_at(src).pops.front(), target_of(origin), 3, false);
+  EXPECT_EQ(full.as_path, borders_only.as_path);
+  EXPECT_EQ(full.crossings, borders_only.crossings);
+  EXPECT_TRUE(borders_only.hops.empty());
+  EXPECT_FALSE(full.hops.empty());
+}
+
+TEST_F(ForwardingBehavior, UnroutableDestinationIsUnreachable) {
+  ForwardPath path = cp_->resolver().resolve(
+      0, topology_.as_at(0).pops.front(), *Ipv4::parse("203.0.113.1"), 1);
+  EXPECT_FALSE(path.reachable);
+  EXPECT_TRUE(path.hops.empty());
+}
+
+}  // namespace
+}  // namespace rrr::routing

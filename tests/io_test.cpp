@@ -1,0 +1,134 @@
+// Tests for the text serialization layer (src/io).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/serialize.h"
+
+namespace rrr::io {
+namespace {
+
+bgp::BgpRecord sample_record() {
+  bgp::BgpRecord record;
+  record.time = TimePoint(123456);
+  record.type = bgp::RecordType::kAnnouncement;
+  record.collector = "rrc03";
+  record.peer_asn = Asn(13030);
+  record.peer_ip = *Ipv4::parse("195.66.224.175");
+  record.vp = 7;
+  record.prefix = *Prefix::parse("200.61.128.0/19");
+  record.as_path = {Asn(13030), Asn(1299), Asn(2914), Asn(18747)};
+  record.communities = {Community(Asn(13030), 2),
+                        Community(Asn(13030), 51701)};
+  return record;
+}
+
+TEST(BgpSerialization, RoundTripsEveryField) {
+  bgp::BgpRecord original = sample_record();
+  auto parsed = bgp_record_from_line(to_line(original));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->time, original.time);
+  EXPECT_EQ(parsed->type, original.type);
+  EXPECT_EQ(parsed->collector, original.collector);
+  EXPECT_EQ(parsed->peer_asn, original.peer_asn);
+  EXPECT_EQ(parsed->peer_ip, original.peer_ip);
+  EXPECT_EQ(parsed->vp, original.vp);
+  EXPECT_EQ(parsed->prefix, original.prefix);
+  EXPECT_EQ(parsed->as_path, original.as_path);
+  EXPECT_EQ(parsed->communities, original.communities);
+}
+
+TEST(BgpSerialization, WithdrawalsHaveEmptyAttributes) {
+  bgp::BgpRecord record = sample_record();
+  record.type = bgp::RecordType::kWithdrawal;
+  record.as_path.clear();
+  record.communities.clear();
+  auto parsed = bgp_record_from_line(to_line(record));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, bgp::RecordType::kWithdrawal);
+  EXPECT_TRUE(parsed->as_path.empty());
+  EXPECT_TRUE(parsed->communities.empty());
+}
+
+TEST(BgpSerialization, RejectsMalformedLines) {
+  EXPECT_FALSE(bgp_record_from_line("").has_value());
+  EXPECT_FALSE(bgp_record_from_line("1|A|c|13030").has_value());
+  EXPECT_FALSE(
+      bgp_record_from_line("x|A|c|1|1.2.3.4|0|10.0.0.0/8||").has_value());
+  EXPECT_FALSE(
+      bgp_record_from_line("1|Q|c|1|1.2.3.4|0|10.0.0.0/8||").has_value());
+  EXPECT_FALSE(
+      bgp_record_from_line("1|A|c|1|1.2.3.4|0|10.0.0.0/99||").has_value());
+}
+
+TEST(BgpSerialization, StreamRoundTripSkipsCommentsAndGarbage) {
+  std::vector<bgp::BgpRecord> records = {sample_record(), sample_record()};
+  records[1].time = TimePoint(999);
+  std::stringstream buffer;
+  buffer << "# a comment\n";
+  write_bgp_records(buffer, records);
+  buffer << "garbage line\n";
+  std::size_t errors = 0;
+  auto loaded = read_bgp_records(buffer, &errors);
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(errors, 1u);
+  EXPECT_EQ(loaded[1].time, TimePoint(999));
+}
+
+tr::Traceroute sample_trace() {
+  tr::Traceroute trace;
+  trace.id = 42;
+  trace.probe = 9;
+  trace.src_ip = *Ipv4::parse("10.0.0.9");
+  trace.dst_ip = *Ipv4::parse("11.0.0.1");
+  trace.time = TimePoint(5555);
+  trace.flow_id = 777;
+  trace.reached = true;
+  trace.hops = {{*Ipv4::parse("10.0.0.1"), 1.25},
+                {std::nullopt, 0.0},
+                {*Ipv4::parse("11.0.0.1"), 8.5}};
+  return trace;
+}
+
+TEST(TracerouteSerialization, RoundTripsHopsIncludingStars) {
+  std::stringstream buffer;
+  write_traceroute(buffer, sample_trace());
+  auto loaded = read_traceroutes(buffer);
+  ASSERT_EQ(loaded.size(), 1u);
+  const tr::Traceroute& trace = loaded[0];
+  EXPECT_EQ(trace.id, 42u);
+  EXPECT_EQ(trace.probe, 9u);
+  EXPECT_TRUE(trace.reached);
+  ASSERT_EQ(trace.hops.size(), 3u);
+  EXPECT_TRUE(trace.hops[0].responded());
+  EXPECT_NEAR(trace.hops[0].rtt_ms, 1.25, 1e-6);
+  EXPECT_FALSE(trace.hops[1].responded());
+  EXPECT_EQ(*trace.hops[2].ip, *Ipv4::parse("11.0.0.1"));
+}
+
+TEST(TracerouteSerialization, MultipleTracesInOneStream) {
+  std::stringstream buffer;
+  tr::Traceroute a = sample_trace();
+  tr::Traceroute b = sample_trace();
+  b.id = 43;
+  b.hops.clear();
+  b.reached = false;
+  write_traceroutes(buffer, {a, b});
+  auto loaded = read_traceroutes(buffer);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].hops.size(), 3u);
+  EXPECT_TRUE(loaded[1].hops.empty());
+  EXPECT_FALSE(loaded[1].reached);
+}
+
+TEST(TracerouteSerialization, OrphanHopLinesAreErrors) {
+  std::stringstream buffer;
+  buffer << "H|1|1.2.3.4|0.5\n";
+  std::size_t errors = 0;
+  auto loaded = read_traceroutes(buffer, &errors);
+  EXPECT_TRUE(loaded.empty());
+  EXPECT_EQ(errors, 1u);
+}
+
+}  // namespace
+}  // namespace rrr::io

@@ -1,0 +1,124 @@
+// Tests for the evaluation metrics: signal/change matching, Table 2
+// aggregation, daily series, and the CDF helper.
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace rrr::eval {
+namespace {
+
+signals::StalenessSignal make_signal(signals::Technique technique,
+                                     tr::ProbeId probe, std::int64_t t,
+                                     std::int64_t span = kBaseWindowSeconds) {
+  signals::StalenessSignal s;
+  s.technique = technique;
+  s.pair = tr::PairKey{probe, *Ipv4::parse("10.0.0.1")};
+  s.time = TimePoint(t);
+  s.span_seconds = span;
+  s.border_index = 0;
+  return s;
+}
+
+ChangeEvent make_change(tr::ProbeId probe, std::int64_t t,
+                        ChangeKind kind = ChangeKind::kBorderLevel) {
+  ChangeEvent c;
+  c.pair = tr::PairKey{probe, *Ipv4::parse("10.0.0.1")};
+  c.time = TimePoint(t);
+  c.kind = kind;
+  return c;
+}
+
+TEST(SignalMatcher, MatchesWithinWindowSpanAndTolerance) {
+  std::vector<signals::StalenessSignal> signals = {
+      make_signal(signals::Technique::kBgpAsPath, 1, 10000),
+  };
+  // Inside [t - span - tol - grace, t + tol].
+  std::vector<ChangeEvent> hit = {make_change(1, 9500)};
+  MatchParams params;
+  params.forward_grace_seconds = 0;
+  SignalMatcher m1(signals, hit, params);
+  EXPECT_TRUE(m1.signal_matched(0));
+
+  std::vector<ChangeEvent> too_late = {make_change(1, 10000 + 2000)};
+  SignalMatcher m2(signals, too_late, params);
+  EXPECT_FALSE(m2.signal_matched(0));
+
+  std::vector<ChangeEvent> wrong_pair = {make_change(2, 9500)};
+  SignalMatcher m3(signals, wrong_pair, params);
+  EXPECT_FALSE(m3.signal_matched(0));
+}
+
+TEST(SignalMatcher, ForwardGraceCreditsLateSignals) {
+  std::vector<signals::StalenessSignal> signals = {
+      make_signal(signals::Technique::kTraceSubpath, 1, 30000, 900),
+  };
+  std::vector<ChangeEvent> change = {make_change(1, 20000)};
+  MatchParams strict;
+  strict.forward_grace_seconds = 0;
+  EXPECT_FALSE(SignalMatcher(signals, change, strict).signal_matched(0));
+  MatchParams graced;
+  graced.forward_grace_seconds = 4 * kSecondsPerHour;
+  EXPECT_TRUE(SignalMatcher(signals, change, graced).signal_matched(0));
+}
+
+TEST(SignalMatcher, Table2CountsUniqueCoverage) {
+  // Change A covered by two techniques; change B only by subpaths.
+  std::vector<signals::StalenessSignal> signals = {
+      make_signal(signals::Technique::kBgpAsPath, 1, 1000),
+      make_signal(signals::Technique::kTraceSubpath, 1, 1200),
+      make_signal(signals::Technique::kTraceSubpath, 2, 5000),
+  };
+  std::vector<ChangeEvent> changes = {
+      make_change(1, 900, ChangeKind::kAsLevel),
+      make_change(2, 4900, ChangeKind::kBorderLevel),
+  };
+  SignalMatcher matcher(signals, changes);
+  Table2Result table = matcher.table2();
+  EXPECT_EQ(table.total_changes, 2);
+  EXPECT_EQ(table.as_changes, 1);
+  EXPECT_EQ(table.border_changes, 1);
+
+  const TechniqueRow& subpaths =
+      table.techniques[static_cast<int>(signals::Technique::kTraceSubpath)];
+  EXPECT_NEAR(subpaths.cov_all, 1.0, 1e-9);        // covered both
+  EXPECT_NEAR(subpaths.cov_all_unique, 0.5, 1e-9); // alone only on B
+  const TechniqueRow& aspath =
+      table.techniques[static_cast<int>(signals::Technique::kBgpAsPath)];
+  EXPECT_NEAR(aspath.cov_all, 0.5, 1e-9);
+  EXPECT_NEAR(aspath.cov_all_unique, 0.0, 1e-9);
+  EXPECT_NEAR(table.all.cov_all, 1.0, 1e-9);
+  EXPECT_NEAR(table.all.precision, 1.0, 1e-9);
+}
+
+TEST(SignalMatcher, DailySeriesBucketsByDay) {
+  std::vector<signals::StalenessSignal> signals = {
+      make_signal(signals::Technique::kTraceSubpath, 1, kSecondsPerDay + 600),
+  };
+  std::vector<ChangeEvent> changes = {
+      make_change(1, kSecondsPerDay + 300),
+      make_change(2, 2 * kSecondsPerDay + 100),  // uncovered, day 2
+  };
+  SignalMatcher matcher(signals, changes);
+  auto daily = matcher.daily_series(TimePoint(0), 3);
+  ASSERT_EQ(daily.size(), 3u);
+  EXPECT_EQ(daily[1].signals, 1);
+  EXPECT_NEAR(daily[1].coverage_border, 1.0, 1e-9);
+  EXPECT_NEAR(daily[2].coverage_border, 0.0, 1e-9);
+  EXPECT_EQ(daily[0].signals, 0);
+}
+
+TEST(Cdf, QuantilesAndFractions) {
+  Cdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(i);
+  EXPECT_NEAR(cdf.median(), 50.0, 1.0);
+  EXPECT_NEAR(cdf.quantile(0.9), 90.0, 1.0);
+  EXPECT_NEAR(cdf.fraction_at_most(25.0), 0.25, 0.01);
+  EXPECT_NEAR(cdf.fraction_at_most(1000.0), 1.0, 1e-9);
+  EXPECT_NEAR(cdf.fraction_at_most(0.0), 0.0, 1e-9);
+  // Adding after a quantile query must keep results consistent.
+  cdf.add(1000.0);
+  EXPECT_NEAR(cdf.quantile(1.0), 1000.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rrr::eval

@@ -1,0 +1,225 @@
+// Unit tests for the foundational value types (src/netbase).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "netbase/asn.h"
+#include "netbase/community.h"
+#include "netbase/geo.h"
+#include "netbase/ipv4.h"
+#include "netbase/prefix.h"
+#include "netbase/radix_trie.h"
+#include "netbase/rng.h"
+#include "netbase/time.h"
+
+namespace rrr {
+namespace {
+
+TEST(Ipv4, RoundTripsDottedQuad) {
+  auto ip = Ipv4::parse("192.168.3.45");
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->to_string(), "192.168.3.45");
+  EXPECT_EQ(ip->value(), 0xC0A8032Du);
+}
+
+TEST(Ipv4, RejectsMalformedInput) {
+  EXPECT_FALSE(Ipv4::parse("192.168.3").has_value());
+  EXPECT_FALSE(Ipv4::parse("192.168.3.256").has_value());
+  EXPECT_FALSE(Ipv4::parse("192.168.3.45.6").has_value());
+  EXPECT_FALSE(Ipv4::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4::parse("").has_value());
+  EXPECT_FALSE(Ipv4::parse("1..2.3").has_value());
+}
+
+TEST(Ipv4, OrdersNumerically) {
+  EXPECT_LT(*Ipv4::parse("1.2.3.4"), *Ipv4::parse("1.2.3.5"));
+  EXPECT_LT(*Ipv4::parse("9.255.255.255"), *Ipv4::parse("10.0.0.0"));
+}
+
+TEST(Prefix, MasksHostBits) {
+  Prefix p(*Ipv4::parse("10.1.2.3"), 24);
+  EXPECT_EQ(p.network().to_string(), "10.1.2.0");
+  EXPECT_EQ(p.to_string(), "10.1.2.0/24");
+}
+
+TEST(Prefix, ContainsAndCovers) {
+  Prefix p16 = *Prefix::parse("10.1.0.0/16");
+  Prefix p24 = *Prefix::parse("10.1.2.0/24");
+  EXPECT_TRUE(p16.contains(*Ipv4::parse("10.1.200.7")));
+  EXPECT_FALSE(p16.contains(*Ipv4::parse("10.2.0.1")));
+  EXPECT_TRUE(p16.covers(p24));
+  EXPECT_FALSE(p24.covers(p16));
+  EXPECT_TRUE(p16.covers(p16));
+}
+
+TEST(Prefix, ZeroLengthCoversEverything) {
+  Prefix def(Ipv4(0), 0);
+  EXPECT_TRUE(def.contains(*Ipv4::parse("255.255.255.255")));
+  EXPECT_EQ(def.size(), 1ull << 32);
+}
+
+TEST(Prefix, ParseValidation) {
+  EXPECT_TRUE(Prefix::parse("10.0.0.0/8").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Prefix::parse("banana/8").has_value());
+}
+
+TEST(AsPath, SuffixMatching) {
+  AsPath reference = {Asn(10), Asn(20), Asn(30), Asn(40)};
+  AsPath same_tail = {Asn(99), Asn(20), Asn(30), Asn(40)};
+  EXPECT_TRUE(suffix_matches(same_tail, 1, reference));
+  AsPath divergent = {Asn(99), Asn(20), Asn(31), Asn(40)};
+  EXPECT_FALSE(suffix_matches(divergent, 1, reference));
+  AsPath longer_tail = {Asn(99), Asn(20), Asn(25), Asn(30), Asn(40)};
+  EXPECT_FALSE(suffix_matches(longer_tail, 1, reference));
+}
+
+TEST(AsPath, Rendering) {
+  EXPECT_EQ(to_string(AsPath{Asn(13030), Asn(1299), Asn(2914)}),
+            "13030 1299 2914");
+  EXPECT_EQ(index_of({Asn(1), Asn(2)}, Asn(2)), 1);
+  EXPECT_EQ(index_of({Asn(1), Asn(2)}, Asn(3)), -1);
+}
+
+TEST(Community, ParsesAndDecomposes) {
+  auto c = Community::parse("13030:51701");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->definer(), Asn(13030));
+  EXPECT_EQ(c->value(), 51701);
+  EXPECT_EQ(c->to_string(), "13030:51701");
+  EXPECT_FALSE(Community::parse("13030").has_value());
+  EXPECT_FALSE(Community::parse("70000:1").has_value());
+}
+
+TEST(Community, DiffRespectsDefinerFilter) {
+  CommunitySet before = {Community(Asn(10), 1), Community(Asn(20), 2)};
+  CommunitySet after = {Community(Asn(10), 3), Community(Asn(20), 2)};
+  CommunityDiff all = diff_communities(before, after);
+  EXPECT_EQ(all.added.size(), 1u);
+  EXPECT_EQ(all.removed.size(), 1u);
+  CommunityDiff only20 = diff_communities(before, after, Asn(20));
+  EXPECT_TRUE(only20.empty());
+}
+
+TEST(WindowClock, FloorsNegativeTimes) {
+  WindowClock clock(TimePoint(0), 900);
+  EXPECT_EQ(clock.index_of(TimePoint(0)), 0);
+  EXPECT_EQ(clock.index_of(TimePoint(899)), 0);
+  EXPECT_EQ(clock.index_of(TimePoint(900)), 1);
+  EXPECT_EQ(clock.index_of(TimePoint(-1)), -1);
+  EXPECT_EQ(clock.index_of(TimePoint(-900)), -1);
+  EXPECT_EQ(clock.index_of(TimePoint(-901)), -2);
+}
+
+TEST(WindowClock, BoundariesRoundTrip) {
+  WindowClock clock(TimePoint(1000), 900);
+  for (std::int64_t w : {-3, 0, 1, 17}) {
+    EXPECT_EQ(clock.index_of(clock.window_start(w)), w);
+    EXPECT_EQ(clock.index_of(clock.window_end(w) - 1), w);
+  }
+}
+
+TEST(RadixTrie, LongestPrefixMatchPrefersSpecific) {
+  RadixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 8);
+  trie.insert(*Prefix::parse("10.1.0.0/16"), 16);
+  trie.insert(*Prefix::parse("10.1.2.0/24"), 24);
+  EXPECT_EQ(*trie.lookup(*Ipv4::parse("10.1.2.3")), 24);
+  EXPECT_EQ(*trie.lookup(*Ipv4::parse("10.1.9.1")), 16);
+  EXPECT_EQ(*trie.lookup(*Ipv4::parse("10.200.0.1")), 8);
+  EXPECT_EQ(trie.lookup(*Ipv4::parse("11.0.0.1")), nullptr);
+}
+
+TEST(RadixTrie, EraseRestoresShorterMatch) {
+  RadixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 8);
+  trie.insert(*Prefix::parse("10.1.0.0/16"), 16);
+  EXPECT_TRUE(trie.erase(*Prefix::parse("10.1.0.0/16")));
+  EXPECT_EQ(*trie.lookup(*Ipv4::parse("10.1.2.3")), 8);
+  EXPECT_FALSE(trie.erase(*Prefix::parse("10.1.0.0/16")));
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(RadixTrie, LookupMatchReportsPrefix) {
+  RadixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.1.0.0/16"), 1);
+  auto match = trie.lookup_match(*Ipv4::parse("10.1.2.3"));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->prefix.to_string(), "10.1.0.0/16");
+}
+
+// Property sweep: trie LPM agrees with a brute-force scan.
+class TrieProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieProperty, AgreesWithLinearScan) {
+  Rng rng(GetParam());
+  RadixTrie<int> trie;
+  std::vector<std::pair<Prefix, int>> entries;
+  for (int i = 0; i < 300; ++i) {
+    auto ip = Ipv4(static_cast<std::uint32_t>(rng.uniform_int(0, 1LL << 32)));
+    auto len = static_cast<std::uint8_t>(rng.uniform_int(0, 32));
+    Prefix prefix(ip, len);
+    trie.insert(prefix, i);
+    // Later duplicate prefixes overwrite earlier entries.
+    std::erase_if(entries, [&](const auto& e) { return e.first == prefix; });
+    entries.emplace_back(prefix, i);
+  }
+  for (int probe = 0; probe < 500; ++probe) {
+    auto ip = Ipv4(static_cast<std::uint32_t>(rng.uniform_int(0, 1LL << 32)));
+    const int* got = trie.lookup(ip);
+    // Brute force: longest matching prefix, ties impossible (unique keys).
+    const std::pair<Prefix, int>* best = nullptr;
+    for (const auto& entry : entries) {
+      if (entry.first.contains(ip) &&
+          (best == nullptr || entry.first.length() > best->first.length())) {
+        best = &entry;
+      }
+    }
+    if (best == nullptr) {
+      EXPECT_EQ(got, nullptr);
+    } else {
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(*got, best->second);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000000), b.uniform_int(0, 1000000));
+  }
+}
+
+TEST(Rng, ForkIsIndependentOfParentDraws) {
+  Rng a(7);
+  Rng fork_before = a.fork(1);
+  a.uniform();  // perturb the parent
+  Rng fork_after = Rng(7).fork(1);
+  EXPECT_EQ(fork_before.uniform_int(0, 1 << 30),
+            fork_after.uniform_int(0, 1 << 30));
+}
+
+TEST(Geo, HaversineKnownDistances) {
+  GeoPoint london{51.51, -0.13};
+  GeoPoint frankfurt{50.11, 8.68};
+  double d = distance_km(london, frankfurt);
+  EXPECT_GT(d, 580.0);
+  EXPECT_LT(d, 680.0);
+  EXPECT_NEAR(distance_km(london, london), 0.0, 1e-9);
+}
+
+TEST(Geo, RttBoundsMatchSpeedOfLightInFiber) {
+  // The paper's shortest-ping rule: 1 ms RTT => at most 100 km away.
+  EXPECT_NEAR(max_distance_km_for_rtt(1.0), 100.0, 1e-9);
+  GeoPoint a{0, 0}, b{0, 1};  // ~111 km apart
+  EXPECT_GT(min_rtt_ms(a, b), 1.0);
+}
+
+}  // namespace
+}  // namespace rrr

@@ -1,0 +1,80 @@
+// Tests for the report rendering helpers (src/eval/report).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "eval/report.h"
+
+namespace rrr::eval {
+namespace {
+
+TEST(TableWriter, AlignsColumnsAndPadsRows) {
+  TableWriter table({"name", "value"});
+  table.add_row({"short", "1"});
+  table.add_row({"a much longer cell", "2"});
+  table.add_row({"only one cell"});  // second cell padded to empty
+  std::ostringstream out;
+  table.print(out);
+  std::string text = out.str();
+  // Every data line has the same width.
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << "misaligned line: " << line;
+  }
+  EXPECT_NE(text.find("a much longer cell"), std::string::npos);
+}
+
+TEST(TableWriter, Formatters) {
+  EXPECT_EQ(TableWriter::fmt(0.12345, 2), "0.12");
+  EXPECT_EQ(TableWriter::fmt(1.0, 0), "1");
+  EXPECT_EQ(TableWriter::fmt_pct(0.5), "50%");
+  EXPECT_EQ(TableWriter::fmt_pct(0.123, 1), "12.3%");
+  EXPECT_EQ(TableWriter::fmt_int(1234567), "1,234,567");
+  EXPECT_EQ(TableWriter::fmt_int(-42), "-42");
+  EXPECT_EQ(TableWriter::fmt_int(0), "0");
+}
+
+TEST(TableWriter, SeparatorsRender) {
+  TableWriter table({"a"});
+  table.add_row({"1"});
+  table.add_separator();
+  table.add_row({"2"});
+  std::ostringstream out;
+  table.print(out);
+  // header sep + top + middle + bottom = 4 separator lines.
+  std::string text = out.str();
+  std::size_t count = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line[0] == '+') ++count;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(PrintCdf, HandlesEmptyAndPopulated) {
+  std::ostringstream out;
+  Cdf empty;
+  print_cdf(out, "empty", empty);
+  EXPECT_NE(out.str().find("no data"), std::string::npos);
+
+  Cdf cdf;
+  for (int i = 1; i <= 10; ++i) cdf.add(i);
+  std::ostringstream out2;
+  print_cdf(out2, "ten", cdf);
+  EXPECT_NE(out2.str().find("p50="), std::string::npos);
+  EXPECT_NE(out2.str().find("n=10"), std::string::npos);
+}
+
+TEST(Banner, IncludesPaperNote) {
+  std::ostringstream out;
+  print_banner(out, "Table 9", "imaginary", "paper says 42");
+  EXPECT_NE(out.str().find("Table 9"), std::string::npos);
+  EXPECT_NE(out.str().find("paper says 42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rrr::eval

@@ -1,0 +1,305 @@
+// Tests for the control plane: Gao-Rexford route computation, forwarding
+// resolution, event application, and attribute (community) semantics.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "routing/control_plane.h"
+#include "topology/builder.h"
+
+namespace rrr::routing {
+namespace {
+
+using topo::AsIndex;
+using topo::Topology;
+
+topo::TopologyParams small_params(std::uint64_t seed = 21) {
+  topo::TopologyParams params;
+  params.num_tier1 = 4;
+  params.num_transit = 16;
+  params.num_stub = 50;
+  params.num_ixps = 4;
+  params.seed = seed;
+  return params;
+}
+
+class RoutingFixture : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    topology_ = topo::build_topology(small_params(GetParam()));
+    cp_ = std::make_unique<ControlPlane>(topology_, GetParam());
+  }
+  Topology topology_;
+  std::unique_ptr<ControlPlane> cp_;
+};
+
+TEST_P(RoutingFixture, EveryAsReachesEveryOrigin) {
+  // The hierarchy guarantees connectivity: stubs buy transit, transits
+  // connect upward to the tier-1 clique.
+  for (AsIndex origin = 0; origin < topology_.as_count(); origin += 7) {
+    const RouteTable& table = cp_->table_for(origin);
+    for (AsIndex viewer = 0; viewer < topology_.as_count(); ++viewer) {
+      EXPECT_TRUE(table.at(viewer).reachable())
+          << topology_.as_at(viewer).asn.to_string() << " cannot reach "
+          << topology_.as_at(origin).asn.to_string();
+    }
+  }
+}
+
+TEST_P(RoutingFixture, PathsAreValleyFree) {
+  // Once a route goes down (provider->customer) or sideways (peer), it must
+  // never go up or sideways again.
+  for (AsIndex origin = 0; origin < topology_.as_count(); origin += 11) {
+    const RouteTable& table = cp_->table_for(origin);
+    for (AsIndex viewer = 0; viewer < topology_.as_count(); ++viewer) {
+      const Route& route = table.at(viewer);
+      if (!route.reachable() || route.path.size() < 3) continue;
+      // Walk the path from the viewer: classify each edge.
+      bool seen_down_or_peer = false;
+      for (std::size_t i = 0; i + 1 < route.path.size(); ++i) {
+        AsIndex from = topology_.index_of(route.path[i]);
+        AsIndex to = topology_.index_of(route.path[i + 1]);
+        topo::NeighborKind kind = topo::NeighborKind::kPeer;
+        for (const topo::Neighbor& nb : topology_.neighbors(from)) {
+          if (nb.as == to) kind = nb.kind;
+        }
+        // Traffic from viewer toward origin: the route was learned in the
+        // opposite direction. Edge from->to is "up" when `to` is from's
+        // provider.
+        bool up = kind == topo::NeighborKind::kProvider;
+        bool peer = kind == topo::NeighborKind::kPeer;
+        if (seen_down_or_peer) {
+          EXPECT_FALSE(up || peer)
+              << "valley in path " << to_string(route.path);
+        }
+        if (!up) seen_down_or_peer = true;
+      }
+    }
+  }
+}
+
+TEST_P(RoutingFixture, PathsContainNoLoops) {
+  for (AsIndex origin = 0; origin < topology_.as_count(); origin += 13) {
+    const RouteTable& table = cp_->table_for(origin);
+    for (AsIndex viewer = 0; viewer < topology_.as_count(); ++viewer) {
+      const Route& route = table.at(viewer);
+      std::set<std::uint32_t> seen;
+      for (Asn asn : route.path) {
+        EXPECT_TRUE(seen.insert(asn.number()).second)
+            << "loop in " << to_string(route.path);
+      }
+    }
+  }
+}
+
+TEST_P(RoutingFixture, ForwardingFollowsControlPlane) {
+  AsIndex origin = 3 % static_cast<AsIndex>(topology_.as_count());
+  Ipv4 target = Ipv4(topo::as_block(origin).network().value() + 1);
+  for (AsIndex src = 0; src < topology_.as_count(); src += 9) {
+    ForwardPath path = cp_->resolver().resolve(
+        src, topology_.as_at(src).pops.front(), target, 42);
+    const Route& route = cp_->table_for(origin).at(src);
+    ASSERT_EQ(path.reachable, route.reachable());
+    if (!path.reachable) continue;
+    ASSERT_EQ(path.as_path.size(), route.path.size());
+    for (std::size_t i = 0; i < path.as_path.size(); ++i) {
+      EXPECT_EQ(topology_.as_at(path.as_path[i]).asn, route.path[i]);
+    }
+    EXPECT_EQ(path.crossings.size(), path.as_path.size() - 1);
+    // Crossings must traverse active interconnects of the right links.
+    for (std::size_t i = 0; i < path.crossings.size(); ++i) {
+      const BorderCrossing& crossing = path.crossings[i];
+      EXPECT_EQ(crossing.from_as, path.as_path[i]);
+      EXPECT_EQ(crossing.to_as, path.as_path[i + 1]);
+      EXPECT_TRUE(cp_->state().interconnect_active(crossing.interconnect));
+    }
+  }
+}
+
+TEST_P(RoutingFixture, SameFlowSamePath) {
+  AsIndex origin = 5 % static_cast<AsIndex>(topology_.as_count());
+  Ipv4 target = Ipv4(topo::as_block(origin).network().value() + 1);
+  AsIndex src = static_cast<AsIndex>(topology_.as_count() - 1);
+  ForwardPath a = cp_->resolver().resolve(
+      src, topology_.as_at(src).pops.front(), target, 1234);
+  ForwardPath b = cp_->resolver().resolve(
+      src, topology_.as_at(src).pops.front(), target, 1234);
+  EXPECT_EQ(a.hops, b.hops);
+  EXPECT_TRUE(a.same_border_path(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingFixture, ::testing::Values(1, 2, 3));
+
+class EventFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    topology_ = topo::build_topology(small_params(2));
+    cp_ = std::make_unique<ControlPlane>(topology_, 2);
+  }
+  // A link with >= 2 interconnects, crossed by some route to `origin`.
+  std::optional<std::pair<topo::LinkId, topo::InterconnectId>>
+  multihomed_link_on_route(AsIndex origin) {
+    Ipv4 target = Ipv4(topo::as_block(origin).network().value() + 1);
+    for (AsIndex src = 0; src < topology_.as_count(); ++src) {
+      ForwardPath path = cp_->resolver().resolve(
+          src, topology_.as_at(src).pops.front(), target, 7);
+      for (const BorderCrossing& c : path.crossings) {
+        topo::LinkId link = topology_.interconnect_at(c.interconnect).link;
+        if (topology_.link_interconnects(link).size() >= 2) {
+          return std::pair{link, c.interconnect};
+        }
+      }
+    }
+    return std::nullopt;
+  }
+  Topology topology_;
+  std::unique_ptr<ControlPlane> cp_;
+};
+
+TEST_F(EventFixture, AdjacencyFailureReroutesAndRecoveryRestores) {
+  AsIndex origin = 1;
+  cp_->warm_origin(origin);
+  auto target = multihomed_link_on_route(origin);
+  ASSERT_TRUE(target.has_value());
+  const RouteTable before = cp_->table_for(origin);
+
+  Event down;
+  down.kind = EventKind::kAdjacencyDown;
+  down.link = target->first;
+  ControlPlane::Impact impact = cp_->apply(down);
+  // Something must have changed for this origin... if the link carried it.
+  const topo::AsLink& link = topology_.link_at(target->first);
+  bool endpoint_route_used_link =
+      before.at(link.a).via_link == target->first ||
+      before.at(link.b).via_link == target->first;
+  (void)endpoint_route_used_link;
+
+  // No route may still use the disabled adjacency.
+  const RouteTable& during = cp_->table_for(origin);
+  for (const Route& route : during.routes) {
+    EXPECT_NE(route.via_link, target->first);
+  }
+
+  Event up;
+  up.kind = EventKind::kAdjacencyUp;
+  up.link = target->first;
+  cp_->apply(up);
+  const RouteTable& after = cp_->table_for(origin);
+  for (std::size_t i = 0; i < after.routes.size(); ++i) {
+    EXPECT_EQ(after.routes[i].path, before.routes[i].path)
+        << "route of AS index " << i << " did not revert";
+  }
+  (void)impact;
+}
+
+TEST_F(EventFixture, InterconnectDownMovesCrossingNotAsPath) {
+  AsIndex origin = 1;
+  cp_->warm_origin(origin);
+  auto target = multihomed_link_on_route(origin);
+  ASSERT_TRUE(target.has_value());
+  Ipv4 dst = Ipv4(topo::as_block(origin).network().value() + 1);
+
+  // Find a source whose path uses the target interconnect.
+  AsIndex src = topo::kNoAs;
+  ForwardPath before;
+  for (AsIndex candidate = 0; candidate < topology_.as_count(); ++candidate) {
+    ForwardPath path = cp_->resolver().resolve(
+        candidate, topology_.as_at(candidate).pops.front(), dst, 7);
+    for (const BorderCrossing& c : path.crossings) {
+      if (c.interconnect == target->second) {
+        src = candidate;
+        before = path;
+        break;
+      }
+    }
+    if (src != topo::kNoAs) break;
+  }
+  ASSERT_NE(src, topo::kNoAs);
+
+  Event down;
+  down.kind = EventKind::kInterconnectDown;
+  down.link = target->first;
+  down.interconnect = target->second;
+  ControlPlane::Impact impact = cp_->apply(down);
+  EXPECT_EQ(impact.touched_links.size(), 1u);
+
+  ForwardPath after = cp_->resolver().resolve(
+      src, topology_.as_at(src).pops.front(), dst, 7);
+  EXPECT_EQ(after.as_path, before.as_path);  // border-level only
+  EXPECT_FALSE(after.same_border_path(before));
+  for (const BorderCrossing& c : after.crossings) {
+    EXPECT_NE(c.interconnect, target->second);
+  }
+}
+
+TEST_F(EventFixture, TeCommunityShowsUpInAttributes) {
+  AsIndex origin = 2;
+  cp_->warm_origin(origin);
+  // Take any AS on some VP's path.
+  RouteAttributes before = cp_->attributes(10, origin);
+  ASSERT_TRUE(before.reachable());
+  AsIndex middle = topology_.index_of(before.path[before.path.size() / 2]);
+
+  Event te;
+  te.kind = EventKind::kTeCommunitySet;
+  te.as = middle;
+  te.origin = origin;
+  te.value = 3;
+  ControlPlane::Impact impact = cp_->apply(te);
+  ASSERT_EQ(impact.te_changes.size(), 1u);
+
+  RouteAttributes after = cp_->attributes(10, origin);
+  EXPECT_EQ(after.path, before.path);
+  Community expected(topology_.as_at(middle).asn,
+                     static_cast<std::uint16_t>(topo::kTeCommunityBase + 3));
+  // Visible unless some AS between `middle` and the VP strips.
+  bool stripped = false;
+  for (Asn asn : before.path) {
+    if (asn == topology_.as_at(middle).asn) break;
+    if (topology_.as_at(topology_.index_of(asn)).strips_communities) {
+      stripped = true;
+    }
+  }
+  EXPECT_EQ(after.communities.contains(expected), !stripped);
+}
+
+TEST_F(EventFixture, PreferredLinkShiftChangesOnlyThatOrigin) {
+  AsIndex origin_a = 1, origin_b = 2;
+  cp_->warm_origin(origin_a);
+  cp_->warm_origin(origin_b);
+  // Pick a viewer with two providers.
+  AsIndex viewer = topo::kNoAs;
+  topo::LinkId alt = topo::kNoLink;
+  for (AsIndex as = 0; as < topology_.as_count(); ++as) {
+    const Route& route = cp_->table_for(origin_a).at(as);
+    if (!route.reachable()) continue;
+    for (const topo::Neighbor& nb : topology_.neighbors(as)) {
+      if (nb.link != route.via_link &&
+          nb.kind == topo::NeighborKind::kProvider) {
+        viewer = as;
+        alt = nb.link;
+        break;
+      }
+    }
+    if (viewer != topo::kNoAs) break;
+  }
+  ASSERT_NE(viewer, topo::kNoAs);
+
+  const RouteTable before_b = cp_->table_for(origin_b);
+  Event shift;
+  shift.kind = EventKind::kPreferredLinkSet;
+  shift.as = viewer;
+  shift.origin = origin_a;
+  shift.link = alt;
+  ControlPlane::Impact impact = cp_->apply(shift);
+  for (const auto& [as, origin] : impact.as_route_changes) {
+    EXPECT_EQ(origin, origin_a);
+  }
+  const RouteTable& after_b = cp_->table_for(origin_b);
+  for (std::size_t i = 0; i < after_b.routes.size(); ++i) {
+    EXPECT_EQ(after_b.routes[i].path, before_b.routes[i].path);
+  }
+}
+
+}  // namespace
+}  // namespace rrr::routing

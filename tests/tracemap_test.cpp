@@ -1,0 +1,229 @@
+// Tests for the Appendix-A traceroute processing pipeline (src/tracemap).
+#include <gtest/gtest.h>
+
+#include "routing/control_plane.h"
+#include "topology/builder.h"
+#include "tracemap/pipeline.h"
+#include "traceroute/platform.h"
+
+namespace rrr::tracemap {
+namespace {
+
+topo::Topology small_topology(std::uint64_t seed = 51) {
+  topo::TopologyParams params;
+  params.num_tier1 = 4;
+  params.num_transit = 16;
+  params.num_stub = 40;
+  params.seed = seed;
+  return topo::build_topology(params);
+}
+
+TEST(Ip2As, MapsAnnouncedSpaceAndIxpLans) {
+  topo::Topology topology = small_topology();
+  Ip2As ip2as = build_ip2as(topology, /*ixp_interface_coverage=*/1.0, 1);
+  // Announced host space maps to the owner.
+  MapResult host = ip2as.map(Ipv4(topo::as_block(3).network().value() + 9));
+  EXPECT_EQ(host.asn, topology.as_at(3).asn);
+  EXPECT_FALSE(host.is_ixp);
+  // IXP interfaces map to their member with full coverage.
+  for (const topo::Interconnect& ic : topology.interconnects()) {
+    if (ic.ixp == topo::kNoIxp) continue;
+    MapResult side_b = ip2as.map(ic.ip_b);
+    EXPECT_TRUE(side_b.is_ixp);
+    EXPECT_EQ(side_b.ixp, ic.ixp);
+    EXPECT_EQ(side_b.asn, topology.as_at(topology.link_at(ic.link).b).asn);
+    break;
+  }
+}
+
+TEST(Ip2As, UnknownIxpInterfaceStaysIxpButUnmapped) {
+  topo::Topology topology = small_topology();
+  Ip2As ip2as = build_ip2as(topology, /*ixp_interface_coverage=*/0.0, 1);
+  for (const topo::Interconnect& ic : topology.interconnects()) {
+    if (ic.ixp == topo::kNoIxp) continue;
+    MapResult result = ip2as.map(ic.ip_b);
+    EXPECT_TRUE(result.is_ixp);
+    EXPECT_FALSE(result.mapped());
+    break;
+  }
+}
+
+TEST(Alias, FullCoverageGroupsAllInterfaces) {
+  topo::Topology topology = small_topology();
+  AliasParams params;
+  params.coverage = 1.0;
+  AliasResolver resolver(topology, params);
+  for (const topo::Router& router : topology.routers()) {
+    if (router.interfaces.size() < 2) continue;
+    RouterKey first = resolver.resolve(router.interfaces[0]);
+    EXPECT_TRUE(first.resolved());
+    for (Ipv4 ip : router.interfaces) {
+      EXPECT_EQ(resolver.resolve(ip), first);
+    }
+  }
+}
+
+TEST(Alias, ZeroCoverageYieldsSingletons) {
+  topo::Topology topology = small_topology();
+  AliasParams params;
+  params.coverage = 0.0;
+  AliasResolver resolver(topology, params);
+  for (const topo::Router& router : topology.routers()) {
+    if (router.interfaces.size() < 2) continue;
+    EXPECT_NE(resolver.resolve(router.interfaces[0]),
+              resolver.resolve(router.interfaces[1]));
+    EXPECT_FALSE(resolver.resolve(router.interfaces[0]).resolved());
+    break;
+  }
+}
+
+TEST(Geolocate, FullCoverageIsExact) {
+  topo::Topology topology = small_topology();
+  GeoParams params;
+  params.ipmap_coverage = 1.0;
+  Geolocator geo(topology, params);
+  for (const topo::Router& router : topology.routers()) {
+    for (Ipv4 ip : router.interfaces) {
+      auto city = geo.locate(ip);
+      ASSERT_TRUE(city.has_value());
+      EXPECT_EQ(*city, router.city);
+      EXPECT_EQ(geo.method(ip), GeoMethod::kIpMap);
+    }
+  }
+}
+
+TEST(Geolocate, UnknownAddressesAreUnlocated) {
+  topo::Topology topology = small_topology();
+  Geolocator geo(topology, {});
+  EXPECT_FALSE(geo.locate(*Ipv4::parse("203.0.113.7")).has_value());
+  EXPECT_EQ(geo.method(*Ipv4::parse("203.0.113.7")), GeoMethod::kNone);
+}
+
+TEST(HopPatcher, FillsUniquelyDeterminedStars) {
+  HopPatcher patcher;
+  tr::Traceroute teach;
+  teach.hops = {{*Ipv4::parse("1.1.1.1"), 1.0},
+                {*Ipv4::parse("2.2.2.2"), 2.0},
+                {*Ipv4::parse("3.3.3.3"), 3.0}};
+  patcher.observe(teach);
+
+  tr::Traceroute broken = teach;
+  broken.hops[1].ip.reset();
+  tr::Traceroute patched = patcher.patch(broken);
+  ASSERT_TRUE(patched.hops[1].responded());
+  EXPECT_EQ(*patched.hops[1].ip, *Ipv4::parse("2.2.2.2"));
+  EXPECT_NEAR(patched.hops[1].rtt_ms, 2.0, 1e-9);
+}
+
+TEST(HopPatcher, AmbiguousMiddlesStayWild) {
+  HopPatcher patcher;
+  tr::Traceroute a;
+  a.hops = {{*Ipv4::parse("1.1.1.1"), 1.0},
+            {*Ipv4::parse("2.2.2.2"), 2.0},
+            {*Ipv4::parse("3.3.3.3"), 3.0}};
+  patcher.observe(a);
+  a.hops[1].ip = *Ipv4::parse("9.9.9.9");  // a second observed middle
+  patcher.observe(a);
+
+  tr::Traceroute broken = a;
+  broken.hops[1].ip.reset();
+  tr::Traceroute patched = patcher.patch(broken);
+  EXPECT_FALSE(patched.hops[1].responded());
+}
+
+class ProcessingFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    topology_ = small_topology(61);
+    cp_ = std::make_unique<routing::ControlPlane>(topology_, 61);
+    tr::PlatformParams plat;
+    plat.num_probes = 60;
+    plat.num_anchors = 10;
+    plat.seed = 61;
+    tr::ProberParams prober;
+    prober.seed = 61;
+    prober.silent_router_fraction = 0.0;
+    prober.intermittent_loss_prob = 0.0;
+    prober.unresponsive_destination_prob = 0.0;
+    platform_ = std::make_unique<tr::Platform>(*cp_, prober, plat);
+    PipelineParams pipeline;
+    pipeline.alias.coverage = 1.0;
+    pipeline.geo.ipmap_coverage = 1.0;
+    pipeline.ixp_interface_coverage = 1.0;
+    pipeline.seed = 61;
+    processing_ = std::make_unique<ProcessingContext>(topology_, pipeline);
+  }
+  topo::Topology topology_;
+  std::unique_ptr<routing::ControlPlane> cp_;
+  std::unique_ptr<tr::Platform> platform_;
+  std::unique_ptr<ProcessingContext> processing_;
+};
+
+TEST_F(ProcessingFixture, AsPathMatchesControlPlane) {
+  // With perfect mapping/noise-free measurement, the processed AS path must
+  // equal the control-plane AS path.
+  int checked = 0;
+  for (tr::ProbeId probe_id : platform_->regular_probes()) {
+    Ipv4 dst = platform_->probe(platform_->anchors()[0]).ip;
+    tr::Traceroute trace = platform_->issue(probe_id, dst, TimePoint(0), 0);
+    if (!trace.reached) continue;
+    ProcessedTrace processed = processing_->process(trace);
+    const tr::Probe& probe = platform_->probe(probe_id);
+    topo::AsIndex origin = topology_.announced_owner_of(dst);
+    const routing::Route& route = cp_->table_for(origin).at(probe.as);
+    if (!route.reachable()) continue;
+    ASSERT_FALSE(processed.has_as_loop);
+    EXPECT_EQ(processed.as_path, route.path)
+        << "processed " << to_string(processed.as_path) << " vs control "
+        << to_string(route.path);
+    // One border per AS transition.
+    EXPECT_EQ(processed.borders.size(), route.path.size() - 1);
+    if (++checked >= 10) break;
+  }
+  EXPECT_GE(checked, 5);
+}
+
+TEST_F(ProcessingFixture, BorderRouterPathMatchesGroundTruthCrossings) {
+  tr::ProbeId probe_id = platform_->regular_probes()[1];
+  const tr::Probe& probe = platform_->probe(probe_id);
+  Ipv4 dst = platform_->probe(platform_->anchors()[1]).ip;
+  tr::Traceroute trace = platform_->issue(probe_id, dst, TimePoint(0), 0);
+  if (!trace.reached) GTEST_SKIP();
+  ProcessedTrace processed = processing_->process(trace);
+  routing::ForwardPath truth = cp_->resolver().resolve(
+      probe.as, probe.city, dst, trace.flow_id);
+  ASSERT_EQ(processed.borders.size(), truth.crossings.size());
+  for (std::size_t i = 0; i < processed.borders.size(); ++i) {
+    // The inferred far side must physically belong to the entered AS. (It
+    // is not always the interconnect's ingress interface: messy PNIs are
+    // numbered from the near side's block, so LPM places the AS transition
+    // one hop later — the "assume both IPs are part of the border" case.)
+    EXPECT_EQ(topology_.true_owner_of(processed.borders[i].far_ip),
+              truth.crossings[i].to_as);
+    EXPECT_EQ(processed.borders[i].far_as,
+              topology_.as_at(truth.crossings[i].to_as).asn);
+  }
+}
+
+TEST_F(ProcessingFixture, ClassifyChangeDistinguishesGranularities) {
+  tr::ProbeId probe_id = platform_->regular_probes()[2];
+  Ipv4 dst = platform_->probe(platform_->anchors()[2]).ip;
+  tr::Traceroute trace = platform_->issue(probe_id, dst, TimePoint(0), 0);
+  ProcessedTrace a = processing_->process(trace);
+  EXPECT_EQ(classify_change(a, a), ChangeKind::kNone);
+  // Tamper with a border router identity: border-level change.
+  ProcessedTrace b = a;
+  if (!b.borders.empty()) {
+    b.borders[0].border_router.value ^= 1;
+    EXPECT_EQ(classify_change(a, b), ChangeKind::kBorderLevel);
+  }
+  // Tamper with the AS path: AS-level change dominates.
+  ProcessedTrace c = a;
+  if (!c.as_path.empty()) {
+    c.as_path[0] = Asn(64999);
+    EXPECT_EQ(classify_change(a, c), ChangeKind::kAsLevel);
+  }
+}
+
+}  // namespace
+}  // namespace rrr::tracemap
