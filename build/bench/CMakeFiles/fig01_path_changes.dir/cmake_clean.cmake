@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_path_changes.dir/fig01_path_changes.cpp.o"
+  "CMakeFiles/fig01_path_changes.dir/fig01_path_changes.cpp.o.d"
+  "fig01_path_changes"
+  "fig01_path_changes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_path_changes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_precision_coverage_time.dir/fig06_precision_coverage_time.cpp.o"
+  "CMakeFiles/fig06_precision_coverage_time.dir/fig06_precision_coverage_time.cpp.o.d"
+  "fig06_precision_coverage_time"
+  "fig06_precision_coverage_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_precision_coverage_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_precision_coverage_time.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_live_eval.dir/fig07_live_eval.cpp.o"
+  "CMakeFiles/fig07_live_eval.dir/fig07_live_eval.cpp.o.d"
+  "fig07_live_eval"
+  "fig07_live_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_live_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

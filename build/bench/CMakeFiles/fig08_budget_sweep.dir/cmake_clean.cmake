@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_budget_sweep.dir/fig08_budget_sweep.cpp.o"
+  "CMakeFiles/fig08_budget_sweep.dir/fig08_budget_sweep.cpp.o.d"
+  "fig08_budget_sweep"
+  "fig08_budget_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_budget_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_10_load_balancing.dir/fig09_10_load_balancing.cpp.o"
+  "CMakeFiles/fig09_10_load_balancing.dir/fig09_10_load_balancing.cpp.o.d"
+  "fig09_10_load_balancing"
+  "fig09_10_load_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_10_load_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_archival_reuse.dir/fig11_archival_reuse.cpp.o"
+  "CMakeFiles/fig11_archival_reuse.dir/fig11_archival_reuse.cpp.o.d"
+  "fig11_archival_reuse"
+  "fig11_archival_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_archival_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

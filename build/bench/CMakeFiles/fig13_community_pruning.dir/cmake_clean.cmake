@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_community_pruning.dir/fig13_community_pruning.cpp.o"
+  "CMakeFiles/fig13_community_pruning.dir/fig13_community_pruning.cpp.o.d"
+  "fig13_community_pruning"
+  "fig13_community_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_community_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

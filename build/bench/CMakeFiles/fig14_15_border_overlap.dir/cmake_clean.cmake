@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_15_border_overlap.dir/fig14_15_border_overlap.cpp.o"
+  "CMakeFiles/fig14_15_border_overlap.dir/fig14_15_border_overlap.cpp.o.d"
+  "fig14_15_border_overlap"
+  "fig14_15_border_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_15_border_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_iplane.dir/fig16_iplane.cpp.o"
+  "CMakeFiles/fig16_iplane.dir/fig16_iplane.cpp.o.d"
+  "fig16_iplane"
+  "fig16_iplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_iplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archival_reuse.dir/archival_reuse.cpp.o"
+  "CMakeFiles/archival_reuse.dir/archival_reuse.cpp.o.d"
+  "archival_reuse"
+  "archival_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archival_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_maintenance.dir/corpus_maintenance.cpp.o"
+  "CMakeFiles/corpus_maintenance.dir/corpus_maintenance.cpp.o.d"
+  "corpus_maintenance"
+  "corpus_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrr_baselines.dir/iplane.cpp.o"
+  "CMakeFiles/rrr_baselines.dir/iplane.cpp.o.d"
+  "CMakeFiles/rrr_baselines.dir/strategies.cpp.o"
+  "CMakeFiles/rrr_baselines.dir/strategies.cpp.o.d"
+  "librrr_baselines.a"
+  "librrr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

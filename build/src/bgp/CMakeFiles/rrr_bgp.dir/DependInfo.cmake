@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/feed.cpp" "src/bgp/CMakeFiles/rrr_bgp.dir/feed.cpp.o" "gcc" "src/bgp/CMakeFiles/rrr_bgp.dir/feed.cpp.o.d"
+  "/root/repo/src/bgp/record.cpp" "src/bgp/CMakeFiles/rrr_bgp.dir/record.cpp.o" "gcc" "src/bgp/CMakeFiles/rrr_bgp.dir/record.cpp.o.d"
+  "/root/repo/src/bgp/stream.cpp" "src/bgp/CMakeFiles/rrr_bgp.dir/stream.cpp.o" "gcc" "src/bgp/CMakeFiles/rrr_bgp.dir/stream.cpp.o.d"
+  "/root/repo/src/bgp/table_view.cpp" "src/bgp/CMakeFiles/rrr_bgp.dir/table_view.cpp.o" "gcc" "src/bgp/CMakeFiles/rrr_bgp.dir/table_view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/rrr_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/rrr_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/rrr_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

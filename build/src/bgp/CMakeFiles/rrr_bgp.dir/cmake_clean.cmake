@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrr_bgp.dir/feed.cpp.o"
+  "CMakeFiles/rrr_bgp.dir/feed.cpp.o.d"
+  "CMakeFiles/rrr_bgp.dir/record.cpp.o"
+  "CMakeFiles/rrr_bgp.dir/record.cpp.o.d"
+  "CMakeFiles/rrr_bgp.dir/stream.cpp.o"
+  "CMakeFiles/rrr_bgp.dir/stream.cpp.o.d"
+  "CMakeFiles/rrr_bgp.dir/table_view.cpp.o"
+  "CMakeFiles/rrr_bgp.dir/table_view.cpp.o.d"
+  "librrr_bgp.a"
+  "librrr_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrr_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrr_detect.dir/detector.cpp.o"
+  "CMakeFiles/rrr_detect.dir/detector.cpp.o.d"
+  "CMakeFiles/rrr_detect.dir/series.cpp.o"
+  "CMakeFiles/rrr_detect.dir/series.cpp.o.d"
+  "librrr_detect.a"
+  "librrr_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrr_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

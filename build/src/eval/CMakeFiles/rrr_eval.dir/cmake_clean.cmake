@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrr_eval.dir/ground_truth.cpp.o"
+  "CMakeFiles/rrr_eval.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/rrr_eval.dir/metrics.cpp.o"
+  "CMakeFiles/rrr_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/rrr_eval.dir/report.cpp.o"
+  "CMakeFiles/rrr_eval.dir/report.cpp.o.d"
+  "CMakeFiles/rrr_eval.dir/world.cpp.o"
+  "CMakeFiles/rrr_eval.dir/world.cpp.o.d"
+  "librrr_eval.a"
+  "librrr_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrr_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

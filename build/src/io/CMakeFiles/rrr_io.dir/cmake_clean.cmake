@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrr_io.dir/serialize.cpp.o"
+  "CMakeFiles/rrr_io.dir/serialize.cpp.o.d"
+  "librrr_io.a"
+  "librrr_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrr_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netbase/asn.cpp" "src/netbase/CMakeFiles/rrr_netbase.dir/asn.cpp.o" "gcc" "src/netbase/CMakeFiles/rrr_netbase.dir/asn.cpp.o.d"
+  "/root/repo/src/netbase/community.cpp" "src/netbase/CMakeFiles/rrr_netbase.dir/community.cpp.o" "gcc" "src/netbase/CMakeFiles/rrr_netbase.dir/community.cpp.o.d"
+  "/root/repo/src/netbase/geo.cpp" "src/netbase/CMakeFiles/rrr_netbase.dir/geo.cpp.o" "gcc" "src/netbase/CMakeFiles/rrr_netbase.dir/geo.cpp.o.d"
+  "/root/repo/src/netbase/ipv4.cpp" "src/netbase/CMakeFiles/rrr_netbase.dir/ipv4.cpp.o" "gcc" "src/netbase/CMakeFiles/rrr_netbase.dir/ipv4.cpp.o.d"
+  "/root/repo/src/netbase/prefix.cpp" "src/netbase/CMakeFiles/rrr_netbase.dir/prefix.cpp.o" "gcc" "src/netbase/CMakeFiles/rrr_netbase.dir/prefix.cpp.o.d"
+  "/root/repo/src/netbase/time.cpp" "src/netbase/CMakeFiles/rrr_netbase.dir/time.cpp.o" "gcc" "src/netbase/CMakeFiles/rrr_netbase.dir/time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

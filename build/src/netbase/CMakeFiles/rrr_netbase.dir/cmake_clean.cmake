@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrr_netbase.dir/asn.cpp.o"
+  "CMakeFiles/rrr_netbase.dir/asn.cpp.o.d"
+  "CMakeFiles/rrr_netbase.dir/community.cpp.o"
+  "CMakeFiles/rrr_netbase.dir/community.cpp.o.d"
+  "CMakeFiles/rrr_netbase.dir/geo.cpp.o"
+  "CMakeFiles/rrr_netbase.dir/geo.cpp.o.d"
+  "CMakeFiles/rrr_netbase.dir/ipv4.cpp.o"
+  "CMakeFiles/rrr_netbase.dir/ipv4.cpp.o.d"
+  "CMakeFiles/rrr_netbase.dir/prefix.cpp.o"
+  "CMakeFiles/rrr_netbase.dir/prefix.cpp.o.d"
+  "CMakeFiles/rrr_netbase.dir/time.cpp.o"
+  "CMakeFiles/rrr_netbase.dir/time.cpp.o.d"
+  "librrr_netbase.a"
+  "librrr_netbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrr_netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

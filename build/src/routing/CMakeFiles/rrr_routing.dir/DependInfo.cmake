@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/control_plane.cpp" "src/routing/CMakeFiles/rrr_routing.dir/control_plane.cpp.o" "gcc" "src/routing/CMakeFiles/rrr_routing.dir/control_plane.cpp.o.d"
+  "/root/repo/src/routing/events.cpp" "src/routing/CMakeFiles/rrr_routing.dir/events.cpp.o" "gcc" "src/routing/CMakeFiles/rrr_routing.dir/events.cpp.o.d"
+  "/root/repo/src/routing/forwarding.cpp" "src/routing/CMakeFiles/rrr_routing.dir/forwarding.cpp.o" "gcc" "src/routing/CMakeFiles/rrr_routing.dir/forwarding.cpp.o.d"
+  "/root/repo/src/routing/routes.cpp" "src/routing/CMakeFiles/rrr_routing.dir/routes.cpp.o" "gcc" "src/routing/CMakeFiles/rrr_routing.dir/routes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/rrr_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/rrr_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

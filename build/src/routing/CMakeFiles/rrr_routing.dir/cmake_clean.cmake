@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrr_routing.dir/control_plane.cpp.o"
+  "CMakeFiles/rrr_routing.dir/control_plane.cpp.o.d"
+  "CMakeFiles/rrr_routing.dir/events.cpp.o"
+  "CMakeFiles/rrr_routing.dir/events.cpp.o.d"
+  "CMakeFiles/rrr_routing.dir/forwarding.cpp.o"
+  "CMakeFiles/rrr_routing.dir/forwarding.cpp.o.d"
+  "CMakeFiles/rrr_routing.dir/routes.cpp.o"
+  "CMakeFiles/rrr_routing.dir/routes.cpp.o.d"
+  "librrr_routing.a"
+  "librrr_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrr_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

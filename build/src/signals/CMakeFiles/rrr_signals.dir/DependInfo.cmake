@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signals/aspath_monitor.cpp" "src/signals/CMakeFiles/rrr_signals.dir/aspath_monitor.cpp.o" "gcc" "src/signals/CMakeFiles/rrr_signals.dir/aspath_monitor.cpp.o.d"
+  "/root/repo/src/signals/asreldb.cpp" "src/signals/CMakeFiles/rrr_signals.dir/asreldb.cpp.o" "gcc" "src/signals/CMakeFiles/rrr_signals.dir/asreldb.cpp.o.d"
+  "/root/repo/src/signals/border_monitor.cpp" "src/signals/CMakeFiles/rrr_signals.dir/border_monitor.cpp.o" "gcc" "src/signals/CMakeFiles/rrr_signals.dir/border_monitor.cpp.o.d"
+  "/root/repo/src/signals/burst_monitor.cpp" "src/signals/CMakeFiles/rrr_signals.dir/burst_monitor.cpp.o" "gcc" "src/signals/CMakeFiles/rrr_signals.dir/burst_monitor.cpp.o.d"
+  "/root/repo/src/signals/calibration.cpp" "src/signals/CMakeFiles/rrr_signals.dir/calibration.cpp.o" "gcc" "src/signals/CMakeFiles/rrr_signals.dir/calibration.cpp.o.d"
+  "/root/repo/src/signals/community_monitor.cpp" "src/signals/CMakeFiles/rrr_signals.dir/community_monitor.cpp.o" "gcc" "src/signals/CMakeFiles/rrr_signals.dir/community_monitor.cpp.o.d"
+  "/root/repo/src/signals/engine.cpp" "src/signals/CMakeFiles/rrr_signals.dir/engine.cpp.o" "gcc" "src/signals/CMakeFiles/rrr_signals.dir/engine.cpp.o.d"
+  "/root/repo/src/signals/ixp_monitor.cpp" "src/signals/CMakeFiles/rrr_signals.dir/ixp_monitor.cpp.o" "gcc" "src/signals/CMakeFiles/rrr_signals.dir/ixp_monitor.cpp.o.d"
+  "/root/repo/src/signals/monitor.cpp" "src/signals/CMakeFiles/rrr_signals.dir/monitor.cpp.o" "gcc" "src/signals/CMakeFiles/rrr_signals.dir/monitor.cpp.o.d"
+  "/root/repo/src/signals/subpath_monitor.cpp" "src/signals/CMakeFiles/rrr_signals.dir/subpath_monitor.cpp.o" "gcc" "src/signals/CMakeFiles/rrr_signals.dir/subpath_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/detect/CMakeFiles/rrr_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracemap/CMakeFiles/rrr_tracemap.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/rrr_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/traceroute/CMakeFiles/rrr_traceroute.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/rrr_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/rrr_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/rrr_routing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrr_signals.dir/aspath_monitor.cpp.o"
+  "CMakeFiles/rrr_signals.dir/aspath_monitor.cpp.o.d"
+  "CMakeFiles/rrr_signals.dir/asreldb.cpp.o"
+  "CMakeFiles/rrr_signals.dir/asreldb.cpp.o.d"
+  "CMakeFiles/rrr_signals.dir/border_monitor.cpp.o"
+  "CMakeFiles/rrr_signals.dir/border_monitor.cpp.o.d"
+  "CMakeFiles/rrr_signals.dir/burst_monitor.cpp.o"
+  "CMakeFiles/rrr_signals.dir/burst_monitor.cpp.o.d"
+  "CMakeFiles/rrr_signals.dir/calibration.cpp.o"
+  "CMakeFiles/rrr_signals.dir/calibration.cpp.o.d"
+  "CMakeFiles/rrr_signals.dir/community_monitor.cpp.o"
+  "CMakeFiles/rrr_signals.dir/community_monitor.cpp.o.d"
+  "CMakeFiles/rrr_signals.dir/engine.cpp.o"
+  "CMakeFiles/rrr_signals.dir/engine.cpp.o.d"
+  "CMakeFiles/rrr_signals.dir/ixp_monitor.cpp.o"
+  "CMakeFiles/rrr_signals.dir/ixp_monitor.cpp.o.d"
+  "CMakeFiles/rrr_signals.dir/monitor.cpp.o"
+  "CMakeFiles/rrr_signals.dir/monitor.cpp.o.d"
+  "CMakeFiles/rrr_signals.dir/subpath_monitor.cpp.o"
+  "CMakeFiles/rrr_signals.dir/subpath_monitor.cpp.o.d"
+  "librrr_signals.a"
+  "librrr_signals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrr_signals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrr_topology.dir/builder.cpp.o"
+  "CMakeFiles/rrr_topology.dir/builder.cpp.o.d"
+  "CMakeFiles/rrr_topology.dir/city.cpp.o"
+  "CMakeFiles/rrr_topology.dir/city.cpp.o.d"
+  "CMakeFiles/rrr_topology.dir/topology.cpp.o"
+  "CMakeFiles/rrr_topology.dir/topology.cpp.o.d"
+  "librrr_topology.a"
+  "librrr_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrr_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

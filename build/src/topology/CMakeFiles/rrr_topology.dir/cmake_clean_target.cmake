@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librrr_topology.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rrr_topology.
+# This may be replaced when dependencies are built.

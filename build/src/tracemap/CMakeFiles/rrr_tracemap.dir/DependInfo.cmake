@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tracemap/alias.cpp" "src/tracemap/CMakeFiles/rrr_tracemap.dir/alias.cpp.o" "gcc" "src/tracemap/CMakeFiles/rrr_tracemap.dir/alias.cpp.o.d"
+  "/root/repo/src/tracemap/geolocate.cpp" "src/tracemap/CMakeFiles/rrr_tracemap.dir/geolocate.cpp.o" "gcc" "src/tracemap/CMakeFiles/rrr_tracemap.dir/geolocate.cpp.o.d"
+  "/root/repo/src/tracemap/ip2as.cpp" "src/tracemap/CMakeFiles/rrr_tracemap.dir/ip2as.cpp.o" "gcc" "src/tracemap/CMakeFiles/rrr_tracemap.dir/ip2as.cpp.o.d"
+  "/root/repo/src/tracemap/patch.cpp" "src/tracemap/CMakeFiles/rrr_tracemap.dir/patch.cpp.o" "gcc" "src/tracemap/CMakeFiles/rrr_tracemap.dir/patch.cpp.o.d"
+  "/root/repo/src/tracemap/pipeline.cpp" "src/tracemap/CMakeFiles/rrr_tracemap.dir/pipeline.cpp.o" "gcc" "src/tracemap/CMakeFiles/rrr_tracemap.dir/pipeline.cpp.o.d"
+  "/root/repo/src/tracemap/processed.cpp" "src/tracemap/CMakeFiles/rrr_tracemap.dir/processed.cpp.o" "gcc" "src/tracemap/CMakeFiles/rrr_tracemap.dir/processed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/traceroute/CMakeFiles/rrr_traceroute.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/rrr_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/rrr_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/rrr_routing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrr_tracemap.dir/alias.cpp.o"
+  "CMakeFiles/rrr_tracemap.dir/alias.cpp.o.d"
+  "CMakeFiles/rrr_tracemap.dir/geolocate.cpp.o"
+  "CMakeFiles/rrr_tracemap.dir/geolocate.cpp.o.d"
+  "CMakeFiles/rrr_tracemap.dir/ip2as.cpp.o"
+  "CMakeFiles/rrr_tracemap.dir/ip2as.cpp.o.d"
+  "CMakeFiles/rrr_tracemap.dir/patch.cpp.o"
+  "CMakeFiles/rrr_tracemap.dir/patch.cpp.o.d"
+  "CMakeFiles/rrr_tracemap.dir/pipeline.cpp.o"
+  "CMakeFiles/rrr_tracemap.dir/pipeline.cpp.o.d"
+  "CMakeFiles/rrr_tracemap.dir/processed.cpp.o"
+  "CMakeFiles/rrr_tracemap.dir/processed.cpp.o.d"
+  "librrr_tracemap.a"
+  "librrr_tracemap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrr_tracemap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traceroute/corpus.cpp" "src/traceroute/CMakeFiles/rrr_traceroute.dir/corpus.cpp.o" "gcc" "src/traceroute/CMakeFiles/rrr_traceroute.dir/corpus.cpp.o.d"
+  "/root/repo/src/traceroute/platform.cpp" "src/traceroute/CMakeFiles/rrr_traceroute.dir/platform.cpp.o" "gcc" "src/traceroute/CMakeFiles/rrr_traceroute.dir/platform.cpp.o.d"
+  "/root/repo/src/traceroute/prober.cpp" "src/traceroute/CMakeFiles/rrr_traceroute.dir/prober.cpp.o" "gcc" "src/traceroute/CMakeFiles/rrr_traceroute.dir/prober.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/rrr_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/rrr_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/rrr_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrr_traceroute.dir/corpus.cpp.o"
+  "CMakeFiles/rrr_traceroute.dir/corpus.cpp.o.d"
+  "CMakeFiles/rrr_traceroute.dir/platform.cpp.o"
+  "CMakeFiles/rrr_traceroute.dir/platform.cpp.o.d"
+  "CMakeFiles/rrr_traceroute.dir/prober.cpp.o"
+  "CMakeFiles/rrr_traceroute.dir/prober.cpp.o.d"
+  "librrr_traceroute.a"
+  "librrr_traceroute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrr_traceroute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_monitors_test.dir/bgp_monitors_test.cpp.o"
+  "CMakeFiles/bgp_monitors_test.dir/bgp_monitors_test.cpp.o.d"
+  "bgp_monitors_test"
+  "bgp_monitors_test.pdb"
+  "bgp_monitors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_monitors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_test.dir/bgp_test.cpp.o"
+  "CMakeFiles/bgp_test.dir/bgp_test.cpp.o.d"
+  "bgp_test"
+  "bgp_test.pdb"
+  "bgp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

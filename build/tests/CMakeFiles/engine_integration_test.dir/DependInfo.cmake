@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine_integration_test.cpp" "tests/CMakeFiles/engine_integration_test.dir/engine_integration_test.cpp.o" "gcc" "tests/CMakeFiles/engine_integration_test.dir/engine_integration_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/rrr_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/rrr_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/signals/CMakeFiles/rrr_signals.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rrr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracemap/CMakeFiles/rrr_tracemap.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/rrr_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/rrr_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/traceroute/CMakeFiles/rrr_traceroute.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/rrr_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/rrr_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/rrr_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracemap_test.dir/tracemap_test.cpp.o"
+  "CMakeFiles/tracemap_test.dir/tracemap_test.cpp.o.d"
+  "tracemap_test"
+  "tracemap_test.pdb"
+  "tracemap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracemap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
