@@ -1,14 +1,21 @@
-// Shared helpers for the experiment harnesses in bench/: flag parsing and
-// standard world configurations.
+// Shared helpers for the experiment harnesses in bench/: flag parsing,
+// standard world configurations, and the fan-out runner that spreads
+// independent World instances (seed replicates, parameter points) over a
+// thread pool.
 #pragma once
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "eval/report.h"
 #include "eval/world.h"
+#include "netbase/rng.h"
+#include "runtime/parallel.h"
 
 namespace rrr::bench {
 
@@ -68,7 +75,61 @@ inline eval::WorldParams retrospective_params(const Flags& flags) {
   params.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
   params.topology.num_transit = 48;
   params.topology.num_stub = 200;
+  params.engine_threads = static_cast<int>(flags.get_int("engine-threads", 1));
   return params;
+}
+
+// Parallelism for bench fan-outs: --threads wins, otherwise the hardware,
+// capped by the task count (an idle worker is pure overhead here).
+inline int fanout_threads(const Flags& flags, std::size_t tasks) {
+  long long requested = flags.get_int("threads", 0);
+  int threads = requested > 0
+                    ? static_cast<int>(requested)
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  if (threads < 1) threads = 1;
+  if (static_cast<std::size_t>(threads) > tasks) {
+    threads = static_cast<int>(tasks);
+  }
+  return threads;
+}
+
+// The i-th replicate seed of a sweep. Replicate 0 keeps the base seed so a
+// single-task fan-out reproduces the historical single-run output exactly;
+// later replicates draw from pre-split Rng streams (never a shared one).
+inline std::uint64_t replicate_seed(std::uint64_t base, std::size_t i) {
+  return i == 0 ? base : Rng(base).split(i).seed();
+}
+
+// Runs one independent task per label on a pool and returns results in task
+// order (output is therefore identical whatever the parallelism). Each task
+// builds its own World — nothing is shared across tasks, so no locking and
+// no cross-task RNG. Prints the thread count up front and per-task wall
+// times at the end.
+template <typename Result, typename Fn>
+std::vector<Result> fan_out(int threads,
+                            const std::vector<std::string>& labels, Fn&& task,
+                            std::ostream& log) {
+  runtime::ThreadPool pool(threads);
+  log << "fan-out: " << labels.size() << " task(s) on "
+      << pool.thread_count() << " thread(s)\n";
+  std::vector<Result> results(labels.size());
+  std::vector<double> wall_seconds(labels.size(), 0.0);
+  runtime::parallel_for(
+      &pool, labels.size(),
+      [&](std::size_t i) {
+        auto begin = std::chrono::steady_clock::now();
+        results[i] = task(i);
+        wall_seconds[i] =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          begin)
+                .count();
+      },
+      /*grain=*/1);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    log << "  [" << labels[i] << "] "
+        << eval::TableWriter::fmt(wall_seconds[i], 2) << " s\n";
+  }
+  return results;
 }
 
 }  // namespace rrr::bench

@@ -7,19 +7,22 @@
 // monitorable paths).
 //
 // Flags: --days N --pairs N --seed N --public-rate N
+//        --seeds N (independent replicates) --threads N (fan-out pool)
+//        --engine-threads N (parallel window closing inside each World)
+#include <sstream>
+
 #include "bench_common.h"
 #include "eval/metrics.h"
 
-int main(int argc, char** argv) {
-  using namespace rrr;
-  bench::Flags flags(argc, argv);
-  eval::WorldParams params = bench::retrospective_params(flags);
+namespace {
 
-  eval::print_banner(std::cout, "Figure 6",
-                     "precision & coverage of signals over time",
-                     "precision ramps 60% -> ~90% as calibration learns; "
-                     "coverage stable, mostly above 80%");
+using namespace rrr;
 
+// One full retrospective run at `seed`, rendered to text (tasks run
+// concurrently, so nothing may write to stdout until the fan-out returns).
+std::string run_replicate(eval::WorldParams params, std::uint64_t seed) {
+  params.seed = seed;
+  std::ostringstream out;
   eval::World world(params);
   std::vector<signals::StalenessSignal> all_signals;
   eval::World::Hooks hooks;
@@ -30,9 +33,9 @@ int main(int argc, char** argv) {
   world.run_until(world.corpus_t0(), hooks);
   std::size_t pairs = world.initialize_corpus();
   world.run_until(world.end(), hooks);
-  std::cout << "corpus: " << pairs << " pairs, " << params.days
-            << " days, " << all_signals.size() << " signals, "
-            << world.ground_truth().changes().size() << " changes\n\n";
+  out << "seed " << seed << ": corpus " << pairs << " pairs, "
+      << params.days << " days, " << all_signals.size() << " signals, "
+      << world.ground_truth().changes().size() << " changes\n\n";
 
   eval::StalenessOracle oracle;
   oracle.ground_truth = &world.ground_truth();
@@ -75,6 +78,38 @@ int main(int argc, char** argv) {
                    eval::TableWriter::fmt(avg(cb, cb_n)),
                    std::to_string(n)});
   }
-  table.print(std::cout);
+  table.print(out);
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rrr;
+  bench::Flags flags(argc, argv);
+  eval::WorldParams params = bench::retrospective_params(flags);
+
+  eval::print_banner(std::cout, "Figure 6",
+                     "precision & coverage of signals over time",
+                     "precision ramps 60% -> ~90% as calibration learns; "
+                     "coverage stable, mostly above 80%");
+
+  auto seeds = static_cast<std::size_t>(flags.get_int("seeds", 1));
+  if (seeds == 0) seeds = 1;
+  std::vector<std::string> labels;
+  for (std::size_t i = 0; i < seeds; ++i) {
+    labels.push_back("seed " +
+                     std::to_string(bench::replicate_seed(params.seed, i)));
+  }
+  std::vector<std::string> reports = bench::fan_out<std::string>(
+      bench::fanout_threads(flags, seeds), labels,
+      [&](std::size_t i) {
+        return run_replicate(params, bench::replicate_seed(params.seed, i));
+      },
+      std::cout);
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (i > 0) std::cout << "\n";
+    std::cout << reports[i];
+  }
   return 0;
 }

@@ -9,6 +9,8 @@
 // optimal signals win until budget suffices to remap every signal.
 //
 // Flags: --days N --pairs N --seed N
+//        --threads N (fan-out pool; budget points run as independent tasks)
+//        --engine-threads N (parallel window closing inside each World)
 #include <set>
 
 #include "baselines/strategies.h"
@@ -116,66 +118,55 @@ struct Arm {
   baselines::ProbeBudget budget;
 };
 
-}  // namespace
+constexpr const char* kStrategyNames[] = {"round-robin", "sibyl",  "dtrack",
+                                          "signals",     "dtrack+signals",
+                                          "optimal-signals"};
+constexpr std::size_t kStrategyCount = 6;
 
-int main(int argc, char** argv) {
-  using namespace rrr;
-  bench::Flags flags(argc, argv);
-  eval::WorldParams params = bench::retrospective_params(flags);
-  params.days = static_cast<int>(flags.get_int("days", 15));
-  params.corpus_pair_target = static_cast<int>(flags.get_int("pairs", 800));
-  params.recalibration_interval_windows = 0;
+struct PpsResult {
+  std::size_t path_count = 0;
+  double rates[kStrategyCount] = {};
+};
 
-  eval::print_banner(std::cout, "Figure 8",
-                     "changes detected vs probing budget",
-                     "signals win at low budgets, plateau at coverage; "
-                     "DTRACK+SIGNALS dominates DTRACK; Sibyl > round-robin");
-
+// One budget point: a private World (same seed everywhere, so every task
+// replays the identical timeline and ground truth) running all six strategy
+// arms at `pps` packets per second per path.
+PpsResult run_pps(const eval::WorldParams& params, double pps) {
   eval::World world(params);
   world.run_until(world.corpus_t0());
   world.initialize_corpus();
   WorldOracle oracle(world, world.ground_truth().pairs());
-  std::cout << "paths: " << oracle.path_count() << ", " << params.days
-            << " days\n\n";
-
-  const double pps_values[] = {2e-5, 5e-5, 2e-4, 1e-3, 5e-3};
-  const char* strategy_names[] = {"round-robin", "sibyl",  "dtrack",
-                                  "signals",     "dtrack+signals",
-                                  "optimal-signals"};
 
   std::vector<std::unique_ptr<Arm>> arms;
-  for (double pps : pps_values) {
-    for (const char* name : strategy_names) {
-      auto arm = std::make_unique<Arm>();
-      arm->name = name;
-      arm->budget.packets_per_second = pps * double(oracle.path_count());
-      arm->budget.traceroute_cost = 15;
-      arm->tracker = std::make_unique<baselines::CorpusTracker>(
-          oracle, world.corpus_t0());
-      std::string n = name;
-      if (n == "round-robin") {
-        arm->round_robin = std::make_unique<baselines::RoundRobinStrategy>(
-            *arm->tracker, arm->budget);
-      } else if (n == "sibyl") {
-        arm->sibyl = std::make_unique<baselines::SibylStrategy>(
-            *arm->tracker, arm->budget);
-      } else if (n == "dtrack" || n == "dtrack+signals") {
-        arm->dtrack = std::make_unique<baselines::DtrackStrategy>(
-            *arm->tracker, arm->budget, baselines::DtrackStrategy::Params{},
-            params.seed + 17);
-        arm->uses_signals = n == "dtrack+signals";
-      } else if (n == "signals") {
-        arm->uses_signals = true;
-      } else {
-        arm->optimal = true;
-      }
-      std::size_t arm_index = arms.size();
-      arm->tracker->set_on_change([&, arm_index](std::size_t path,
-                                                 TimePoint t) {
-        arms[arm_index]->ledger.on_capture(path, t);
-      });
-      arms.push_back(std::move(arm));
+  for (const char* name : kStrategyNames) {
+    auto arm = std::make_unique<Arm>();
+    arm->name = name;
+    arm->budget.packets_per_second = pps * double(oracle.path_count());
+    arm->budget.traceroute_cost = 15;
+    arm->tracker = std::make_unique<baselines::CorpusTracker>(
+        oracle, world.corpus_t0());
+    std::string n = name;
+    if (n == "round-robin") {
+      arm->round_robin = std::make_unique<baselines::RoundRobinStrategy>(
+          *arm->tracker, arm->budget);
+    } else if (n == "sibyl") {
+      arm->sibyl = std::make_unique<baselines::SibylStrategy>(
+          *arm->tracker, arm->budget);
+    } else if (n == "dtrack" || n == "dtrack+signals") {
+      arm->dtrack = std::make_unique<baselines::DtrackStrategy>(
+          *arm->tracker, arm->budget, baselines::DtrackStrategy::Params{},
+          params.seed + 17);
+      arm->uses_signals = n == "dtrack+signals";
+    } else if (n == "signals") {
+      arm->uses_signals = true;
+    } else {
+      arm->optimal = true;
     }
+    Arm* raw = arm.get();
+    arm->tracker->set_on_change([raw](std::size_t path, TimePoint t) {
+      raw->ledger.on_capture(path, t);
+    });
+    arms.push_back(std::move(arm));
   }
 
   std::size_t change_cursor = 0;
@@ -233,15 +224,48 @@ int main(int argc, char** argv) {
   };
   world.run_until(world.end(), hooks);
 
+  PpsResult result;
+  result.path_count = oracle.path_count();
+  for (std::size_t s = 0; s < kStrategyCount; ++s) {
+    result.rates[s] = arms[s]->ledger.border_detection_rate();
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rrr;
+  bench::Flags flags(argc, argv);
+  eval::WorldParams params = bench::retrospective_params(flags);
+  params.days = static_cast<int>(flags.get_int("days", 15));
+  params.corpus_pair_target = static_cast<int>(flags.get_int("pairs", 800));
+  params.recalibration_interval_windows = 0;
+
+  eval::print_banner(std::cout, "Figure 8",
+                     "changes detected vs probing budget",
+                     "signals win at low budgets, plateau at coverage; "
+                     "DTRACK+SIGNALS dominates DTRACK; Sibyl > round-robin");
+
+  const std::vector<double> pps_values = {2e-5, 5e-5, 2e-4, 1e-3, 5e-3};
+  std::vector<std::string> labels;
+  for (double pps : pps_values) {
+    labels.push_back("pps " + eval::TableWriter::fmt(pps, 5));
+  }
+  std::vector<PpsResult> results = bench::fan_out<PpsResult>(
+      bench::fanout_threads(flags, pps_values.size()), labels,
+      [&](std::size_t i) { return run_pps(params, pps_values[i]); },
+      std::cout);
+
+  std::cout << "paths: " << results.front().path_count << ", " << params.days
+            << " days\n\n";
+
   eval::TableWriter table({"pps/path", "round-robin", "sibyl", "dtrack",
                            "signals", "dtrack+signals", "optimal-signals"});
-  std::size_t arm_index = 0;
-  for (double pps : pps_values) {
-    std::vector<std::string> row{eval::TableWriter::fmt(pps, 5)};
-    for (std::size_t s = 0; s < 6; ++s) {
-      row.push_back(eval::TableWriter::fmt(
-          arms[arm_index]->ledger.border_detection_rate()));
-      ++arm_index;
+  for (std::size_t i = 0; i < pps_values.size(); ++i) {
+    std::vector<std::string> row{eval::TableWriter::fmt(pps_values[i], 5)};
+    for (std::size_t s = 0; s < kStrategyCount; ++s) {
+      row.push_back(eval::TableWriter::fmt(results[i].rates[s]));
     }
     table.add_row(std::move(row));
   }

@@ -1,9 +1,16 @@
 // Micro-benchmarks for the performance-critical building blocks: longest
 // prefix matching, outlier detectors, route computation, forwarding
-// resolution, and traceroute processing.
+// resolution, traceroute processing, and the engine's parallel window
+// closing (BM_AdvanceTo; emit BENCH_parallel_scaling.json with
+//   --benchmark_filter=AdvanceTo --benchmark_out=BENCH_parallel_scaling.json
+//   --benchmark_out_format=json).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <memory>
+
 #include "detect/detector.h"
+#include "eval/world.h"
 #include "netbase/radix_trie.h"
 #include "netbase/rng.h"
 #include "routing/control_plane.h"
@@ -117,6 +124,91 @@ void BM_TraceProcessing(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TraceProcessing);
+
+// End-to-end window closing of the staleness engine on a 2000-pair corpus,
+// at 1/2/4 engine threads. One iteration = one 900 s window: the feed
+// (public traces, untimed) plus advance_to (timed). The signal stream is
+// identical at every thread count (the engine's determinism contract); only
+// the wall time changes, so the 1-thread arg is the serial baseline the
+// 2/4-thread args are compared against.
+struct AdvanceToFixture {
+  explicit AdvanceToFixture(int threads) {
+    eval::WorldParams params;
+    params.days = 1;
+    params.warmup_days = 1;
+    params.corpus_pair_target = 2000;
+    params.corpus_dest_count = 40;
+    params.public_dest_count = 120;
+    params.public_traces_per_window = 800;
+    params.platform.num_probes = 700;
+    params.topology.num_transit = 48;
+    params.topology.num_stub = 200;
+    params.recalibration_interval_windows = 0;
+    params.seed = 20200642;
+    params.engine_threads = threads;
+    world = std::make_unique<eval::World>(params);
+    world->run_until(world->corpus_t0());
+    world->initialize_corpus();
+    now = world->corpus_t0();
+
+    // A fixed pool of public traceroutes, replayed every window with
+    // shifted timestamps — the per-window feed is identical work.
+    Rng rng(9);
+    const auto& probes = world->public_probes();
+    const auto& dests = world->public_dests();
+    for (int i = 0; i < 800 && !probes.empty() && !dests.empty(); ++i) {
+      tr::ProbeId probe = probes[rng.index(probes.size())];
+      if (!world->platform().probe(probe).active) continue;
+      Ipv4 dst = dests[rng.index(dests.size())];
+      pool.push_back(world->platform().issue(probe, dst, now, i & 0xF));
+    }
+  }
+
+  // Feeds one window's worth of traces, timestamps shifted into the
+  // current window.
+  void feed_window() {
+    const std::int64_t w = world->window_seconds();
+    std::int64_t spacing =
+        pool.empty() ? w
+                     : std::max<std::int64_t>(w / std::int64_t(pool.size()), 1);
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      tr::Traceroute trace = pool[i];
+      trace.time = now + std::int64_t(i) * spacing;
+      world->engine().on_public_trace(trace);
+    }
+  }
+
+  std::unique_ptr<eval::World> world;
+  std::vector<tr::Traceroute> pool;
+  TimePoint now{0};
+};
+
+void BM_AdvanceTo(benchmark::State& state) {
+  AdvanceToFixture fixture(static_cast<int>(state.range(0)));
+  std::size_t signals = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    fixture.feed_window();
+    state.ResumeTiming();
+    auto sigs =
+        fixture.world->engine().advance_to(fixture.now +
+                                           fixture.world->window_seconds());
+    benchmark::DoNotOptimize(sigs.data());
+    signals += sigs.size();
+    fixture.now = fixture.now + fixture.world->window_seconds();
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["signals"] = static_cast<double>(signals);
+}
+// 96 iterations = one full simulated day, so the measured span contains
+// exactly one periodic full-sweep window (window % 96 == 95) — the close
+// path where every monitored series is evaluated, not just touched ones.
+BENCHMARK(BM_AdvanceTo)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Iterations(96)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

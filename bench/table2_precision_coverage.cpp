@@ -15,29 +15,27 @@
 // Flags: --days N --pairs N --dests N --public-rate N --seed N
 //        --ablate-stationarity (keep outlier windows in detector history)
 //        --per-day (also print the Figure 6 style daily series)
+//        --seeds N (independent replicates) --threads N (fan-out pool)
+//        --engine-threads N (parallel window closing inside each World)
 #include <algorithm>
 #include <map>
+#include <sstream>
 
 #include "bench_common.h"
 #include "eval/metrics.h"
 
-int main(int argc, char** argv) {
-  using namespace rrr;
-  bench::Flags flags(argc, argv);
-  eval::WorldParams params = bench::retrospective_params(flags);
-  if (flags.get_bool("ablate-stationarity")) {
-    params.subpath.zscore.drop_outliers_from_history = false;
-    params.border.zscore.drop_outliers_from_history = false;
-  }
+namespace {
 
-  eval::print_banner(
-      std::cout, "Table 2", "precision & coverage per technique",
-      "all techniques precise (0.72-0.85); combined coverage 0.81 of all "
-      "changes, 0.86 AS-level, 0.79 border-level");
+using namespace rrr;
 
-  std::cout << "world: " << params.days << " days, target "
-            << params.corpus_pair_target << " pairs, seed " << params.seed
-            << "\n";
+// One full replicate at `seed`, rendered to text (tasks run concurrently,
+// so nothing may write to stdout until the fan-out returns).
+std::string run_replicate(eval::WorldParams params, std::uint64_t seed,
+                          const bench::Flags& flags) {
+  params.seed = seed;
+  std::ostringstream out;
+  out << "world: " << params.days << " days, target "
+      << params.corpus_pair_target << " pairs, seed " << params.seed << "\n";
 
   eval::World world(params);
   std::vector<signals::StalenessSignal> all_signals;
@@ -51,9 +49,8 @@ int main(int argc, char** argv) {
   world.run_until(world.end(), hooks);
 
   const auto& changes = world.ground_truth().changes();
-  std::cout << "corpus: " << pairs << " pairs; ground truth: "
-            << changes.size() << " changes; signals: "
-            << all_signals.size() << "\n\n";
+  out << "corpus: " << pairs << " pairs; ground truth: " << changes.size()
+      << " changes; signals: " << all_signals.size() << "\n\n";
 
   eval::StalenessOracle oracle;
   oracle.ground_truth = &world.ground_truth();
@@ -88,25 +85,24 @@ int main(int argc, char** argv) {
   row(result.trace_total, true);
   table.add_separator();
   row(result.all, true);
-  table.print(std::cout);
+  table.print(out);
 
-  std::cout << "strict staleness-vs-last-refresh precision: all="
-            << eval::TableWriter::fmt(strict.all.precision) << " bgp="
-            << eval::TableWriter::fmt(strict.bgp_total.precision)
-            << " trace="
-            << eval::TableWriter::fmt(strict.trace_total.precision) << "\n";
-  std::cout << "\nchanges: total=" << result.total_changes
-            << " AS-level=" << result.as_changes
-            << " border-level=" << result.border_changes << "\n";
+  out << "strict staleness-vs-last-refresh precision: all="
+      << eval::TableWriter::fmt(strict.all.precision)
+      << " bgp=" << eval::TableWriter::fmt(strict.bgp_total.precision)
+      << " trace=" << eval::TableWriter::fmt(strict.trace_total.precision)
+      << "\n";
+  out << "\nchanges: total=" << result.total_changes
+      << " AS-level=" << result.as_changes
+      << " border-level=" << result.border_changes << "\n";
 
   if (flags.get_bool("monitor-stats")) {
     auto stats = world.engine().subpath_monitor().stats();
-    std::cout << "\nsubpath monitor: segments=" << stats.segments
-              << " subscribed=" << stats.subscribed
-              << " armed=" << stats.armed << " dormant=" << stats.dormant
-              << " observations=" << stats.observations
-              << " mean-multiplier="
-              << eval::TableWriter::fmt(stats.mean_multiplier, 1) << "\n";
+    out << "\nsubpath monitor: segments=" << stats.segments
+        << " subscribed=" << stats.subscribed << " armed=" << stats.armed
+        << " dormant=" << stats.dormant
+        << " observations=" << stats.observations << " mean-multiplier="
+        << eval::TableWriter::fmt(stats.mean_multiplier, 1) << "\n";
     std::map<std::string, int> fp_communities;
     for (std::size_t s = 0; s < all_signals.size(); ++s) {
       const auto& sig = all_signals[s];
@@ -122,25 +118,23 @@ int main(int argc, char** argv) {
       bool geo = topo::is_geo_community_value(sig.community.value());
       (geo ? (tp ? geo_tp : geo_fp) : (tp ? te_tp : te_fp))++;
     }
-    std::cout << "community signals: geo tp=" << geo_tp << " fp=" << geo_fp
-              << "; te tp=" << te_tp << " fp=" << te_fp << "\n";
+    out << "community signals: geo tp=" << geo_tp << " fp=" << geo_fp
+        << "; te tp=" << te_tp << " fp=" << te_fp << "\n";
     const auto& cstats = world.engine().community_monitor().stats();
-    std::cout << "community monitor: records=" << cstats.records
-              << " diffs=" << cstats.diffs
-              << " no-prev-overlap=" << cstats.no_prev_overlap
-              << " no-new-overlap=" << cstats.no_new_overlap
-              << " path-rule=" << cstats.path_rule
-              << " known-elsewhere=" << cstats.known_elsewhere
-              << " pruned=" << cstats.pruned << " fired=" << cstats.fired
-              << "\n";
-    std::cout << "community FPs by community (top):\n";
+    out << "community monitor: records=" << cstats.records
+        << " diffs=" << cstats.diffs
+        << " no-prev-overlap=" << cstats.no_prev_overlap
+        << " no-new-overlap=" << cstats.no_new_overlap
+        << " path-rule=" << cstats.path_rule
+        << " known-elsewhere=" << cstats.known_elsewhere
+        << " pruned=" << cstats.pruned << " fired=" << cstats.fired << "\n";
+    out << "community FPs by community (top):\n";
     std::vector<std::pair<int, std::string>> ranked;
     for (auto& [c, n] : fp_communities) ranked.emplace_back(n, c);
     std::sort(ranked.rbegin(), ranked.rend());
     for (std::size_t i = 0; i < std::min<std::size_t>(12, ranked.size());
          ++i) {
-      std::cout << "  " << ranked[i].second << ": " << ranked[i].first
-                << "\n";
+      out << "  " << ranked[i].second << ": " << ranked[i].first << "\n";
     }
   }
 
@@ -151,23 +145,21 @@ int main(int argc, char** argv) {
       if (changes[c].kind != tracemap::ChangeKind::kBorderLevel) continue;
       if (matcher.change_matched_mask(c) != 0) continue;  // covered
       ++shown;
-      std::cout << "MISSED border change pair(probe="
-                << changes[c].pair.probe
-                << ", dst=" << changes[c].pair.dst.to_string() << ") at "
-                << changes[c].time.to_string() << " crossing#"
-                << changes[c].changed_crossing << "\n  segments:";
+      out << "MISSED border change pair(probe=" << changes[c].pair.probe
+          << ", dst=" << changes[c].pair.dst.to_string() << ") at "
+          << changes[c].time.to_string() << " crossing#"
+          << changes[c].changed_crossing << "\n  segments:";
       for (const auto& info :
            world.engine().subpath_monitor().segments_for(changes[c].pair)) {
-        std::cout << " [b#" << info.border_index << " len=" << info.length
-                  << (info.armed ? " armed" : "")
-                  << (info.dormant ? " dormant" : "")
-                  << " mult=" << info.multiplier;
+        out << " [b#" << info.border_index << " len=" << info.length
+            << (info.armed ? " armed" : "")
+            << (info.dormant ? " dormant" : "") << " mult=" << info.multiplier;
         if (info.has_ratio) {
-          std::cout << " r=" << eval::TableWriter::fmt(info.last_ratio);
+          out << " r=" << eval::TableWriter::fmt(info.last_ratio);
         }
-        std::cout << "]";
+        out << "]";
       }
-      std::cout << "\n";
+      out << "\n";
     }
   }
 
@@ -181,33 +173,32 @@ int main(int argc, char** argv) {
       const auto& sig = all_signals[s];
       if (oracle.stale(sig.pair, sig.time)) continue;  // TP
       if (printed[sig.technique]++ >= budget) continue;
-      std::cout << "FP " << sig.to_string() << " t=" << sig.time.to_string()
-                << " span=" << sig.span_seconds;
+      out << "FP " << sig.to_string() << " t=" << sig.time.to_string()
+          << " span=" << sig.span_seconds;
       if (sig.community.raw() != 0) {
-        std::cout << " community=" << sig.community.to_string();
+        out << " community=" << sig.community.to_string();
       }
-      std::cout << "\n  pair changes:";
+      out << "\n  pair changes:";
       auto it = by_pair.find(sig.pair);
       if (it != by_pair.end()) {
         for (const auto* c : it->second) {
-          std::cout << " [" << c->time.to_string() << " "
-                    << (c->kind == tracemap::ChangeKind::kAsLevel ? "AS"
-                                                                  : "border")
-                    << " ev=" << c->cause_event << "]";
+          out << " [" << c->time.to_string() << " "
+              << (c->kind == tracemap::ChangeKind::kAsLevel ? "AS" : "border")
+              << " ev=" << c->cause_event << "]";
         }
       } else {
-        std::cout << " none-ever";
+        out << " none-ever";
       }
-      std::cout << "\n";
+      out << "\n";
     }
   }
 
   if (flags.get_bool("per-day")) {
-    std::cout << "\nFigure 6 style daily series:\n";
+    out << "\nFigure 6 style daily series:\n";
     eval::TableWriter daily({"day", "prec(AS)", "prec(border)", "cov(AS)",
                              "cov(border)", "#signals", "#changes"});
-    for (const auto& point : matcher.daily_series(
-             world.corpus_t0(), params.days)) {
+    for (const auto& point :
+         matcher.daily_series(world.corpus_t0(), params.days)) {
       daily.add_row({std::to_string(point.day),
                      eval::TableWriter::fmt(point.precision_as),
                      eval::TableWriter::fmt(point.precision_border),
@@ -216,7 +207,44 @@ int main(int argc, char** argv) {
                      std::to_string(point.signals),
                      std::to_string(point.changes)});
     }
-    daily.print(std::cout);
+    daily.print(out);
+  }
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rrr;
+  bench::Flags flags(argc, argv);
+  eval::WorldParams params = bench::retrospective_params(flags);
+  if (flags.get_bool("ablate-stationarity")) {
+    params.subpath.zscore.drop_outliers_from_history = false;
+    params.border.zscore.drop_outliers_from_history = false;
+  }
+
+  eval::print_banner(
+      std::cout, "Table 2", "precision & coverage per technique",
+      "all techniques precise (0.72-0.85); combined coverage 0.81 of all "
+      "changes, 0.86 AS-level, 0.79 border-level");
+
+  auto seeds = static_cast<std::size_t>(flags.get_int("seeds", 1));
+  if (seeds == 0) seeds = 1;
+  std::vector<std::string> labels;
+  for (std::size_t i = 0; i < seeds; ++i) {
+    labels.push_back("seed " +
+                     std::to_string(bench::replicate_seed(params.seed, i)));
+  }
+  std::vector<std::string> reports = bench::fan_out<std::string>(
+      bench::fanout_threads(flags, seeds), labels,
+      [&](std::size_t i) {
+        return run_replicate(params, bench::replicate_seed(params.seed, i),
+                             flags);
+      },
+      std::cout);
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (i > 0) std::cout << "\n";
+    std::cout << reports[i];
   }
   return 0;
 }

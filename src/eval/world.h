@@ -49,6 +49,10 @@ struct WorldParams {
   // signals about since-reverted changes are graded as false positives.
   int recalibration_interval_windows = 8;
   std::uint64_t seed = 42;
+  // Parallelism degree of the staleness engine's window closing. Purely a
+  // throughput knob: signal output is identical at any value (the engine's
+  // determinism contract, DESIGN.md "Runtime & determinism").
+  int engine_threads = 1;
 };
 
 class World {

@@ -31,6 +31,19 @@ class Rng {
     return Rng(z ^ (z >> 31));
   }
 
+  // Derives the i-th shard stream for parallel work. Like fork() this is
+  // const and does not touch the parent's engine state, so shards can be
+  // pre-split before a parallel section and no Rng is ever shared across
+  // threads. A distinct mixing domain keeps split(i) disjoint from fork(i):
+  // modules that already fork by small salts cannot collide with shard ids.
+  Rng split(std::uint64_t shard) const {
+    std::uint64_t z = (seed_ ^ 0xA5A5A5A55A5A5A5AULL) +
+                      0xD1B54A32D192ED03ULL * (shard + 1);
+    z = (z ^ (z >> 32)) * 0xDABA0B6EB09322E3ULL;
+    z = (z ^ (z >> 29)) * 0xC6A4A7935BD1E995ULL;
+    return Rng(z ^ (z >> 32));
+  }
+
   // Uniform integer in [lo, hi] inclusive.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
     assert(lo <= hi);

@@ -1,0 +1,57 @@
+// Deterministic parallel runtime: a fixed-size worker pool.
+//
+// The pool runs arbitrary void() closures. Submission is thread-safe,
+// including from inside a running task (nested submit); a pool constructed
+// with `threads <= 1` spawns no workers and executes submitted tasks inline,
+// so single-threaded configurations pay no synchronization cost and follow
+// the exact serial code path.
+//
+// Blocking helpers built on top of the pool (see parallel.h) must never
+// sleep while queued work could make progress: `run_one()` lets any waiting
+// thread steal a queued task, which is what makes nested parallel sections
+// deadlock-free on a bounded pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rrr::runtime {
+
+class ThreadPool {
+ public:
+  // `threads` is the total parallelism degree including the caller of a
+  // parallel section: the pool spawns max(0, threads - 1) workers.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Parallelism degree (>= 1). 1 means fully serial.
+  int thread_count() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Enqueues `task`; runs it inline when the pool has no workers.
+  void submit(std::function<void()> task);
+
+  // Runs one queued task on the calling thread; false when the queue is
+  // empty. Used by waiters to help drain the queue (nested parallelism).
+  bool run_one();
+
+  std::size_t queued() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace rrr::runtime

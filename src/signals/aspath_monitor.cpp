@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "runtime/parallel.h"
+
 namespace rrr::signals {
 namespace {
 
@@ -142,50 +144,74 @@ void AsPathMonitor::fill_meta(const Entry& entry, double score,
   meta.deviation = std::abs(score);
 }
 
+AsPathMonitor::EvalResult AsPathMonitor::evaluate(Entry* entry,
+                                                  bool from_update,
+                                                  std::int64_t window,
+                                                  TimePoint window_end) {
+  EvalResult result;
+  auto [num, den] = counts(*entry);
+  entry->window_updates.clear();
+  if (den == 0) return result;  // missing window (§4.1.2)
+  double ratio = static_cast<double>(num) / static_cast<double>(den);
+  bool moved = !entry->series.has_last() ||
+               ratio != entry->series.last_value();
+  detect::Judgement judgement = entry->series.feed(window, ratio);
+  if (from_update || moved) {
+    // Keep re-scoring while the shifted level fills the lead window.
+    if (entry->hot_windows == 0) result.newly_hot = true;
+    entry->hot_windows = 8;
+  }
+  if (judgement.outlier) {
+    StalenessSignal signal;
+    signal.technique = Technique::kBgpAsPath;
+    signal.potential = entry->id;
+    signal.time = window_end;
+    signal.window = window;
+    signal.pair = entry->pair;
+    signal.border_index = entry->border_index;
+    fill_meta(*entry, judgement.score, signal.meta);
+    result.signals.push_back(std::move(signal));
+  }
+  return result;
+}
+
 std::vector<StalenessSignal> AsPathMonitor::close_window(
     std::int64_t window, TimePoint window_end) {
   std::vector<StalenessSignal> signals;
-  auto evaluate = [&](Entry* entry, bool from_update) {
-    auto [num, den] = counts(*entry);
-    entry->window_updates.clear();
-    if (den == 0) return;  // missing window (§4.1.2)
-    double ratio = static_cast<double>(num) / static_cast<double>(den);
-    bool moved = !entry->series.has_last() ||
-                 ratio != entry->series.last_value();
-    detect::Judgement judgement = entry->series.feed(window, ratio);
-    if (from_update || moved) {
-      // Keep re-scoring while the shifted level fills the lead window.
-      if (entry->hot_windows == 0) hot_.push_back(entry);
-      entry->hot_windows = 8;
-    }
-    if (judgement.outlier) {
-      StalenessSignal signal;
-      signal.technique = Technique::kBgpAsPath;
-      signal.potential = entry->id;
-      signal.time = window_end;
-      signal.window = window;
-      signal.pair = entry->pair;
-      signal.border_index = entry->border_index;
-      fill_meta(*entry, judgement.score, signal.meta);
-      signals.push_back(std::move(signal));
+  auto merge = [&](const std::vector<Entry*>& work,
+                   std::vector<EvalResult>& results) {
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      for (StalenessSignal& signal : results[i].signals) {
+        signals.push_back(std::move(signal));
+      }
+      if (results[i].newly_hot) hot_.push_back(work[i]);
     }
   };
 
   // Evaluate dirty entries (updates arrived), then still-hot entries whose
-  // lead windows are filling; rebuild the hot queue afterwards.
+  // lead windows are filling; rebuild the hot queue afterwards. The two
+  // phases stay sequential (a dirty evaluation re-arms hot_windows that the
+  // hot phase must observe), but within a phase entries are distinct and
+  // evaluate concurrently; merging per-entry results in work-list order
+  // keeps the output independent of the thread count.
   std::vector<Entry*> dirty;
   dirty.swap(dirty_);
   std::vector<Entry*> hot;
   hot.swap(hot_);
-  for (Entry* entry : dirty) {
-    entry->dirty = false;
-    evaluate(entry, /*from_update=*/true);
-  }
-  for (Entry* entry : hot) {
-    if (entry->hot_windows <= 0) continue;
-    --entry->hot_windows;
-    evaluate(entry, /*from_update=*/false);  // no-op if fed this window
-  }
+  std::vector<EvalResult> dirty_results =
+      runtime::parallel_map(pool_, dirty, [&](Entry* entry) {
+        entry->dirty = false;
+        return evaluate(entry, /*from_update=*/true, window, window_end);
+      });
+  merge(dirty, dirty_results);
+  std::vector<EvalResult> hot_results =
+      runtime::parallel_map(pool_, hot, [&](Entry* entry) {
+        if (entry->hot_windows <= 0) return EvalResult{};
+        --entry->hot_windows;
+        // No-op if fed this window already (dirty phase ran first).
+        return evaluate(entry, /*from_update=*/false, window, window_end);
+      });
+  merge(hot, hot_results);
   // Deduplicated rebuild: hot_ may have gained entries inside evaluate().
   std::vector<Entry*> requeued;
   requeued.swap(hot_);

@@ -17,6 +17,10 @@
 #include "signals/bgp_context.h"
 #include "signals/monitor.h"
 
+namespace rrr::runtime {
+class ThreadPool;
+}
+
 namespace rrr::signals {
 
 class AsPathMonitor final : public BgpMonitor {
@@ -24,6 +28,8 @@ class AsPathMonitor final : public BgpMonitor {
   explicit AsPathMonitor(const BgpContext& context) : context_(context) {}
 
   Technique technique() const override { return Technique::kBgpAsPath; }
+  // Evaluates window closes across entries on `pool` (null = serial).
+  void set_pool(runtime::ThreadPool* pool) { pool_ = pool; }
   void watch(const CorpusView& view, PotentialIndex& index) override;
   void unwatch(const tr::PairKey& pair) override;
   void on_record(const DispatchedRecord& record,
@@ -62,6 +68,18 @@ class AsPathMonitor final : public BgpMonitor {
                           int& den);
   void fill_meta(const Entry& entry, double score, SignalMeta& meta) const;
 
+  // One entry's re-evaluation at window close. Touches only `entry` (the
+  // table view is read-only during the close), so distinct entries are safe
+  // to evaluate concurrently; the hot-queue membership change is returned
+  // instead of applied so the caller can apply it in work-list order.
+  struct EvalResult {
+    std::vector<StalenessSignal> signals;
+    bool newly_hot = false;
+  };
+  EvalResult evaluate(Entry* entry, bool from_update, std::int64_t window,
+                      TimePoint window_end);
+
+  runtime::ThreadPool* pool_ = nullptr;
   const BgpContext& context_;
   std::unordered_map<PotentialId, std::unique_ptr<Entry>> entries_;
   std::map<tr::PairKey, std::vector<Entry*>> by_pair_;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "runtime/parallel.h"
+
 namespace rrr::signals {
 
 std::optional<BorderMonitor::CityPairKey> BorderMonitor::key_of(
@@ -86,55 +88,79 @@ void BorderMonitor::on_public_trace(const tracemap::ProcessedTrace& trace,
   }
 }
 
+std::vector<StalenessSignal> BorderMonitor::close_series(
+    RouterSeries* rs, std::int64_t window, TimePoint window_end) {
+  std::vector<StalenessSignal> signals;
+  for (const detect::ClosedRatioWindow& closed :
+       rs->series.close_through(window + 1)) {
+    if (rs->baseline_ratio < 0.0 && rs->series.armed()) {
+      rs->baseline_ratio = closed.ratio;
+    }
+    bool drop = closed.judgement.outlier && closed.judgement.score < 0 &&
+                closed.intersect >= params_.min_intersect;
+    // The monitored router can only *lose* share when the border moves;
+    // thin windows need two consecutive drops.
+    bool confirmed =
+        drop && (closed.intersect >= params_.single_shot_intersect ||
+                 rs->pending_drop);
+    rs->pending_drop = drop;
+    if (!confirmed) continue;
+    std::int64_t agg_end =
+        closed.aggregate_window * closed.multiplier + closed.multiplier - 1;
+    TimePoint at = window_end -
+                   (window - agg_end) * params_.base_window_seconds;
+    for (const Subscriber& sub : rs->subscribers) {
+      StalenessSignal signal;
+      signal.technique = Technique::kTraceBorder;
+      signal.potential = rs->id;
+      signal.time = at;
+      signal.window = agg_end;
+      signal.span_seconds =
+          closed.multiplier * params_.base_window_seconds;
+      signal.pair = sub.pair;
+      signal.border_index = sub.border;
+      signal.meta.deviation = std::abs(closed.judgement.score);
+      signals.push_back(std::move(signal));
+    }
+  }
+  return signals;
+}
+
 std::vector<StalenessSignal> BorderMonitor::close_window(
     std::int64_t window, TimePoint window_end) {
   std::vector<StalenessSignal> signals;
-  auto close_series = [&](RouterSeries* rs) {
-    for (const detect::ClosedRatioWindow& closed :
-         rs->series.close_through(window + 1)) {
-      if (rs->baseline_ratio < 0.0 && rs->series.armed()) {
-        rs->baseline_ratio = closed.ratio;
-      }
-      bool drop = closed.judgement.outlier && closed.judgement.score < 0 &&
-                  closed.intersect >= params_.min_intersect;
-      // The monitored router can only *lose* share when the border moves;
-      // thin windows need two consecutive drops.
-      bool confirmed =
-          drop && (closed.intersect >= params_.single_shot_intersect ||
-                   rs->pending_drop);
-      rs->pending_drop = drop;
-      if (!confirmed) continue;
-      std::int64_t agg_end =
-          closed.aggregate_window * closed.multiplier + closed.multiplier - 1;
-      TimePoint at = window_end -
-                     (window - agg_end) * params_.base_window_seconds;
-      for (const Subscriber& sub : rs->subscribers) {
-        StalenessSignal signal;
-        signal.technique = Technique::kTraceBorder;
-        signal.potential = rs->id;
-        signal.time = at;
-        signal.window = agg_end;
-        signal.span_seconds =
-            closed.multiplier * params_.base_window_seconds;
-        signal.pair = sub.pair;
-        signal.border_index = sub.border;
-        signal.meta.deviation = std::abs(closed.judgement.score);
+  // Router series are disjoint state; shards close them concurrently and
+  // the per-series buffers are concatenated in work-list order, so the
+  // output is independent of the thread count.
+  std::vector<RouterSeries*> work;
+  work.swap(touched_);
+  std::vector<std::vector<StalenessSignal>> shards =
+      runtime::parallel_map(pool_, work, [&](RouterSeries* rs) {
+        rs->touched = false;
+        return close_series(rs, window, window_end);
+      });
+  for (std::vector<StalenessSignal>& shard : shards) {
+    for (StalenessSignal& signal : shard) {
+      signals.push_back(std::move(signal));
+    }
+  }
+  if (window % 96 == 95) {
+    std::vector<RouterSeries*> all;
+    for (auto& [key, entry] : entries_) {
+      for (auto& rs : entry->routers) all.push_back(rs.get());
+    }
+    std::vector<std::vector<StalenessSignal>> swept =
+        runtime::parallel_map(pool_, all, [&](RouterSeries* rs) {
+          return close_series(rs, window, window_end);
+        });
+    for (std::vector<StalenessSignal>& shard : swept) {
+      for (StalenessSignal& signal : shard) {
         signals.push_back(std::move(signal));
       }
     }
-  };
-  for (RouterSeries* rs : touched_) {
-    rs->touched = false;
-    close_series(rs);
-  }
-  touched_.clear();
-  if (window % 96 == 95) {
-    for (auto& [key, entry] : entries_) {
-      for (auto& rs : entry->routers) {
-        close_series(rs.get());
-        std::erase_if(rs->subscribers,
-                      [](const Subscriber& sub) { return sub.zombie; });
-      }
+    for (RouterSeries* rs : all) {
+      std::erase_if(rs->subscribers,
+                    [](const Subscriber& sub) { return sub.zombie; });
     }
   }
   return signals;

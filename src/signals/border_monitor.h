@@ -16,6 +16,10 @@
 #include "signals/monitor.h"
 #include "tracemap/alias.h"
 
+namespace rrr::runtime {
+class ThreadPool;
+}
+
 namespace rrr::signals {
 
 struct BorderMonitorParams {
@@ -38,6 +42,8 @@ class BorderMonitor final : public TraceMonitor {
       : params_(params), prototype_(params.zscore) {}
 
   Technique technique() const override { return Technique::kTraceBorder; }
+  // Evaluates window closes across router series on `pool` (null = serial).
+  void set_pool(runtime::ThreadPool* pool) { pool_ = pool; }
   void watch(const CorpusView& view, PotentialIndex& index) override;
   void unwatch(const tr::PairKey& pair) override;
   void on_public_trace(const tracemap::ProcessedTrace& trace,
@@ -79,7 +85,13 @@ class BorderMonitor final : public TraceMonitor {
   };
 
   static std::optional<CityPairKey> key_of(const tracemap::BorderView& b);
+  // Closes `rs`'s pending aggregate windows; returns the signals it fired.
+  // Touches only `rs`, so distinct series may be closed concurrently.
+  std::vector<StalenessSignal> close_series(RouterSeries* rs,
+                                            std::int64_t window,
+                                            TimePoint window_end);
 
+  runtime::ThreadPool* pool_ = nullptr;
   BorderMonitorParams params_;
   detect::ModifiedZScoreDetector prototype_;
   std::map<CityPairKey, std::unique_ptr<Entry>> entries_;

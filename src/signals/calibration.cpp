@@ -64,6 +64,19 @@ std::optional<double> Calibration::tnr(tr::ProbeId vp,
   return static_cast<double>(c.tn) / static_cast<double>(c.tn + c.fp);
 }
 
+std::uint64_t Calibration::digest() const {
+  std::uint64_t h = 0xCA11B8A7E;
+  for (const auto& [key, tally] : tallies_) {
+    h = hash_combine(h, key.first);
+    h = hash_combine(h, key.second);
+    for (const auto& [window, outcome] : tally.events) {
+      h = hash_combine(h, static_cast<std::uint64_t>(window));
+      h = hash_combine(h, static_cast<std::uint64_t>(outcome));
+    }
+  }
+  return h;
+}
+
 bool bootstrap_priority_less(const ActiveSignal& a, const ActiveSignal& b) {
   // Returns true when `a` has higher priority. Attributes in Table 1 order;
   // within a tied attribute, the category-specific tie-break applies when

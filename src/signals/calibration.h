@@ -41,6 +41,11 @@ class Calibration {
 
   std::size_t tally_count() const { return tallies_.size(); }
 
+  // Fingerprint of the full calibration state (every (VP, signal) tally and
+  // its outcome sequence). Two engines with equal digests grade refreshes
+  // identically; determinism tests compare serial vs. parallel runs by it.
+  std::uint64_t digest() const;
+
  private:
   struct Tally {
     std::deque<std::pair<std::int64_t, Outcome>> events;

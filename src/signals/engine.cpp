@@ -36,6 +36,14 @@ StalenessEngine::StalenessEngine(
   bgp_context_.vps = &vps_;
   bgp_context_.vp_as = std::move(vp_as);
   bgp_context_.vp_city = std::move(vp_city);
+  if (params_.threads > 1) {
+    pool_ = std::make_unique<runtime::ThreadPool>(params_.threads);
+  }
+  // Monitors with per-series window-close work shard it over the pool; a
+  // null pool keeps them on the exact serial code path.
+  aspath_.set_pool(pool_.get());
+  subpath_.set_pool(pool_.get());
+  border_.set_pool(pool_.get());
 }
 
 Monitor* StalenessEngine::monitor_for(Technique technique) {
@@ -108,6 +116,16 @@ void StalenessEngine::on_public_trace(const tr::Traceroute& trace) {
 
 void StalenessEngine::register_signals(
     std::vector<StalenessSignal>& out, std::vector<StalenessSignal>&& batch) {
+  // Canonical merge order: each monitor's shard buffers already concatenate
+  // in a deterministic work-list order, and the batch is additionally
+  // ordered by (window, PotentialId). This ordering — not scheduling luck —
+  // is the determinism contract: the signal stream is identical whatever
+  // params_.threads is (DESIGN.md, "Runtime & determinism").
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const StalenessSignal& a, const StalenessSignal& b) {
+                     return a.window != b.window ? a.window < b.window
+                                                 : a.potential < b.potential;
+                   });
   for (StalenessSignal& signal : batch) {
     auto it = corpus_.find(signal.pair);
     if (it == corpus_.end()) continue;  // pair refreshed mid-window

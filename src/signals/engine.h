@@ -13,6 +13,8 @@
 #include <set>
 #include <vector>
 
+#include "runtime/thread_pool.h"
+
 #include "bgp/record.h"
 #include "bgp/table_view.h"
 #include "signals/aspath_monitor.h"
@@ -42,6 +44,11 @@ struct EngineParams {
   SubpathParams subpath;
   BorderMonitorParams border;
   std::uint64_t seed = 31;
+  // Parallelism degree for window closing (per-series work is sharded over
+  // a thread pool). 1 = fully serial; results are identical either way —
+  // shard buffers merge in a canonical order, see DESIGN.md "Runtime &
+  // determinism".
+  int threads = 1;
 };
 
 // What a refresh revealed, returned to callers for their own accounting.
@@ -124,6 +131,9 @@ class StalenessEngine {
   WindowClock clock_;
   tracemap::ProcessingContext& processing_;
   Rng rng_;
+  // Worker pool for window closing; null when params_.threads <= 1.
+  // Declared before the monitors that borrow it so it outlives them.
+  std::unique_ptr<runtime::ThreadPool> pool_;
 
   // BGP side.
   std::vector<bgp::VantagePoint> vps_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "netbase/rng.h"
+#include "runtime/parallel.h"
 
 namespace rrr::signals {
 
@@ -133,57 +134,82 @@ void SubpathMonitor::on_public_trace(const tracemap::ProcessedTrace& trace,
   }
 }
 
+std::vector<StalenessSignal> SubpathMonitor::close_segment(
+    Segment* segment, std::int64_t window, TimePoint window_end) {
+  std::vector<StalenessSignal> signals;
+  for (const detect::ClosedRatioWindow& closed :
+       segment->series.close_through(window + 1)) {
+    if (segment->baseline_ratio < 0.0 && segment->series.armed()) {
+      segment->baseline_ratio = closed.ratio;
+    }
+    bool drop = closed.judgement.outlier && closed.judgement.score < 0 &&
+                closed.intersect >= params_.min_intersect;
+    // A path change can only *reduce* how often the exact subpath is
+    // followed (upward outliers are sampling-mix noise), and a thin
+    // window needs corroboration from the next one.
+    bool confirmed =
+        drop && (closed.intersect >= params_.single_shot_intersect ||
+                 segment->pending_drop);
+    segment->pending_drop = drop;
+    if (!confirmed) continue;
+    // The outlier belongs to its aggregate window, which may end before
+    // the base window being closed (sparse segments aggregate slowly).
+    std::int64_t agg_end =
+        closed.aggregate_window * closed.multiplier + closed.multiplier - 1;
+    TimePoint at = window_end -
+                   (window - agg_end) * params_.base_window_seconds;
+    for (const Subscriber& sub : segment->subscribers) {
+      StalenessSignal signal;
+      signal.technique = Technique::kTraceSubpath;
+      signal.potential = segment->id;
+      signal.time = at;
+      signal.window = agg_end;
+      signal.span_seconds =
+          closed.multiplier * params_.base_window_seconds;
+      signal.pair = sub.pair;
+      signal.border_index = sub.border;
+      signal.meta.ip_overlap = static_cast<int>(segment->ips.size());
+      signal.meta.deviation = std::abs(closed.judgement.score);
+      signals.push_back(std::move(signal));
+    }
+  }
+  return signals;
+}
+
 std::vector<StalenessSignal> SubpathMonitor::close_window(
     std::int64_t window, TimePoint window_end) {
   std::vector<StalenessSignal> signals;
-  auto close_segment = [&](Segment* segment) {
-    for (const detect::ClosedRatioWindow& closed :
-         segment->series.close_through(window + 1)) {
-      if (segment->baseline_ratio < 0.0 && segment->series.armed()) {
-        segment->baseline_ratio = closed.ratio;
-      }
-      bool drop = closed.judgement.outlier && closed.judgement.score < 0 &&
-                  closed.intersect >= params_.min_intersect;
-      // A path change can only *reduce* how often the exact subpath is
-      // followed (upward outliers are sampling-mix noise), and a thin
-      // window needs corroboration from the next one.
-      bool confirmed =
-          drop && (closed.intersect >= params_.single_shot_intersect ||
-                   segment->pending_drop);
-      segment->pending_drop = drop;
-      if (!confirmed) continue;
-      // The outlier belongs to its aggregate window, which may end before
-      // the base window being closed (sparse segments aggregate slowly).
-      std::int64_t agg_end =
-          closed.aggregate_window * closed.multiplier + closed.multiplier - 1;
-      TimePoint at = window_end -
-                     (window - agg_end) * params_.base_window_seconds;
-      for (const Subscriber& sub : segment->subscribers) {
-        StalenessSignal signal;
-        signal.technique = Technique::kTraceSubpath;
-        signal.potential = segment->id;
-        signal.time = at;
-        signal.window = agg_end;
-        signal.span_seconds =
-            closed.multiplier * params_.base_window_seconds;
-        signal.pair = sub.pair;
-        signal.border_index = sub.border;
-        signal.meta.ip_overlap = static_cast<int>(segment->ips.size());
-        signal.meta.deviation = std::abs(closed.judgement.score);
-        signals.push_back(std::move(signal));
-      }
+  // Segments are disjoint state, so shards close them concurrently into
+  // per-segment buffers; concatenating the buffers in work-list order makes
+  // the output independent of the thread count.
+  std::vector<Segment*> work;
+  work.swap(touched_);
+  std::vector<std::vector<StalenessSignal>> shards =
+      runtime::parallel_map(pool_, work, [&](Segment* segment) {
+        segment->touched = false;
+        return close_segment(segment, window, window_end);
+      });
+  for (std::vector<StalenessSignal>& shard : shards) {
+    for (StalenessSignal& signal : shard) {
+      signals.push_back(std::move(signal));
     }
-  };
-  for (Segment* segment : touched_) {
-    segment->touched = false;
-    close_segment(segment);
   }
-  touched_.clear();
   // Periodic sweep so idle segments still close their pending windows;
   // zombie subscriptions have flushed whatever was pending by now.
   if (window % 96 == 95) {
-    for (auto& [key, segment] : segments_) {
-      close_segment(segment.get());
+    std::vector<Segment*> all;
+    all.reserve(segments_.size());
+    for (auto& [key, segment] : segments_) all.push_back(segment.get());
+    std::vector<std::vector<StalenessSignal>> swept =
+        runtime::parallel_map(pool_, all, [&](Segment* segment) {
+          return close_segment(segment, window, window_end);
+        });
+    for (std::vector<StalenessSignal>& shard : swept) {
+      for (StalenessSignal& signal : shard) {
+        signals.push_back(std::move(signal));
+      }
+    }
+    for (Segment* segment : all) {
       std::erase_if(segment->subscribers,
                     [](const Subscriber& sub) { return sub.zombie; });
     }

@@ -19,6 +19,10 @@
 #include "detect/series.h"
 #include "signals/monitor.h"
 
+namespace rrr::runtime {
+class ThreadPool;
+}
+
 namespace rrr::signals {
 
 struct SubpathParams {
@@ -46,6 +50,8 @@ class SubpathMonitor final : public TraceMonitor {
         prototype_(params.zscore) {}
 
   Technique technique() const override { return Technique::kTraceSubpath; }
+  // Evaluates window closes across segments on `pool` (null = serial).
+  void set_pool(runtime::ThreadPool* pool) { pool_ = pool; }
   void watch(const CorpusView& view, PotentialIndex& index) override;
   void unwatch(const tr::PairKey& pair) override;
   void on_public_trace(const tracemap::ProcessedTrace& trace,
@@ -102,7 +108,14 @@ class SubpathMonitor final : public TraceMonitor {
   static std::uint64_t key_of(const std::vector<Ipv4>& ips);
   Segment* ensure_segment(const std::vector<Ipv4>& ips,
                           PotentialIndex& index);
+  // Closes `segment`'s pending aggregate windows; returns the signals it
+  // fired. Touches only `segment`, so distinct segments may be closed
+  // concurrently (each parallel shard gets its own signal buffer).
+  std::vector<StalenessSignal> close_segment(Segment* segment,
+                                             std::int64_t window,
+                                             TimePoint window_end);
 
+  runtime::ThreadPool* pool_ = nullptr;
   SubpathParams params_;
   detect::ModifiedZScoreDetector prototype_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Segment>> segments_;

@@ -1,0 +1,109 @@
+// End-to-end determinism of the staleness engine's parallel window closing:
+// the signal stream, stale-pair set, and calibration state must be
+// bit-identical at any engine thread count (the determinism contract,
+// DESIGN.md "Runtime & determinism"), and two serial runs must be
+// byte-identical through the io/serialize text formats.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include "eval/world.h"
+#include "io/serialize.h"
+
+namespace rrr::eval {
+namespace {
+
+WorldParams small_params(std::uint64_t seed, int engine_threads) {
+  WorldParams params;
+  params.days = 3;
+  params.warmup_days = 1;
+  params.corpus_pair_target = 150;
+  params.corpus_dest_count = 10;
+  params.public_dest_count = 40;
+  params.public_traces_per_window = 120;
+  params.platform.num_probes = 160;
+  params.topology.num_transit = 24;
+  params.topology.num_stub = 80;
+  params.seed = seed;
+  params.engine_threads = engine_threads;
+  return params;
+}
+
+// Everything about a signal that identifies it across runs.
+using SignalKey = std::tuple<std::int64_t, tr::ProbeId, std::uint32_t,
+                             int, signals::PotentialId, std::size_t,
+                             std::int64_t>;
+
+struct RunTrace {
+  std::vector<SignalKey> signals;
+  std::vector<tr::PairKey> stale;
+  std::uint64_t calibration_digest = 0;
+  std::string corpus_bytes;  // io/serialize rendering of the final corpus
+};
+
+RunTrace run_world(std::uint64_t seed, int engine_threads) {
+  World world(small_params(seed, engine_threads));
+  RunTrace trace;
+  World::Hooks hooks;
+  hooks.on_signals = [&](std::int64_t window, TimePoint,
+                         std::vector<signals::StalenessSignal>&& sigs) {
+    for (const signals::StalenessSignal& s : sigs) {
+      trace.signals.emplace_back(window, s.pair.probe, s.pair.dst.value(),
+                                 static_cast<int>(s.technique), s.potential,
+                                 s.border_index, s.time.seconds());
+    }
+  };
+  world.run_until(world.corpus_t0(), hooks);
+  world.initialize_corpus();
+  world.run_until(world.end(), hooks);
+
+  trace.stale = world.engine().stale_pairs();
+  trace.calibration_digest = world.engine().calibration().digest();
+
+  // Render the final corpus view through the text serializer so the
+  // byte-identity check covers every field the formats carry.
+  std::ostringstream corpus;
+  std::vector<tr::Traceroute> finals;
+  for (const tr::PairKey& pair : world.ground_truth().pairs()) {
+    finals.push_back(world.issue_corpus_traceroute(pair, world.end()));
+  }
+  io::write_traceroutes(corpus, finals);
+  trace.corpus_bytes = corpus.str();
+  return trace;
+}
+
+TEST(Determinism, SignalStreamIdenticalAcrossThreadCounts) {
+  RunTrace serial = run_world(11, 1);
+  RunTrace parallel = run_world(11, 4);
+  ASSERT_GT(serial.signals.size(), 0u)
+      << "world too quiet to exercise the engine";
+  EXPECT_EQ(serial.signals, parallel.signals);
+}
+
+TEST(Determinism, StalePairsAndCalibrationIdenticalAcrossThreadCounts) {
+  RunTrace serial = run_world(12, 1);
+  RunTrace parallel = run_world(12, 4);
+  EXPECT_EQ(serial.stale, parallel.stale);
+  EXPECT_EQ(serial.calibration_digest, parallel.calibration_digest);
+}
+
+TEST(Determinism, SerialRunsAreByteIdentical) {
+  RunTrace a = run_world(13, 1);
+  RunTrace b = run_world(13, 1);
+  EXPECT_EQ(a.signals, b.signals);
+  EXPECT_EQ(a.stale, b.stale);
+  EXPECT_EQ(a.calibration_digest, b.calibration_digest);
+  ASSERT_FALSE(a.corpus_bytes.empty());
+  EXPECT_EQ(a.corpus_bytes, b.corpus_bytes);
+}
+
+TEST(Determinism, ParallelRunMatchesSerialBytes) {
+  RunTrace serial = run_world(14, 1);
+  RunTrace parallel = run_world(14, 4);
+  EXPECT_EQ(serial.corpus_bytes, parallel.corpus_bytes);
+}
+
+}  // namespace
+}  // namespace rrr::eval

@@ -205,6 +205,39 @@ TEST(Rng, ForkIsIndependentOfParentDraws) {
             fork_after.uniform_int(0, 1 << 30));
 }
 
+TEST(Rng, SplitIsDeterministic) {
+  for (std::uint64_t shard = 0; shard < 16; ++shard) {
+    Rng a = Rng(99).split(shard);
+    Rng b = Rng(99).split(shard);
+    EXPECT_EQ(a.seed(), b.seed());
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_EQ(a.uniform_int(0, 1 << 30), b.uniform_int(0, 1 << 30));
+    }
+  }
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  // Distinct shards of the same parent, and the same shard of distinct
+  // parents, must all land on distinct streams; split must also not collide
+  // with fork on the same salt.
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t shard = 0; shard < 64; ++shard) {
+    seeds.insert(Rng(5).split(shard).seed());
+    seeds.insert(Rng(6).split(shard).seed());
+    seeds.insert(Rng(5).fork(shard).seed());
+  }
+  EXPECT_EQ(seeds.size(), 3u * 64u);
+}
+
+TEST(Rng, SplitDoesNotPerturbParent) {
+  Rng a(31), b(31);
+  a.split(3);
+  a.split(4);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1 << 30), b.uniform_int(0, 1 << 30));
+  }
+}
+
 TEST(Geo, HaversineKnownDistances) {
   GeoPoint london{51.51, -0.13};
   GeoPoint frankfurt{50.11, 8.68};

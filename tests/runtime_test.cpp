@@ -1,0 +1,163 @@
+// Unit tests for the parallel runtime (src/runtime): thread-pool basics,
+// parallel_for / parallel_map semantics, exception propagation, and nested
+// parallel sections.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
+
+namespace rrr::runtime {
+namespace {
+
+TEST(ThreadPool, EmptyPoolRunsTasksInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1);
+  std::thread::id submitter = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.submit([&] { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, submitter);
+  EXPECT_EQ(pool.queued(), 0u);
+}
+
+TEST(ThreadPool, ClampsNonPositiveThreadCounts) {
+  EXPECT_EQ(ThreadPool(0).thread_count(), 1);
+  EXPECT_EQ(ThreadPool(-3).thread_count(), 1);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { counter.fetch_add(1); });
+  }
+  // Drain from the submitting thread too; workers race us for the rest.
+  while (pool.run_one()) {
+  }
+  while (counter.load() < 100) std::this_thread::yield();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, NestedSubmitDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_done{0};
+  std::atomic<bool> outer_done{false};
+  pool.submit([&] {
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([&] { inner_done.fetch_add(1); });
+    }
+    outer_done.store(true);
+  });
+  while (!outer_done.load() || inner_done.load() < 8) {
+    pool.run_one();
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(inner_done.load(), 8);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> visits(kN);
+  parallel_for(&pool, kN, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, NullPoolFallsBackToSerial) {
+  std::vector<int> visits(64, 0);
+  std::thread::id caller = std::this_thread::get_id();
+  bool same_thread = true;
+  parallel_for(nullptr, visits.size(), [&](std::size_t i) {
+    ++visits[i];
+    same_thread = same_thread && std::this_thread::get_id() == caller;
+  });
+  EXPECT_TRUE(same_thread);
+  EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0), 64);
+}
+
+TEST(ParallelFor, PropagatesExceptionAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  auto boom = [&] {
+    parallel_for(&pool, 256, [](std::size_t i) {
+      if (i == 137) throw std::runtime_error("index 137");
+    });
+  };
+  EXPECT_THROW(boom(), std::runtime_error);
+  try {
+    boom();
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "index 137");
+  }
+  // The pool survives a failed section and runs the next one fully.
+  std::atomic<int> counter{0};
+  parallel_for(&pool, 100, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ParallelFor, NestedSectionsComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  parallel_for(&pool, 8, [&](std::size_t) {
+    parallel_for(&pool, 16, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ParallelMap, ResultsComeBackInInputOrder) {
+  ThreadPool pool(4);
+  std::vector<int> items(500);
+  std::iota(items.begin(), items.end(), 0);
+  // Uneven per-item cost exercises out-of-order completion.
+  std::vector<int> doubled = parallel_map(&pool, items, [](const int& v) {
+    volatile int spin = (v * 7919) % 257;
+    while (spin > 0) spin = spin - 1;
+    return v * 2;
+  });
+  ASSERT_EQ(doubled.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(doubled[i], static_cast<int>(i) * 2) << "index " << i;
+  }
+}
+
+TEST(ParallelMap, SerialAndParallelAgree) {
+  std::vector<std::string> items;
+  for (int i = 0; i < 200; ++i) items.push_back(std::to_string(i));
+  auto fn = [](const std::string& s) { return s + "!"; };
+  ThreadPool pool(4);
+  EXPECT_EQ(parallel_map(&pool, items, fn),
+            parallel_map(nullptr, items, fn));
+}
+
+TEST(ParallelMap, EmptyAndSingleItemInputs) {
+  ThreadPool pool(4);
+  std::vector<int> empty;
+  EXPECT_TRUE(parallel_map(&pool, empty, [](const int& v) { return v; })
+                  .empty());
+  std::vector<int> one{41};
+  auto result = parallel_map(&pool, one, [](const int& v) { return v + 1; });
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], 42);
+}
+
+TEST(ParallelFor, RespectsExplicitGrain) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(97);
+  parallel_for(
+      &pool, visits.size(), [&](std::size_t i) { visits[i].fetch_add(1); },
+      /*grain=*/10);
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rrr::runtime
