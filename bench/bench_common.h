@@ -76,6 +76,7 @@ inline eval::WorldParams retrospective_params(const Flags& flags) {
   params.topology.num_transit = 48;
   params.topology.num_stub = 200;
   params.engine_threads = static_cast<int>(flags.get_int("engine-threads", 1));
+  params.engine_shards = static_cast<int>(flags.get_int("engine-shards", 1));
   return params;
 }
 

@@ -7,21 +7,25 @@
 // slowly improve (more paths have changed as time passes). (b) Of the
 // changes the random arm stumbles on, signals had flagged 70-85%.
 //
-// Flags: --days N --pairs N --budget N --seed N
-#include <set>
-
+// The two arms are independent experiments over the same simulated
+// internet (same world seed), so each runs in its own World and the
+// arm × seed-replicate grid fans out over the pool; results print in task
+// order whatever the parallelism.
+//
+// Flags: --days N --pairs N --budget N --seed N --seeds N --threads N
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
   using namespace rrr;
   bench::Flags flags(argc, argv);
-  eval::WorldParams params = bench::retrospective_params(flags);
-  params.days = static_cast<int>(flags.get_int("days", 24));
-  params.corpus_pair_target = static_cast<int>(flags.get_int("pairs", 2500));
+  eval::WorldParams base = bench::retrospective_params(flags);
+  base.days = static_cast<int>(flags.get_int("days", 24));
+  base.corpus_pair_target = static_cast<int>(flags.get_int("pairs", 2500));
   // Live mode: no free daily remeasurement; refreshes cost budget.
-  params.recalibration_interval_windows = 0;
+  base.recalibration_interval_windows = 0;
   int budget = static_cast<int>(
-      flags.get_int("budget", params.corpus_pair_target / 25));
+      flags.get_int("budget", base.corpus_pair_target / 25));
+  int seeds = static_cast<int>(flags.get_int("seeds", 1));
 
   eval::print_banner(std::cout, "Figure 7",
                      "live evaluation: signal-driven vs random refreshes",
@@ -29,67 +33,100 @@ int main(int argc, char** argv) {
                      "(b) signals flag 70-85% of changes random finds");
   std::cout << "budget: " << budget << " refreshes/day/arm\n";
 
-  eval::World world(params);
-  world.run_until(world.corpus_t0());
-  std::size_t pairs = world.initialize_corpus();
-  std::cout << "corpus: " << pairs << " pairs\n\n";
-
-  // The random arm's shadow corpus: last refreshed measurement per pair.
-  std::map<tr::PairKey, tracemap::ProcessedTrace> random_store;
-  std::vector<tr::PairKey> all_pairs = world.ground_truth().pairs();
-  for (const tr::PairKey& pair : all_pairs) {
-    const tracemap::ProcessedTrace* processed =
-        world.engine().processed_of(pair);
-    if (processed != nullptr) random_store[pair] = *processed;
-  }
-
-  eval::TableWriter table({"day", "signal precision", "random precision",
-                           "signal-flagged share of random finds",
-                           "#flagged"});
-  Rng arm_rng(params.seed * 77 + 5);
-
-  eval::World::Hooks hooks;
-  hooks.on_day = [&](int day, TimePoint t) {
-    if (t <= world.corpus_t0()) return;
-    // --- signal arm ---
-    auto chosen = world.engine().plan_refreshes(budget);
-    int signal_hits = 0;
-    for (const tr::PairKey& pair : chosen) {
-      tr::Traceroute fresh = world.issue_corpus_traceroute(pair, t);
-      auto outcome = world.engine().apply_refresh(
-          world.platform().probe(pair.probe), fresh);
-      if (outcome.change != tracemap::ChangeKind::kNone) ++signal_hits;
-    }
-    // --- random arm ---
-    int random_hits = 0;
-    int random_flagged_hits = 0;
-    for (int i = 0; i < budget && !all_pairs.empty(); ++i) {
-      const tr::PairKey& pair = all_pairs[arm_rng.index(all_pairs.size())];
-      auto it = random_store.find(pair);
-      if (it == random_store.end()) continue;
-      bool was_flagged =
-          world.engine().freshness(pair) == tr::Freshness::kStale;
-      tr::Traceroute fresh = world.issue_corpus_traceroute(pair, t);
-      tracemap::ProcessedTrace processed = world.processing().process(fresh);
-      if (tracemap::classify_change(it->second, processed) !=
-          tracemap::ChangeKind::kNone) {
-        ++random_hits;
-        if (was_flagged) ++random_flagged_hits;
-      }
-      it->second = std::move(processed);
-    }
-    auto pct = [](int num, int den) {
-      return den > 0 ? eval::TableWriter::fmt(
-                           static_cast<double>(num) / den)
-                     : std::string("-");
-    };
-    table.add_row({std::to_string(day - params.warmup_days + 1),
-                   pct(signal_hits, static_cast<int>(chosen.size())),
-                   pct(random_hits, budget),
-                   pct(random_flagged_hits, random_hits),
-                   std::to_string(chosen.size())});
+  // One day of one arm: hits over a denominator, plus how many of the
+  // random arm's hits the engine had flagged stale beforehand.
+  struct DayRow {
+    int day = 0;
+    int hits = 0;
+    int denom = 0;
+    int flagged_hits = 0;
   };
-  world.run_until(world.end(), hooks);
-  table.print(std::cout);
+  struct ArmResult {
+    std::size_t pairs = 0;
+    std::vector<DayRow> days;
+  };
+
+  std::vector<std::string> labels;
+  for (int k = 0; k < seeds; ++k) {
+    std::string s = std::to_string(bench::replicate_seed(base.seed,
+                                                         std::size_t(k)));
+    labels.push_back("signal s" + s);
+    labels.push_back("random s" + s);
+  }
+  int threads = bench::fanout_threads(flags, labels.size());
+  std::vector<ArmResult> results = bench::fan_out<ArmResult>(
+      threads, labels,
+      [&](std::size_t i) {
+        eval::WorldParams params = base;
+        params.seed = bench::replicate_seed(base.seed, i / 2);
+        const bool random_arm = i % 2 == 1;
+        eval::World world(params);
+        world.run_until(world.corpus_t0());
+        ArmResult result;
+        result.pairs = world.initialize_corpus();
+        std::vector<tr::PairKey> all_pairs = world.ground_truth().pairs();
+        Rng arm_rng(params.seed * 77 + 5);
+
+        eval::World::Hooks hooks;
+        hooks.on_day = [&](int day, TimePoint t) {
+          if (t <= world.corpus_t0()) return;
+          DayRow row;
+          row.day = day - params.warmup_days + 1;
+          if (!random_arm) {
+            auto chosen = world.engine().plan_refreshes(budget);
+            for (const tr::PairKey& pair : chosen) {
+              tr::Traceroute fresh = world.issue_corpus_traceroute(pair, t);
+              auto outcome = world.engine().apply_refresh(
+                  world.platform().probe(pair.probe), fresh);
+              if (outcome.change != tracemap::ChangeKind::kNone) ++row.hits;
+            }
+            row.denom = static_cast<int>(chosen.size());
+          } else {
+            for (int r = 0; r < budget && !all_pairs.empty(); ++r) {
+              const tr::PairKey& pair =
+                  all_pairs[arm_rng.index(all_pairs.size())];
+              if (world.engine().freshness(pair) == tr::Freshness::kUnknown) {
+                continue;
+              }
+              tr::Traceroute fresh = world.issue_corpus_traceroute(pair, t);
+              auto outcome = world.engine().apply_refresh(
+                  world.platform().probe(pair.probe), fresh);
+              if (outcome.change != tracemap::ChangeKind::kNone) {
+                ++row.hits;
+                if (outcome.was_flagged_stale) ++row.flagged_hits;
+              }
+            }
+            row.denom = budget;
+          }
+          result.days.push_back(row);
+        };
+        world.run_until(world.end(), hooks);
+        return result;
+      },
+      std::cout);
+
+  auto pct = [](int num, int den) {
+    return den > 0
+               ? eval::TableWriter::fmt(static_cast<double>(num) / den)
+               : std::string("-");
+  };
+  for (int k = 0; k < seeds; ++k) {
+    const ArmResult& sig = results[static_cast<std::size_t>(2 * k)];
+    const ArmResult& rnd = results[static_cast<std::size_t>(2 * k + 1)];
+    std::cout << "\nseed " << bench::replicate_seed(base.seed, std::size_t(k))
+              << ": corpus " << sig.pairs << " pairs\n";
+    eval::TableWriter table({"day", "signal precision", "random precision",
+                             "signal-flagged share of random finds",
+                             "#flagged"});
+    std::size_t days = std::min(sig.days.size(), rnd.days.size());
+    for (std::size_t d = 0; d < days; ++d) {
+      const DayRow& s = sig.days[d];
+      const DayRow& r = rnd.days[d];
+      table.add_row({std::to_string(s.day), pct(s.hits, s.denom),
+                     pct(r.hits, r.denom), pct(r.flagged_hits, r.hits),
+                     std::to_string(s.denom)});
+    }
+    table.print(std::cout);
+  }
   return 0;
 }

@@ -10,126 +10,147 @@
 // faster at first. 90.3% of user-defined measurements could be served from
 // the archive (68.6% after accounting for the feedback loop).
 //
-// Flags: --days N --pairs N --seed N
+// Seed replicates are independent worlds, so the sweep fans out over the
+// pool; each task renders its own report and the outputs print in seed
+// order whatever the parallelism.
+//
+// Flags: --days N --pairs N --seed N --seeds N --threads N
 #include <set>
+#include <sstream>
 
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
   using namespace rrr;
   bench::Flags flags(argc, argv);
-  eval::WorldParams params = bench::retrospective_params(flags);
-  params.days = static_cast<int>(flags.get_int("days", 14));
+  eval::WorldParams base = bench::retrospective_params(flags);
+  base.days = static_cast<int>(flags.get_int("days", 14));
   // Archive mode: traceroutes accumulate; nothing is refreshed for free.
-  params.recalibration_interval_windows = 0;
-  params.platform.probe_death_per_day = 0.006;
+  base.recalibration_interval_windows = 0;
+  base.platform.probe_death_per_day = 0.006;
+  int seeds = static_cast<int>(flags.get_int("seeds", 1));
 
   eval::print_banner(std::cout, "Figure 11",
                      "fresh vs stale archival traceroutes over time",
                      "~60% of two weeks of traceroutes remain fresh; ~4% of "
                      "fresh ones are from dead probes");
 
-  eval::World world(params);
-  world.run_until(world.corpus_t0());
-  std::size_t pairs = world.initialize_corpus();
-  std::cout << "archive sources: " << pairs << " pairs, accumulating one "
+  std::vector<std::string> labels;
+  for (int k = 0; k < seeds; ++k) {
+    labels.push_back(
+        "s" + std::to_string(bench::replicate_seed(base.seed,
+                                                   std::size_t(k))));
+  }
+  int threads = bench::fanout_threads(flags, labels.size());
+  std::vector<std::string> reports = bench::fan_out<std::string>(
+      threads, labels,
+      [&](std::size_t k) {
+        eval::WorldParams params = base;
+        params.seed = bench::replicate_seed(base.seed, k);
+        std::ostringstream out;
+
+        eval::World world(params);
+        world.run_until(world.corpus_t0());
+        std::size_t pairs = world.initialize_corpus();
+        out << "archive sources: " << pairs << " pairs, accumulating one "
             << "measurement per pair per day\n\n";
 
-  // The archive: (pair, issue day). Every pair contributes one archived
-  // trace per day (scaled stand-in for the public firehose).
-  struct Archived {
-    tr::PairKey pair;
-    TimePoint issued;
-  };
-  std::vector<Archived> archive;
-  // Stale knowledge: for each pair, times at which signals fired.
-  std::map<tr::PairKey, std::vector<TimePoint>> signal_times;
+        // The archive: (pair, issue day). Every pair contributes one
+        // archived trace per day (scaled stand-in for the public firehose).
+        struct Archived {
+          tr::PairKey pair;
+          TimePoint issued;
+        };
+        std::vector<Archived> archive;
+        // Stale knowledge: for each pair, times at which signals fired.
+        std::map<tr::PairKey, std::vector<TimePoint>> signal_times;
+        auto stale_after = [&](const tr::PairKey& pair, TimePoint issued) {
+          auto it = signal_times.find(pair);
+          if (it == signal_times.end()) return false;
+          for (TimePoint st : it->second) {
+            if (st > issued) return true;
+          }
+          return false;
+        };
 
-  eval::TableWriter table({"day", "archived", "fresh", "stale", "unknown",
-                           "fresh, dead probe"});
-  eval::World::Hooks hooks;
-  hooks.on_signals = [&](std::int64_t, TimePoint,
-                         std::vector<signals::StalenessSignal>&& sigs) {
-    for (const auto& s : sigs) signal_times[s.pair].push_back(s.time);
-  };
-  hooks.on_day = [&](int day, TimePoint t) {
-    if (t < world.corpus_t0()) return;
-    for (const tr::PairKey& pair : world.ground_truth().pairs()) {
-      archive.push_back(Archived{pair, t});
-    }
-    // Classify the whole archive as of now.
-    std::int64_t fresh = 0, stale = 0, unknown = 0, fresh_dead = 0;
-    for (const Archived& entry : archive) {
-      bool is_stale = false;
-      auto it = signal_times.find(entry.pair);
-      if (it != signal_times.end()) {
-        for (TimePoint st : it->second) {
-          if (st > entry.issued) {
-            is_stale = true;
-            break;
+        eval::TableWriter table({"day", "archived", "fresh", "stale",
+                                 "unknown", "fresh, dead probe"});
+        eval::World::Hooks hooks;
+        hooks.on_signals = [&](std::int64_t, TimePoint,
+                               std::vector<signals::StalenessSignal>&& sigs) {
+          for (const auto& s : sigs) signal_times[s.pair].push_back(s.time);
+        };
+        hooks.on_day = [&](int day, TimePoint t) {
+          if (t < world.corpus_t0()) return;
+          for (const tr::PairKey& pair : world.ground_truth().pairs()) {
+            archive.push_back(Archived{pair, t});
+          }
+          // Classify the whole archive as of now.
+          std::int64_t fresh = 0, stale = 0, unknown = 0, fresh_dead = 0;
+          for (const Archived& entry : archive) {
+            if (stale_after(entry.pair, entry.issued)) {
+              ++stale;
+              continue;
+            }
+            // Unknown: the engine cannot monitor every border of this pair.
+            tr::Freshness freshness = world.engine().freshness(entry.pair);
+            if (freshness == tr::Freshness::kUnknown) {
+              ++unknown;
+              continue;
+            }
+            ++fresh;
+            if (!world.platform().probe(entry.pair.probe).active) {
+              ++fresh_dead;
+            }
+          }
+          table.add_row({std::to_string(day - params.warmup_days + 1),
+                         eval::TableWriter::fmt_int(
+                             static_cast<std::int64_t>(archive.size())),
+                         eval::TableWriter::fmt_pct(
+                             double(fresh) / double(archive.size())),
+                         eval::TableWriter::fmt_pct(
+                             double(stale) / double(archive.size())),
+                         eval::TableWriter::fmt_pct(
+                             double(unknown) / double(archive.size())),
+                         eval::TableWriter::fmt_pct(
+                             fresh ? double(fresh_dead) / double(fresh)
+                                   : 0)});
+        };
+        world.run_until(world.end(), hooks);
+        table.print(out);
+
+        // §6.2's request-serving estimate: a request for (probe AS+city ->
+        // destination prefix) can be served when a fresh archived trace
+        // exists for some pair with the same source AS/city and destination
+        // block.
+        std::set<std::pair<std::uint64_t, std::uint32_t>> fresh_keys;
+        std::set<std::pair<std::uint64_t, std::uint32_t>> all_keys;
+        for (const Archived& entry : archive) {
+          const tr::Probe& probe = world.platform().probe(entry.pair.probe);
+          std::uint64_t src_key =
+              (std::uint64_t{probe.as} << 16) | probe.city;
+          std::uint32_t dst_block = entry.pair.dst.value() >> 16;
+          all_keys.insert({src_key, dst_block});
+          if (!stale_after(entry.pair, entry.issued) &&
+              world.engine().freshness(entry.pair) == tr::Freshness::kFresh) {
+            fresh_keys.insert({src_key, dst_block});
           }
         }
-      }
-      if (is_stale) {
-        ++stale;
-        continue;
-      }
-      // Unknown: the engine cannot monitor every border of this pair.
-      tr::Freshness freshness = world.engine().freshness(entry.pair);
-      if (freshness == tr::Freshness::kUnknown) {
-        ++unknown;
-        continue;
-      }
-      ++fresh;
-      if (!world.platform().probe(entry.pair.probe).active) ++fresh_dead;
-    }
-    table.add_row({std::to_string(day - params.warmup_days + 1),
-                   eval::TableWriter::fmt_int(
-                       static_cast<std::int64_t>(archive.size())),
-                   eval::TableWriter::fmt_pct(
-                       double(fresh) / double(archive.size())),
-                   eval::TableWriter::fmt_pct(
-                       double(stale) / double(archive.size())),
-                   eval::TableWriter::fmt_pct(
-                       double(unknown) / double(archive.size())),
-                   eval::TableWriter::fmt_pct(
-                       fresh ? double(fresh_dead) / double(fresh) : 0)});
-  };
-  world.run_until(world.end(), hooks);
-  table.print(std::cout);
-
-  // §6.2's request-serving estimate: a request for (probe AS+city ->
-  // destination prefix) can be served when a fresh archived trace exists
-  // for some pair with the same source AS/city and destination block.
-  std::set<std::pair<std::uint64_t, std::uint32_t>> fresh_keys;
-  std::set<std::pair<std::uint64_t, std::uint32_t>> all_keys;
-  for (const Archived& entry : archive) {
-    const tr::Probe& probe = world.platform().probe(entry.pair.probe);
-    std::uint64_t src_key =
-        (std::uint64_t{probe.as} << 16) | probe.city;
-    std::uint32_t dst_block = entry.pair.dst.value() >> 16;
-    all_keys.insert({src_key, dst_block});
-    bool is_stale = false;
-    auto it = signal_times.find(entry.pair);
-    if (it != signal_times.end()) {
-      for (TimePoint st : it->second) {
-        if (st > entry.issued) {
-          is_stale = true;
-          break;
-        }
-      }
-    }
-    if (!is_stale &&
-        world.engine().freshness(entry.pair) == tr::Freshness::kFresh) {
-      fresh_keys.insert({src_key, dst_block});
-    }
-  }
-  std::cout << "\n(AS,city)->prefix demands servable by a fresh archived "
+        out << "\n(AS,city)->prefix demands servable by a fresh archived "
             << "trace: "
             << eval::TableWriter::fmt_pct(
-                   all_keys.empty()
-                       ? 0
-                       : double(fresh_keys.size()) / double(all_keys.size()))
+                   all_keys.empty() ? 0
+                                    : double(fresh_keys.size()) /
+                                          double(all_keys.size()))
             << " (paper: 90.3% of UDMs; 68.6% with the feedback loop)\n";
+        return out.str();
+      },
+      std::cout);
+
+  for (int k = 0; k < seeds; ++k) {
+    std::cout << "\nseed "
+              << bench::replicate_seed(base.seed, std::size_t(k)) << ":\n"
+              << reports[static_cast<std::size_t>(k)];
+  }
   return 0;
 }

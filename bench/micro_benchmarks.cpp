@@ -125,27 +125,30 @@ void BM_TraceProcessing(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceProcessing);
 
-// End-to-end window closing of the staleness engine on a 2000-pair corpus,
-// at 1/2/4 engine threads. One iteration = one 900 s window: the feed
-// (public traces, untimed) plus advance_to (timed). The signal stream is
-// identical at every thread count (the engine's determinism contract); only
-// the wall time changes, so the 1-thread arg is the serial baseline the
-// 2/4-thread args are compared against.
+// End-to-end window closing of the staleness engine, parameterized by
+// engine thread count, shard count, and corpus size. One iteration = one
+// 900 s window: the feed (public traces, untimed) plus advance_to (timed).
+// The signal stream is identical at every (shards, threads) combination
+// (the engine's determinism contract); only the wall time changes, so the
+// 1-shard 1-thread arg is the serial baseline the others are compared
+// against.
 struct AdvanceToFixture {
-  explicit AdvanceToFixture(int threads) {
+  explicit AdvanceToFixture(int threads, int shards = 1, int pairs = 2000,
+                            int num_probes = 700) {
     eval::WorldParams params;
     params.days = 1;
     params.warmup_days = 1;
-    params.corpus_pair_target = 2000;
+    params.corpus_pair_target = pairs;
     params.corpus_dest_count = 40;
     params.public_dest_count = 120;
     params.public_traces_per_window = 800;
-    params.platform.num_probes = 700;
+    params.platform.num_probes = num_probes;
     params.topology.num_transit = 48;
     params.topology.num_stub = 200;
     params.recalibration_interval_windows = 0;
     params.seed = 20200642;
     params.engine_threads = threads;
+    params.engine_shards = shards;
     world = std::make_unique<eval::World>(params);
     world->run_until(world->corpus_t0());
     world->initialize_corpus();
@@ -207,6 +210,45 @@ BENCHMARK(BM_AdvanceTo)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->Iterations(96)
+    ->Unit(benchmark::kMillisecond);
+
+// Sharded-engine scaling on a larger (>= 4000-pair) corpus: sweeps the
+// (shards, threads) grid so the per-dimension contributions separate —
+// shards alone exercise the partition with a serial scheduler, threads
+// alone the intra-engine monitor fan-out, and the combined points the
+// two-level parallelism. Emit BENCH_sharded_scaling.json with
+//   --benchmark_filter=ShardedAdvanceTo
+//   --benchmark_out=BENCH_sharded_scaling.json --benchmark_out_format=json
+void BM_ShardedAdvanceTo(benchmark::State& state) {
+  AdvanceToFixture fixture(static_cast<int>(state.range(1)),
+                           static_cast<int>(state.range(0)),
+                           /*pairs=*/4200, /*probes=*/900);
+  std::size_t signals = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    fixture.feed_window();
+    state.ResumeTiming();
+    auto sigs =
+        fixture.world->engine().advance_to(fixture.now +
+                                           fixture.world->window_seconds());
+    benchmark::DoNotOptimize(sigs.data());
+    signals += sigs.size();
+    fixture.now = fixture.now + fixture.world->window_seconds();
+  }
+  state.counters["shards"] = static_cast<double>(state.range(0));
+  state.counters["threads"] = static_cast<double>(state.range(1));
+  state.counters["signals"] = static_cast<double>(signals);
+  state.counters["corpus"] =
+      static_cast<double>(fixture.world->engine().corpus_size());
+}
+BENCHMARK(BM_ShardedAdvanceTo)
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({1, 4})
+    ->Args({2, 4})
+    ->Args({4, 4})
     ->Iterations(96)
     ->Unit(benchmark::kMillisecond);
 

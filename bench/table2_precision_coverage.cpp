@@ -120,7 +120,7 @@ std::string run_replicate(eval::WorldParams params, std::uint64_t seed,
     }
     out << "community signals: geo tp=" << geo_tp << " fp=" << geo_fp
         << "; te tp=" << te_tp << " fp=" << te_fp << "\n";
-    const auto& cstats = world.engine().community_monitor().stats();
+    const auto cstats = world.engine().community_stats();
     out << "community monitor: records=" << cstats.records
         << " diffs=" << cstats.diffs
         << " no-prev-overlap=" << cstats.no_prev_overlap

@@ -36,6 +36,15 @@ bool VpTableView::apply(const BgpRecord& record) {
   return true;
 }
 
+std::size_t VpTableView::apply_all(const std::vector<BgpRecord>& records,
+                                   std::size_t count) {
+  std::size_t applied = 0;
+  for (std::size_t i = 0; i < count && i < records.size(); ++i) {
+    if (apply(records[i])) ++applied;
+  }
+  return applied;
+}
+
 const VpRoute* VpTableView::route(VpId vp, Ipv4 ip) const {
   auto it = tables_.find(vp);
   if (it == tables_.end()) return nullptr;

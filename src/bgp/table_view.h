@@ -44,6 +44,14 @@ class VpTableView {
   // dropped; returns whether the record was applied.
   bool apply(const BgpRecord& record);
 
+  // Absorbs the first `count` records of `records` in order; returns how
+  // many were applied. This is the once-per-window batch absorption of the
+  // staleness engine: monitors dispatch against the pre-batch table (the
+  // immutable start-of-window snapshot shared across engine shards), then
+  // the single owner advances it here.
+  std::size_t apply_all(const std::vector<BgpRecord>& records,
+                        std::size_t count);
+
   // The VP's route for the most specific prefix covering `ip`, if any.
   const VpRoute* route(VpId vp, Ipv4 ip) const;
 

@@ -106,7 +106,8 @@ World::World(const WorldParams& params)
   engine_params.border = params_.border;
   engine_params.seed = rng_.fork(8).seed();
   engine_params.threads = params_.engine_threads;
-  engine_ = std::make_unique<signals::StalenessEngine>(
+  engine_params.shards = params_.engine_shards;
+  engine_ = std::make_unique<signals::ShardedStalenessEngine>(
       engine_params, *processing_, std::move(vps), std::move(vp_as),
       std::move(vp_city), std::move(rs_asns),
       signals::AsRelDb::from_topology(topology_), std::move(members));

@@ -11,7 +11,7 @@
 #include "eval/ground_truth.h"
 #include "routing/control_plane.h"
 #include "routing/events.h"
-#include "signals/engine.h"
+#include "signals/sharded_engine.h"
 #include "topology/builder.h"
 #include "tracemap/pipeline.h"
 #include "traceroute/platform.h"
@@ -53,6 +53,10 @@ struct WorldParams {
   // throughput knob: signal output is identical at any value (the engine's
   // determinism contract, DESIGN.md "Runtime & determinism").
   int engine_threads = 1;
+  // Corpus partition count of the sharded engine (DESIGN.md "Sharded
+  // engine"). Like engine_threads, a pure throughput knob: the signal
+  // stream is bit-identical for any (shards, threads) combination.
+  int engine_shards = 1;
 };
 
 class World {
@@ -66,7 +70,7 @@ class World {
   bgp::FeedSimulator& feed() { return *feed_; }
   tr::Platform& platform() { return *platform_; }
   tracemap::ProcessingContext& processing() { return *processing_; }
-  signals::StalenessEngine& engine() { return *engine_; }
+  signals::ShardedStalenessEngine& engine() { return *engine_; }
   GroundTruth& ground_truth() { return *ground_truth_; }
   Rng& rng() { return rng_; }
 
@@ -134,7 +138,7 @@ class World {
   std::unique_ptr<bgp::FeedSimulator> feed_;
   std::unique_ptr<tr::Platform> platform_;
   std::unique_ptr<tracemap::ProcessingContext> processing_;
-  std::unique_ptr<signals::StalenessEngine> engine_;
+  std::unique_ptr<signals::ShardedStalenessEngine> engine_;
   std::unique_ptr<GroundTruth> ground_truth_;
 
   std::vector<routing::Event> schedule_;

@@ -1,0 +1,98 @@
+// TaskGroup: a handful of independent void() tasks on a shared ThreadPool.
+//
+// parallel_for covers homogeneous index ranges; a TaskGroup covers the
+// heterogeneous case — N distinct closures (e.g. one window-close task per
+// engine shard, or the three global trace monitors) running concurrently on
+// the same pool. Tasks may themselves open nested parallel sections on the
+// pool: wait() drains queued work while blocking, so a bounded pool cannot
+// deadlock on nesting (same discipline as parallel_for).
+//
+// With a null or serial pool, spawn() runs the task inline on the calling
+// thread — the exact single-threaded code path, no synchronization.
+// The first exception thrown by any task is rethrown from wait().
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <utility>
+
+#include "runtime/thread_pool.h"
+
+namespace rrr::runtime {
+
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  // Joins outstanding tasks; a pending exception is dropped here, so call
+  // wait() explicitly when failures matter.
+  ~TaskGroup() {
+    try {
+      wait();
+    } catch (...) {
+    }
+  }
+
+  void spawn(std::function<void()> task) {
+    if (pool_ == nullptr || pool_->thread_count() <= 1) {
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++pending_;
+    }
+    pool_->submit([this, task = std::move(task)] {
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    });
+  }
+
+  // Blocks until every spawned task finished, helping to drain the pool's
+  // queue meanwhile; rethrows the first task exception.
+  void wait() {
+    if (pool_ != nullptr) {
+      std::unique_lock<std::mutex> lock(mu_);
+      while (pending_ > 0) {
+        lock.unlock();
+        bool ran = pool_->run_one();
+        lock.lock();
+        if (!ran && pending_ > 0) {
+          done_cv_.wait_for(lock, std::chrono::milliseconds(1));
+        }
+      }
+    }
+    std::exception_ptr error;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      std::swap(error, error_);
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  std::size_t pending_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace rrr::runtime

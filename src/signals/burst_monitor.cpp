@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "runtime/parallel.h"
+
 namespace rrr::signals {
 namespace {
 
@@ -145,8 +147,13 @@ void BurstMonitor::on_record(const DispatchedRecord& record,
 
 std::vector<StalenessSignal> BurstMonitor::close_window(
     std::int64_t window, TimePoint window_end) {
-  std::vector<StalenessSignal> signals;
-  for (Entry* entry : dirty_) {
+  // Each dirty entry owns its series and per-window VP sets exclusively, so
+  // evaluation fans out over the pool; per-entry buffers concatenate in
+  // work-list order, keeping the output identical to the serial loop.
+  std::vector<Entry*> work;
+  work.swap(dirty_);
+  auto evaluate = [&](Entry* entry) {
+    std::vector<StalenessSignal> out;
     entry->dirty = false;
     // Extras first: their contemporaneous-outlier status gates the signal.
     for (ExtraSeries& extra : entry->extras) {
@@ -200,12 +207,21 @@ std::vector<StalenessSignal> BurstMonitor::close_window(
         signal.meta.as_overlap = static_cast<int>(entry->suffix.size());
         signal.meta.vp_count = static_cast<int>(entry->v0.size());
         signal.meta.deviation = judgement.score;
-        signals.push_back(std::move(signal));
+        out.push_back(std::move(signal));
       }
     }
     entry->window_dups.clear();
+    return out;
+  };
+
+  std::vector<std::vector<StalenessSignal>> buffers =
+      runtime::parallel_map(pool_, work, evaluate);
+  std::vector<StalenessSignal> signals;
+  for (std::vector<StalenessSignal>& buffer : buffers) {
+    for (StalenessSignal& signal : buffer) {
+      signals.push_back(std::move(signal));
+    }
   }
-  dirty_.clear();
   return signals;
 }
 

@@ -17,6 +17,10 @@
 #include "signals/bgp_context.h"
 #include "signals/monitor.h"
 
+namespace rrr::runtime {
+class ThreadPool;
+}
+
 namespace rrr::signals {
 
 class BurstMonitor final : public BgpMonitor {
@@ -24,6 +28,8 @@ class BurstMonitor final : public BgpMonitor {
   explicit BurstMonitor(const BgpContext& context) : context_(context) {}
 
   Technique technique() const override { return Technique::kBgpBurst; }
+  // Evaluates window closes across entries on `pool` (null = serial).
+  void set_pool(runtime::ThreadPool* pool) { pool_ = pool; }
   void watch(const CorpusView& view, PotentialIndex& index) override;
   void unwatch(const tr::PairKey& pair) override;
   void on_record(const DispatchedRecord& record,
@@ -56,6 +62,7 @@ class BurstMonitor final : public BgpMonitor {
     bool dirty = false;
   };
 
+  runtime::ThreadPool* pool_ = nullptr;
   const BgpContext& context_;
   std::unordered_map<PotentialId, std::unique_ptr<Entry>> entries_;
   std::map<tr::PairKey, std::vector<Entry*>> by_pair_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "runtime/parallel.h"
+
 namespace rrr::signals {
 
 void CommunityReputation::record_outcome(Community community,
@@ -218,9 +220,15 @@ void CommunityMonitor::on_record(const DispatchedRecord& record,
 
 std::vector<StalenessSignal> CommunityMonitor::close_window(
     std::int64_t window, TimePoint window_end) {
-  std::vector<StalenessSignal> signals;
+  std::vector<Entry*> work;
+  work.reserve(pending_.size());
   for (Entry* entry : pending_) {
-    if (!entry->pending) continue;
+    if (entry->pending) work.push_back(entry);
+  }
+  pending_.clear();
+  // Entries are disjoint, so stamping their signals fans out; parallel_map
+  // returns results in work-list order — the serial emission order.
+  return runtime::parallel_map(pool_, work, [&](Entry* entry) {
     StalenessSignal signal;
     signal.technique = Technique::kBgpCommunity;
     signal.potential = entry->id;
@@ -233,12 +241,10 @@ std::vector<StalenessSignal> CommunityMonitor::close_window(
         static_cast<int>(entry->tau_path.size() - entry->tau_index);
     signal.meta.as_level = false;
     signal.meta.vp_count = entry->pending_vp_count;
-    signals.push_back(std::move(signal));
     entry->pending = false;
     entry->pending_vp_count = 0;
-  }
-  pending_.clear();
-  return signals;
+    return signal;
+  });
 }
 
 bool CommunityMonitor::reverted(PotentialId id) const {

@@ -19,6 +19,10 @@
 #include "signals/bgp_context.h"
 #include "signals/monitor.h"
 
+namespace rrr::runtime {
+class ThreadPool;
+}
+
 namespace rrr::signals {
 
 // Appendix B: per-community calibration. A community is pruned once it has
@@ -65,6 +69,8 @@ class CommunityMonitor final : public BgpMonitor {
       : context_(context), reputation_(reputation) {}
 
   Technique technique() const override { return Technique::kBgpCommunity; }
+  // Stamps window-close signals across entries on `pool` (null = serial).
+  void set_pool(runtime::ThreadPool* pool) { pool_ = pool; }
   void watch(const CorpusView& view, PotentialIndex& index) override;
   void unwatch(const tr::PairKey& pair) override;
   void on_record(const DispatchedRecord& record,
@@ -115,6 +121,7 @@ class CommunityMonitor final : public BgpMonitor {
                                  bgp::VpId except_vp) const;
   CommunitySet baseline_communities(const Entry& entry) const;
 
+  runtime::ThreadPool* pool_ = nullptr;
   const BgpContext& context_;
   CommunityReputation& reputation_;
   std::unordered_map<PotentialId, std::unique_ptr<Entry>> entries_;

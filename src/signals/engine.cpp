@@ -1,6 +1,7 @@
 #include "signals/engine.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace rrr::signals {
 namespace {
@@ -13,6 +14,27 @@ EngineParams normalized(EngineParams params) {
 
 }  // namespace
 
+std::vector<DispatchedRecord> dispatch_against_table(
+    const std::vector<bgp::BgpRecord>& records, std::size_t count,
+    const bgp::VpTableView& table) {
+  std::vector<DispatchedRecord> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const bgp::BgpRecord& record = records[i];
+    DispatchedRecord dispatched;
+    dispatched.record = &record;
+    dispatched.path = bgp::collapse_prepending(record.as_path);
+    const bgp::VpRoute* standing =
+        table.route(record.vp, record.prefix.network());
+    dispatched.duplicate = record.type == bgp::RecordType::kAnnouncement &&
+                           standing != nullptr &&
+                           standing->path == dispatched.path &&
+                           standing->communities == record.communities;
+    out.push_back(std::move(dispatched));
+  }
+  return out;
+}
+
 StalenessEngine::StalenessEngine(
     const EngineParams& params, tracemap::ProcessingContext& processing,
     std::vector<bgp::VantagePoint> vps, std::vector<topo::AsIndex> vp_as,
@@ -21,39 +43,81 @@ StalenessEngine::StalenessEngine(
     : params_(normalized(params)),
       clock_(params.t0, params.window_seconds),
       processing_(processing),
-      rng_(Rng(params.seed).fork(0xE9619E)),
-      vps_(std::move(vps)),
-      table_(std::move(ixp_route_server_asns)),
-      calibration_(params.calibration_windows),
-      rels_(std::move(rels)),
-      aspath_(bgp_context_),
-      community_(bgp_context_, reputation_),
-      burst_(bgp_context_),
-      subpath_(params_.subpath),
-      border_(params_.border),
-      ixp_(rels_, std::move(ixp_members)) {
-  bgp_context_.table = &table_;
-  bgp_context_.vps = &vps_;
-  bgp_context_.vp_as = std::move(vp_as);
-  bgp_context_.vp_city = std::move(vp_city);
+      rng_(Rng(params.seed).fork(0xE9619E)) {
+  owned_ = std::make_unique<OwnedGlobals>(
+      std::move(vps), std::move(ixp_route_server_asns),
+      params_.calibration_windows, std::move(rels));
+  owned_->context.table = &owned_->table;
+  owned_->context.vps = &owned_->vps;
+  owned_->context.vp_as = std::move(vp_as);
+  owned_->context.vp_city = std::move(vp_city);
+  owned_->subpath = std::make_unique<SubpathMonitor>(params_.subpath);
+  owned_->border = std::make_unique<BorderMonitor>(params_.border);
+  owned_->ixp =
+      std::make_unique<IxpMonitor>(owned_->rels, std::move(ixp_members));
+
+  context_ = &owned_->context;
+  index_ = &owned_->index;
+  calibration_ = &owned_->calibration;
+  reputation_ = &owned_->reputation;
+  subpath_ = owned_->subpath.get();
+  border_ = owned_->border.get();
+  ixp_ = owned_->ixp.get();
+
   if (params_.threads > 1) {
-    pool_ = std::make_unique<runtime::ThreadPool>(params_.threads);
+    owned_pool_ = std::make_unique<runtime::ThreadPool>(params_.threads);
   }
+  pool_ = owned_pool_.get();
+
+  aspath_ = std::make_unique<AsPathMonitor>(*context_);
+  community_ = std::make_unique<CommunityMonitor>(*context_, *reputation_);
+  burst_ = std::make_unique<BurstMonitor>(*context_);
   // Monitors with per-series window-close work shard it over the pool; a
   // null pool keeps them on the exact serial code path.
-  aspath_.set_pool(pool_.get());
-  subpath_.set_pool(pool_.get());
-  border_.set_pool(pool_.get());
+  aspath_->set_pool(pool_);
+  community_->set_pool(pool_);
+  burst_->set_pool(pool_);
+  subpath_->set_pool(pool_);
+  border_->set_pool(pool_);
+  ixp_->set_pool(pool_);
+}
+
+StalenessEngine::StalenessEngine(const EngineParams& params,
+                                 tracemap::ProcessingContext& processing,
+                                 const EngineSharedState& shared)
+    : params_(normalized(params)),
+      clock_(params.t0, params.window_seconds),
+      processing_(processing),
+      rng_(Rng(params.seed).fork(0xE9619E)) {
+  assert(shared.context != nullptr && shared.index != nullptr &&
+         shared.calibration != nullptr && shared.reputation != nullptr &&
+         shared.subpath != nullptr && shared.border != nullptr &&
+         shared.ixp != nullptr);
+  pool_ = shared.pool;
+  context_ = shared.context;
+  index_ = shared.index;
+  calibration_ = shared.calibration;
+  reputation_ = shared.reputation;
+  subpath_ = shared.subpath;
+  border_ = shared.border;
+  ixp_ = shared.ixp;
+
+  aspath_ = std::make_unique<AsPathMonitor>(*context_);
+  community_ = std::make_unique<CommunityMonitor>(*context_, *reputation_);
+  burst_ = std::make_unique<BurstMonitor>(*context_);
+  aspath_->set_pool(pool_);
+  community_->set_pool(pool_);
+  burst_->set_pool(pool_);
 }
 
 Monitor* StalenessEngine::monitor_for(Technique technique) {
   switch (technique) {
-    case Technique::kBgpAsPath: return &aspath_;
-    case Technique::kBgpCommunity: return &community_;
-    case Technique::kBgpBurst: return &burst_;
-    case Technique::kColocation: return &ixp_;
-    case Technique::kTraceSubpath: return &subpath_;
-    case Technique::kTraceBorder: return &border_;
+    case Technique::kBgpAsPath: return aspath_.get();
+    case Technique::kBgpCommunity: return community_.get();
+    case Technique::kBgpBurst: return burst_.get();
+    case Technique::kColocation: return ixp_;
+    case Technique::kTraceSubpath: return subpath_;
+    case Technique::kTraceBorder: return border_;
   }
   return nullptr;
 }
@@ -66,7 +130,7 @@ tr::Freshness StalenessEngine::initial_freshness(
     const tr::PairKey& pair, const CorpusView& view) const {
   // Fresh only when every border of the traceroute is monitored by at
   // least one potential signal; otherwise its state is unknowable (§6.2).
-  const auto& relations = index_.relations_of(pair);
+  const auto& relations = index_->relations_of(pair);
   for (std::size_t b = 0; b < view.processed.borders.size(); ++b) {
     bool covered = false;
     for (const auto& relation : relations) {
@@ -91,12 +155,12 @@ void StalenessEngine::watch(const tr::Probe& probe,
   state.view.processed = processing_.ingest(trace);
   state.watched_window = state.view.window;
 
-  aspath_.watch(state.view, index_);
-  community_.watch(state.view, index_);
-  burst_.watch(state.view, index_);
-  subpath_.watch(state.view, index_);
-  border_.watch(state.view, index_);
-  ixp_.watch(state.view, index_);
+  aspath_->watch(state.view, *index_);
+  community_->watch(state.view, *index_);
+  burst_->watch(state.view, *index_);
+  subpath_->watch(state.view, *index_);
+  border_->watch(state.view, *index_);
+  ixp_->watch(state.view, *index_);
 
   state.freshness = initial_freshness(key, state.view);
   corpus_[key] = std::move(state);
@@ -109,9 +173,9 @@ void StalenessEngine::on_bgp_record(const bgp::BgpRecord& record) {
 void StalenessEngine::on_public_trace(const tr::Traceroute& trace) {
   tracemap::ProcessedTrace processed = processing_.ingest(trace);
   std::int64_t window = clock_.index_of(trace.time);
-  subpath_.on_public_trace(processed, window);
-  border_.on_public_trace(processed, window);
-  ixp_.on_public_trace(processed, window);
+  subpath_->on_public_trace(processed, window);
+  border_->on_public_trace(processed, window);
+  ixp_->on_public_trace(processed, window);
 }
 
 void StalenessEngine::register_signals(
@@ -126,6 +190,7 @@ void StalenessEngine::register_signals(
                      return a.window != b.window ? a.window < b.window
                                                  : a.potential < b.potential;
                    });
+  out.reserve(out.size() + batch.size());
   for (StalenessSignal& signal : batch) {
     auto it = corpus_.find(signal.pair);
     if (it == corpus_.end()) continue;  // pair refreshed mid-window
@@ -150,8 +215,44 @@ void StalenessEngine::register_signals(
   }
 }
 
+void StalenessEngine::mark_stale(const StalenessSignal& signal) {
+  auto it = corpus_.find(signal.pair);
+  if (it == corpus_.end()) return;
+  PairState& state = it->second;
+  state.freshness = tr::Freshness::kStale;
+  ActiveSignal active;
+  active.potential = signal.potential;
+  active.technique = signal.technique;
+  active.meta = signal.meta;
+  active.pair = signal.pair;
+  active.community = signal.community;
+  state.active[signal.potential] = std::move(active);
+}
+
+void StalenessEngine::dispatch_window_records(
+    const std::vector<DispatchedRecord>& records, std::int64_t window) {
+  for (const DispatchedRecord& dispatched : records) {
+    aspath_->on_record(dispatched, window);
+    community_->on_record(dispatched, window);
+    burst_->on_record(dispatched, window);
+  }
+}
+
+void StalenessEngine::collect_bgp_close(std::vector<StalenessSignal>& into,
+                                        std::int64_t window,
+                                        TimePoint window_end) {
+  auto append = [&into](std::vector<StalenessSignal>&& batch) {
+    into.insert(into.end(), std::make_move_iterator(batch.begin()),
+                std::make_move_iterator(batch.end()));
+  };
+  append(aspath_->close_window(window, window_end));
+  append(community_->close_window(window, window_end));
+  append(burst_->close_window(window, window_end));
+}
+
 void StalenessEngine::close_one_window(std::int64_t window,
                                        std::vector<StalenessSignal>& out) {
+  assert(owned_ != nullptr && "shard-mode engines are closed by the facade");
   TimePoint end = clock_.window_end(window);
   // Dispatch this window's BGP records to the monitors against the
   // start-of-window table, then absorb them into the table.
@@ -166,34 +267,22 @@ void StalenessEngine::close_one_window(std::int64_t window,
   while (cut < pending_records_.size() && in_window(pending_records_[cut])) {
     ++cut;
   }
-  for (std::size_t i = 0; i < cut; ++i) {
-    const bgp::BgpRecord& record = pending_records_[i];
-    DispatchedRecord dispatched;
-    dispatched.record = &record;
-    dispatched.path = bgp::collapse_prepending(record.as_path);
-    const bgp::VpRoute* standing = table_.route(record.vp,
-                                                record.prefix.network());
-    dispatched.duplicate = record.type == bgp::RecordType::kAnnouncement &&
-                           standing != nullptr &&
-                           standing->path == dispatched.path &&
-                           standing->communities == record.communities;
-    aspath_.on_record(dispatched, window);
-    community_.on_record(dispatched, window);
-    burst_.on_record(dispatched, window);
-  }
+  std::vector<DispatchedRecord> dispatched =
+      dispatch_against_table(pending_records_, cut, owned_->table);
+  dispatch_window_records(dispatched, window);
 
-  register_signals(out, aspath_.close_window(window, end));
-  register_signals(out, community_.close_window(window, end));
-  register_signals(out, burst_.close_window(window, end));
+  register_signals(out, aspath_->close_window(window, end));
+  register_signals(out, community_->close_window(window, end));
+  register_signals(out, burst_->close_window(window, end));
 
-  for (std::size_t i = 0; i < cut; ++i) table_.apply(pending_records_[i]);
+  owned_->table.apply_all(pending_records_, cut);
   pending_records_.erase(pending_records_.begin(),
                          pending_records_.begin() +
                              static_cast<std::ptrdiff_t>(cut));
 
-  register_signals(out, subpath_.close_window(window, end));
-  register_signals(out, border_.close_window(window, end));
-  register_signals(out, ixp_.close_window(window, end));
+  register_signals(out, subpath_->close_window(window, end));
+  register_signals(out, border_->close_window(window, end));
+  register_signals(out, ixp_->close_window(window, end));
 
   if (params_.revocation_check_interval > 0 &&
       window % params_.revocation_check_interval ==
@@ -245,22 +334,27 @@ std::vector<StalenessSignal> StalenessEngine::advance_to(TimePoint t) {
   return out;
 }
 
-std::vector<tr::PairKey> StalenessEngine::plan_refreshes(int budget) {
-  std::map<tr::PairKey, RefreshScheduler::PairState> pairs;
+void StalenessEngine::collect_refresh_candidates(
+    std::map<tr::PairKey, RefreshScheduler::PairState>& into) const {
   for (const auto& [key, state] : corpus_) {
     if (state.active.empty()) continue;
     RefreshScheduler::PairState ps;
     for (const auto& [potential, active] : state.active) {
       ps.firing.push_back(active);
     }
-    for (const auto& relation : index_.relations_of(key)) {
+    for (const auto& relation : index_->relations_of(key)) {
       if (!state.active.contains(relation.id)) {
         ps.silent.push_back(relation.id);
       }
     }
-    pairs.emplace(key, std::move(ps));
+    into.emplace(key, std::move(ps));
   }
-  return RefreshScheduler::plan(pairs, calibration_, budget, rng_);
+}
+
+std::vector<tr::PairKey> StalenessEngine::plan_refreshes(int budget) {
+  std::map<tr::PairKey, RefreshScheduler::PairState> pairs;
+  collect_refresh_candidates(pairs);
+  return RefreshScheduler::plan(pairs, *calibration_, budget, rng_);
 }
 
 bool StalenessEngine::portion_changed(const tracemap::ProcessedTrace& before,
@@ -303,7 +397,7 @@ RefreshOutcome StalenessEngine::apply_refresh(const tr::Probe& probe,
 
     // Grade every related potential (§4.3.1).
     std::int64_t window = clock_.index_of(fresh.time);
-    for (const auto& relation : index_.relations_of(key)) {
+    for (const auto& relation : index_->relations_of(key)) {
       bool fired = state.active.contains(relation.id);
       bool changed = portion_changed(state.view.processed, new_processed,
                                      relation.border_index);
@@ -311,13 +405,13 @@ RefreshOutcome StalenessEngine::apply_refresh(const tr::Probe& probe,
           fired ? (changed ? Outcome::kTruePositive : Outcome::kFalsePositive)
                 : (changed ? Outcome::kFalseNegative
                            : Outcome::kTrueNegative);
-      calibration_.record(key.probe, relation.id, window, graded);
+      calibration_->record(key.probe, relation.id, window, graded);
     }
     // Community reputation: grade the fired community signals.
     for (const auto& [potential, active] : state.active) {
       if (active.technique != Technique::kBgpCommunity) continue;
       bool changed = true;
-      for (const auto& relation : index_.relations_of(key)) {
+      for (const auto& relation : index_->relations_of(key)) {
         if (relation.id == potential) {
           changed = portion_changed(state.view.processed, new_processed,
                                     relation.border_index);
@@ -325,25 +419,24 @@ RefreshOutcome StalenessEngine::apply_refresh(const tr::Probe& probe,
         }
       }
       if (active.community.raw() != 0) {
-        reputation_.record_outcome(active.community, key, changed);
+        reputation_->record_outcome(active.community, key, changed);
       }
     }
 
     // Unregister the old measurement everywhere.
-    aspath_.unwatch(key);
-    community_.unwatch(key);
-    burst_.unwatch(key);
-    subpath_.unwatch(key);
-    border_.unwatch(key);
-    ixp_.unwatch(key);
-    index_.unrelate_pair(key);
+    aspath_->unwatch(key);
+    community_->unwatch(key);
+    burst_->unwatch(key);
+    subpath_->unwatch(key);
+    border_->unwatch(key);
+    ixp_->unwatch(key);
+    index_->unrelate_pair(key);
     corpus_.erase(it);
   }
 
-  // Register the fresh measurement.
-  tr::Probe probe_copy = probe;
-  tr::Traceroute fresh_copy = fresh;
-  watch(probe_copy, fresh_copy);
+  // Register the fresh measurement. `probe` and `fresh` stay valid through
+  // watch() (it only reads them), so no defensive copies.
+  watch(probe, fresh);
   return outcome;
 }
 

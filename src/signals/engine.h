@@ -6,6 +6,16 @@
 //
 // Contract: feed all BGP records and public traceroutes belonging to a
 // window before calling advance_to() past that window's end.
+//
+// The engine runs in one of two modes:
+//  * standalone — it owns every piece of cross-pair state (BGP table view,
+//    potential index, calibration, reputation, the trace-driven monitors)
+//    and drives the full feed/close/refresh cycle itself;
+//  * shard — a ShardedStalenessEngine facade owns the cross-pair state and
+//    hands this engine read/write borrows of it (EngineSharedState). The
+//    shard keeps only per-pair state (its slice of the corpus plus the BGP
+//    monitors, whose entries are per-pair) and exposes the facade hooks
+//    below instead of closing windows on its own.
 #pragma once
 
 #include <map>
@@ -49,6 +59,10 @@ struct EngineParams {
   // shard buffers merge in a canonical order, see DESIGN.md "Runtime &
   // determinism".
   int threads = 1;
+  // Corpus partitions of a ShardedStalenessEngine (ignored by a standalone
+  // StalenessEngine). Purely a throughput knob: the facade's signal stream
+  // is identical for any (shards, threads) combination.
+  int shards = 1;
 };
 
 // What a refresh revealed, returned to callers for their own accounting.
@@ -58,8 +72,33 @@ struct RefreshOutcome {
   bool was_flagged_stale = false;
 };
 
+// Cross-pair state a ShardedStalenessEngine lends to its shards. Everything
+// here has exactly one instance regardless of shard count: one BGP table
+// (shards read the immutable start-of-window snapshot through `context`),
+// one potential-id space, one calibration/reputation store, and one of each
+// trace-driven monitor (their series are deduplicated *across* pairs, so
+// per-shard copies would diverge from the single-engine signal stream).
+struct EngineSharedState {
+  const BgpContext* context = nullptr;
+  runtime::ThreadPool* pool = nullptr;  // null = serial
+  PotentialIndex* index = nullptr;
+  Calibration* calibration = nullptr;
+  CommunityReputation* reputation = nullptr;
+  SubpathMonitor* subpath = nullptr;
+  BorderMonitor* border = nullptr;
+  IxpMonitor* ixp = nullptr;
+};
+
+// Builds the monitor-facing view of the first `count` records (normalized
+// path, duplicate status) against the standing start-of-window `table`. The
+// returned views point into `records`, which must outlive them.
+std::vector<DispatchedRecord> dispatch_against_table(
+    const std::vector<bgp::BgpRecord>& records, std::size_t count,
+    const bgp::VpTableView& table);
+
 class StalenessEngine {
  public:
+  // Standalone mode: the engine owns all state below.
   StalenessEngine(const EngineParams& params,
                   tracemap::ProcessingContext& processing,
                   std::vector<bgp::VantagePoint> vps,
@@ -67,6 +106,11 @@ class StalenessEngine {
                   std::vector<topo::CityId> vp_city,
                   std::set<Asn> ixp_route_server_asns, AsRelDb rels,
                   std::map<topo::IxpId, std::set<Asn>> ixp_members);
+  // Shard mode: cross-pair state is borrowed from `shared` (all pointers
+  // except `pool` must be non-null); the facade drives the window cycle.
+  StalenessEngine(const EngineParams& params,
+                  tracemap::ProcessingContext& processing,
+                  const EngineSharedState& shared);
 
   // --- corpus management ---
   void watch(const tr::Probe& probe, const tr::Traceroute& trace);
@@ -77,7 +121,7 @@ class StalenessEngine {
   void on_public_trace(const tr::Traceroute& trace);
 
   // Closes every window ending at or before `t`; returns the staleness
-  // prediction signals generated in them.
+  // prediction signals generated in them. Standalone mode only.
   std::vector<StalenessSignal> advance_to(TimePoint t);
 
   // --- refresh cycle (§4.3.1) ---
@@ -88,22 +132,45 @@ class StalenessEngine {
   RefreshOutcome apply_refresh(const tr::Probe& probe,
                                const tr::Traceroute& fresh);
 
+  // --- facade hooks (shard mode; see sharded_engine.h) ---
+  // Dispatches one window's records to this shard's BGP monitors (records
+  // are read-only; the shared table still holds the start-of-window state).
+  void dispatch_window_records(const std::vector<DispatchedRecord>& records,
+                               std::int64_t window);
+  // Closes the shard's BGP monitors, appending their raw (unregistered)
+  // signals to `into`; the facade merges and registers across shards.
+  void collect_bgp_close(std::vector<StalenessSignal>& into,
+                         std::int64_t window, TimePoint window_end);
+  bool has_pair(const tr::PairKey& pair) const {
+    return corpus_.contains(pair);
+  }
+  // Applies one registered signal's state change (freshness + active set).
+  // The facade has already performed the corpus-presence and cooldown
+  // checks that standalone registration does.
+  void mark_stale(const StalenessSignal& signal);
+  // Adds this shard's refresh candidates (pairs with firing signals) to the
+  // facade's merged candidate map.
+  void collect_refresh_candidates(
+      std::map<tr::PairKey, RefreshScheduler::PairState>& into) const;
+  // §4.3.2 sweep over this shard's corpus (also used internally).
+  void run_revocation(std::int64_t window);
+
   // --- queries ---
   tr::Freshness freshness(const tr::PairKey& pair) const;
   std::vector<tr::PairKey> stale_pairs() const;
-  const Calibration& calibration() const { return calibration_; }
+  const Calibration& calibration() const { return *calibration_; }
   const CommunityReputation& community_reputation() const {
-    return reputation_;
+    return *reputation_;
   }
-  const bgp::VpTableView& table_view() const { return table_; }
-  const PotentialIndex& potentials() const { return index_; }
+  const bgp::VpTableView& table_view() const { return *context_->table; }
+  const PotentialIndex& potentials() const { return *index_; }
   std::int64_t current_window() const { return next_window_; }
   const WindowClock& clock() const { return clock_; }
   const tracemap::ProcessedTrace* processed_of(const tr::PairKey& pair) const;
-  const SubpathMonitor& subpath_monitor() const { return subpath_; }
-  const BorderMonitor& border_monitor() const { return border_; }
-  const AsPathMonitor& aspath_monitor() const { return aspath_; }
-  const CommunityMonitor& community_monitor() const { return community_; }
+  const SubpathMonitor& subpath_monitor() const { return *subpath_; }
+  const BorderMonitor& border_monitor() const { return *border_; }
+  const AsPathMonitor& aspath_monitor() const { return *aspath_; }
+  const CommunityMonitor& community_monitor() const { return *community_; }
 
  private:
   struct PairState {
@@ -114,11 +181,33 @@ class StalenessEngine {
     std::map<PotentialId, ActiveSignal> active;
   };
 
+  // Cross-pair state of a standalone engine; absent in shard mode, where
+  // the equivalent single instances live in the ShardedStalenessEngine.
+  struct OwnedGlobals {
+    OwnedGlobals(std::vector<bgp::VantagePoint> vps_in,
+                 std::set<Asn> ixp_route_server_asns,
+                 std::int64_t calibration_windows, AsRelDb rels_in)
+        : vps(std::move(vps_in)),
+          table(std::move(ixp_route_server_asns)),
+          calibration(calibration_windows),
+          rels(std::move(rels_in)) {}
+
+    std::vector<bgp::VantagePoint> vps;
+    bgp::VpTableView table;
+    BgpContext context;
+    PotentialIndex index;
+    Calibration calibration;
+    CommunityReputation reputation;
+    AsRelDb rels;
+    std::unique_ptr<SubpathMonitor> subpath;
+    std::unique_ptr<BorderMonitor> border;
+    std::unique_ptr<IxpMonitor> ixp;
+  };
+
   void register_signals(std::vector<StalenessSignal>& out,
                         std::vector<StalenessSignal>&& batch);
   void close_one_window(std::int64_t window,
                         std::vector<StalenessSignal>& out);
-  void run_revocation(std::int64_t window);
   bool portion_changed(const tracemap::ProcessedTrace& before,
                        const tracemap::ProcessedTrace& after,
                        std::size_t border_index) const;
@@ -131,27 +220,30 @@ class StalenessEngine {
   WindowClock clock_;
   tracemap::ProcessingContext& processing_;
   Rng rng_;
-  // Worker pool for window closing; null when params_.threads <= 1.
+  // Worker pool for window closing; owned in standalone mode (null when
+  // params_.threads <= 1), borrowed from the facade in shard mode.
   // Declared before the monitors that borrow it so it outlives them.
-  std::unique_ptr<runtime::ThreadPool> pool_;
+  std::unique_ptr<runtime::ThreadPool> owned_pool_;
+  runtime::ThreadPool* pool_ = nullptr;
 
-  // BGP side.
-  std::vector<bgp::VantagePoint> vps_;
-  bgp::VpTableView table_;
-  BgpContext bgp_context_;
+  std::unique_ptr<OwnedGlobals> owned_;
+
+  // Active cross-pair state: points into owned_ (standalone) or into the
+  // facade's EngineSharedState (shard mode).
+  const BgpContext* context_ = nullptr;
+  PotentialIndex* index_ = nullptr;
+  Calibration* calibration_ = nullptr;
+  CommunityReputation* reputation_ = nullptr;
+  SubpathMonitor* subpath_ = nullptr;
+  BorderMonitor* border_ = nullptr;
+  IxpMonitor* ixp_ = nullptr;
+
   std::vector<bgp::BgpRecord> pending_records_;
 
-  PotentialIndex index_;
-  Calibration calibration_;
-  CommunityReputation reputation_;
-  AsRelDb rels_;
-
-  AsPathMonitor aspath_;
-  CommunityMonitor community_;
-  BurstMonitor burst_;
-  SubpathMonitor subpath_;
-  BorderMonitor border_;
-  IxpMonitor ixp_;
+  // BGP monitors hold per-pair entries only, so every shard owns its own.
+  std::unique_ptr<AsPathMonitor> aspath_;
+  std::unique_ptr<CommunityMonitor> community_;
+  std::unique_ptr<BurstMonitor> burst_;
 
   std::map<tr::PairKey, PairState> corpus_;
   std::map<PotentialId, std::int64_t> last_fired_;

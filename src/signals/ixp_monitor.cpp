@@ -1,5 +1,7 @@
 #include "signals/ixp_monitor.h"
 
+#include "runtime/parallel.h"
+
 namespace rrr::signals {
 
 const std::set<Asn>& IxpMonitor::members_of(topo::IxpId ixp) const {
@@ -130,10 +132,12 @@ std::vector<StalenessSignal> IxpMonitor::close_window(std::int64_t window,
                                                       TimePoint window_end) {
   std::vector<StalenessSignal> signals;
   signals.swap(pending_);
-  for (StalenessSignal& s : signals) {
-    s.window = window;
-    s.time = window_end;
-  }
+  // Pending signals are independent; stamping fans out over the pool and
+  // mutates each element in place, so order is untouched.
+  runtime::parallel_for(pool_, signals.size(), [&](std::size_t i) {
+    signals[i].window = window;
+    signals[i].time = window_end;
+  });
   return signals;
 }
 

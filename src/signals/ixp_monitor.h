@@ -20,6 +20,10 @@
 #include "signals/asreldb.h"
 #include "signals/monitor.h"
 
+namespace rrr::runtime {
+class ThreadPool;
+}
+
 namespace rrr::signals {
 
 class IxpMonitor final : public TraceMonitor {
@@ -29,6 +33,8 @@ class IxpMonitor final : public TraceMonitor {
       : rels_(rels), members_(std::move(initial_members)) {}
 
   Technique technique() const override { return Technique::kColocation; }
+  // Stamps window-close signals on `pool` (null = serial).
+  void set_pool(runtime::ThreadPool* pool) { pool_ = pool; }
   void watch(const CorpusView& view, PotentialIndex& index) override;
   void unwatch(const tr::PairKey& pair) override;
   void on_public_trace(const tracemap::ProcessedTrace& trace,
@@ -53,6 +59,7 @@ class IxpMonitor final : public TraceMonitor {
 
   void handle_new_member(topo::IxpId ixp, Asn joiner);
 
+  runtime::ThreadPool* pool_ = nullptr;
   const AsRelDb& rels_;
   std::map<topo::IxpId, std::set<Asn>> members_;
   std::set<Asn> equal_pref_;

@@ -1,0 +1,276 @@
+#include "signals/sharded_engine.h"
+
+#include <algorithm>
+
+#include "runtime/parallel.h"
+
+namespace rrr::signals {
+namespace {
+
+EngineParams normalized(EngineParams params) {
+  params.subpath.base_window_seconds = params.window_seconds;
+  params.border.base_window_seconds = params.window_seconds;
+  if (params.shards < 1) params.shards = 1;
+  return params;
+}
+
+// Rank of each technique in the canonical merge order — the order the
+// single-engine close path registers batches in (BGP monitors, then table
+// absorption, then trace monitors). Within a rank, signals order by
+// (window, potential, pair, border): subpath/border potentials are shared
+// by several subscriber pairs, so the pair key breaks the tie the same way
+// for every partition.
+int close_rank(Technique technique) {
+  switch (technique) {
+    case Technique::kBgpAsPath: return 0;
+    case Technique::kBgpCommunity: return 1;
+    case Technique::kBgpBurst: return 2;
+    case Technique::kTraceSubpath: return 3;
+    case Technique::kTraceBorder: return 4;
+    case Technique::kColocation: return 5;
+  }
+  return 6;
+}
+
+bool canonical_less(const StalenessSignal& a, const StalenessSignal& b) {
+  int ra = close_rank(a.technique);
+  int rb = close_rank(b.technique);
+  if (ra != rb) return ra < rb;
+  if (a.window != b.window) return a.window < b.window;
+  if (a.potential != b.potential) return a.potential < b.potential;
+  if (a.pair != b.pair) return a.pair < b.pair;
+  return a.border_index < b.border_index;
+}
+
+}  // namespace
+
+ShardedStalenessEngine::ShardedStalenessEngine(
+    const EngineParams& params, tracemap::ProcessingContext& processing,
+    std::vector<bgp::VantagePoint> vps, std::vector<topo::AsIndex> vp_as,
+    std::vector<topo::CityId> vp_city, std::set<Asn> ixp_route_server_asns,
+    AsRelDb rels, std::map<topo::IxpId, std::set<Asn>> ixp_members)
+    : params_(normalized(params)),
+      clock_(params.t0, params.window_seconds),
+      processing_(processing),
+      rng_(Rng(params.seed).fork(0xE9619E)),
+      vps_(std::move(vps)),
+      table_(std::move(ixp_route_server_asns)),
+      calibration_(params.calibration_windows),
+      rels_(std::move(rels)),
+      subpath_(params_.subpath),
+      border_(params_.border),
+      ixp_(rels_, std::move(ixp_members)) {
+  context_.table = &table_;
+  context_.vps = &vps_;
+  context_.vp_as = std::move(vp_as);
+  context_.vp_city = std::move(vp_city);
+  if (params_.threads > 1) {
+    pool_ = std::make_unique<runtime::ThreadPool>(params_.threads);
+  }
+  subpath_.set_pool(pool_.get());
+  border_.set_pool(pool_.get());
+  ixp_.set_pool(pool_.get());
+
+  EngineSharedState shared;
+  shared.context = &context_;
+  shared.pool = pool_.get();
+  shared.index = &index_;
+  shared.calibration = &calibration_;
+  shared.reputation = &reputation_;
+  shared.subpath = &subpath_;
+  shared.border = &border_;
+  shared.ixp = &ixp_;
+  shards_.reserve(static_cast<std::size_t>(params_.shards));
+  for (int i = 0; i < params_.shards; ++i) {
+    shards_.push_back(
+        std::make_unique<StalenessEngine>(params_, processing_, shared));
+  }
+}
+
+std::size_t ShardedStalenessEngine::shard_of(const tr::PairKey& pair) const {
+  std::uint64_t h = hash_combine(static_cast<std::uint64_t>(pair.probe),
+                                 static_cast<std::uint64_t>(pair.dst.value()));
+  return static_cast<std::size_t>(h % shards_.size());
+}
+
+void ShardedStalenessEngine::watch(const tr::Probe& probe,
+                                   const tr::Traceroute& trace) {
+  tr::PairKey key{trace.probe, trace.dst_ip};
+  shards_[shard_of(key)]->watch(probe, trace);
+}
+
+std::size_t ShardedStalenessEngine::corpus_size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->corpus_size();
+  return total;
+}
+
+void ShardedStalenessEngine::on_bgp_record(const bgp::BgpRecord& record) {
+  pending_records_.push_back(record);
+}
+
+void ShardedStalenessEngine::on_public_trace(const tr::Traceroute& trace) {
+  // Public traces feed only the global trace monitors — no shard fan-out
+  // (and none would be deterministic: their series mix evidence across
+  // pairs, so each trace must update exactly one instance).
+  tracemap::ProcessedTrace processed = processing_.ingest(trace);
+  std::int64_t window = clock_.index_of(trace.time);
+  subpath_.on_public_trace(processed, window);
+  border_.on_public_trace(processed, window);
+  ixp_.on_public_trace(processed, window);
+}
+
+void ShardedStalenessEngine::close_one_window(
+    std::int64_t window, std::vector<StalenessSignal>& out) {
+  TimePoint end = clock_.window_end(window);
+  auto in_window = [&](const bgp::BgpRecord& r) {
+    return clock_.index_of(r.time) <= window;
+  };
+  std::stable_sort(pending_records_.begin(), pending_records_.end(),
+                   [](const bgp::BgpRecord& a, const bgp::BgpRecord& b) {
+                     return a.time < b.time;
+                   });
+  std::size_t cut = 0;
+  while (cut < pending_records_.size() && in_window(pending_records_[cut])) {
+    ++cut;
+  }
+  // Normalize the window's records once against the start-of-window table;
+  // every shard dispatches the same read-only views.
+  std::vector<DispatchedRecord> dispatched =
+      dispatch_against_table(pending_records_, cut, table_);
+
+  // Phase A — shards in parallel: dispatch the window's records to the
+  // shard's BGP monitors and close them into raw per-shard buffers. The
+  // shared table is read-only here (the snapshot), and each shard touches
+  // only its own entries.
+  std::vector<std::vector<StalenessSignal>> raw(shards_.size());
+  runtime::parallel_for(
+      pool_.get(), shards_.size(),
+      [&](std::size_t i) {
+        shards_[i]->dispatch_window_records(dispatched, window);
+        shards_[i]->collect_bgp_close(raw[i], window, end);
+      },
+      /*grain=*/1);
+
+  // Absorb the window's records into the single shared table.
+  table_.apply_all(pending_records_, cut);
+  pending_records_.erase(pending_records_.begin(),
+                         pending_records_.begin() +
+                             static_cast<std::ptrdiff_t>(cut));
+
+  // Phase B — the three global trace monitors close concurrently (each
+  // fans its own per-series work out on the same pool).
+  std::vector<StalenessSignal> subpath_raw;
+  std::vector<StalenessSignal> border_raw;
+  std::vector<StalenessSignal> ixp_raw;
+  {
+    runtime::TaskGroup group(pool_.get());
+    group.spawn([&] { subpath_raw = subpath_.close_window(window, end); });
+    group.spawn([&] { border_raw = border_.close_window(window, end); });
+    group.spawn([&] { ixp_raw = ixp_.close_window(window, end); });
+    group.wait();
+  }
+
+  // Merge in canonical order, then register serially: registration owns
+  // the global cooldown map and the shards' freshness state.
+  std::size_t total = subpath_raw.size() + border_raw.size() + ixp_raw.size();
+  for (const auto& buffer : raw) total += buffer.size();
+  std::vector<StalenessSignal> batch;
+  batch.reserve(total);
+  auto append = [&batch](std::vector<StalenessSignal>&& buffer) {
+    batch.insert(batch.end(), std::make_move_iterator(buffer.begin()),
+                 std::make_move_iterator(buffer.end()));
+  };
+  for (auto& buffer : raw) append(std::move(buffer));
+  append(std::move(subpath_raw));
+  append(std::move(border_raw));
+  append(std::move(ixp_raw));
+  std::sort(batch.begin(), batch.end(), canonical_less);
+
+  out.reserve(out.size() + batch.size());
+  for (StalenessSignal& signal : batch) {
+    StalenessEngine& shard = *shards_[shard_of(signal.pair)];
+    if (!shard.has_pair(signal.pair)) continue;  // refreshed mid-window
+    auto fired = last_fired_.find(signal.potential);
+    if (fired != last_fired_.end() &&
+        signal.window - fired->second < params_.signal_cooldown_windows) {
+      continue;  // persistent change already reported recently
+    }
+    last_fired_[signal.potential] = signal.window;
+    shard.mark_stale(signal);
+    out.push_back(std::move(signal));
+  }
+
+  if (params_.revocation_check_interval > 0 &&
+      window % params_.revocation_check_interval ==
+          params_.revocation_check_interval - 1) {
+    // Each shard sweeps its own corpus; monitors and table are read-only.
+    runtime::parallel_for(
+        pool_.get(), shards_.size(),
+        [&](std::size_t i) { shards_[i]->run_revocation(window); },
+        /*grain=*/1);
+  }
+}
+
+std::vector<StalenessSignal> ShardedStalenessEngine::advance_to(TimePoint t) {
+  std::vector<StalenessSignal> out;
+  std::int64_t last = clock_.index_of(t) - 1;  // windows fully ended by t
+  if (clock_.window_end(last + 1) == t) last += 1;
+  while (next_window_ <= last) {
+    close_one_window(next_window_, out);
+    ++next_window_;
+  }
+  return out;
+}
+
+std::vector<tr::PairKey> ShardedStalenessEngine::plan_refreshes(int budget) {
+  // std::map keeps the merged candidates in pair order, so the scheduler
+  // sees the exact single-engine input whatever the partition.
+  std::map<tr::PairKey, RefreshScheduler::PairState> pairs;
+  for (const auto& shard : shards_) shard->collect_refresh_candidates(pairs);
+  return RefreshScheduler::plan(pairs, calibration_, budget, rng_);
+}
+
+RefreshOutcome ShardedStalenessEngine::apply_refresh(
+    const tr::Probe& probe, const tr::Traceroute& fresh) {
+  tr::PairKey key{fresh.probe, fresh.dst_ip};
+  return shards_[shard_of(key)]->apply_refresh(probe, fresh);
+}
+
+tr::Freshness ShardedStalenessEngine::freshness(
+    const tr::PairKey& pair) const {
+  return shards_[shard_of(pair)]->freshness(pair);
+}
+
+std::vector<tr::PairKey> ShardedStalenessEngine::stale_pairs() const {
+  std::vector<tr::PairKey> out;
+  for (const auto& shard : shards_) {
+    std::vector<tr::PairKey> part = shard->stale_pairs();
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const tracemap::ProcessedTrace* ShardedStalenessEngine::processed_of(
+    const tr::PairKey& pair) const {
+  return shards_[shard_of(pair)]->processed_of(pair);
+}
+
+CommunityMonitor::Stats ShardedStalenessEngine::community_stats() const {
+  CommunityMonitor::Stats total;
+  for (const auto& shard : shards_) {
+    const CommunityMonitor::Stats& s = shard->community_monitor().stats();
+    total.records += s.records;
+    total.diffs += s.diffs;
+    total.no_prev_overlap += s.no_prev_overlap;
+    total.no_new_overlap += s.no_new_overlap;
+    total.path_rule += s.path_rule;
+    total.known_elsewhere += s.known_elsewhere;
+    total.pruned += s.pruned;
+    total.fired += s.fired;
+  }
+  return total;
+}
+
+}  // namespace rrr::signals

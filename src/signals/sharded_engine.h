@@ -1,0 +1,131 @@
+// ShardedStalenessEngine: the staleness engine scaled horizontally by
+// partitioning the corpus over N StalenessEngine shards.
+//
+// Each pair is routed to shard hash(pair) % N by a platform-stable hash, so
+// a shard owns a disjoint slice of the corpus plus the BGP monitors whose
+// entries are per-pair (AS-path, community, burst). One BGP/public-trace
+// stream fans out to all shards; per-window shard batches merge at the
+// boundary in a canonical order, making the signal stream bit-identical for
+// any (shards, threads) combination — the same determinism contract
+// DESIGN.md states for threads (see "Sharded engine").
+//
+// Exactly one copy of the BGP table state exists regardless of shard count:
+// the facade absorbs each window's records once, and shards dispatch
+// against the immutable start-of-window snapshot (a read-only VpTableView
+// borrowed through the shared BgpContext) — the first concrete step toward
+// the ROADMAP's epoch/RCU table view.
+//
+// Cross-pair state that the single-engine design shares *between* pairs —
+// the potential-id space, calibration and community-reputation tallies, the
+// global signal cooldown, and the trace-driven monitors (subpath/border
+// series are deduplicated across pairs; IXP membership is learned globally)
+// — stays in the facade with one instance, because per-shard copies would
+// make the output depend on the partition. Shards borrow it read-only
+// during parallel phases; all mutation happens in facade-serial sections
+// (watch, refresh, registration), which is what keeps the sharded close
+// TSAN-clean without locks.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "runtime/task_group.h"
+#include "runtime/thread_pool.h"
+#include "signals/engine.h"
+
+namespace rrr::signals {
+
+class ShardedStalenessEngine {
+ public:
+  // Same wiring as StalenessEngine; `params.shards` fixes the partition
+  // count (clamped to >= 1) and `params.threads` the pool size shared by
+  // every shard and monitor.
+  ShardedStalenessEngine(const EngineParams& params,
+                         tracemap::ProcessingContext& processing,
+                         std::vector<bgp::VantagePoint> vps,
+                         std::vector<topo::AsIndex> vp_as,
+                         std::vector<topo::CityId> vp_city,
+                         std::set<Asn> ixp_route_server_asns, AsRelDb rels,
+                         std::map<topo::IxpId, std::set<Asn>> ixp_members);
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  // Stable pair -> shard routing (mix64-based, not std::hash: the partition
+  // must not vary across platforms or runs).
+  std::size_t shard_of(const tr::PairKey& pair) const;
+
+  // --- corpus management ---
+  void watch(const tr::Probe& probe, const tr::Traceroute& trace);
+  std::size_t corpus_size() const;
+
+  // --- data feeds ---
+  void on_bgp_record(const bgp::BgpRecord& record);
+  void on_public_trace(const tr::Traceroute& trace);
+
+  // Closes every window ending at or before `t`; returns the staleness
+  // prediction signals generated in them, merged across shards in
+  // canonical (technique-close-rank, window, potential, pair) order.
+  std::vector<StalenessSignal> advance_to(TimePoint t);
+
+  // --- refresh cycle (§4.3.1) ---
+  // Merges every shard's candidates and plans under one global budget with
+  // one calibration store and one RNG stream, so the chosen set is
+  // independent of the partition.
+  std::vector<tr::PairKey> plan_refreshes(int budget);
+  RefreshOutcome apply_refresh(const tr::Probe& probe,
+                               const tr::Traceroute& fresh);
+
+  // --- queries ---
+  tr::Freshness freshness(const tr::PairKey& pair) const;
+  // Stale pairs across all shards, sorted by pair key.
+  std::vector<tr::PairKey> stale_pairs() const;
+  const Calibration& calibration() const { return calibration_; }
+  const CommunityReputation& community_reputation() const {
+    return reputation_;
+  }
+  const bgp::VpTableView& table_view() const { return table_; }
+  const PotentialIndex& potentials() const { return index_; }
+  std::int64_t current_window() const { return next_window_; }
+  const WindowClock& clock() const { return clock_; }
+  const tracemap::ProcessedTrace* processed_of(const tr::PairKey& pair) const;
+  const SubpathMonitor& subpath_monitor() const { return subpath_; }
+  const BorderMonitor& border_monitor() const { return border_; }
+  // Suppression counters summed over every shard's community monitor.
+  CommunityMonitor::Stats community_stats() const;
+  // Direct shard access (tests / diagnostics).
+  const StalenessEngine& shard(std::size_t i) const { return *shards_[i]; }
+
+ private:
+  void close_one_window(std::int64_t window,
+                        std::vector<StalenessSignal>& out);
+
+  EngineParams params_;
+  WindowClock clock_;
+  tracemap::ProcessingContext& processing_;
+  Rng rng_;
+  // Shared worker pool (null when threads <= 1); declared before everything
+  // that borrows it.
+  std::unique_ptr<runtime::ThreadPool> pool_;
+
+  // The single copies of all cross-pair state (see file comment).
+  std::vector<bgp::VantagePoint> vps_;
+  bgp::VpTableView table_;
+  BgpContext context_;
+  std::vector<bgp::BgpRecord> pending_records_;
+  PotentialIndex index_;
+  Calibration calibration_;
+  CommunityReputation reputation_;
+  AsRelDb rels_;
+  SubpathMonitor subpath_;
+  BorderMonitor border_;
+  IxpMonitor ixp_;
+
+  std::vector<std::unique_ptr<StalenessEngine>> shards_;
+  // Global signal cooldown: a potential shared by pairs in different shards
+  // must still fire at most once per cooldown window span.
+  std::map<PotentialId, std::int64_t> last_fired_;
+  std::int64_t next_window_ = 0;  // first window not yet closed
+};
+
+}  // namespace rrr::signals

@@ -1,8 +1,9 @@
 // End-to-end determinism of the staleness engine's parallel window closing:
 // the signal stream, stale-pair set, and calibration state must be
-// bit-identical at any engine thread count (the determinism contract,
-// DESIGN.md "Runtime & determinism"), and two serial runs must be
-// byte-identical through the io/serialize text formats.
+// bit-identical at any engine (shards, threads) combination (the
+// determinism contract, DESIGN.md "Runtime & determinism" and "Sharded
+// engine"), and two serial runs must be byte-identical through the
+// io/serialize text formats.
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -15,7 +16,8 @@
 namespace rrr::eval {
 namespace {
 
-WorldParams small_params(std::uint64_t seed, int engine_threads) {
+WorldParams small_params(std::uint64_t seed, int engine_threads,
+                         int engine_shards = 1) {
   WorldParams params;
   params.days = 3;
   params.warmup_days = 1;
@@ -28,6 +30,7 @@ WorldParams small_params(std::uint64_t seed, int engine_threads) {
   params.topology.num_stub = 80;
   params.seed = seed;
   params.engine_threads = engine_threads;
+  params.engine_shards = engine_shards;
   return params;
 }
 
@@ -43,8 +46,9 @@ struct RunTrace {
   std::string corpus_bytes;  // io/serialize rendering of the final corpus
 };
 
-RunTrace run_world(std::uint64_t seed, int engine_threads) {
-  World world(small_params(seed, engine_threads));
+RunTrace run_world(std::uint64_t seed, int engine_threads,
+                   int engine_shards = 1) {
+  World world(small_params(seed, engine_threads, engine_shards));
   RunTrace trace;
   World::Hooks hooks;
   hooks.on_signals = [&](std::int64_t window, TimePoint,
@@ -103,6 +107,30 @@ TEST(Determinism, ParallelRunMatchesSerialBytes) {
   RunTrace serial = run_world(14, 1);
   RunTrace parallel = run_world(14, 4);
   EXPECT_EQ(serial.corpus_bytes, parallel.corpus_bytes);
+}
+
+// The tentpole contract: partitioning the corpus over shards must not
+// change a single byte of the output, whatever thread count runs the
+// shards. Every (shards, threads) grid point is compared against the
+// serial single-shard run.
+TEST(Determinism, ShardGridMatchesSingleShardSerial) {
+  RunTrace baseline = run_world(15, 1, 1);
+  ASSERT_GT(baseline.signals.size(), 0u)
+      << "world too quiet to exercise the engine";
+  for (int shards : {1, 2, 4}) {
+    for (int threads : {1, 4}) {
+      if (shards == 1 && threads == 1) continue;
+      RunTrace run = run_world(15, threads, shards);
+      EXPECT_EQ(baseline.signals, run.signals)
+          << "shards=" << shards << " threads=" << threads;
+      EXPECT_EQ(baseline.stale, run.stale)
+          << "shards=" << shards << " threads=" << threads;
+      EXPECT_EQ(baseline.calibration_digest, run.calibration_digest)
+          << "shards=" << shards << " threads=" << threads;
+      EXPECT_EQ(baseline.corpus_bytes, run.corpus_bytes)
+          << "shards=" << shards << " threads=" << threads;
+    }
+  }
 }
 
 }  // namespace
