@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <string>
@@ -15,6 +16,7 @@
 #include "eval/report.h"
 #include "eval/world.h"
 #include "netbase/rng.h"
+#include "obs/export.h"
 #include "runtime/parallel.h"
 
 namespace rrr::bench {
@@ -38,6 +40,11 @@ class Flags {
     std::string value;
     return find(name, value);
   }
+  std::string get_str(const std::string& name,
+                      const std::string& fallback) const {
+    std::string value;
+    return find(name, value) ? value : fallback;
+  }
 
  private:
   bool find(const std::string& name, std::string& value) const {
@@ -60,6 +67,55 @@ class Flags {
   std::vector<std::string> args_;
 };
 
+// Telemetry knobs shared by every harness: `--stats-json <path>` turns the
+// engine's telemetry on and writes the collected stats there; the RRR_STATS
+// environment variable force-enables collection without a file.
+inline bool stats_enabled(const Flags& flags) {
+  return flags.get_bool("stats-json") || obs::env_enabled();
+}
+inline std::string stats_json_path(const Flags& flags) {
+  return flags.get_str("stats-json", "");
+}
+
+// One run's collected telemetry, ready for the shared JSON writer.
+struct RunStats {
+  std::string label;
+  std::string stats;    // cumulative snapshot (JSON metric array)
+  std::string windows;  // sparse per-window series (JSON array)
+};
+
+// Snapshot a world's telemetry under `label`; empty JSON when telemetry is
+// off (the writer still emits the run, keeping run indices aligned).
+inline RunStats capture_stats(const std::string& label,
+                              const eval::World& world) {
+  return RunStats{label, world.stats_json(), world.stats_series_json()};
+}
+
+// The one stats file writer every harness shares: a versioned envelope of
+// per-run objects, each holding the final cumulative snapshot and the
+// per-window series.
+inline void write_stats_json(const std::string& path,
+                             const std::vector<RunStats>& runs,
+                             std::ostream& log) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    log << "stats-json: cannot open " << path << "\n";
+    return;
+  }
+  out << "{\"schema\":\"rrr-stats-v1\",\"runs\":[";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "{\"label\":\"" << obs::json_escape(runs[i].label)
+        << "\",\"stats\":" << (runs[i].stats.empty() ? "[]" : runs[i].stats)
+        << ",\"windows\":"
+        << (runs[i].windows.empty() ? "[]" : runs[i].windows) << "}";
+  }
+  out << "]}\n";
+  log << "stats-json: wrote " << runs.size() << " run(s) to " << path
+      << "\n";
+}
+
 // The standard retrospective-evaluation world (§5.1), scaled down from the
 // paper's 223k pairs to laptop size; flags override.
 inline eval::WorldParams retrospective_params(const Flags& flags) {
@@ -77,6 +133,7 @@ inline eval::WorldParams retrospective_params(const Flags& flags) {
   params.topology.num_stub = 200;
   params.engine_threads = static_cast<int>(flags.get_int("engine-threads", 1));
   params.engine_shards = static_cast<int>(flags.get_int("engine-shards", 1));
+  params.telemetry = stats_enabled(flags);
   return params;
 }
 

@@ -18,9 +18,14 @@ namespace {
 
 using namespace rrr;
 
+struct Replicate {
+  std::string report;
+  bench::RunStats stats;
+};
+
 // One full retrospective run at `seed`, rendered to text (tasks run
 // concurrently, so nothing may write to stdout until the fan-out returns).
-std::string run_replicate(eval::WorldParams params, std::uint64_t seed) {
+Replicate run_replicate(eval::WorldParams params, std::uint64_t seed) {
   params.seed = seed;
   std::ostringstream out;
   eval::World world(params);
@@ -79,7 +84,13 @@ std::string run_replicate(eval::WorldParams params, std::uint64_t seed) {
                    std::to_string(n)});
   }
   table.print(out);
-  return out.str();
+  if (world.metrics() != nullptr) {
+    out << "\nengine telemetry (cumulative):\n";
+    eval::print_stats_summary(out, world.metrics()->snapshot());
+  }
+  return Replicate{out.str(),
+                   bench::capture_stats("seed " + std::to_string(seed),
+                                        world)};
 }
 
 }  // namespace
@@ -101,15 +112,20 @@ int main(int argc, char** argv) {
     labels.push_back("seed " +
                      std::to_string(bench::replicate_seed(params.seed, i)));
   }
-  std::vector<std::string> reports = bench::fan_out<std::string>(
+  std::vector<Replicate> replicates = bench::fan_out<Replicate>(
       bench::fanout_threads(flags, seeds), labels,
       [&](std::size_t i) {
         return run_replicate(params, bench::replicate_seed(params.seed, i));
       },
       std::cout);
-  for (std::size_t i = 0; i < reports.size(); ++i) {
+  for (std::size_t i = 0; i < replicates.size(); ++i) {
     if (i > 0) std::cout << "\n";
-    std::cout << reports[i];
+    std::cout << replicates[i].report;
   }
+  std::vector<bench::RunStats> stats;
+  for (Replicate& replicate : replicates) {
+    stats.push_back(std::move(replicate.stats));
+  }
+  bench::write_stats_json(bench::stats_json_path(flags), stats, std::cout);
   return 0;
 }

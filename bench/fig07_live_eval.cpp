@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
   struct ArmResult {
     std::size_t pairs = 0;
     std::vector<DayRow> days;
+    bench::RunStats stats;
   };
 
   std::vector<std::string> labels;
@@ -101,6 +102,7 @@ int main(int argc, char** argv) {
           result.days.push_back(row);
         };
         world.run_until(world.end(), hooks);
+        result.stats = bench::capture_stats(labels[i], world);
         return result;
       },
       std::cout);
@@ -128,5 +130,8 @@ int main(int argc, char** argv) {
     }
     table.print(std::cout);
   }
+  std::vector<bench::RunStats> stats;
+  for (ArmResult& result : results) stats.push_back(std::move(result.stats));
+  bench::write_stats_json(bench::stats_json_path(flags), stats, std::cout);
   return 0;
 }

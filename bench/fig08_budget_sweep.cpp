@@ -126,12 +126,14 @@ constexpr std::size_t kStrategyCount = 6;
 struct PpsResult {
   std::size_t path_count = 0;
   double rates[kStrategyCount] = {};
+  bench::RunStats stats;
 };
 
 // One budget point: a private World (same seed everywhere, so every task
 // replays the identical timeline and ground truth) running all six strategy
 // arms at `pps` packets per second per path.
-PpsResult run_pps(const eval::WorldParams& params, double pps) {
+PpsResult run_pps(const eval::WorldParams& params, double pps,
+                  const std::string& label) {
   eval::World world(params);
   world.run_until(world.corpus_t0());
   world.initialize_corpus();
@@ -229,6 +231,7 @@ PpsResult run_pps(const eval::WorldParams& params, double pps) {
   for (std::size_t s = 0; s < kStrategyCount; ++s) {
     result.rates[s] = arms[s]->ledger.border_detection_rate();
   }
+  result.stats = bench::capture_stats(label, world);
   return result;
 }
 
@@ -254,7 +257,7 @@ int main(int argc, char** argv) {
   }
   std::vector<PpsResult> results = bench::fan_out<PpsResult>(
       bench::fanout_threads(flags, pps_values.size()), labels,
-      [&](std::size_t i) { return run_pps(params, pps_values[i]); },
+      [&](std::size_t i) { return run_pps(params, pps_values[i], labels[i]); },
       std::cout);
 
   std::cout << "paths: " << results.front().path_count << ", " << params.days
@@ -270,5 +273,8 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
   table.print(std::cout);
+  std::vector<bench::RunStats> stats;
+  for (PpsResult& result : results) stats.push_back(std::move(result.stats));
+  bench::write_stats_json(bench::stats_json_path(flags), stats, std::cout);
   return 0;
 }

@@ -41,8 +41,12 @@ int main(int argc, char** argv) {
         "s" + std::to_string(bench::replicate_seed(base.seed,
                                                    std::size_t(k))));
   }
+  struct Replicate {
+    std::string report;
+    bench::RunStats stats;
+  };
   int threads = bench::fanout_threads(flags, labels.size());
-  std::vector<std::string> reports = bench::fan_out<std::string>(
+  std::vector<Replicate> replicates = bench::fan_out<Replicate>(
       threads, labels,
       [&](std::size_t k) {
         eval::WorldParams params = base;
@@ -143,14 +147,19 @@ int main(int argc, char** argv) {
                                     : double(fresh_keys.size()) /
                                           double(all_keys.size()))
             << " (paper: 90.3% of UDMs; 68.6% with the feedback loop)\n";
-        return out.str();
+        return Replicate{out.str(), bench::capture_stats(labels[k], world)};
       },
       std::cout);
 
   for (int k = 0; k < seeds; ++k) {
     std::cout << "\nseed "
               << bench::replicate_seed(base.seed, std::size_t(k)) << ":\n"
-              << reports[static_cast<std::size_t>(k)];
+              << replicates[static_cast<std::size_t>(k)].report;
   }
+  std::vector<bench::RunStats> stats;
+  for (Replicate& replicate : replicates) {
+    stats.push_back(std::move(replicate.stats));
+  }
+  bench::write_stats_json(bench::stats_json_path(flags), stats, std::cout);
   return 0;
 }

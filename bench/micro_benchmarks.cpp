@@ -134,7 +134,7 @@ BENCHMARK(BM_TraceProcessing);
 // against.
 struct AdvanceToFixture {
   explicit AdvanceToFixture(int threads, int shards = 1, int pairs = 2000,
-                            int num_probes = 700) {
+                            int num_probes = 700, bool telemetry = false) {
     eval::WorldParams params;
     params.days = 1;
     params.warmup_days = 1;
@@ -149,6 +149,7 @@ struct AdvanceToFixture {
     params.seed = 20200642;
     params.engine_threads = threads;
     params.engine_shards = shards;
+    params.telemetry = telemetry;
     world = std::make_unique<eval::World>(params);
     world->run_until(world->corpus_t0());
     world->initialize_corpus();
@@ -249,6 +250,37 @@ BENCHMARK(BM_ShardedAdvanceTo)
     ->Args({1, 4})
     ->Args({2, 4})
     ->Args({4, 4})
+    ->Iterations(96)
+    ->Unit(benchmark::kMillisecond);
+
+// Telemetry overhead on the full close path: Arg(0) runs with the registry
+// off (every instrumentation site is one null-pointer branch), Arg(1) with
+// every counter, histogram, and span live. DESIGN.md "Observability"
+// documents the measured delta; if enabled-vs-disabled ever exceeds ~2%,
+// the hot path regressed (a registry lookup or allocation leaked into a
+// per-item loop) — fix that rather than accepting the number.
+void BM_TelemetryOverhead(benchmark::State& state) {
+  AdvanceToFixture fixture(/*threads=*/1, /*shards=*/1, /*pairs=*/2000,
+                           /*probes=*/700,
+                           /*telemetry=*/state.range(0) != 0);
+  std::size_t signals = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    fixture.feed_window();
+    state.ResumeTiming();
+    auto sigs =
+        fixture.world->engine().advance_to(fixture.now +
+                                           fixture.world->window_seconds());
+    benchmark::DoNotOptimize(sigs.data());
+    signals += sigs.size();
+    fixture.now = fixture.now + fixture.world->window_seconds();
+  }
+  state.counters["telemetry"] = static_cast<double>(state.range(0));
+  state.counters["signals"] = static_cast<double>(signals);
+}
+BENCHMARK(BM_TelemetryOverhead)
+    ->Arg(0)
+    ->Arg(1)
     ->Iterations(96)
     ->Unit(benchmark::kMillisecond);
 

@@ -1,8 +1,11 @@
 #include "eval/report.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <ostream>
+
+#include "obs/export.h"
 
 namespace rrr::eval {
 
@@ -86,6 +89,26 @@ void print_banner(std::ostream& os, const std::string& id,
   os << "\n=== " << id << ": " << title << " ===\n";
   if (!paper_note.empty()) os << "paper: " << paper_note << "\n";
   os << "\n";
+}
+
+void print_stats_summary(std::ostream& os, const obs::Snapshot& snapshot) {
+  TableWriter table({"metric", "kind", "value/count", "sum", "p50", "p99"});
+  for (const obs::MetricSnapshot& m : snapshot) {
+    if (m.kind != obs::Kind::kHistogram) {
+      table.add_row({m.key(),
+                     m.kind == obs::Kind::kCounter ? "counter" : "gauge",
+                     TableWriter::fmt_int(m.value), "", "", ""});
+      continue;
+    }
+    auto quantile = [&](double q) {
+      double value = obs::histogram_quantile(m, q);
+      return std::isfinite(value) ? TableWriter::fmt(value, 0) : "inf";
+    };
+    table.add_row({m.key(), "histogram", TableWriter::fmt_int(m.count),
+                   TableWriter::fmt(m.sum, 0), quantile(0.5),
+                   quantile(0.99)});
+  }
+  table.print(os);
 }
 
 void print_cdf(std::ostream& os, const std::string& label, const Cdf& cdf) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "eval/metrics.h"
+#include "obs/metrics.h"
 
 namespace rrr::eval {
 
@@ -38,5 +39,9 @@ void print_banner(std::ostream& os, const std::string& id,
 
 // Renders a CDF as quantile rows.
 void print_cdf(std::ostream& os, const std::string& label, const Cdf& cdf);
+
+// Renders a telemetry snapshot as an aligned table: counters/gauges show
+// their value; histograms show count, sum, and approximate p50/p99.
+void print_stats_summary(std::ostream& os, const obs::Snapshot& snapshot);
 
 }  // namespace rrr::eval

@@ -99,6 +99,11 @@ World::World(const WorldParams& params)
     members[i] = std::set<Asn>(pdb.ixp_members[i].begin(),
                                pdb.ixp_members[i].end());
   }
+  if (params_.telemetry || obs::env_enabled()) {
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+    series_ = std::make_unique<obs::StatsSeries>();
+  }
+
   signals::EngineParams engine_params;
   engine_params.t0 = start();
   engine_params.window_seconds = kBaseWindowSeconds;
@@ -107,6 +112,7 @@ World::World(const WorldParams& params)
   engine_params.seed = rng_.fork(8).seed();
   engine_params.threads = params_.engine_threads;
   engine_params.shards = params_.engine_shards;
+  engine_params.metrics = metrics_.get();
   engine_ = std::make_unique<signals::ShardedStalenessEngine>(
       engine_params, *processing_, std::move(vps), std::move(vp_as),
       std::move(vp_city), std::move(rs_asns),
@@ -243,6 +249,7 @@ void World::run_until(TimePoint t, const Hooks& hooks) {
             window_end);
       }
     }
+    if (series_) series_->sample(window, *metrics_);
     now_ = window_end;
   }
 }

@@ -9,6 +9,8 @@
 
 #include "bgp/feed.h"
 #include "eval/ground_truth.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "routing/control_plane.h"
 #include "routing/events.h"
 #include "signals/sharded_engine.h"
@@ -57,6 +59,11 @@ struct WorldParams {
   // engine"). Like engine_threads, a pure throughput knob: the signal
   // stream is bit-identical for any (shards, threads) combination.
   int engine_shards = 1;
+  // Enables the telemetry registry + per-window stats series (DESIGN.md
+  // "Observability"). The RRR_STATS environment variable force-enables it
+  // regardless of this flag; when off, the engine's instrumentation sites
+  // degrade to null-pointer branches.
+  bool telemetry = false;
 };
 
 class World {
@@ -127,12 +134,37 @@ class World {
 
   std::int64_t window_seconds() const { return kBaseWindowSeconds; }
 
+  // --- telemetry (null/empty unless WorldParams::telemetry or RRR_STATS) ---
+  const obs::MetricsRegistry* metrics() const { return metrics_.get(); }
+  // Full cumulative snapshot as a JSON metric array.
+  std::string stats_json() const {
+    return metrics_ ? obs::to_json(metrics_->snapshot()) : "[]";
+  }
+  // Same registry in Prometheus text exposition format.
+  std::string stats_prometheus() const {
+    return metrics_ ? obs::to_prometheus(metrics_->snapshot()) : "";
+  }
+  // Semantic-domain-only snapshot: byte-identical across any
+  // (shards, threads) grid point (the determinism contract).
+  std::string semantic_stats_json() const {
+    return metrics_ ? obs::to_json(metrics_->snapshot(obs::Domain::kSemantic))
+                    : "[]";
+  }
+  // Per-window sparse series sampled after each closed window.
+  std::string stats_series_json() const {
+    return series_ ? series_->json() : "[]";
+  }
+
  private:
   void process_event(const routing::Event& event);
   void issue_public_trace(TimePoint t);
 
   WorldParams params_;
   Rng rng_;
+  // Telemetry sink; declared before the engine, which holds instrument
+  // pointers into it.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::StatsSeries> series_;
   topo::Topology topology_;
   std::unique_ptr<routing::ControlPlane> cp_;
   std::unique_ptr<bgp::FeedSimulator> feed_;

@@ -1,0 +1,166 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace rrr::obs {
+namespace {
+
+std::string flatten(const std::string& name, const LabelList& labels) {
+  if (labels.empty()) return name;
+  std::string key = name + "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) key += ",";
+    key += labels[i].first + "=\"" + labels[i].second + "\"";
+  }
+  key += "}";
+  return key;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_ =
+      std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double value) {
+  // First bucket whose upper bound admits the value; +Inf bucket otherwise.
+  std::size_t bucket =
+      static_cast<std::size_t>(std::lower_bound(bounds_.begin(),
+                                                bounds_.end(), value) -
+                               bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::int64_t> Histogram::bucket_counts() const {
+  std::vector<std::int64_t> counts(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+std::vector<double> duration_buckets_us() {
+  return {1,    2,    5,    10,   20,    50,    100,   200,   500,  1000,
+          2000, 5000, 1e4,  2e4,  5e4,   1e5,   2e5,   5e5,   1e6,  2e6,
+          5e6};
+}
+
+std::vector<double> size_buckets() {
+  return {1,    2,    5,    10,  20,  50,  100, 200, 500, 1000,
+          2000, 5000, 1e4,  2e4, 5e4, 1e5, 2e5, 5e5};
+}
+
+std::string MetricSnapshot::key() const { return flatten(name, labels); }
+
+MetricsRegistry::Entry& MetricsRegistry::entry_for(const std::string& name,
+                                                   LabelList&& labels,
+                                                   Kind kind, Domain domain,
+                                                   std::string&& help) {
+  std::string key = flatten(name, labels);
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    assert(it->second->kind == kind && "metric re-registered as other kind");
+    return *it->second;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->labels = std::move(labels);
+  entry->kind = kind;
+  entry->domain = domain;
+  entry->help = std::move(help);
+  Entry* raw = entry.get();
+  entries_.push_back(std::move(entry));
+  by_key_[std::move(key)] = raw;
+  return *raw;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, LabelList labels,
+                                  Domain domain, std::string help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entry_for(name, std::move(labels), Kind::kCounter, domain,
+                           std::move(help));
+  if (entry.counter == nullptr) entry.counter = std::make_unique<Counter>();
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, LabelList labels,
+                              Domain domain, std::string help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entry_for(name, std::move(labels), Kind::kGauge, domain,
+                           std::move(help));
+  if (entry.gauge == nullptr) entry.gauge = std::make_unique<Gauge>();
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      LabelList labels, Domain domain,
+                                      std::string help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entry_for(name, std::move(labels), Kind::kHistogram, domain,
+                           std::move(help));
+  if (entry.histogram == nullptr) {
+    entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *entry.histogram;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    MetricSnapshot m;
+    m.name = entry->name;
+    m.labels = entry->labels;
+    m.kind = entry->kind;
+    m.domain = entry->domain;
+    m.help = entry->help;
+    switch (entry->kind) {
+      case Kind::kCounter:
+        m.value = entry->counter->value();
+        break;
+      case Kind::kGauge:
+        m.value = entry->gauge->value();
+        break;
+      case Kind::kHistogram:
+        m.count = entry->histogram->count();
+        m.sum = entry->histogram->sum();
+        m.bounds = entry->histogram->bounds();
+        m.buckets = entry->histogram->bucket_counts();
+        break;
+    }
+    out.push_back(std::move(m));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.key() < b.key();
+            });
+  return out;
+}
+
+Snapshot MetricsRegistry::snapshot(Domain domain) const {
+  Snapshot all = snapshot();
+  Snapshot out;
+  for (MetricSnapshot& m : all) {
+    if (m.domain == domain) out.push_back(std::move(m));
+  }
+  return out;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace rrr::obs

@@ -1,0 +1,196 @@
+// Telemetry primitives for the staleness engine: a registry of named
+// counters, gauges, and fixed-bucket histograms, plus scoped wall-clock
+// spans.
+//
+// Hot-path cost model: metric objects are updated with relaxed atomics (one
+// fetch_add for a counter, one bucket lookup plus two fetch_adds for a
+// histogram), and every instrumentation site holds a *pointer* that is null
+// when telemetry is off — the disabled path is a single branch on a pointer
+// the caller already has in cache. Registration and snapshotting take a
+// mutex; they happen at construction and reporting time, never per window.
+//
+// Determinism split: every metric belongs to a `Domain`. `kSemantic` metrics
+// count facts of the signal stream (signals emitted, potentials opened,
+// refreshes graded, …) that the engine's determinism contract makes
+// invariant across any (shards, threads) grid point — a semantic snapshot
+// must therefore be byte-identical across the grid, which
+// tests/determinism_test.cpp asserts. `kRuntime` metrics carry wall-clock
+// durations, queue depths, and partition-dependent work sizes; they differ
+// run to run by design and are never part of the determinism contract.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rrr::obs {
+
+enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+enum class Domain : std::uint8_t { kSemantic, kRuntime };
+
+// Label key/value pairs, e.g. {{"technique", "aspath"}}. Part of a metric's
+// identity: the same name with different labels is a different time series.
+using LabelList = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void inc(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds; an
+// implicit +Inf bucket catches the rest. Bucket counts are per-bucket (not
+// cumulative); exporters cumulate where the format demands it.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  // Per-bucket counts, size bounds().size() + 1 (last = overflow bucket).
+  std::vector<std::int64_t> bucket_counts() const;
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::int64_t>[]> buckets_;
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Null-safe update helpers: instrumentation sites hold pointers that are
+// null when telemetry is off, so the disabled path is one branch.
+inline void inc(Counter* counter, std::int64_t delta = 1) {
+  if (counter != nullptr) counter->inc(delta);
+}
+inline void set(Gauge* gauge, std::int64_t value) {
+  if (gauge != nullptr) gauge->set(value);
+}
+inline void observe(Histogram* histogram, double value) {
+  if (histogram != nullptr) histogram->observe(value);
+}
+
+// Records the enclosing scope's wall time (microseconds) into a histogram;
+// a null histogram skips the clock reads entirely.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(Histogram* histogram) : histogram_(histogram) {
+    if (histogram_ != nullptr) begin_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedSpan() {
+    if (histogram_ == nullptr) return;
+    histogram_->observe(std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - begin_)
+                            .count());
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point begin_;
+};
+
+// Standard bucket ladders (1-2-5 decades): microsecond durations up to 5 s,
+// and work-item sizes up to 500k.
+std::vector<double> duration_buckets_us();
+std::vector<double> size_buckets();
+
+// Point-in-time copy of one metric, used by exporters and tests.
+struct MetricSnapshot {
+  std::string name;
+  LabelList labels;
+  Kind kind = Kind::kCounter;
+  Domain domain = Domain::kSemantic;
+  std::string help;
+  std::int64_t value = 0;             // counter / gauge
+  std::int64_t count = 0;             // histogram
+  double sum = 0.0;                   // histogram
+  std::vector<double> bounds;         // histogram upper bounds (no +Inf)
+  std::vector<std::int64_t> buckets;  // per-bucket counts, bounds+1 long
+
+  // Canonical flattened identity, `name{k="v",...}` — also the Prometheus
+  // series name and the key of the per-window stats series.
+  std::string key() const;
+};
+
+// Snapshots are sorted by key(), so two registries holding the same values
+// render byte-identical exports.
+using Snapshot = std::vector<MetricSnapshot>;
+
+// Owns every metric it hands out; references stay valid for the registry's
+// lifetime. Asking for an existing (name, labels) returns the same object
+// (the kind must match). Thread-safe for registration and snapshotting;
+// metric updates themselves never touch the registry lock.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name, LabelList labels = {},
+                   Domain domain = Domain::kSemantic, std::string help = "");
+  Gauge& gauge(const std::string& name, LabelList labels = {},
+               Domain domain = Domain::kRuntime, std::string help = "");
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       LabelList labels = {},
+                       Domain domain = Domain::kRuntime,
+                       std::string help = "");
+
+  Snapshot snapshot() const;
+  Snapshot snapshot(Domain domain) const;
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    LabelList labels;
+    Kind kind;
+    Domain domain;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& entry_for(const std::string& name, LabelList&& labels, Kind kind,
+                   Domain domain, std::string&& help);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::map<std::string, Entry*> by_key_;
+};
+
+}  // namespace rrr::obs

@@ -2,6 +2,26 @@
 
 namespace rrr::runtime {
 
+PoolObs PoolObs::create(obs::MetricsRegistry& registry) {
+  PoolObs out;
+  out.wait_us = &registry.histogram(
+      "rrr_pool_task_wait_us", obs::duration_buckets_us(), {},
+      obs::Domain::kRuntime, "Microseconds tasks spent queued before running");
+  out.run_us = &registry.histogram(
+      "rrr_pool_task_run_us", obs::duration_buckets_us(), {},
+      obs::Domain::kRuntime, "Microseconds tasks spent executing");
+  out.tasks = &registry.counter("rrr_pool_tasks_total", {},
+                                obs::Domain::kRuntime,
+                                "Tasks executed by the pool");
+  out.busy_us = &registry.counter(
+      "rrr_pool_busy_us_total", {}, obs::Domain::kRuntime,
+      "Total task execution microseconds (utilization numerator)");
+  out.queue_depth =
+      &registry.gauge("rrr_pool_queue_depth", {}, obs::Domain::kRuntime,
+                      "Queue depth observed at the latest enqueue");
+  return out;
+}
+
 ThreadPool::ThreadPool(int threads) {
   int workers = threads - 1;
   if (workers < 0) workers = 0;
@@ -22,27 +42,57 @@ ThreadPool::~ThreadPool() {
   // tasks before returning, so only fire-and-forget submissions can be lost.
 }
 
-void ThreadPool::submit(std::function<void()> task) {
-  if (workers_.empty()) {
-    task();
+void ThreadPool::execute(Item item) {
+  const PoolObs* obs = obs_.load(std::memory_order_acquire);
+  if (obs == nullptr) {
+    item.fn();
     return;
   }
+  auto start = std::chrono::steady_clock::now();
+  if (item.enqueued.time_since_epoch().count() != 0) {
+    obs::observe(obs->wait_us,
+                 std::chrono::duration<double, std::micro>(start -
+                                                           item.enqueued)
+                     .count());
+  }
+  item.fn();
+  auto end = std::chrono::steady_clock::now();
+  double run_us =
+      std::chrono::duration<double, std::micro>(end - start).count();
+  obs::observe(obs->run_us, run_us);
+  obs::inc(obs->tasks);
+  obs::inc(obs->busy_us, static_cast<std::int64_t>(run_us));
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  const PoolObs* obs = obs_.load(std::memory_order_acquire);
+  if (workers_.empty()) {
+    execute(Item{std::move(task), {}});
+    return;
+  }
+  Item item{std::move(task), {}};
+  if (obs != nullptr) item.enqueued = std::chrono::steady_clock::now();
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(item));
+    depth = queue_.size();
+  }
+  if (obs != nullptr) {
+    obs::set(obs->queue_depth, static_cast<std::int64_t>(depth));
   }
   cv_.notify_one();
 }
 
 bool ThreadPool::run_one() {
-  std::function<void()> task;
+  Item item;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (queue_.empty()) return false;
-    task = std::move(queue_.front());
+    item = std::move(queue_.front());
     queue_.pop_front();
   }
-  task();
+  execute(std::move(item));
   return true;
 }
 
@@ -53,15 +103,15 @@ std::size_t ThreadPool::queued() const {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Item item;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
+      item = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    execute(std::move(item));
   }
 }
 

@@ -12,6 +12,8 @@
 // deadlock-free on a bounded pool.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -20,7 +22,22 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace rrr::runtime {
+
+// Pool instrumentation (all runtime-domain): how long tasks sit queued, how
+// long they run, how many ran, total busy microseconds (utilization =
+// busy_us / (wall * threads)), and the queue depth at each enqueue.
+struct PoolObs {
+  obs::Histogram* wait_us = nullptr;
+  obs::Histogram* run_us = nullptr;
+  obs::Counter* tasks = nullptr;
+  obs::Counter* busy_us = nullptr;
+  obs::Gauge* queue_depth = nullptr;
+
+  static PoolObs create(obs::MetricsRegistry& registry);
+};
 
 class ThreadPool {
  public:
@@ -44,14 +61,30 @@ class ThreadPool {
 
   std::size_t queued() const;
 
+  // Attaches (or detaches, with nullptr) instrumentation. The PoolObs must
+  // outlive the pool or the next set_obs call; tasks already queued keep
+  // being timed against whatever is attached when they run.
+  void set_obs(const PoolObs* obs) {
+    obs_.store(obs, std::memory_order_release);
+  }
+
  private:
+  struct Item {
+    std::function<void()> fn;
+    // Only stamped when instrumentation is attached at enqueue time.
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void worker_loop();
+  // Runs one dequeued item, recording wait/run spans when attached.
+  void execute(Item item);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Item> queue_;
   std::vector<std::thread> workers_;
   bool stopping_ = false;
+  std::atomic<const PoolObs*> obs_{nullptr};
 };
 
 }  // namespace rrr::runtime

@@ -177,6 +177,9 @@ AsPathMonitor::EvalResult AsPathMonitor::evaluate(Entry* entry,
 
 std::vector<StalenessSignal> AsPathMonitor::close_window(
     std::int64_t window, TimePoint window_end) {
+  obs::ScopedSpan span(mobs_.close_us);
+  obs::observe(mobs_.close_items,
+               static_cast<double>(dirty_.size() + hot_.size()));
   std::vector<StalenessSignal> signals;
   auto merge = [&](const std::vector<Entry*>& work,
                    std::vector<EvalResult>& results) {

@@ -132,8 +132,10 @@ std::vector<StalenessSignal> BorderMonitor::close_window(
   // Router series are disjoint state; shards close them concurrently and
   // the per-series buffers are concatenated in work-list order, so the
   // output is independent of the thread count.
+  obs::ScopedSpan span(mobs_.close_us);
   std::vector<RouterSeries*> work;
   work.swap(touched_);
+  obs::observe(mobs_.close_items, static_cast<double>(work.size()));
   std::vector<std::vector<StalenessSignal>> shards =
       runtime::parallel_map(pool_, work, [&](RouterSeries* rs) {
         rs->touched = false;

@@ -150,8 +150,10 @@ std::vector<StalenessSignal> BurstMonitor::close_window(
   // Each dirty entry owns its series and per-window VP sets exclusively, so
   // evaluation fans out over the pool; per-entry buffers concatenate in
   // work-list order, keeping the output identical to the serial loop.
+  obs::ScopedSpan span(mobs_.close_us);
   std::vector<Entry*> work;
   work.swap(dirty_);
+  obs::observe(mobs_.close_items, static_cast<double>(work.size()));
   auto evaluate = [&](Entry* entry) {
     std::vector<StalenessSignal> out;
     entry->dirty = false;

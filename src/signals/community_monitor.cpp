@@ -220,12 +220,14 @@ void CommunityMonitor::on_record(const DispatchedRecord& record,
 
 std::vector<StalenessSignal> CommunityMonitor::close_window(
     std::int64_t window, TimePoint window_end) {
+  obs::ScopedSpan span(mobs_.close_us);
   std::vector<Entry*> work;
   work.reserve(pending_.size());
   for (Entry* entry : pending_) {
     if (entry->pending) work.push_back(entry);
   }
   pending_.clear();
+  obs::observe(mobs_.close_items, static_cast<double>(work.size()));
   // Entries are disjoint, so stamping their signals fans out; parallel_map
   // returns results in work-list order — the serial emission order.
   return runtime::parallel_map(pool_, work, [&](Entry* entry) {

@@ -69,6 +69,15 @@ StalenessEngine::StalenessEngine(
   }
   pool_ = owned_pool_.get();
 
+  if (params_.metrics != nullptr) {
+    obs_ = EngineObs::create(*params_.metrics);
+    index_->set_obs(obs_.potentials_opened);
+    if (owned_pool_ != nullptr) {
+      pool_obs_ = runtime::PoolObs::create(*params_.metrics);
+      owned_pool_->set_obs(&pool_obs_);
+    }
+  }
+
   aspath_ = std::make_unique<AsPathMonitor>(*context_);
   community_ = std::make_unique<CommunityMonitor>(*context_, *reputation_);
   burst_ = std::make_unique<BurstMonitor>(*context_);
@@ -80,6 +89,14 @@ StalenessEngine::StalenessEngine(
   subpath_->set_pool(pool_);
   border_->set_pool(pool_);
   ixp_->set_pool(pool_);
+  // All-null bundles when telemetry is off, so this is unconditional.
+  aspath_->set_obs(obs_.monitors[technique_index(Technique::kBgpAsPath)]);
+  community_->set_obs(
+      obs_.monitors[technique_index(Technique::kBgpCommunity)]);
+  burst_->set_obs(obs_.monitors[technique_index(Technique::kBgpBurst)]);
+  subpath_->set_obs(obs_.monitors[technique_index(Technique::kTraceSubpath)]);
+  border_->set_obs(obs_.monitors[technique_index(Technique::kTraceBorder)]);
+  ixp_->set_obs(obs_.monitors[technique_index(Technique::kColocation)]);
 }
 
 StalenessEngine::StalenessEngine(const EngineParams& params,
@@ -102,12 +119,19 @@ StalenessEngine::StalenessEngine(const EngineParams& params,
   border_ = shared.border;
   ixp_ = shared.ixp;
 
+  if (shared.obs != nullptr) obs_ = *shared.obs;
+
   aspath_ = std::make_unique<AsPathMonitor>(*context_);
   community_ = std::make_unique<CommunityMonitor>(*context_, *reputation_);
   burst_ = std::make_unique<BurstMonitor>(*context_);
   aspath_->set_pool(pool_);
   community_->set_pool(pool_);
   burst_->set_pool(pool_);
+  // Shards share the facade's per-technique instruments (atomic updates).
+  aspath_->set_obs(obs_.monitors[technique_index(Technique::kBgpAsPath)]);
+  community_->set_obs(
+      obs_.monitors[technique_index(Technique::kBgpCommunity)]);
+  burst_->set_obs(obs_.monitors[technique_index(Technique::kBgpBurst)]);
 }
 
 Monitor* StalenessEngine::monitor_for(Technique technique) {
@@ -193,13 +217,18 @@ void StalenessEngine::register_signals(
   out.reserve(out.size() + batch.size());
   for (StalenessSignal& signal : batch) {
     auto it = corpus_.find(signal.pair);
-    if (it == corpus_.end()) continue;  // pair refreshed mid-window
+    if (it == corpus_.end()) {
+      obs::inc(obs_.signals_dropped_refreshed);
+      continue;  // pair refreshed mid-window
+    }
     auto fired = last_fired_.find(signal.potential);
     if (fired != last_fired_.end() &&
         signal.window - fired->second < params_.signal_cooldown_windows) {
+      obs::inc(obs_.signals_suppressed_cooldown);
       continue;  // persistent change already reported recently
     }
     last_fired_[signal.potential] = signal.window;
+    obs::inc(obs_.signals_emitted[technique_index(signal.technique)]);
     PairState& state = it->second;
     if (state.freshness != tr::Freshness::kStale) {
       state.freshness = tr::Freshness::kStale;
@@ -253,6 +282,7 @@ void StalenessEngine::collect_bgp_close(std::vector<StalenessSignal>& into,
 void StalenessEngine::close_one_window(std::int64_t window,
                                        std::vector<StalenessSignal>& out) {
   assert(owned_ != nullptr && "shard-mode engines are closed by the facade");
+  obs::ScopedSpan close_span(obs_.window_close_us);
   TimePoint end = clock_.window_end(window);
   // Dispatch this window's BGP records to the monitors against the
   // start-of-window table, then absorb them into the table.
@@ -267,15 +297,22 @@ void StalenessEngine::close_one_window(std::int64_t window,
   while (cut < pending_records_.size() && in_window(pending_records_[cut])) {
     ++cut;
   }
-  std::vector<DispatchedRecord> dispatched =
-      dispatch_against_table(pending_records_, cut, owned_->table);
-  dispatch_window_records(dispatched, window);
+  {
+    obs::ScopedSpan dispatch_span(obs_.dispatch_us);
+    std::vector<DispatchedRecord> dispatched =
+        dispatch_against_table(pending_records_, cut, owned_->table);
+    dispatch_window_records(dispatched, window);
+  }
 
   register_signals(out, aspath_->close_window(window, end));
   register_signals(out, community_->close_window(window, end));
   register_signals(out, burst_->close_window(window, end));
 
-  owned_->table.apply_all(pending_records_, cut);
+  {
+    obs::ScopedSpan absorb_span(obs_.absorb_us);
+    owned_->table.apply_all(pending_records_, cut);
+  }
+  obs::inc(obs_.bgp_records_absorbed, static_cast<std::int64_t>(cut));
   pending_records_.erase(pending_records_.begin(),
                          pending_records_.begin() +
                              static_cast<std::ptrdiff_t>(cut));
@@ -319,6 +356,7 @@ void StalenessEngine::run_revocation(std::int64_t window) {
     if (all_reverted) {
       state.active.clear();
       state.freshness = initial_freshness(key, state.view);
+      obs::inc(obs_.revocations);
     }
   }
 }
@@ -437,6 +475,10 @@ RefreshOutcome StalenessEngine::apply_refresh(const tr::Probe& probe,
   // Register the fresh measurement. `probe` and `fresh` stay valid through
   // watch() (it only reads them), so no defensive copies.
   watch(probe, fresh);
+  obs::inc(obs_.refreshes);
+  if (outcome.change != tracemap::ChangeKind::kNone) {
+    obs::inc(obs_.refreshes_changed);
+  }
   return outcome;
 }
 

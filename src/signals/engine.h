@@ -34,6 +34,7 @@
 #include "signals/burst_monitor.h"
 #include "signals/calibration.h"
 #include "signals/community_monitor.h"
+#include "signals/engine_obs.h"
 #include "signals/ixp_monitor.h"
 #include "signals/monitor.h"
 #include "signals/subpath_monitor.h"
@@ -63,6 +64,10 @@ struct EngineParams {
   // StalenessEngine). Purely a throughput knob: the facade's signal stream
   // is identical for any (shards, threads) combination.
   int shards = 1;
+  // Telemetry sink; null (the default) disables all instrumentation — every
+  // update site degrades to one branch on a null pointer. Must outlive the
+  // engine.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // What a refresh revealed, returned to callers for their own accounting.
@@ -87,6 +92,9 @@ struct EngineSharedState {
   SubpathMonitor* subpath = nullptr;
   BorderMonitor* border = nullptr;
   IxpMonitor* ixp = nullptr;
+  // Facade-owned instrument bundle; null when the facade has no registry.
+  // Shards copy it so all shards update the same shared instruments.
+  const EngineObs* obs = nullptr;
 };
 
 // Builds the monitor-facing view of the first `count` records (normalized
@@ -220,6 +228,10 @@ class StalenessEngine {
   WindowClock clock_;
   tracemap::ProcessingContext& processing_;
   Rng rng_;
+  // Instrument bundle: built from params_.metrics (standalone) or copied
+  // from the facade's EngineSharedState; all-null when telemetry is off.
+  EngineObs obs_;
+  runtime::PoolObs pool_obs_;
   // Worker pool for window closing; owned in standalone mode (null when
   // params_.threads <= 1), borrowed from the facade in shard mode.
   // Declared before the monitors that borrow it so it outlives them.

@@ -130,8 +130,10 @@ void IxpMonitor::on_public_trace(const tracemap::ProcessedTrace& trace,
 
 std::vector<StalenessSignal> IxpMonitor::close_window(std::int64_t window,
                                                       TimePoint window_end) {
+  obs::ScopedSpan span(mobs_.close_us);
   std::vector<StalenessSignal> signals;
   signals.swap(pending_);
+  obs::observe(mobs_.close_items, static_cast<double>(signals.size()));
   // Pending signals are independent; stamping fans out over the pool and
   // mutates each element in place, so order is untouched.
   runtime::parallel_for(pool_, signals.size(), [&](std::size_t i) {

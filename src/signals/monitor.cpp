@@ -38,6 +38,7 @@ std::string StalenessSignal::to_string() const {
 
 PotentialId PotentialIndex::create(Technique technique) {
   techniques_.push_back(technique);
+  obs::inc(opened_[technique_index(technique)]);
   return static_cast<PotentialId>(techniques_.size());
 }
 

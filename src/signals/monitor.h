@@ -3,6 +3,7 @@
 // entries they monitor, and the monitor interfaces.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -12,6 +13,7 @@
 
 #include "bgp/record.h"
 #include "bgp/table_view.h"
+#include "signals/engine_obs.h"
 #include "signals/signal.h"
 #include "topology/types.h"
 #include "tracemap/processed.h"
@@ -54,9 +56,16 @@ class PotentialIndex {
 
   std::size_t potential_count() const { return techniques_.size(); }
 
+  // Attaches the per-technique potentials-opened counters (semantic domain);
+  // null entries (or never calling this) keep create() uninstrumented.
+  void set_obs(const std::array<obs::Counter*, kTechniqueCount>& opened) {
+    opened_ = opened;
+  }
+
  private:
   std::vector<Technique> techniques_;  // indexed by (id - 1)
   std::map<tr::PairKey, std::vector<Relation>> by_pair_;
+  std::array<obs::Counter*, kTechniqueCount> opened_{};
 };
 
 // A BGP record as dispatched to monitors: attributes normalized (§4.1.1)
@@ -107,6 +116,11 @@ class DstIndex {
 class Monitor {
  public:
   virtual ~Monitor() = default;
+
+  // Attaches close-path instrumentation; the bundle is copied, and an
+  // all-null bundle (the default) makes every update a no-op.
+  void set_obs(const MonitorObs& mobs) { mobs_ = mobs; }
+
   virtual Technique technique() const = 0;
   virtual void watch(const CorpusView& view, PotentialIndex& index) = 0;
   virtual void unwatch(const tr::PairKey& pair) = 0;
@@ -119,6 +133,9 @@ class Monitor {
     (void)id;
     return false;
   }
+
+ protected:
+  MonitorObs mobs_;
 };
 
 class BgpMonitor : public Monitor {

@@ -71,6 +71,25 @@ ShardedStalenessEngine::ShardedStalenessEngine(
   border_.set_pool(pool_.get());
   ixp_.set_pool(pool_.get());
 
+  if (params_.metrics != nullptr) {
+    obs_ = EngineObs::create(*params_.metrics);
+    index_.set_obs(obs_.potentials_opened);
+    shard_close_us_.reserve(static_cast<std::size_t>(params_.shards));
+    for (int i = 0; i < params_.shards; ++i) {
+      shard_close_us_.push_back(&params_.metrics->histogram(
+          "rrr_shard_close_us", obs::duration_buckets_us(),
+          {{"shard", std::to_string(i)}}, obs::Domain::kRuntime,
+          "Wall microseconds of one shard's phase-A close"));
+    }
+    if (pool_ != nullptr) {
+      pool_obs_ = runtime::PoolObs::create(*params_.metrics);
+      pool_->set_obs(&pool_obs_);
+    }
+  }
+  subpath_.set_obs(obs_.monitors[technique_index(Technique::kTraceSubpath)]);
+  border_.set_obs(obs_.monitors[technique_index(Technique::kTraceBorder)]);
+  ixp_.set_obs(obs_.monitors[technique_index(Technique::kColocation)]);
+
   EngineSharedState shared;
   shared.context = &context_;
   shared.pool = pool_.get();
@@ -80,6 +99,7 @@ ShardedStalenessEngine::ShardedStalenessEngine(
   shared.subpath = &subpath_;
   shared.border = &border_;
   shared.ixp = &ixp_;
+  shared.obs = &obs_;
   shards_.reserve(static_cast<std::size_t>(params_.shards));
   for (int i = 0; i < params_.shards; ++i) {
     shards_.push_back(
@@ -122,6 +142,7 @@ void ShardedStalenessEngine::on_public_trace(const tr::Traceroute& trace) {
 
 void ShardedStalenessEngine::close_one_window(
     std::int64_t window, std::vector<StalenessSignal>& out) {
+  obs::ScopedSpan close_span(obs_.window_close_us);
   TimePoint end = clock_.window_end(window);
   auto in_window = [&](const bgp::BgpRecord& r) {
     return clock_.index_of(r.time) <= window;
@@ -136,8 +157,11 @@ void ShardedStalenessEngine::close_one_window(
   }
   // Normalize the window's records once against the start-of-window table;
   // every shard dispatches the same read-only views.
-  std::vector<DispatchedRecord> dispatched =
-      dispatch_against_table(pending_records_, cut, table_);
+  std::vector<DispatchedRecord> dispatched;
+  {
+    obs::ScopedSpan dispatch_span(obs_.dispatch_us);
+    dispatched = dispatch_against_table(pending_records_, cut, table_);
+  }
 
   // Phase A — shards in parallel: dispatch the window's records to the
   // shard's BGP monitors and close them into raw per-shard buffers. The
@@ -147,13 +171,19 @@ void ShardedStalenessEngine::close_one_window(
   runtime::parallel_for(
       pool_.get(), shards_.size(),
       [&](std::size_t i) {
+        obs::ScopedSpan shard_span(
+            shard_close_us_.empty() ? nullptr : shard_close_us_[i]);
         shards_[i]->dispatch_window_records(dispatched, window);
         shards_[i]->collect_bgp_close(raw[i], window, end);
       },
       /*grain=*/1);
 
   // Absorb the window's records into the single shared table.
-  table_.apply_all(pending_records_, cut);
+  {
+    obs::ScopedSpan absorb_span(obs_.absorb_us);
+    table_.apply_all(pending_records_, cut);
+  }
+  obs::inc(obs_.bgp_records_absorbed, static_cast<std::int64_t>(cut));
   pending_records_.erase(pending_records_.begin(),
                          pending_records_.begin() +
                              static_cast<std::ptrdiff_t>(cut));
@@ -173,32 +203,44 @@ void ShardedStalenessEngine::close_one_window(
 
   // Merge in canonical order, then register serially: registration owns
   // the global cooldown map and the shards' freshness state.
-  std::size_t total = subpath_raw.size() + border_raw.size() + ixp_raw.size();
-  for (const auto& buffer : raw) total += buffer.size();
   std::vector<StalenessSignal> batch;
-  batch.reserve(total);
-  auto append = [&batch](std::vector<StalenessSignal>&& buffer) {
-    batch.insert(batch.end(), std::make_move_iterator(buffer.begin()),
-                 std::make_move_iterator(buffer.end()));
-  };
-  for (auto& buffer : raw) append(std::move(buffer));
-  append(std::move(subpath_raw));
-  append(std::move(border_raw));
-  append(std::move(ixp_raw));
-  std::sort(batch.begin(), batch.end(), canonical_less);
+  {
+    obs::ScopedSpan merge_span(obs_.merge_us);
+    std::size_t total =
+        subpath_raw.size() + border_raw.size() + ixp_raw.size();
+    for (const auto& buffer : raw) total += buffer.size();
+    batch.reserve(total);
+    auto append = [&batch](std::vector<StalenessSignal>&& buffer) {
+      batch.insert(batch.end(), std::make_move_iterator(buffer.begin()),
+                   std::make_move_iterator(buffer.end()));
+    };
+    for (auto& buffer : raw) append(std::move(buffer));
+    append(std::move(subpath_raw));
+    append(std::move(border_raw));
+    append(std::move(ixp_raw));
+    std::sort(batch.begin(), batch.end(), canonical_less);
+  }
 
-  out.reserve(out.size() + batch.size());
-  for (StalenessSignal& signal : batch) {
-    StalenessEngine& shard = *shards_[shard_of(signal.pair)];
-    if (!shard.has_pair(signal.pair)) continue;  // refreshed mid-window
-    auto fired = last_fired_.find(signal.potential);
-    if (fired != last_fired_.end() &&
-        signal.window - fired->second < params_.signal_cooldown_windows) {
-      continue;  // persistent change already reported recently
+  {
+    obs::ScopedSpan register_span(obs_.register_us);
+    out.reserve(out.size() + batch.size());
+    for (StalenessSignal& signal : batch) {
+      StalenessEngine& shard = *shards_[shard_of(signal.pair)];
+      if (!shard.has_pair(signal.pair)) {
+        obs::inc(obs_.signals_dropped_refreshed);
+        continue;  // refreshed mid-window
+      }
+      auto fired = last_fired_.find(signal.potential);
+      if (fired != last_fired_.end() &&
+          signal.window - fired->second < params_.signal_cooldown_windows) {
+        obs::inc(obs_.signals_suppressed_cooldown);
+        continue;  // persistent change already reported recently
+      }
+      last_fired_[signal.potential] = signal.window;
+      obs::inc(obs_.signals_emitted[technique_index(signal.technique)]);
+      shard.mark_stale(signal);
+      out.push_back(std::move(signal));
     }
-    last_fired_[signal.potential] = signal.window;
-    shard.mark_stale(signal);
-    out.push_back(std::move(signal));
   }
 
   if (params_.revocation_check_interval > 0 &&

@@ -104,6 +104,13 @@ class ShardedStalenessEngine {
   WindowClock clock_;
   tracemap::ProcessingContext& processing_;
   Rng rng_;
+  // Facade-owned instrument bundles (all-null when params_.metrics is null);
+  // declared before the shards, which copy obs_ at construction.
+  EngineObs obs_;
+  runtime::PoolObs pool_obs_;
+  // Per-shard phase-A close spans, labeled {shard="i"}; empty when
+  // telemetry is off.
+  std::vector<obs::Histogram*> shard_close_us_;
   // Shared worker pool (null when threads <= 1); declared before everything
   // that borrows it.
   std::unique_ptr<runtime::ThreadPool> pool_;

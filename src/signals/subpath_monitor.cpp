@@ -182,8 +182,10 @@ std::vector<StalenessSignal> SubpathMonitor::close_window(
   // Segments are disjoint state, so shards close them concurrently into
   // per-segment buffers; concatenating the buffers in work-list order makes
   // the output independent of the thread count.
+  obs::ScopedSpan span(mobs_.close_us);
   std::vector<Segment*> work;
   work.swap(touched_);
+  obs::observe(mobs_.close_items, static_cast<double>(work.size()));
   std::vector<std::vector<StalenessSignal>> shards =
       runtime::parallel_map(pool_, work, [&](Segment* segment) {
         segment->touched = false;

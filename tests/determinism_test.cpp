@@ -31,6 +31,11 @@ WorldParams small_params(std::uint64_t seed, int engine_threads,
   params.seed = seed;
   params.engine_threads = engine_threads;
   params.engine_shards = engine_shards;
+  // Telemetry on, so every run also carries a semantic-counter snapshot:
+  // the obs::Domain::kSemantic metrics (signals emitted, potentials opened,
+  // refreshes graded, ...) are part of the determinism contract, unlike the
+  // kRuntime timing histograms which differ run to run by design.
+  params.telemetry = true;
   return params;
 }
 
@@ -44,6 +49,7 @@ struct RunTrace {
   std::vector<tr::PairKey> stale;
   std::uint64_t calibration_digest = 0;
   std::string corpus_bytes;  // io/serialize rendering of the final corpus
+  std::string semantic_stats;  // JSON of the semantic-domain metrics
 };
 
 RunTrace run_world(std::uint64_t seed, int engine_threads,
@@ -65,6 +71,7 @@ RunTrace run_world(std::uint64_t seed, int engine_threads,
 
   trace.stale = world.engine().stale_pairs();
   trace.calibration_digest = world.engine().calibration().digest();
+  trace.semantic_stats = world.semantic_stats_json();
 
   // Render the final corpus view through the text serializer so the
   // byte-identity check covers every field the formats carry.
@@ -129,8 +136,16 @@ TEST(Determinism, ShardGridMatchesSingleShardSerial) {
           << "shards=" << shards << " threads=" << threads;
       EXPECT_EQ(baseline.corpus_bytes, run.corpus_bytes)
           << "shards=" << shards << " threads=" << threads;
+      // The semantic telemetry snapshot is part of the same contract: the
+      // counters describe the signal stream, so their JSON rendering must
+      // be byte-identical at every grid point.
+      EXPECT_EQ(baseline.semantic_stats, run.semantic_stats)
+          << "shards=" << shards << " threads=" << threads;
     }
   }
+  EXPECT_NE(baseline.semantic_stats.find("rrr_signals_emitted_total"),
+            std::string::npos)
+      << "semantic snapshot missing the emitted-signal counters";
 }
 
 }  // namespace

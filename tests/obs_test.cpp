@@ -1,0 +1,235 @@
+// Unit tests for the telemetry subsystem (src/obs): registry identity,
+// histogram bucket-edge semantics, exposition golden outputs, the sparse
+// per-window stats series, and concurrent counter/histogram updates (the
+// relaxed-atomic hot path; runs under `ctest -L tsan`).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace rrr::obs {
+namespace {
+
+TEST(MetricsRegistry, SameNameAndLabelsReturnsSameObject) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("rrr_test_total", {{"technique", "aspath"}});
+  Counter& b = registry.counter("rrr_test_total", {{"technique", "aspath"}});
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3);
+
+  Counter& other =
+      registry.counter("rrr_test_total", {{"technique", "border"}});
+  EXPECT_NE(&a, &other);
+  EXPECT_EQ(other.value(), 0);
+  EXPECT_EQ(registry.size(), 2u);
+
+  Histogram& h1 = registry.histogram("rrr_test_us", {1, 2, 5});
+  Histogram& h2 = registry.histogram("rrr_test_us", {10, 20});
+  EXPECT_EQ(&h1, &h2);  // second bounds ignored: the entry already exists
+  EXPECT_EQ(h2.bounds().size(), 3u);
+}
+
+TEST(MetricsRegistry, SnapshotSortedByKeyAndFilteredByDomain) {
+  MetricsRegistry registry;
+  registry.counter("zzz_total", {}, Domain::kSemantic).inc(1);
+  registry.gauge("aaa_depth", {}, Domain::kRuntime).set(7);
+  registry.counter("mid_total", {{"k", "v"}}, Domain::kSemantic).inc(2);
+
+  Snapshot all = registry.snapshot();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].key(), "aaa_depth");
+  EXPECT_EQ(all[1].key(), "mid_total{k=\"v\"}");
+  EXPECT_EQ(all[2].key(), "zzz_total");
+
+  Snapshot semantic = registry.snapshot(Domain::kSemantic);
+  ASSERT_EQ(semantic.size(), 2u);
+  EXPECT_EQ(semantic[0].name, "mid_total");
+  EXPECT_EQ(semantic[1].name, "zzz_total");
+
+  Snapshot runtime = registry.snapshot(Domain::kRuntime);
+  ASSERT_EQ(runtime.size(), 1u);
+  EXPECT_EQ(runtime[0].value, 7);
+}
+
+TEST(Histogram, BucketEdgesAreInclusiveUpperBounds) {
+  Histogram histogram({1, 2, 5});
+  histogram.observe(0.0);  // below the first bound -> bucket 0
+  histogram.observe(1.0);  // exactly on a bound -> that bucket
+  histogram.observe(2.0);
+  histogram.observe(4.9);
+  histogram.observe(5.0);
+  histogram.observe(5.1);  // past the last bound -> overflow bucket
+
+  std::vector<std::int64_t> expected = {2, 1, 2, 1};
+  EXPECT_EQ(histogram.bucket_counts(), expected);
+  EXPECT_EQ(histogram.count(), 6);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 18.0);
+}
+
+TEST(Histogram, QuantileReturnsSmallestSufficientBound) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("h", {1, 2, 5});
+  histogram.observe(0.5);
+  histogram.observe(1.5);
+  histogram.observe(100.0);
+  MetricSnapshot m = registry.snapshot().front();
+
+  EXPECT_DOUBLE_EQ(histogram_quantile(m, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(m, 0.5), 2.0);
+  EXPECT_TRUE(std::isinf(histogram_quantile(m, 1.0)));
+
+  MetricSnapshot empty;
+  empty.kind = Kind::kHistogram;
+  EXPECT_DOUBLE_EQ(histogram_quantile(empty, 0.5), 0.0);
+}
+
+TEST(Export, FormatNumberAndJsonEscape) {
+  EXPECT_EQ(format_number(3.0), "3");
+  EXPECT_EQ(format_number(-12.0), "-12");
+  EXPECT_EQ(format_number(2.5), "2.5");
+  EXPECT_EQ(format_number(2e6), "2000000");
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+// Builds the registry every exposition test shares: one histogram family,
+// one gauge, one two-series counter family.
+void fill_golden_registry(MetricsRegistry& registry) {
+  Histogram& close_us = registry.histogram(
+      "rrr_test_close_us", {1, 2, 5}, {}, Domain::kRuntime, "Close time.");
+  close_us.observe(1.0);
+  close_us.observe(1.5);
+  close_us.observe(6.0);
+  registry.gauge("rrr_test_queue_depth", {}, Domain::kRuntime, "Queue depth.")
+      .set(4);
+  registry
+      .counter("rrr_test_signals_total", {{"technique", "aspath"}},
+               Domain::kSemantic, "Signals emitted.")
+      .inc(2);
+  registry
+      .counter("rrr_test_signals_total", {{"technique", "border"}},
+               Domain::kSemantic, "Signals emitted.")
+      .inc(1);
+}
+
+TEST(Export, PrometheusGoldenOutput) {
+  MetricsRegistry registry;
+  fill_golden_registry(registry);
+  const std::string expected =
+      "# HELP rrr_test_close_us Close time.\n"
+      "# TYPE rrr_test_close_us histogram\n"
+      "rrr_test_close_us_bucket{le=\"1\"} 1\n"
+      "rrr_test_close_us_bucket{le=\"2\"} 2\n"
+      "rrr_test_close_us_bucket{le=\"5\"} 2\n"
+      "rrr_test_close_us_bucket{le=\"+Inf\"} 3\n"
+      "rrr_test_close_us_sum 8.5\n"
+      "rrr_test_close_us_count 3\n"
+      "# HELP rrr_test_queue_depth Queue depth.\n"
+      "# TYPE rrr_test_queue_depth gauge\n"
+      "rrr_test_queue_depth 4\n"
+      "# HELP rrr_test_signals_total Signals emitted.\n"
+      "# TYPE rrr_test_signals_total counter\n"
+      "rrr_test_signals_total{technique=\"aspath\"} 2\n"
+      "rrr_test_signals_total{technique=\"border\"} 1\n";
+  EXPECT_EQ(to_prometheus(registry.snapshot()), expected);
+}
+
+TEST(Export, JsonGoldenOutput) {
+  MetricsRegistry registry;
+  fill_golden_registry(registry);
+  const std::string expected =
+      "[{\"name\":\"rrr_test_close_us\",\"labels\":{},\"kind\":\"histogram\","
+      "\"domain\":\"runtime\",\"histogram\":{\"count\":3,\"sum\":8.5,"
+      "\"bounds\":[1,2,5],\"buckets\":[1,1,0,1]}},"
+      "{\"name\":\"rrr_test_queue_depth\",\"labels\":{},\"kind\":\"gauge\","
+      "\"domain\":\"runtime\",\"value\":4},"
+      "{\"name\":\"rrr_test_signals_total\",\"labels\":"
+      "{\"technique\":\"aspath\"},\"kind\":\"counter\","
+      "\"domain\":\"semantic\",\"value\":2},"
+      "{\"name\":\"rrr_test_signals_total\",\"labels\":"
+      "{\"technique\":\"border\"},\"kind\":\"counter\","
+      "\"domain\":\"semantic\",\"value\":1}]";
+  EXPECT_EQ(to_json(registry.snapshot()), expected);
+}
+
+TEST(Export, StatsSeriesIsSparse) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("rrr_test_total");
+  registry.counter("rrr_quiet_total");  // never incremented
+
+  StatsSeries series;
+  series.sample(0, registry);  // first sample records the initial zeros
+  EXPECT_EQ(series.window_count(), 1u);
+  series.sample(1, registry);  // nothing changed: no window emitted
+  EXPECT_EQ(series.window_count(), 1u);
+  counter.inc(5);
+  series.sample(2, registry);
+  EXPECT_EQ(series.window_count(), 2u);
+
+  const std::string json = series.json();
+  EXPECT_NE(json.find("{\"window\":2,\"metrics\":{\"rrr_test_total\":5}}"),
+            std::string::npos);
+  // The quiet counter only appears in the initial window-0 sample.
+  EXPECT_EQ(json.find("rrr_quiet_total", json.find("\"window\":2")),
+            std::string::npos);
+}
+
+TEST(Export, EnvEnabledKnob) {
+  ::unsetenv("RRR_STATS");
+  EXPECT_FALSE(env_enabled());
+  ::setenv("RRR_STATS", "0", 1);
+  EXPECT_FALSE(env_enabled());
+  ::setenv("RRR_STATS", "1", 1);
+  EXPECT_TRUE(env_enabled());
+  ::unsetenv("RRR_STATS");
+}
+
+TEST(ScopedSpan, NullHistogramIsANoOpAndLiveOneRecords) {
+  { ScopedSpan span(nullptr); }  // must not crash or observe anything
+  Histogram histogram(duration_buckets_us());
+  {
+    ScopedSpan span(&histogram);
+  }
+  EXPECT_EQ(histogram.count(), 1);
+  EXPECT_GE(histogram.sum(), 0.0);
+
+  // Null-safe helpers mirror the same contract.
+  inc(static_cast<Counter*>(nullptr));
+  set(static_cast<Gauge*>(nullptr), 3);
+  observe(static_cast<Histogram*>(nullptr), 1.0);
+}
+
+TEST(Concurrency, CountersAndHistogramsSumAcrossThreads) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("rrr_test_total");
+  Histogram& histogram = registry.histogram("rrr_test_us", {1, 2, 5});
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &histogram] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.inc();
+        histogram.observe(1.5);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  constexpr std::int64_t kTotal = std::int64_t{kThreads} * kPerThread;
+  EXPECT_EQ(counter.value(), kTotal);
+  EXPECT_EQ(histogram.count(), kTotal);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 1.5 * static_cast<double>(kTotal));
+  // All observations land in the le="2" bucket.
+  std::vector<std::int64_t> expected = {0, kTotal, 0, 0};
+  EXPECT_EQ(histogram.bucket_counts(), expected);
+}
+
+}  // namespace
+}  // namespace rrr::obs
