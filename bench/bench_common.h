@@ -116,6 +116,51 @@ inline void write_stats_json(const std::string& path,
       << "\n";
 }
 
+// Fault-injection knobs shared by every harness. `--fault-plan <spec>`
+// takes a full plan spec (fault::FaultPlan::parse syntax, e.g.
+// "collector_blackout=0.3,blackout_start=96,blackout_windows=24"); the
+// RRR_FAULT_PLAN environment variable supplies the same spec when the flag
+// is absent. Individual `--fault-*` flags then override single fields, and
+// `--feed-health` turns on the engine's quarantine tracker.
+inline void apply_fault_flags(const Flags& flags, eval::WorldParams& params) {
+  std::string spec = flags.get_str("fault-plan", "");
+  if (spec.empty()) {
+    const char* env = std::getenv("RRR_FAULT_PLAN");
+    if (env != nullptr) spec = env;
+  }
+  if (!spec.empty()) {
+    std::optional<fault::FaultPlan> parsed = fault::FaultPlan::parse(spec);
+    if (parsed) {
+      params.fault_plan = *parsed;
+    } else {
+      std::cerr << "fault-plan: cannot parse \"" << spec << "\" — ignored\n";
+    }
+  }
+  fault::FaultPlan& plan = params.fault_plan;
+  plan.collector_blackout_fraction = flags.get_double(
+      "fault-collector-blackout", plan.collector_blackout_fraction);
+  plan.vp_blackout_fraction =
+      flags.get_double("fault-vp-blackout", plan.vp_blackout_fraction);
+  plan.blackout_start_window = flags.get_int("fault-blackout-start",
+                                             plan.blackout_start_window);
+  plan.blackout_windows =
+      flags.get_int("fault-blackout-windows", plan.blackout_windows);
+  if (flags.get_bool("fault-reset-replay")) plan.session_reset_replay = true;
+  plan.drop_rate = flags.get_double("fault-drop", plan.drop_rate);
+  plan.trace_drop_rate =
+      flags.get_double("fault-trace-drop", plan.trace_drop_rate);
+  plan.duplicate_rate = flags.get_double("fault-dup", plan.duplicate_rate);
+  plan.duplicate_burst_max =
+      flags.get_int("fault-dup-burst", plan.duplicate_burst_max);
+  plan.reorder_rate = flags.get_double("fault-reorder", plan.reorder_rate);
+  plan.reorder_max_seconds =
+      flags.get_int("fault-reorder-max", plan.reorder_max_seconds);
+  plan.corrupt_rate = flags.get_double("fault-corrupt", plan.corrupt_rate);
+  plan.seed = static_cast<std::uint64_t>(
+      flags.get_int("fault-seed", static_cast<long long>(plan.seed)));
+  if (flags.get_bool("feed-health")) params.feed_health.enabled = true;
+}
+
 // The standard retrospective-evaluation world (§5.1), scaled down from the
 // paper's 223k pairs to laptop size; flags override.
 inline eval::WorldParams retrospective_params(const Flags& flags) {
@@ -134,6 +179,7 @@ inline eval::WorldParams retrospective_params(const Flags& flags) {
   params.engine_threads = static_cast<int>(flags.get_int("engine-threads", 1));
   params.engine_shards = static_cast<int>(flags.get_int("engine-shards", 1));
   params.telemetry = stats_enabled(flags);
+  apply_fault_flags(flags, params);
   return params;
 }
 

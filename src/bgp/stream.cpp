@@ -43,7 +43,13 @@ void BgpStream::push_batch(std::vector<BgpRecord> records) {
 
 void BgpStream::ensure_sorted() {
   if (!dirty_) return;
-  std::stable_sort(records_.begin(), records_.end(),
+  // Sort only the undelivered suffix: the prefix [0, cursor_) has already
+  // been handed out, and re-sorting it would either hide a late push behind
+  // the cursor or shift delivered records across it (double delivery).
+  // rewind() resets the cursor AND marks the stream dirty, so a replay sees
+  // one full-stream sort.
+  std::stable_sort(records_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                   records_.end(),
                    [](const BgpRecord& a, const BgpRecord& b) {
                      return a.time < b.time;
                    });

@@ -36,10 +36,19 @@ class BgpStream {
   // Next matching record, or nullopt at end of stream. Records pushed after
   // the cursor passed their timestamp are still delivered (the stream sorts
   // lazily on first pull after a push), mirroring BGPStream's batching.
+  // Already-delivered records are never re-sorted: a late push is merged
+  // into the undelivered suffix only, so no record is skipped or delivered
+  // twice by a push that lands "before" the cursor.
   std::optional<BgpRecord> next();
 
-  // Restart iteration from the beginning.
-  void rewind() { cursor_ = 0; }
+  // Restart iteration from the beginning. The whole stream is re-sorted on
+  // the next pull, so a replay after late pushes delivers every record —
+  // including ones pushed after the cursor had passed their timestamp — in
+  // full timestamp order.
+  void rewind() {
+    cursor_ = 0;
+    dirty_ = true;
+  }
 
   std::size_t size() const { return records_.size(); }
 

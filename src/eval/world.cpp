@@ -104,6 +104,12 @@ World::World(const WorldParams& params)
     series_ = std::make_unique<obs::StatsSeries>();
   }
 
+  if (params_.fault_plan.enabled()) {
+    fault_ = std::make_unique<fault::FaultInjector>(
+        params_.fault_plan, start(), kBaseWindowSeconds);
+    if (metrics_) fault_->set_metrics(*metrics_);
+  }
+
   signals::EngineParams engine_params;
   engine_params.t0 = start();
   engine_params.window_seconds = kBaseWindowSeconds;
@@ -113,6 +119,7 @@ World::World(const WorldParams& params)
   engine_params.threads = params_.engine_threads;
   engine_params.shards = params_.engine_shards;
   engine_params.metrics = metrics_.get();
+  engine_params.feed_health = params_.feed_health;
   engine_ = std::make_unique<signals::ShardedStalenessEngine>(
       engine_params, *processing_, std::move(vps), std::move(vp_as),
       std::move(vp_city), std::move(rs_asns),
@@ -131,9 +138,21 @@ World::World(const WorldParams& params)
     (i % 2 == 0 ? public_probes_ : corpus_probes_).push_back(regular[i]);
   }
 
-  // Bootstrap the engine's table view from a RIB dump.
+  // Bootstrap the engine's table view from a RIB dump. The dump goes
+  // through the injector too: a blacked-out stream contributes nothing to
+  // the initial table, as a real collector outage at t0 would.
   for (bgp::BgpRecord& record : feed_->initial_rib(start())) {
+    feed_bgp(record);
+  }
+}
+
+void World::feed_bgp(const bgp::BgpRecord& record) {
+  if (fault_ == nullptr) {
     engine_->on_bgp_record(record);
+    return;
+  }
+  for (const bgp::BgpRecord& out : fault_->on_bgp_record(record)) {
+    engine_->on_bgp_record(out);
   }
 }
 
@@ -178,7 +197,7 @@ void World::recalibrate_all(TimePoint t) {
 void World::process_event(const routing::Event& event) {
   routing::ControlPlane::Impact impact = cp_->apply(event);
   for (bgp::BgpRecord& record : feed_->on_event(event, impact)) {
-    engine_->on_bgp_record(record);
+    feed_bgp(record);
   }
   ground_truth_->on_impact(event, impact);
 }
@@ -192,7 +211,14 @@ void World::issue_public_trace(TimePoint t) {
     Ipv4 dst = public_dests_[rng_.index(public_dests_.size())];
     int variant = static_cast<int>(rng_.uniform_int(0, 15));
     tr::Traceroute trace = platform_->issue(probe_id, dst, t, variant);
-    engine_->on_public_trace(trace);
+    if (fault_ != nullptr) {
+      // The measurement was issued; whether the result reaches the engine
+      // is the injector's call (probe blackout / result loss).
+      std::optional<tr::Traceroute> kept = fault_->on_public_trace(trace);
+      if (kept) engine_->on_public_trace(*kept);
+    } else {
+      engine_->on_public_trace(trace);
+    }
     return;
   }
 }

@@ -9,6 +9,7 @@
 
 #include "bgp/feed.h"
 #include "eval/ground_truth.h"
+#include "fault/injector.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "routing/control_plane.h"
@@ -64,6 +65,13 @@ struct WorldParams {
   // regardless of this flag; when off, the engine's instrumentation sites
   // degrade to null-pointer branches.
   bool telemetry = false;
+  // Fault plan applied at the feed boundary (DESIGN.md "Fault model &
+  // degradation"). Inert by default; the injector is only constructed when
+  // fault_plan.enabled().
+  fault::FaultPlan fault_plan;
+  // Feed-health quarantine parameters, forwarded to the engine. Off by
+  // default (the tracker is not constructed).
+  signals::FeedHealthParams feed_health;
 };
 
 class World {
@@ -80,6 +88,8 @@ class World {
   signals::ShardedStalenessEngine& engine() { return *engine_; }
   GroundTruth& ground_truth() { return *ground_truth_; }
   Rng& rng() { return rng_; }
+  // Null when WorldParams::fault_plan is inert.
+  const fault::FaultInjector* fault_injector() const { return fault_.get(); }
 
   // --- timeline ---
   TimePoint start() const { return TimePoint(0); }
@@ -158,6 +168,9 @@ class World {
  private:
   void process_event(const routing::Event& event);
   void issue_public_trace(TimePoint t);
+  // Routes one producer record through the fault injector (when present)
+  // into the engine.
+  void feed_bgp(const bgp::BgpRecord& record);
 
   WorldParams params_;
   Rng rng_;
@@ -165,6 +178,8 @@ class World {
   // pointers into it.
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::unique_ptr<obs::StatsSeries> series_;
+  // Fault injector at the feed boundary; null when the plan is inert.
+  std::unique_ptr<fault::FaultInjector> fault_;
   topo::Topology topology_;
   std::unique_ptr<routing::ControlPlane> cp_;
   std::unique_ptr<bgp::FeedSimulator> feed_;

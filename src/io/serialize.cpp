@@ -1,12 +1,30 @@
 #include "io/serialize.h"
 
 #include <charconv>
+#include <cmath>
+#include <cstdint>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
 namespace rrr::io {
 namespace {
+
+// Hard caps so a corrupted or adversarial archive line cannot drive
+// unbounded allocation. Real MRT/warts elements are far smaller.
+constexpr std::size_t kMaxLineBytes = 64 * 1024;
+constexpr std::size_t kMaxPathHops = 1024;
+constexpr std::size_t kMaxCommunities = 1024;
+constexpr std::size_t kMaxTraceHops = 512;
+
+// Oversized lines and embedded NULs are rejected up front: a NUL inside a
+// text field (e.g. the collector name) would silently truncate downstream
+// C-string consumers, and the length cap bounds split()'s allocation.
+bool well_formed(std::string_view line) {
+  return line.size() <= kMaxLineBytes &&
+         line.find('\0') == std::string_view::npos;
+}
 
 std::vector<std::string_view> split(std::string_view line, char sep) {
   std::vector<std::string_view> out;
@@ -38,8 +56,20 @@ std::optional<double> parse_double(std::string_view text) {
   char* end = nullptr;
   double value = std::strtod(buffer.c_str(), &end);
   if (end != buffer.c_str() + buffer.size()) return std::nullopt;
+  if (!std::isfinite(value)) return std::nullopt;  // strtod accepts inf/nan
   return value;
 }
+
+// Integer constrained to [lo, hi]; the unchecked static_casts this replaces
+// silently wrapped out-of-range values into valid-looking ids.
+std::optional<std::int64_t> parse_ranged(std::string_view text,
+                                         std::int64_t lo, std::int64_t hi) {
+  auto value = parse_int(text);
+  if (!value || *value < lo || *value > hi) return std::nullopt;
+  return value;
+}
+
+constexpr std::int64_t kU32Max = std::numeric_limits<std::uint32_t>::max();
 
 char type_char(bgp::RecordType type) {
   switch (type) {
@@ -83,14 +113,16 @@ std::string to_line(const bgp::BgpRecord& record) {
 }
 
 std::optional<bgp::BgpRecord> bgp_record_from_line(std::string_view line) {
+  if (!well_formed(line)) return std::nullopt;
   auto fields = split(line, '|');
   if (fields.size() != 9) return std::nullopt;
   bgp::BgpRecord record;
-  auto time = parse_int(fields[0]);
+  auto time = parse_ranged(fields[0], 0,
+                           std::numeric_limits<std::int64_t>::max());
   auto type = type_of(fields[1]);
-  auto peer_asn = parse_int(fields[3]);
+  auto peer_asn = parse_ranged(fields[3], 0, kU32Max);
   auto peer_ip = Ipv4::parse(fields[4]);
-  auto vp = parse_int(fields[5]);
+  auto vp = parse_ranged(fields[5], 0, kU32Max);
   auto prefix = Prefix::parse(fields[6]);
   if (!time || !type || !peer_asn || !peer_ip || !vp || !prefix) {
     return std::nullopt;
@@ -104,8 +136,9 @@ std::optional<bgp::BgpRecord> bgp_record_from_line(std::string_view line) {
   record.prefix = *prefix;
   if (!fields[7].empty()) {
     for (std::string_view hop : split(fields[7], ' ')) {
-      auto asn = parse_int(hop);
+      auto asn = parse_ranged(hop, 0, kU32Max);
       if (!asn) return std::nullopt;
+      if (record.as_path.size() >= kMaxPathHops) return std::nullopt;
       record.as_path.push_back(Asn(static_cast<std::uint32_t>(*asn)));
     }
   }
@@ -113,6 +146,7 @@ std::optional<bgp::BgpRecord> bgp_record_from_line(std::string_view line) {
     for (std::string_view text : split(fields[8], ' ')) {
       auto community = Community::parse(text);
       if (!community) return std::nullopt;
+      if (record.communities.size() >= kMaxCommunities) return std::nullopt;
       record.communities.insert(*community);
     }
   }
@@ -172,21 +206,26 @@ std::vector<tr::Traceroute> read_traceroutes(std::istream& is,
   auto fail = [&] {
     if (errors != nullptr) ++*errors;
   };
+  constexpr std::int64_t kI64Max = std::numeric_limits<std::int64_t>::max();
   while (std::getline(is, line)) {
     if (line.empty() || line[0] == '#') continue;
+    if (!well_formed(line)) {
+      fail();
+      continue;
+    }
     auto fields = split(line, '|');
     if (fields[0] == "T") {
       if (fields.size() != 8) {
         fail();
         continue;
       }
-      auto id = parse_int(fields[1]);
-      auto probe = parse_int(fields[2]);
+      auto id = parse_ranged(fields[1], 0, kI64Max);
+      auto probe = parse_ranged(fields[2], 0, kU32Max);
       auto src = Ipv4::parse(fields[3]);
       auto dst = Ipv4::parse(fields[4]);
-      auto time = parse_int(fields[5]);
-      auto flow = parse_int(fields[6]);
-      auto reached = parse_int(fields[7]);
+      auto time = parse_ranged(fields[5], 0, kI64Max);
+      auto flow = parse_ranged(fields[6], 0, kI64Max);
+      auto reached = parse_ranged(fields[7], 0, 1);
       if (!id || !probe || !src || !dst || !time || !flow || !reached) {
         fail();
         continue;
@@ -201,7 +240,16 @@ std::vector<tr::Traceroute> read_traceroutes(std::istream& is,
       trace.reached = *reached != 0;
       out.push_back(std::move(trace));
     } else if (fields[0] == "H") {
-      if (out.empty() || fields.size() != 4) {
+      if (out.empty() || fields.size() != 4 ||
+          out.back().hops.size() >= kMaxTraceHops) {
+        fail();
+        continue;
+      }
+      // The TTL column is positional on write but still validated on read:
+      // a corrupted TTL is the tell for a truncated/merged line.
+      auto ttl = parse_ranged(fields[1], 1,
+                              static_cast<std::int64_t>(kMaxTraceHops));
+      if (!ttl) {
         fail();
         continue;
       }
@@ -209,7 +257,7 @@ std::vector<tr::Traceroute> read_traceroutes(std::istream& is,
       if (fields[2] != "*") {
         auto ip = Ipv4::parse(fields[2]);
         auto rtt = parse_double(fields[3]);
-        if (!ip || !rtt) {
+        if (!ip || !rtt || *rtt < 0.0) {
           fail();
           continue;
         }

@@ -25,7 +25,9 @@ namespace rrr::io {
 // --- BGP records ---
 std::string to_line(const bgp::BgpRecord& record);
 // Parses one line; nullopt for malformed input (never throws: feed parsing
-// sits on ingest paths where bad lines are skipped and counted).
+// sits on ingest paths where bad lines are skipped and counted). Malformed
+// covers truncated/extra fields, out-of-range numbers, oversized lines
+// (> 64 KiB), unbounded path/community/hop lists, and embedded NUL bytes.
 std::optional<bgp::BgpRecord> bgp_record_from_line(std::string_view line);
 
 void write_bgp_records(std::ostream& os,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "runtime/parallel.h"
+#include "signals/feed_health.h"
 
 namespace rrr::signals {
 namespace {
@@ -162,6 +163,19 @@ AsPathMonitor::EvalResult AsPathMonitor::evaluate(Entry* entry,
     entry->hot_windows = 8;
   }
   if (judgement.outlier) {
+    // §4.1.2 gating: P_ratio over a mostly-quarantined V0 measures the
+    // outage, not the path. Suppress when the BGP feed is degraded overall
+    // or when at least half this entry's pinned VPs are quarantined.
+    if (health_ != nullptr) {
+      std::size_t quarantined = 0;
+      for (bgp::VpId vp : entry->v0) {
+        if (health_->bgp_quarantined(vp)) ++quarantined;
+      }
+      if (health_->bgp_degraded() || 2 * quarantined >= entry->v0.size()) {
+        obs::inc(dropped_unhealthy_);
+        return result;
+      }
+    }
     StalenessSignal signal;
     signal.technique = Technique::kBgpAsPath;
     signal.potential = entry->id;

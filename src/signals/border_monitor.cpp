@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "runtime/parallel.h"
+#include "signals/feed_health.h"
 
 namespace rrr::signals {
 
@@ -105,6 +106,14 @@ std::vector<StalenessSignal> BorderMonitor::close_series(
                  rs->pending_drop);
     rs->pending_drop = drop;
     if (!confirmed) continue;
+    // §4.2.2 gating: a border router "losing share" during a degraded
+    // trace feed usually means its observers went quiet, not that the
+    // border moved.
+    if (health_ != nullptr && health_->trace_degraded()) {
+      obs::inc(dropped_unhealthy_,
+               static_cast<std::int64_t>(rs->subscribers.size()));
+      continue;
+    }
     std::int64_t agg_end =
         closed.aggregate_window * closed.multiplier + closed.multiplier - 1;
     TimePoint at = window_end -

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "runtime/parallel.h"
+#include "signals/feed_health.h"
 
 namespace rrr::signals {
 namespace {
@@ -92,10 +93,15 @@ void BurstMonitor::watch(const CorpusView& view, PotentialIndex& index) {
     }
     entry->id = index.create(Technique::kBgpBurst);
     Entry* raw = entry.get();
-    // Seed with a warm zero baseline (duplicates are absent most windows).
-    raw->series.seed(view.window, 0.0, 24);
+    // Seed with a warm zero baseline (duplicates are absent most windows),
+    // ending the window *before* the watch: seeding at view.window itself
+    // would make the series refuse its first feed at the close of the watch
+    // window, silently swallowing a duplicate burst that arrives right
+    // after the watch — exactly what a session-reset storm aligned with a
+    // corpus refresh produces.
+    raw->series.seed(view.window - 1, 0.0, 24);
     for (ExtraSeries& extra : raw->extras) {
-      extra.series.seed(view.window, 0.0, 24);
+      extra.series.seed(view.window - 1, 0.0, 24);
     }
     index.relate(raw->id, view.key, raw->border_index);
     by_pair_[view.key].push_back(raw);
@@ -196,6 +202,19 @@ std::vector<StalenessSignal> BurstMonitor::close_window(
         if (!blamed_elsewhere) {
           independent_vp = true;
           break;
+        }
+      }
+      // Session resets replay a stream's table as duplicates — exactly the
+      // burst shape §4.1.4 looks for. A burst must reach quorum on healthy
+      // streams alone; quarantined (dead/recovering) VPs don't corroborate.
+      if (independent_vp && health_ != nullptr) {
+        std::size_t healthy = 0;
+        for (bgp::VpId vp : entry->window_dups) {
+          if (!health_->bgp_quarantined(vp)) ++healthy;
+        }
+        if (healthy < quorum) {
+          obs::inc(dropped_unhealthy_);
+          independent_vp = false;
         }
       }
       if (independent_vp) {

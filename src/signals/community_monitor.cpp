@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "runtime/parallel.h"
+#include "signals/feed_health.h"
 
 namespace rrr::signals {
 
@@ -183,6 +184,13 @@ void CommunityMonitor::on_record(const DispatchedRecord& record,
         continue;
       }
       if (emptiness_flip && path_changed) continue;
+      // Feed-health gating: a community flip witnessed only by a
+      // quarantined stream (e.g. a session replaying stale attributes) is
+      // not evidence that the border moved.
+      if (health_ != nullptr && health_->bgp_quarantined(rec.vp)) {
+        obs::inc(dropped_unhealthy_);
+        continue;
+      }
       for (Community c : diff.added) {
         if (reputation_.pruned_for(c, entry->pair)) {
           ++stats_.pruned;

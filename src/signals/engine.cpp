@@ -78,6 +78,14 @@ StalenessEngine::StalenessEngine(
     }
   }
 
+  if (params_.feed_health.enabled) {
+    owned_->health = std::make_unique<FeedHealthTracker>(params_.feed_health);
+    if (params_.metrics != nullptr) {
+      owned_->health->set_metrics(*params_.metrics);
+    }
+    health_ = owned_->health.get();
+  }
+
   aspath_ = std::make_unique<AsPathMonitor>(*context_);
   community_ = std::make_unique<CommunityMonitor>(*context_, *reputation_);
   burst_ = std::make_unique<BurstMonitor>(*context_);
@@ -97,6 +105,26 @@ StalenessEngine::StalenessEngine(
   subpath_->set_obs(obs_.monitors[technique_index(Technique::kTraceSubpath)]);
   border_->set_obs(obs_.monitors[technique_index(Technique::kTraceBorder)]);
   ixp_->set_obs(obs_.monitors[technique_index(Technique::kColocation)]);
+  // A null tracker leaves every consult site on its single-branch fast
+  // path; the counters are the per-technique suppression tallies.
+  aspath_->set_feed_health(
+      health_,
+      obs_.dropped_unhealthy_feed[technique_index(Technique::kBgpAsPath)]);
+  community_->set_feed_health(
+      health_,
+      obs_.dropped_unhealthy_feed[technique_index(Technique::kBgpCommunity)]);
+  burst_->set_feed_health(
+      health_,
+      obs_.dropped_unhealthy_feed[technique_index(Technique::kBgpBurst)]);
+  subpath_->set_feed_health(
+      health_,
+      obs_.dropped_unhealthy_feed[technique_index(Technique::kTraceSubpath)]);
+  border_->set_feed_health(
+      health_,
+      obs_.dropped_unhealthy_feed[technique_index(Technique::kTraceBorder)]);
+  ixp_->set_feed_health(
+      health_,
+      obs_.dropped_unhealthy_feed[technique_index(Technique::kColocation)]);
 }
 
 StalenessEngine::StalenessEngine(const EngineParams& params,
@@ -118,6 +146,7 @@ StalenessEngine::StalenessEngine(const EngineParams& params,
   subpath_ = shared.subpath;
   border_ = shared.border;
   ixp_ = shared.ixp;
+  health_ = shared.health;  // may be null: health tracking off
 
   if (shared.obs != nullptr) obs_ = *shared.obs;
 
@@ -132,6 +161,17 @@ StalenessEngine::StalenessEngine(const EngineParams& params,
   community_->set_obs(
       obs_.monitors[technique_index(Technique::kBgpCommunity)]);
   burst_->set_obs(obs_.monitors[technique_index(Technique::kBgpBurst)]);
+  // The facade's tracker is read-only here (transitions happen before the
+  // shards fan out), so concurrent shard closes can consult it safely.
+  aspath_->set_feed_health(
+      health_,
+      obs_.dropped_unhealthy_feed[technique_index(Technique::kBgpAsPath)]);
+  community_->set_feed_health(
+      health_,
+      obs_.dropped_unhealthy_feed[technique_index(Technique::kBgpCommunity)]);
+  burst_->set_feed_health(
+      health_,
+      obs_.dropped_unhealthy_feed[technique_index(Technique::kBgpBurst)]);
 }
 
 Monitor* StalenessEngine::monitor_for(Technique technique) {
@@ -191,12 +231,21 @@ void StalenessEngine::watch(const tr::Probe& probe,
 }
 
 void StalenessEngine::on_bgp_record(const bgp::BgpRecord& record) {
+  // Feed-boundary delivery tally (standalone mode only; the facade counts
+  // on its own tracker before records reach the shards).
+  if (owned_ != nullptr && owned_->health != nullptr) {
+    owned_->health->count_bgp(record.vp, record.collector,
+                              clock_.index_of(record.time));
+  }
   pending_records_.push_back(record);
 }
 
 void StalenessEngine::on_public_trace(const tr::Traceroute& trace) {
-  tracemap::ProcessedTrace processed = processing_.ingest(trace);
   std::int64_t window = clock_.index_of(trace.time);
+  if (owned_ != nullptr && owned_->health != nullptr) {
+    owned_->health->count_trace(trace.probe, window);
+  }
+  tracemap::ProcessedTrace processed = processing_.ingest(trace);
   subpath_->on_public_trace(processed, window);
   border_->on_public_trace(processed, window);
   ixp_->on_public_trace(processed, window);
@@ -284,6 +333,9 @@ void StalenessEngine::close_one_window(std::int64_t window,
   assert(owned_ != nullptr && "shard-mode engines are closed by the facade");
   obs::ScopedSpan close_span(obs_.window_close_us);
   TimePoint end = clock_.window_end(window);
+  // Feed-health transitions happen before any monitor consults the tracker,
+  // so every gate in this close sees the state as of this window's deliveries.
+  if (owned_->health != nullptr) owned_->health->close_window(window);
   // Dispatch this window's BGP records to the monitors against the
   // start-of-window table, then absorb them into the table.
   auto in_window = [&](const bgp::BgpRecord& r) {
@@ -433,17 +485,25 @@ RefreshOutcome StalenessEngine::apply_refresh(const tr::Probe& probe,
     outcome.change =
         tracemap::classify_change(state.view.processed, new_processed);
 
-    // Grade every related potential (§4.3.1).
+    // Grade every related potential (§4.3.1) — unless the pair's probe is
+    // quarantined, in which case the "fresh" measurement itself is suspect
+    // and grading against it would poison the TPR/TNR tallies. The refresh
+    // still replaces the corpus entry; only the grades are frozen.
     std::int64_t window = clock_.index_of(fresh.time);
-    for (const auto& relation : index_->relations_of(key)) {
-      bool fired = state.active.contains(relation.id);
-      bool changed = portion_changed(state.view.processed, new_processed,
-                                     relation.border_index);
-      Outcome graded =
-          fired ? (changed ? Outcome::kTruePositive : Outcome::kFalsePositive)
+    if (health_ != nullptr && health_->trace_quarantined(key.probe)) {
+      obs::inc(obs_.calibration_frozen);
+    } else {
+      for (const auto& relation : index_->relations_of(key)) {
+        bool fired = state.active.contains(relation.id);
+        bool changed = portion_changed(state.view.processed, new_processed,
+                                       relation.border_index);
+        Outcome graded =
+            fired
+                ? (changed ? Outcome::kTruePositive : Outcome::kFalsePositive)
                 : (changed ? Outcome::kFalseNegative
                            : Outcome::kTrueNegative);
-      calibration_->record(key.probe, relation.id, window, graded);
+        calibration_->record(key.probe, relation.id, window, graded);
+      }
     }
     // Community reputation: grade the fired community signals.
     for (const auto& [potential, active] : state.active) {

@@ -35,6 +35,7 @@
 #include "signals/calibration.h"
 #include "signals/community_monitor.h"
 #include "signals/engine_obs.h"
+#include "signals/feed_health.h"
 #include "signals/ixp_monitor.h"
 #include "signals/monitor.h"
 #include "signals/subpath_monitor.h"
@@ -68,6 +69,10 @@ struct EngineParams {
   // update site degrades to one branch on a null pointer. Must outlive the
   // engine.
   obs::MetricsRegistry* metrics = nullptr;
+  // Feed-health quarantine (feed_health.h). Disabled by default: the
+  // tracker is not even constructed and every consult site degrades to one
+  // branch on a null pointer.
+  FeedHealthParams feed_health;
 };
 
 // What a refresh revealed, returned to callers for their own accounting.
@@ -95,6 +100,9 @@ struct EngineSharedState {
   // Facade-owned instrument bundle; null when the facade has no registry.
   // Shards copy it so all shards update the same shared instruments.
   const EngineObs* obs = nullptr;
+  // Facade-owned feed-health tracker, read-only during shard closes; null
+  // when health tracking is off.
+  const FeedHealthTracker* health = nullptr;
 };
 
 // Builds the monitor-facing view of the first `count` records (normalized
@@ -210,6 +218,8 @@ class StalenessEngine {
     std::unique_ptr<SubpathMonitor> subpath;
     std::unique_ptr<BorderMonitor> border;
     std::unique_ptr<IxpMonitor> ixp;
+    // Present only when params.feed_health.enabled.
+    std::unique_ptr<FeedHealthTracker> health;
   };
 
   void register_signals(std::vector<StalenessSignal>& out,
@@ -249,6 +259,9 @@ class StalenessEngine {
   SubpathMonitor* subpath_ = nullptr;
   BorderMonitor* border_ = nullptr;
   IxpMonitor* ixp_ = nullptr;
+  // Feed-health tracker: owned (and fed/closed) by a standalone engine,
+  // facade-owned and read-only in shard mode; null when tracking is off.
+  const FeedHealthTracker* health_ = nullptr;
 
   std::vector<bgp::BgpRecord> pending_records_;
 

@@ -30,6 +30,10 @@ EngineObs EngineObs::create(obs::MetricsRegistry& registry) {
     out.potentials_opened[i] = &registry.counter(
         "rrr_potentials_opened_total", labels, obs::Domain::kSemantic,
         "Potential signals created by watch()/refresh registration");
+    out.dropped_unhealthy_feed[i] = &registry.counter(
+        "rrr_signals_dropped_unhealthy_feed_total", labels,
+        obs::Domain::kSemantic,
+        "Signals suppressed because their feed streams were quarantined");
     out.monitors[i].close_us = &registry.histogram(
         "rrr_monitor_close_us", obs::duration_buckets_us(), labels,
         obs::Domain::kRuntime, "Wall microseconds per monitor close_window");
@@ -43,6 +47,9 @@ EngineObs EngineObs::create(obs::MetricsRegistry& registry) {
   out.signals_dropped_refreshed = &registry.counter(
       "rrr_signals_dropped_refreshed_total", {}, obs::Domain::kSemantic,
       "Raw signals dropped because their pair was refreshed mid-window");
+  out.calibration_frozen = &registry.counter(
+      "rrr_calibration_frozen_total", {}, obs::Domain::kSemantic,
+      "Refresh gradings skipped while the pair's probe was quarantined");
   out.revocations =
       &registry.counter("rrr_revocations_total", {}, obs::Domain::kSemantic,
                         "Stale flags revoked by the section-4.3.2 sweep");

@@ -36,8 +36,14 @@ struct EngineObs {
   // (shards, threads) grid point (asserted by tests/determinism_test.cpp).
   std::array<obs::Counter*, kTechniqueCount> signals_emitted{};
   std::array<obs::Counter*, kTechniqueCount> potentials_opened{};
+  // Signals a monitor suppressed because the feed streams backing them were
+  // quarantined by the FeedHealthTracker.
+  std::array<obs::Counter*, kTechniqueCount> dropped_unhealthy_feed{};
   obs::Counter* signals_suppressed_cooldown = nullptr;
   obs::Counter* signals_dropped_refreshed = nullptr;
+  // Refresh gradings skipped because the refreshed pair's probe stream was
+  // quarantined (calibration tallies frozen, section 4.3.1).
+  obs::Counter* calibration_frozen = nullptr;
   obs::Counter* revocations = nullptr;
   obs::Counter* refreshes = nullptr;
   obs::Counter* refreshes_changed = nullptr;

@@ -1,0 +1,210 @@
+// Per-stream feed-health tracking at the engine's feed boundary.
+//
+// The engine's signals are ratios over what the feeds deliver; when a
+// collector goes dark the ratios crater for reasons that have nothing to do
+// with the Internet. The tracker watches every BGP *collector* (the
+// aggregate of its vantage points' records — a single peer's stream is too
+// bursty to judge) and every public-traceroute probe as an independent
+// stream, learns its expected per-window record rate (EWMA baseline), and
+// runs a quarantine state machine per stream:
+//
+//     healthy → suspect → dead → recovering → healthy
+//
+// A gap is judged over an adaptive horizon — the last ceil(judge_mass /
+// baseline) windows, so a sparse stream (a BGP vantage point emitting a few
+// updates a day) is judged over enough windows to carry signal while a
+// dense one (a public probe) is judged almost per-window. The judgement is
+// *relative to the rest of the feed*: the expected delivery is scaled by
+// the feed's activity ratio (what the whole feed delivered over the horizon
+// vs. what every stream's baseline predicts), so a feed-wide lull — routing
+// updates are event-driven and globally bursty — shrinks every stream's
+// expectation instead of reading as a thousand simultaneous outages. Only a
+// stream that is silent *while its peers chatter* gaps. One gap (horizon
+// delivery below gap_fraction × expected) makes a stream suspect;
+// `suspect_windows` consecutive gaps make it dead; a dead stream that
+// delivers again recovers, and `recover_windows` consecutive healthy
+// windows return it to healthy. `dead` and `recovering` streams are
+// *quarantined*: monitors consult the tracker before emitting ratio-based
+// signals and drop (and count) signals that would be attributable to a
+// quarantined stream, and calibration tallies for quarantined probes are
+// frozen so TPR/TNR estimates are not poisoned by the outage.
+//
+// Concurrency/determinism: counting happens on the serial feed path and
+// state transitions in `close_window`, which both engines call at the top
+// of their (facade-serial) window close — before any monitor runs. During
+// the parallel monitor phases the tracker is strictly read-only, so its
+// answers are identical at every (shards, threads) grid point and the
+// semantic gauges it exports are part of the determinism contract.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bgp/record.h"
+#include "traceroute/traceroute.h"
+
+namespace rrr::obs {
+class Gauge;
+class MetricsRegistry;
+}  // namespace rrr::obs
+
+namespace rrr::signals {
+
+enum class FeedState : std::uint8_t {
+  kHealthy = 0,
+  kSuspect = 1,
+  kDead = 2,
+  kRecovering = 3,
+};
+
+const char* to_string(FeedState state);
+
+struct FeedHealthParams {
+  bool enabled = false;
+  // EWMA weight of the expected-rate baseline, applied per judgement
+  // horizon (not per window), so the baseline of a sparse stream cannot
+  // decay to unjudgeable during the horizon-long lag before a gap fires.
+  double baseline_alpha = 0.2;
+  // A judgement horizon delivering fewer than gap_fraction x expected
+  // records is a gap. Expected = baseline x horizon x activity_ratio, where
+  // the activity ratio compares the whole feed's horizon delivery against
+  // the sum of its streams' baselines: a feed-wide lull scales every
+  // stream's expectation toward zero (no gap can fire), while a stream
+  // silent during normal feed activity is judged at full expectation.
+  // Conservative by default: a real collector outage is *total* silence
+  // over many horizons, so a low fraction costs no detection while letting
+  // one stream idle through another's busy stretch.
+  double gap_fraction = 0.15;
+  // Streams with a baseline (records/window) below this are too quiet to
+  // judge at any horizon.
+  double min_baseline = 0.05;
+  // Expected records per judgement horizon: the horizon stretches to
+  // ceil(judge_mass / baseline) windows so sparse streams (a collector
+  // aggregating a few quiet peers) are judged over enough windows to carry
+  // signal, while dense streams are judged almost per-window. Sized so a
+  // natural lull is far below the gap threshold (P[X < gap_fraction * 24]
+  // is ~1e-7 for a Poisson stream at the baseline rate — real update
+  // streams are burstier than Poisson, hence the margin).
+  double judge_mass = 24.0;
+  // Cap on the stretched horizon; streams too sparse to reach judge_mass
+  // within it are judged on whatever the capped horizon holds.
+  std::int64_t max_horizon_windows = 48;
+  // Windows a stream must be observed before it can be judged at all.
+  std::int64_t warmup_windows = 6;
+  // Consecutive gap windows that turn suspect into dead.
+  std::int64_t suspect_windows = 2;
+  // Consecutive healthy-rate windows that turn recovering into healthy.
+  std::int64_t recover_windows = 4;
+  // Fraction of judged streams quarantined above which the whole feed
+  // counts as degraded.
+  double degraded_fraction = 0.3;
+};
+
+class FeedHealthTracker {
+ public:
+  explicit FeedHealthTracker(const FeedHealthParams& params);
+
+  // Registers the semantic health gauges (rrr_feed_streams /
+  // rrr_feed_degraded).
+  void set_metrics(obs::MetricsRegistry& registry);
+
+  // --- serial feed path ---
+  // `window` is the engine-clock index of the record's timestamp; counts
+  // are bucketed per window so jittered/reordered records land where their
+  // timestamp says. BGP liveness is judged per *collector* (the aggregate
+  // of its vantage points' records): a single peer's stream is naturally
+  // bursty — a quiet half-day means nothing — while a collector aggregates
+  // enough sessions to have a judgeable rate, and a collector outage is
+  // exactly the failure mode worth catching. The vp argument records which
+  // collector answers for that VP's quarantine queries.
+  void count_bgp(bgp::VpId vp, const std::string& collector,
+                 std::int64_t window);
+  void count_trace(tr::ProbeId probe, std::int64_t window);
+
+  // --- facade-serial close path ---
+  // Consumes the counts of every window <= `window` and advances each
+  // stream's state machine once. Must be called once per window, in order,
+  // before any monitor close consults the tracker.
+  void close_window(std::int64_t window);
+
+  // --- read-only queries (safe during parallel monitor phases) ---
+  FeedState bgp_state(bgp::VpId vp) const;
+  FeedState trace_state(tr::ProbeId probe) const;
+  // Quarantined = dead or recovering: the stream's data for recent windows
+  // is missing or still back-filling.
+  bool bgp_quarantined(bgp::VpId vp) const;
+  bool trace_quarantined(tr::ProbeId probe) const;
+  // Aggregate degradation, recomputed at close: fraction of judged streams
+  // currently quarantined >= degraded_fraction.
+  bool bgp_degraded() const { return bgp_degraded_; }
+  bool trace_degraded() const { return trace_degraded_; }
+  double bgp_quarantined_fraction() const { return bgp_quarantined_fraction_; }
+  double trace_quarantined_fraction() const {
+    return trace_quarantined_fraction_;
+  }
+
+  const FeedHealthParams& params() const { return params_; }
+
+ private:
+  struct Stream {
+    // Records per window the stream historically delivers; < 0 = unset.
+    double baseline = -1.0;
+    FeedState state = FeedState::kHealthy;
+    std::int64_t gap_streak = 0;
+    std::int64_t ok_streak = 0;
+    std::int64_t seen_windows = 0;
+    // Ring of the last max_horizon_windows per-window counts; the gap
+    // judgement sums the most recent `horizon` of them.
+    std::vector<std::int64_t> recent;
+    std::size_t recent_pos = 0;
+    // Per-window arrival counts not yet consumed by close_window.
+    std::map<std::int64_t, std::int64_t> pending;
+  };
+  // std::map: close_window iterates streams, and deterministic iteration
+  // order keeps the exported gauges grid-invariant.
+  using StreamMap = std::map<std::uint32_t, Stream>;
+
+  // One feed (BGP or trace): its streams plus the feed-wide per-window
+  // delivery totals the activity ratio is computed from.
+  struct Feed {
+    StreamMap streams;
+    // Ring of the last max_horizon_windows feed-wide totals.
+    std::vector<std::int64_t> totals;
+    std::size_t totals_pos = 0;
+    std::int64_t seen_windows = 0;
+  };
+
+  // Judges one stream against the feed's recent activity;
+  // `sum_baselines` is the sum of every seeded stream's baseline, the
+  // denominator of the activity ratio.
+  void advance(Stream& stream, const Feed& feed, double sum_baselines);
+  struct CloseResult {
+    std::array<std::int64_t, 4> by_state{};
+    std::int64_t judged = 0;
+    std::int64_t quarantined = 0;
+  };
+  CloseResult close_feed(Feed& feed, std::int64_t window);
+
+  FeedHealthParams params_;
+  // BGP streams are keyed by interned collector id; vp_collector_ maps each
+  // vantage point to the collector stream that answers for it. Intern order
+  // follows the serial feed, so ids are grid-invariant.
+  Feed bgp_;
+  std::map<std::string, std::uint32_t> collector_ids_;
+  std::map<bgp::VpId, std::uint32_t> vp_collector_;
+  Feed trace_;
+  bool bgp_degraded_ = false;
+  bool trace_degraded_ = false;
+  double bgp_quarantined_fraction_ = 0.0;
+  double trace_quarantined_fraction_ = 0.0;
+
+  std::array<obs::Gauge*, 4> obs_bgp_states_{};
+  std::array<obs::Gauge*, 4> obs_trace_states_{};
+  obs::Gauge* obs_bgp_degraded_ = nullptr;
+  obs::Gauge* obs_trace_degraded_ = nullptr;
+};
+
+}  // namespace rrr::signals

@@ -1,6 +1,7 @@
 #include "signals/ixp_monitor.h"
 
 #include "runtime/parallel.h"
+#include "signals/feed_health.h"
 
 namespace rrr::signals {
 
@@ -97,6 +98,15 @@ void IxpMonitor::handle_new_member(topo::IxpId ixp, Asn joiner) {
       signal = equal_pref_.contains(joiner);
     }
     if (!signal) continue;
+
+    // §4.2.3 gating: membership "discoveries" made while the public-trace
+    // feed is degraded are as likely to be sampling artifacts (the usual
+    // witnesses went dark) as real joins. Learn the member, skip the
+    // signal.
+    if (health_ != nullptr && health_->trace_degraded()) {
+      obs::inc(dropped_unhealthy_);
+      continue;
+    }
 
     StalenessSignal s;
     s.technique = Technique::kColocation;

@@ -113,6 +113,8 @@ class DstIndex {
   std::unordered_map<std::uint32_t, std::map<Ipv4, int>> blocks_;
 };
 
+class FeedHealthTracker;
+
 class Monitor {
  public:
   virtual ~Monitor() = default;
@@ -120,6 +122,16 @@ class Monitor {
   // Attaches close-path instrumentation; the bundle is copied, and an
   // all-null bundle (the default) makes every update a no-op.
   void set_obs(const MonitorObs& mobs) { mobs_ = mobs; }
+
+  // Attaches the feed-health tracker the monitor consults before emitting
+  // (null = no gating, the default) and the semantic counter incremented
+  // for every signal dropped on an unhealthy feed. The tracker is read-only
+  // during monitor phases, so concurrent closes may share it.
+  void set_feed_health(const FeedHealthTracker* health,
+                       obs::Counter* dropped) {
+    health_ = health;
+    dropped_unhealthy_ = dropped;
+  }
 
   virtual Technique technique() const = 0;
   virtual void watch(const CorpusView& view, PotentialIndex& index) = 0;
@@ -136,6 +148,8 @@ class Monitor {
 
  protected:
   MonitorObs mobs_;
+  const FeedHealthTracker* health_ = nullptr;
+  obs::Counter* dropped_unhealthy_ = nullptr;
 };
 
 class BgpMonitor : public Monitor {

@@ -90,6 +90,20 @@ ShardedStalenessEngine::ShardedStalenessEngine(
   border_.set_obs(obs_.monitors[technique_index(Technique::kTraceBorder)]);
   ixp_.set_obs(obs_.monitors[technique_index(Technique::kColocation)]);
 
+  if (params_.feed_health.enabled) {
+    health_ = std::make_unique<FeedHealthTracker>(params_.feed_health);
+    if (params_.metrics != nullptr) health_->set_metrics(*params_.metrics);
+  }
+  subpath_.set_feed_health(
+      health_.get(),
+      obs_.dropped_unhealthy_feed[technique_index(Technique::kTraceSubpath)]);
+  border_.set_feed_health(
+      health_.get(),
+      obs_.dropped_unhealthy_feed[technique_index(Technique::kTraceBorder)]);
+  ixp_.set_feed_health(
+      health_.get(),
+      obs_.dropped_unhealthy_feed[technique_index(Technique::kColocation)]);
+
   EngineSharedState shared;
   shared.context = &context_;
   shared.pool = pool_.get();
@@ -100,6 +114,7 @@ ShardedStalenessEngine::ShardedStalenessEngine(
   shared.border = &border_;
   shared.ixp = &ixp_;
   shared.obs = &obs_;
+  shared.health = health_.get();
   shards_.reserve(static_cast<std::size_t>(params_.shards));
   for (int i = 0; i < params_.shards; ++i) {
     shards_.push_back(
@@ -126,6 +141,12 @@ std::size_t ShardedStalenessEngine::corpus_size() const {
 }
 
 void ShardedStalenessEngine::on_bgp_record(const bgp::BgpRecord& record) {
+  // Delivery tally at the (serial) feed boundary — the one place every
+  // record passes exactly once regardless of the shard partition.
+  if (health_ != nullptr) {
+    health_->count_bgp(record.vp, record.collector,
+                       clock_.index_of(record.time));
+  }
   pending_records_.push_back(record);
 }
 
@@ -135,6 +156,7 @@ void ShardedStalenessEngine::on_public_trace(const tr::Traceroute& trace) {
   // pairs, so each trace must update exactly one instance).
   tracemap::ProcessedTrace processed = processing_.ingest(trace);
   std::int64_t window = clock_.index_of(trace.time);
+  if (health_ != nullptr) health_->count_trace(trace.probe, window);
   subpath_.on_public_trace(processed, window);
   border_.on_public_trace(processed, window);
   ixp_.on_public_trace(processed, window);
@@ -144,6 +166,10 @@ void ShardedStalenessEngine::close_one_window(
     std::int64_t window, std::vector<StalenessSignal>& out) {
   obs::ScopedSpan close_span(obs_.window_close_us);
   TimePoint end = clock_.window_end(window);
+  // Health transitions run facade-serial before any parallel phase: shards
+  // and trace monitors then consult a frozen tracker, which keeps the
+  // close TSAN-clean and the gating independent of the partition.
+  if (health_ != nullptr) health_->close_window(window);
   auto in_window = [&](const bgp::BgpRecord& r) {
     return clock_.index_of(r.time) <= window;
   };

@@ -127,6 +127,10 @@ class ShardedStalenessEngine {
   SubpathMonitor subpath_;
   BorderMonitor border_;
   IxpMonitor ixp_;
+  // Feed-health tracker (one instance: delivery is counted at the facade's
+  // serial feed boundary; shards only consult it). Null when tracking is
+  // off. Declared before the shards, which borrow it at construction.
+  std::unique_ptr<FeedHealthTracker> health_;
 
   std::vector<std::unique_ptr<StalenessEngine>> shards_;
   // Global signal cooldown: a potential shared by pairs in different shards

@@ -5,6 +5,7 @@
 
 #include "netbase/rng.h"
 #include "runtime/parallel.h"
+#include "signals/feed_health.h"
 
 namespace rrr::signals {
 
@@ -152,6 +153,13 @@ std::vector<StalenessSignal> SubpathMonitor::close_segment(
                  segment->pending_drop);
     segment->pending_drop = drop;
     if (!confirmed) continue;
+    // §4.2.1 gating: with a degraded public-trace feed, T_ratio drops
+    // measure which probes went dark, not where packets flow.
+    if (health_ != nullptr && health_->trace_degraded()) {
+      obs::inc(dropped_unhealthy_,
+               static_cast<std::int64_t>(segment->subscribers.size()));
+      continue;
+    }
     // The outlier belongs to its aggregate window, which may end before
     // the base window being closed (sparse segments aggregate slowly).
     std::int64_t agg_end =

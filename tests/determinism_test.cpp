@@ -50,11 +50,35 @@ struct RunTrace {
   std::uint64_t calibration_digest = 0;
   std::string corpus_bytes;  // io/serialize rendering of the final corpus
   std::string semantic_stats;  // JSON of the semantic-domain metrics
+  std::int64_t fault_records_affected = 0;
 };
 
+// The fault plan of the degraded-grid test: every clause active at once, so
+// the grid comparison covers blackout membership, session-reset replay,
+// loss, duplication, reordering, and corruption in one run.
+fault::FaultPlan grid_fault_plan() {
+  fault::FaultPlan plan;
+  plan.collector_blackout_fraction = 0.4;
+  plan.blackout_start_window = 120;
+  plan.blackout_windows = 48;
+  plan.session_reset_replay = true;
+  plan.drop_rate = 0.05;
+  plan.duplicate_rate = 0.1;
+  plan.reorder_rate = 0.1;
+  plan.reorder_max_seconds = 120;
+  plan.corrupt_rate = 0.02;
+  plan.seed = 99;
+  return plan;
+}
+
 RunTrace run_world(std::uint64_t seed, int engine_threads,
-                   int engine_shards = 1) {
-  World world(small_params(seed, engine_threads, engine_shards));
+                   int engine_shards = 1, bool faulted = false) {
+  WorldParams params = small_params(seed, engine_threads, engine_shards);
+  if (faulted) {
+    params.fault_plan = grid_fault_plan();
+    params.feed_health.enabled = true;
+  }
+  World world(params);
   RunTrace trace;
   World::Hooks hooks;
   hooks.on_signals = [&](std::int64_t window, TimePoint,
@@ -72,6 +96,15 @@ RunTrace run_world(std::uint64_t seed, int engine_threads,
   trace.stale = world.engine().stale_pairs();
   trace.calibration_digest = world.engine().calibration().digest();
   trace.semantic_stats = world.semantic_stats_json();
+  if (world.fault_injector() != nullptr) {
+    const fault::FaultInjector::Stats& stats =
+        world.fault_injector()->stats();
+    trace.fault_records_affected =
+        stats.bgp_blackout_dropped + stats.bgp_dropped +
+        stats.bgp_corrupted + stats.bgp_corrupt_dropped +
+        stats.bgp_duplicated + stats.bgp_replayed + stats.trace_dropped +
+        stats.trace_blackout_dropped;
+  }
 
   // Render the final corpus view through the text serializer so the
   // byte-identity check covers every field the formats carry.
@@ -146,6 +179,45 @@ TEST(Determinism, ShardGridMatchesSingleShardSerial) {
   EXPECT_NE(baseline.semantic_stats.find("rrr_signals_emitted_total"),
             std::string::npos)
       << "semantic snapshot missing the emitted-signal counters";
+}
+
+// The degraded half of the contract: a fault plan plus feed-health gating
+// must be exactly as deterministic as the clean path. The injector draws
+// from per-stream generators on the facade's serial feed path and the
+// health tracker transitions in the serial close, so every (shards,
+// threads) grid point must reproduce the serial faulted run byte for byte —
+// signal stream, stale pairs, calibration, corpus bytes, and the semantic
+// telemetry (which now includes the rrr_fault_* and rrr_feed_* series).
+TEST(Determinism, FaultedGridMatchesSingleShardSerial) {
+  RunTrace baseline = run_world(16, 1, 1, /*faulted=*/true);
+  ASSERT_GT(baseline.fault_records_affected, 0)
+      << "fault plan never fired; the grid comparison would be vacuous";
+  ASSERT_GT(baseline.signals.size(), 0u)
+      << "world too quiet to exercise the engine";
+  for (int shards : {1, 2, 4}) {
+    for (int threads : {1, 4}) {
+      if (shards == 1 && threads == 1) continue;
+      RunTrace run = run_world(16, threads, shards, /*faulted=*/true);
+      EXPECT_EQ(baseline.signals, run.signals)
+          << "shards=" << shards << " threads=" << threads;
+      EXPECT_EQ(baseline.stale, run.stale)
+          << "shards=" << shards << " threads=" << threads;
+      EXPECT_EQ(baseline.calibration_digest, run.calibration_digest)
+          << "shards=" << shards << " threads=" << threads;
+      EXPECT_EQ(baseline.corpus_bytes, run.corpus_bytes)
+          << "shards=" << shards << " threads=" << threads;
+      EXPECT_EQ(baseline.semantic_stats, run.semantic_stats)
+          << "shards=" << shards << " threads=" << threads;
+      EXPECT_EQ(baseline.fault_records_affected, run.fault_records_affected)
+          << "shards=" << shards << " threads=" << threads;
+    }
+  }
+  EXPECT_NE(baseline.semantic_stats.find("rrr_fault_bgp_records"),
+            std::string::npos)
+      << "semantic snapshot missing the fault-injection counters";
+  EXPECT_NE(baseline.semantic_stats.find("rrr_feed_streams"),
+            std::string::npos)
+      << "semantic snapshot missing the feed-health gauges";
 }
 
 }  // namespace

@@ -61,6 +61,94 @@ TEST(BgpSerialization, RejectsMalformedLines) {
       bgp_record_from_line("1|A|c|1|1.2.3.4|0|10.0.0.0/99||").has_value());
 }
 
+// Table-driven hostile-input sweep: every entry is a line a damaged archive
+// or a fault-injected replay could hand the parser. The contract is
+// uniform — nullopt, never a throw, never UB.
+TEST(BgpSerialization, MalformedLineTable) {
+  const std::string valid = to_line(sample_record());
+  struct Case {
+    const char* label;
+    std::string line;
+  };
+  std::vector<Case> cases = {
+      {"truncated after type", "123456|A"},
+      {"truncated mid-field", valid.substr(0, valid.size() / 2)},
+      {"one field short", valid.substr(0, valid.rfind('|'))},
+      {"extra trailing field", valid + "|surplus"},
+      {"embedded NUL", valid.substr(0, 8) + std::string(1, '\0') +
+                           valid.substr(8)},
+      {"trailing NUL", valid + std::string(1, '\0')},
+      {"oversized line",
+       valid + "|" + std::string(70 * 1024, 'x')},  // > 64 KiB cap
+      {"negative time", "-5|A|rrc03|13030|195.66.224.175|7|"
+                        "200.61.128.0/19|13030|"},
+      {"time overflow", "99999999999999999999|A|rrc03|13030|"
+                        "195.66.224.175|7|200.61.128.0/19|13030|"},
+      {"asn above 32 bits", "1|A|rrc03|4294967296|195.66.224.175|7|"
+                            "200.61.128.0/19|13030|"},
+      {"vp above 32 bits", "1|A|rrc03|13030|195.66.224.175|4294967296|"
+                           "200.61.128.0/19|13030|"},
+      {"bad peer ip", "1|A|rrc03|13030|195.66.224.999|7|"
+                      "200.61.128.0/19|13030|"},
+      {"bad prefix length", "1|A|rrc03|13030|195.66.224.175|7|"
+                            "200.61.128.0/40|13030|"},
+      {"junk in as path", "1|A|rrc03|13030|195.66.224.175|7|"
+                          "200.61.128.0/19|13030 notanasn|"},
+      {"junk community", "1|A|rrc03|13030|195.66.224.175|7|"
+                         "200.61.128.0/19|13030|13030:bad"},
+  };
+  // Unbounded attribute lists (session-reset storms glue updates together).
+  std::string long_path;
+  for (int i = 0; i < 1500; ++i) long_path += "64512 ";
+  cases.push_back({"as path over cap",
+                   "1|A|rrc03|13030|195.66.224.175|7|200.61.128.0/19|" +
+                       long_path + "|"});
+  for (const Case& c : cases) {
+    EXPECT_FALSE(bgp_record_from_line(c.line).has_value()) << c.label;
+  }
+  // The undamaged line still parses — the table is rejecting the damage,
+  // not the format.
+  EXPECT_TRUE(bgp_record_from_line(valid).has_value());
+}
+
+TEST(TracerouteSerialization, MalformedLineTable) {
+  struct Case {
+    const char* label;
+    std::string text;
+  };
+  std::vector<Case> cases = {
+      {"header one field short", "T|42|9|10.0.0.9|11.0.0.1|5555|777\n"},
+      {"bad reached flag", "T|42|9|10.0.0.9|11.0.0.1|5555|777|2\n"},
+      {"negative id", "T|-1|9|10.0.0.9|11.0.0.1|5555|777|1\n"},
+      {"embedded NUL in header",
+       std::string("T|42|9|10.0.0.9|11.0.0.1|5555|777|1\n").insert(
+           4, 1, '\0')},
+      {"hop with junk ttl",
+       "T|42|9|10.0.0.9|11.0.0.1|5555|777|1\nH|x|1.2.3.4|0.5\n"},
+      {"hop with junk rtt",
+       "T|42|9|10.0.0.9|11.0.0.1|5555|777|1\nH|1|1.2.3.4|fast\n"},
+      {"hop one field short",
+       "T|42|9|10.0.0.9|11.0.0.1|5555|777|1\nH|1|1.2.3.4\n"},
+  };
+  for (const Case& c : cases) {
+    std::stringstream buffer(c.text);
+    std::size_t errors = 0;
+    auto loaded = read_traceroutes(buffer, &errors);
+    EXPECT_GE(errors, 1u) << c.label;
+  }
+  // Hop-count cap: a trace claiming thousands of hops is rejected rather
+  // than buffered.
+  std::stringstream flood;
+  flood << "T|42|9|10.0.0.9|11.0.0.1|5555|777|1\n";
+  for (int i = 0; i < 600; ++i) flood << "H|" << i << "|1.2.3.4|0.5\n";
+  std::size_t errors = 0;
+  auto loaded = read_traceroutes(flood, &errors);
+  EXPECT_GE(errors, 1u);
+  for (const tr::Traceroute& trace : loaded) {
+    EXPECT_LE(trace.hops.size(), 512u);
+  }
+}
+
 TEST(BgpSerialization, StreamRoundTripSkipsCommentsAndGarbage) {
   std::vector<bgp::BgpRecord> records = {sample_record(), sample_record()};
   records[1].time = TimePoint(999);

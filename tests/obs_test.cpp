@@ -9,8 +9,10 @@
 #include <thread>
 #include <vector>
 
+#include "fault/injector.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "signals/feed_health.h"
 
 namespace rrr::obs {
 namespace {
@@ -155,6 +157,153 @@ TEST(Export, JsonGoldenOutput) {
       "{\"technique\":\"border\"},\"kind\":\"counter\","
       "\"domain\":\"semantic\",\"value\":1}]";
   EXPECT_EQ(to_json(registry.snapshot()), expected);
+}
+
+// The feed-health gauges as both exporters render them, against a driven
+// scenario: one BGP stream walked into `dead` while a second keeps
+// chattering (gap judgement is relative to feed activity), no trace
+// streams. The whole family is golden — series order, label order, and
+// the degraded rollup.
+TEST(Export, FeedHealthGaugesGoldenOutput) {
+  signals::FeedHealthParams params;
+  params.enabled = true;
+  params.baseline_alpha = 0.5;
+  params.gap_fraction = 0.5;
+  params.min_baseline = 0.5;
+  params.judge_mass = 1.0;
+  params.warmup_windows = 2;
+  params.suspect_windows = 2;
+  signals::FeedHealthTracker tracker(params);
+  MetricsRegistry registry;
+  tracker.set_metrics(registry);
+  for (std::int64_t w = 0; w < 5; ++w) {
+    for (int i = 0; i < 4; ++i) tracker.count_bgp(1, "rrc00", w);
+    for (int i = 0; i < 4; ++i) tracker.count_bgp(2, "rrc01", w);
+    tracker.close_window(w);
+  }
+  for (int i = 0; i < 4; ++i) tracker.count_bgp(2, "rrc01", 5);
+  tracker.close_window(5);  // rrc00 gap: suspect
+  for (int i = 0; i < 4; ++i) tracker.count_bgp(2, "rrc01", 6);
+  tracker.close_window(6);  // rrc00 gap: dead
+  ASSERT_TRUE(tracker.bgp_quarantined(1));
+  ASSERT_FALSE(tracker.bgp_quarantined(2));
+
+  const std::string prom =
+      "# HELP rrr_feed_degraded 1 when the feed's quarantined fraction is "
+      "degraded\n"
+      "# TYPE rrr_feed_degraded gauge\n"
+      "rrr_feed_degraded{feed=\"bgp\"} 1\n"
+      "rrr_feed_degraded{feed=\"trace\"} 0\n"
+      "# HELP rrr_feed_streams feed streams per quarantine state\n"
+      "# TYPE rrr_feed_streams gauge\n"
+      "rrr_feed_streams{feed=\"bgp\",state=\"dead\"} 1\n"
+      "rrr_feed_streams{feed=\"bgp\",state=\"healthy\"} 1\n"
+      "rrr_feed_streams{feed=\"bgp\",state=\"recovering\"} 0\n"
+      "rrr_feed_streams{feed=\"bgp\",state=\"suspect\"} 0\n"
+      "rrr_feed_streams{feed=\"trace\",state=\"dead\"} 0\n"
+      "rrr_feed_streams{feed=\"trace\",state=\"healthy\"} 0\n"
+      "rrr_feed_streams{feed=\"trace\",state=\"recovering\"} 0\n"
+      "rrr_feed_streams{feed=\"trace\",state=\"suspect\"} 0\n";
+  EXPECT_EQ(to_prometheus(registry.snapshot()), prom);
+
+  const std::string json =
+      "[{\"name\":\"rrr_feed_degraded\",\"labels\":{\"feed\":\"bgp\"},"
+      "\"kind\":\"gauge\",\"domain\":\"semantic\",\"value\":1},"
+      "{\"name\":\"rrr_feed_degraded\",\"labels\":{\"feed\":\"trace\"},"
+      "\"kind\":\"gauge\",\"domain\":\"semantic\",\"value\":0},"
+      "{\"name\":\"rrr_feed_streams\",\"labels\":{\"feed\":\"bgp\","
+      "\"state\":\"dead\"},\"kind\":\"gauge\",\"domain\":\"semantic\","
+      "\"value\":1},"
+      "{\"name\":\"rrr_feed_streams\",\"labels\":{\"feed\":\"bgp\","
+      "\"state\":\"healthy\"},\"kind\":\"gauge\",\"domain\":\"semantic\","
+      "\"value\":1},"
+      "{\"name\":\"rrr_feed_streams\",\"labels\":{\"feed\":\"bgp\","
+      "\"state\":\"recovering\"},\"kind\":\"gauge\",\"domain\":\"semantic\","
+      "\"value\":0},"
+      "{\"name\":\"rrr_feed_streams\",\"labels\":{\"feed\":\"bgp\","
+      "\"state\":\"suspect\"},\"kind\":\"gauge\",\"domain\":\"semantic\","
+      "\"value\":0},"
+      "{\"name\":\"rrr_feed_streams\",\"labels\":{\"feed\":\"trace\","
+      "\"state\":\"dead\"},\"kind\":\"gauge\",\"domain\":\"semantic\","
+      "\"value\":0},"
+      "{\"name\":\"rrr_feed_streams\",\"labels\":{\"feed\":\"trace\","
+      "\"state\":\"healthy\"},\"kind\":\"gauge\",\"domain\":\"semantic\","
+      "\"value\":0},"
+      "{\"name\":\"rrr_feed_streams\",\"labels\":{\"feed\":\"trace\","
+      "\"state\":\"recovering\"},\"kind\":\"gauge\",\"domain\":\"semantic\","
+      "\"value\":0},"
+      "{\"name\":\"rrr_feed_streams\",\"labels\":{\"feed\":\"trace\","
+      "\"state\":\"suspect\"},\"kind\":\"gauge\",\"domain\":\"semantic\","
+      "\"value\":0}]";
+  EXPECT_EQ(to_json(registry.snapshot()), json);
+}
+
+// The fault-injection counter family through both exporters: a pure-loss
+// plan swallowing three BGP records and one public trace, everything else
+// registered but zero.
+TEST(Export, FaultCountersGoldenOutput) {
+  fault::FaultPlan plan;
+  plan.drop_rate = 1.0;
+  plan.trace_drop_rate = 1.0;
+  fault::FaultInjector injector(plan, TimePoint(0), 900);
+  MetricsRegistry registry;
+  injector.set_metrics(registry);
+
+  bgp::BgpRecord record;
+  record.time = TimePoint(10);
+  record.vp = 1;
+  record.collector = "rrc00";
+  record.peer_asn = Asn(65001);
+  record.peer_ip = *Ipv4::parse("192.0.2.1");
+  record.prefix = *Prefix::parse("10.0.0.0/8");
+  record.as_path = {Asn(65001)};
+  for (int i = 0; i < 3; ++i) injector.on_bgp_record(record);
+  tr::Traceroute trace;
+  trace.probe = 2;
+  trace.time = TimePoint(10);
+  injector.on_public_trace(trace);
+
+  const std::string prom =
+      "# HELP rrr_fault_bgp_records_corrupted_total BGP records whose "
+      "corrupted line still parsed\n"
+      "# TYPE rrr_fault_bgp_records_corrupted_total counter\n"
+      "rrr_fault_bgp_records_corrupted_total 0\n"
+      "# HELP rrr_fault_bgp_records_dropped_total BGP records removed by "
+      "the fault injector\n"
+      "# TYPE rrr_fault_bgp_records_dropped_total counter\n"
+      "rrr_fault_bgp_records_dropped_total{reason=\"blackout\"} 0\n"
+      "rrr_fault_bgp_records_dropped_total{reason=\"corrupt\"} 0\n"
+      "rrr_fault_bgp_records_dropped_total{reason=\"loss\"} 3\n"
+      "# HELP rrr_fault_bgp_records_duplicated_total extra duplicate copies "
+      "emitted by the fault injector\n"
+      "# TYPE rrr_fault_bgp_records_duplicated_total counter\n"
+      "rrr_fault_bgp_records_duplicated_total 0\n"
+      "# HELP rrr_fault_bgp_records_reordered_total BGP records whose "
+      "timestamp was jittered\n"
+      "# TYPE rrr_fault_bgp_records_reordered_total counter\n"
+      "rrr_fault_bgp_records_reordered_total 0\n"
+      "# HELP rrr_fault_bgp_records_replayed_total session-reset replay "
+      "records emitted after a blackout\n"
+      "# TYPE rrr_fault_bgp_records_replayed_total counter\n"
+      "rrr_fault_bgp_records_replayed_total 0\n"
+      "# HELP rrr_fault_traces_dropped_total public traceroutes removed by "
+      "the fault injector\n"
+      "# TYPE rrr_fault_traces_dropped_total counter\n"
+      "rrr_fault_traces_dropped_total{reason=\"blackout\"} 0\n"
+      "rrr_fault_traces_dropped_total{reason=\"loss\"} 1\n";
+  EXPECT_EQ(to_prometheus(registry.snapshot()), prom);
+
+  const std::string json = to_json(registry.snapshot());
+  EXPECT_NE(json.find("{\"name\":\"rrr_fault_bgp_records_dropped_total\","
+                      "\"labels\":{\"reason\":\"loss\"},\"kind\":"
+                      "\"counter\",\"domain\":\"semantic\",\"value\":3}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("{\"name\":\"rrr_fault_traces_dropped_total\","
+                      "\"labels\":{\"reason\":\"loss\"},\"kind\":"
+                      "\"counter\",\"domain\":\"semantic\",\"value\":1}"),
+            std::string::npos)
+      << json;
 }
 
 TEST(Export, StatsSeriesIsSparse) {
