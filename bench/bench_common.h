@@ -178,6 +178,8 @@ inline eval::WorldParams retrospective_params(const Flags& flags) {
   params.topology.num_stub = 200;
   params.engine_threads = static_cast<int>(flags.get_int("engine-threads", 1));
   params.engine_shards = static_cast<int>(flags.get_int("engine-shards", 1));
+  // --pipeline 0 recovers the serial absorb schedule (DESIGN.md §10).
+  params.pipeline_absorb = flags.get_int("pipeline", 1) != 0;
   params.telemetry = stats_enabled(flags);
   apply_fault_flags(flags, params);
   return params;

@@ -1,0 +1,207 @@
+// Epoch-pipeline sweep — wall-clock effect of overlapping the BGP-table
+// absorb with the monitor closes (DESIGN.md §10 "Epoch pipeline").
+//
+// Each arm runs the same retrospective world with the epoch-table absorb
+// either serial (--pipeline 0 schedule) or pipelined, at each thread count.
+// Arms run *sequentially* — this harness measures time, so they must not
+// compete for cores. The signal stream is bit-identical across arms (the
+// determinism contract; this harness re-checks a digest of it), so every
+// difference in the close-path histograms is pure scheduling.
+//
+// The headline check mirrors the acceptance criterion: at the highest
+// thread count, the pipelined total close time should come in at or below
+// the serial total minus ~half the measured absorb span — i.e. the overlap
+// actually hides the absorb instead of just moving it.
+//
+// Flags: --days N --pairs N --seed N --public-rate N
+//        --engine-shards N (default 4) --threads-list 1,4
+//        --stats-json PATH (default BENCH_pipeline_scaling.json)
+#include <chrono>
+#include <sstream>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace rrr;
+
+struct Arm {
+  std::string label;
+  int threads = 1;
+  bool pipeline = false;
+};
+
+struct ArmResult {
+  Arm arm;
+  double wall_seconds = 0.0;
+  double close_ms = 0.0;        // sum of rrr_engine_window_close_us
+  double absorb_ms = 0.0;       // sum of rrr_engine_absorb_us
+  double absorb_wait_ms = 0.0;  // sum of rrr_engine_absorb_wait_us
+  std::int64_t flips = 0;
+  std::uint64_t signal_digest = 0;
+  std::int64_t signal_count = 0;
+  bench::RunStats stats;
+};
+
+double sum_histogram_ms(const obs::Snapshot& snapshot,
+                        const std::string& name) {
+  double total_us = 0.0;
+  for (const obs::MetricSnapshot& metric : snapshot) {
+    if (metric.name == name) total_us += metric.sum;
+  }
+  return total_us / 1000.0;
+}
+
+std::int64_t sum_counter(const obs::Snapshot& snapshot,
+                         const std::string& name) {
+  std::int64_t total = 0;
+  for (const obs::MetricSnapshot& metric : snapshot) {
+    if (metric.name == name) total += metric.value;
+  }
+  return total;
+}
+
+ArmResult run_arm(eval::WorldParams params, const Arm& arm) {
+  params.telemetry = true;  // the close-path spans are the measurement
+  params.engine_threads = arm.threads;
+  params.pipeline_absorb = arm.pipeline;
+
+  eval::World world(params);
+  std::uint64_t digest = 1469598103934665603ull;  // FNV-1a
+  std::int64_t count = 0;
+  eval::World::Hooks hooks;
+  hooks.on_signals = [&](std::int64_t window, TimePoint,
+                         std::vector<signals::StalenessSignal>&& sigs) {
+    for (const signals::StalenessSignal& s : sigs) {
+      auto mix = [&digest](std::uint64_t v) {
+        digest = (digest ^ v) * 1099511628211ull;
+      };
+      mix(static_cast<std::uint64_t>(window));
+      mix(static_cast<std::uint64_t>(s.pair.probe));
+      mix(s.pair.dst.value());
+      mix(static_cast<std::uint64_t>(s.technique));
+      mix(static_cast<std::uint64_t>(s.potential));
+      ++count;
+    }
+  };
+  auto begin = std::chrono::steady_clock::now();
+  world.run_all(hooks);
+  ArmResult result;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  result.arm = arm;
+  obs::Snapshot snapshot = world.metrics()->snapshot();
+  result.close_ms = sum_histogram_ms(snapshot, "rrr_engine_window_close_us");
+  result.absorb_ms = sum_histogram_ms(snapshot, "rrr_engine_absorb_us");
+  result.absorb_wait_ms =
+      sum_histogram_ms(snapshot, "rrr_engine_absorb_wait_us");
+  result.flips = sum_counter(snapshot, "rrr_epoch_flips_total");
+  result.signal_digest = digest;
+  result.signal_count = count;
+  result.stats = bench::capture_stats(arm.label, world);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rrr;
+  bench::Flags flags(argc, argv);
+  eval::WorldParams params = bench::retrospective_params(flags);
+  params.days = static_cast<int>(flags.get_int("days", 6));
+  if (params.engine_shards == 1) params.engine_shards = 4;
+
+  eval::print_banner(std::cout, "Epoch-pipeline sweep",
+                     "absorb/close overlap vs the serial schedule",
+                     "pipelining hides the table absorb behind the monitor "
+                     "closes without changing one byte of output");
+
+  std::vector<int> thread_counts;
+  {
+    std::string item;
+    std::istringstream in(flags.get_str("threads-list", "1,4"));
+    while (std::getline(in, item, ',')) {
+      if (!item.empty()) thread_counts.push_back(std::atoi(item.c_str()));
+    }
+  }
+
+  std::vector<Arm> arms;
+  for (int threads : thread_counts) {
+    for (bool pipeline : {false, true}) {
+      std::ostringstream label;
+      label << "threads=" << threads
+            << (pipeline ? " pipelined" : " serial");
+      arms.push_back(Arm{label.str(), threads, pipeline});
+    }
+  }
+
+  // Sequential on purpose: concurrent arms would share cores and corrupt
+  // the wall-time comparison.
+  std::vector<ArmResult> results;
+  for (const Arm& arm : arms) {
+    results.push_back(run_arm(params, arm));
+    std::cout << "  [" << arm.label << "] "
+              << eval::TableWriter::fmt(results.back().wall_seconds, 2)
+              << " s\n";
+  }
+
+  eval::TableWriter table({"threads", "schedule", "wall s", "close ms",
+                           "absorb ms", "wait ms", "flips", "#signals"});
+  for (const ArmResult& r : results) {
+    table.add_row({std::to_string(r.arm.threads),
+                   r.arm.pipeline ? "pipelined" : "serial",
+                   eval::TableWriter::fmt(r.wall_seconds, 2),
+                   eval::TableWriter::fmt(r.close_ms, 1),
+                   eval::TableWriter::fmt(r.absorb_ms, 1),
+                   eval::TableWriter::fmt(r.absorb_wait_ms, 1),
+                   std::to_string(r.flips),
+                   std::to_string(r.signal_count)});
+  }
+  table.print(std::cout);
+
+  // Output identity across every arm (the determinism contract).
+  bool identical = true;
+  for (const ArmResult& r : results) {
+    if (r.signal_digest != results.front().signal_digest ||
+        r.signal_count != results.front().signal_count) {
+      identical = false;
+    }
+  }
+  std::cout << (identical
+                    ? "\nsignal stream identical across all arms\n"
+                    : "\nWARNING: signal stream diverged across arms — "
+                      "determinism contract violated\n");
+
+  // Headline: overlap at the highest thread count.
+  const ArmResult* serial = nullptr;
+  const ArmResult* pipelined = nullptr;
+  int max_threads = 0;
+  for (const ArmResult& r : results) max_threads = std::max(max_threads, r.arm.threads);
+  for (const ArmResult& r : results) {
+    if (r.arm.threads != max_threads) continue;
+    (r.arm.pipeline ? pipelined : serial) = &r;
+  }
+  if (serial != nullptr && pipelined != nullptr && max_threads > 1) {
+    double target = serial->close_ms - 0.5 * serial->absorb_ms;
+    std::cout << "threads=" << max_threads << ": close serial "
+              << eval::TableWriter::fmt(serial->close_ms, 1)
+              << " ms, pipelined "
+              << eval::TableWriter::fmt(pipelined->close_ms, 1)
+              << " ms (target <= "
+              << eval::TableWriter::fmt(target, 1)
+              << " ms = serial - 50% of "
+              << eval::TableWriter::fmt(serial->absorb_ms, 1)
+              << " ms absorb): "
+              << (pipelined->close_ms <= target ? "overlapped"
+                                                : "NOT overlapped")
+              << "\n";
+  }
+
+  std::vector<bench::RunStats> stats;
+  for (ArmResult& r : results) stats.push_back(std::move(r.stats));
+  std::string path =
+      flags.get_str("stats-json", "BENCH_pipeline_scaling.json");
+  bench::write_stats_json(path, stats, std::cout);
+  return 0;
+}

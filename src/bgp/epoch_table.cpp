@@ -1,0 +1,37 @@
+#include "bgp/epoch_table.h"
+
+#include <algorithm>
+
+namespace rrr::bgp {
+
+EpochTableView::EpochTableView(std::set<Asn> ixp_asns)
+    : buffers_{VpTableView(ixp_asns), VpTableView(std::move(ixp_asns))},
+      published_(&buffers_[0]),
+      shadow_(&buffers_[1]) {}
+
+bool EpochTableView::apply(const BgpRecord& record) {
+  bool applied = published_.load(std::memory_order_relaxed)->apply(record);
+  shadow_->apply(record);
+  return applied;
+}
+
+std::size_t EpochTableView::absorb(const std::vector<BgpRecord>& records,
+                                   std::size_t count) {
+  // Replay the batch the shadow missed while it was published; only then is
+  // it at the same state the published buffer had before this window.
+  shadow_->apply_all(carryover_, carryover_.size());
+  std::size_t applied = shadow_->apply_all(records, count);
+  carryover_.assign(records.begin(),
+                    records.begin() + static_cast<std::ptrdiff_t>(
+                                          std::min(count, records.size())));
+  return applied;
+}
+
+void EpochTableView::flip() {
+  VpTableView* fresh = shadow_;
+  shadow_ = published_.load(std::memory_order_relaxed);
+  published_.store(fresh, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+}  // namespace rrr::bgp

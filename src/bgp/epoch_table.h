@@ -1,0 +1,99 @@
+// EpochTableView: a double-buffered, epoch-flipped wrapper around
+// VpTableView that lets the window-close pipeline overlap table absorption
+// with monitor evaluation (ROADMAP "lock-free table view").
+//
+// Reader-writer protocol
+// ----------------------
+//   * Readers (shard dispatch, the BGP monitors via BgpContext, revocation
+//     sweeps) always see the *published* epoch: an immutable VpTableView
+//     reached through one atomic acquire-load per read() call. They never
+//     observe a half-applied batch.
+//   * Exactly one writer task per window calls absorb(), which mutates only
+//     the *shadow* buffer: it first catches the shadow up with the previous
+//     window's carryover batch, then applies the just-closed window's
+//     records. absorb() may run concurrently with any number of readers —
+//     the two buffers are disjoint objects.
+//   * flip() publishes the shadow with a single atomic pointer swap
+//     (release), bumping the epoch. The caller must have joined the writer
+//     task first; flip() itself is a serial-section operation.
+//
+// After a flip the new shadow is exactly one batch behind the published
+// buffer; the batch is retained in `carryover_` and replayed at the start
+// of the next absorb() instead of being applied twice on the critical
+// path. The published buffer therefore always holds the state through the
+// last flipped window, and the shadow converges one absorb later.
+//
+// Both the pipelined and the serial engine schedules use the same
+// absorb()/flip() pair — they differ only in *where* absorb runs (a pool
+// task overlapping the monitor closes vs. inline in the serial section), so
+// the buffer mechanics are exercised identically and the output is
+// bit-identical either way (see docs/ARCHITECTURE.md, "Determinism
+// contract").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "bgp/table_view.h"
+
+namespace rrr::bgp {
+
+class EpochTableView {
+ public:
+  explicit EpochTableView(std::set<Asn> ixp_asns = {});
+
+  // Not movable/copyable: readers hold the address of the published buffer
+  // across phases.
+  EpochTableView(const EpochTableView&) = delete;
+  EpochTableView& operator=(const EpochTableView&) = delete;
+
+  // The published (immutable) epoch. One acquire-load; safe from any thread
+  // concurrently with absorb(). The reference is stable until the next
+  // flip(), which only happens in serial sections between reader phases.
+  const VpTableView& read() const {
+    return *published_.load(std::memory_order_acquire);
+  }
+
+  // Number of flips so far; epoch N publishes the state through the N-th
+  // absorbed batch.
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  // --- convenience readers (forward to the published epoch) ---
+  // These keep BgpContext call sites (`context.table->route(...)`) source-
+  // compatible with the plain VpTableView they used to borrow.
+  const VpRoute* route(VpId vp, Ipv4 ip) const { return read().route(vp, ip); }
+  std::optional<Prefix> most_specific_prefix(VpId vp, Ipv4 ip) const {
+    return read().most_specific_prefix(vp, ip);
+  }
+  std::vector<VpId> vps() const { return read().vps(); }
+  std::size_t route_count(VpId vp) const { return read().route_count(vp); }
+
+  // Serial convenience (tests, bootstrap): applies one record to *both*
+  // buffers so it is immediately visible to readers and survives future
+  // flips. Must not run concurrently with absorb() or readers.
+  bool apply(const BgpRecord& record);
+
+  // Writer side: catches the shadow up with the previous batch, then
+  // applies the first `count` records of `records` in order. Returns how
+  // many of *this* batch were applied. Safe concurrently with read();
+  // `records[0, count)` must stay unchanged until the writer is joined.
+  std::size_t absorb(const std::vector<BgpRecord>& records, std::size_t count);
+
+  // Publishes the shadow (atomic swap + epoch bump). Serial-section only:
+  // the caller must have joined the absorb() writer, and no reader may be
+  // mid-lookup in a parallel phase.
+  void flip();
+
+ private:
+  VpTableView buffers_[2];
+  std::atomic<VpTableView*> published_;
+  VpTableView* shadow_;
+  // The batch absorbed into the shadow before the last flip(), replayed
+  // into the new shadow at the start of the next absorb().
+  std::vector<BgpRecord> carryover_;
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+}  // namespace rrr::bgp

@@ -34,6 +34,15 @@ struct VpRoute {
 };
 
 // Maintains each vantage point's table from a stream of records.
+//
+// Concurrency: a VpTableView has no internal synchronization. The engines
+// never expose one directly — they wrap two of them in a bgp::EpochTableView
+// and hand readers the *published* buffer, which is immutable for the whole
+// window close, while the absorb writer mutates the *shadow* buffer. A
+// VpTableView is therefore either (a) the published epoch: read-only, safe
+// from any thread, or (b) the shadow: owned by exactly one writer task, read
+// by nobody. Standalone uses (tests, offline tools) may mutate one freely on
+// a single thread.
 class VpTableView {
  public:
   explicit VpTableView(std::set<Asn> ixp_asns = {})
@@ -47,8 +56,9 @@ class VpTableView {
   // Absorbs the first `count` records of `records` in order; returns how
   // many were applied. This is the once-per-window batch absorption of the
   // staleness engine: monitors dispatch against the pre-batch table (the
-  // immutable start-of-window snapshot shared across engine shards), then
-  // the single owner advances it here.
+  // immutable start-of-window epoch shared across engine shards) while
+  // EpochTableView::absorb advances the shadow copy here; the flip at the
+  // window boundary is what makes the batch visible to readers.
   std::size_t apply_all(const std::vector<BgpRecord>& records,
                         std::size_t count);
 

@@ -118,6 +118,7 @@ World::World(const WorldParams& params)
   engine_params.seed = rng_.fork(8).seed();
   engine_params.threads = params_.engine_threads;
   engine_params.shards = params_.engine_shards;
+  engine_params.pipeline_absorb = params_.pipeline_absorb;
   engine_params.metrics = metrics_.get();
   engine_params.feed_health = params_.feed_health;
   engine_ = std::make_unique<signals::ShardedStalenessEngine>(

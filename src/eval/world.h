@@ -60,6 +60,11 @@ struct WorldParams {
   // engine"). Like engine_threads, a pure throughput knob: the signal
   // stream is bit-identical for any (shards, threads) combination.
   int engine_shards = 1;
+  // Overlap the BGP-table absorb with the monitor closes via the epoch
+  // table's shadow buffer (DESIGN.md §10 "Epoch pipeline"). Another pure
+  // throughput knob: off recovers the exact serial schedule, and the signal
+  // stream plus semantic telemetry are bit-identical either way.
+  bool pipeline_absorb = true;
   // Enables the telemetry registry + per-window stats series (DESIGN.md
   // "Observability"). The RRR_STATS environment variable force-enables it
   // regardless of this flag; when off, the engine's instrumentation sites

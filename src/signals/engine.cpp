@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "runtime/task_group.h"
+
 namespace rrr::signals {
 namespace {
 
@@ -33,6 +35,23 @@ std::vector<DispatchedRecord> dispatch_against_table(
     out.push_back(std::move(dispatched));
   }
   return out;
+}
+
+std::size_t cut_window_prefix(std::vector<bgp::BgpRecord>& pending,
+                              const WindowClock& clock, std::int64_t window) {
+  auto in_window = [&](const bgp::BgpRecord& r) {
+    return clock.index_of(r.time) <= window;
+  };
+  // Stable partition + prefix sort: equal-time records keep arrival order,
+  // exactly as a stable sort of the whole buffer would leave them, but the
+  // future-window tail is never touched (it is re-partitioned, in arrival
+  // order, when its own window closes).
+  auto mid = std::stable_partition(pending.begin(), pending.end(), in_window);
+  std::stable_sort(pending.begin(), mid,
+                   [](const bgp::BgpRecord& a, const bgp::BgpRecord& b) {
+                     return a.time < b.time;
+                   });
+  return static_cast<std::size_t>(mid - pending.begin());
 }
 
 StalenessEngine::StalenessEngine(
@@ -337,41 +356,55 @@ void StalenessEngine::close_one_window(std::int64_t window,
   // so every gate in this close sees the state as of this window's deliveries.
   if (owned_->health != nullptr) owned_->health->close_window(window);
   // Dispatch this window's BGP records to the monitors against the
-  // start-of-window table, then absorb them into the table.
-  auto in_window = [&](const bgp::BgpRecord& r) {
-    return clock_.index_of(r.time) <= window;
-  };
-  std::stable_sort(pending_records_.begin(), pending_records_.end(),
-                   [](const bgp::BgpRecord& a, const bgp::BgpRecord& b) {
-                     return a.time < b.time;
-                   });
-  std::size_t cut = 0;
-  while (cut < pending_records_.size() && in_window(pending_records_[cut])) {
-    ++cut;
-  }
+  // published start-of-window epoch, then absorb them into the shadow.
+  std::size_t cut = cut_window_prefix(pending_records_, clock_, window);
   {
     obs::ScopedSpan dispatch_span(obs_.dispatch_us);
     std::vector<DispatchedRecord> dispatched =
-        dispatch_against_table(pending_records_, cut, owned_->table);
+        dispatch_against_table(pending_records_, cut, owned_->table.read());
     dispatch_window_records(dispatched, window);
   }
+
+  // The absorb writer fills the epoch table's shadow buffer; monitors keep
+  // reading the published epoch throughout. Pipelined, it overlaps every
+  // monitor close below; serial, it runs inline at the exact point the
+  // pre-epoch schedule absorbed (between the BGP and trace closes). Either
+  // way the flip is what makes the new state visible, and it only happens
+  // once the writer and all readers are joined — so the signal stream is
+  // identical across both schedules.
+  runtime::TaskGroup absorb_group(pool_);
+  auto absorb_batch = [this, cut] {
+    obs::ScopedSpan absorb_span(obs_.absorb_us);
+    owned_->table.absorb(pending_records_, cut);
+  };
+  if (params_.pipeline_absorb) absorb_group.spawn(absorb_batch);
 
   register_signals(out, aspath_->close_window(window, end));
   register_signals(out, community_->close_window(window, end));
   register_signals(out, burst_->close_window(window, end));
 
-  {
-    obs::ScopedSpan absorb_span(obs_.absorb_us);
-    owned_->table.apply_all(pending_records_, cut);
+  if (!params_.pipeline_absorb) {
+    absorb_batch();
+    owned_->table.flip();
+    obs::inc(obs_.epoch_flips);
+  }
+
+  register_signals(out, subpath_->close_window(window, end));
+  register_signals(out, border_->close_window(window, end));
+  register_signals(out, ixp_->close_window(window, end));
+
+  if (params_.pipeline_absorb) {
+    {
+      obs::ScopedSpan wait_span(obs_.absorb_wait_us);
+      absorb_group.wait();
+    }
+    owned_->table.flip();
+    obs::inc(obs_.epoch_flips);
   }
   obs::inc(obs_.bgp_records_absorbed, static_cast<std::int64_t>(cut));
   pending_records_.erase(pending_records_.begin(),
                          pending_records_.begin() +
                              static_cast<std::ptrdiff_t>(cut));
-
-  register_signals(out, subpath_->close_window(window, end));
-  register_signals(out, border_->close_window(window, end));
-  register_signals(out, ixp_->close_window(window, end));
 
   if (params_.revocation_check_interval > 0 &&
       window % params_.revocation_check_interval ==

@@ -25,6 +25,7 @@
 
 #include "runtime/thread_pool.h"
 
+#include "bgp/epoch_table.h"
 #include "bgp/record.h"
 #include "bgp/table_view.h"
 #include "signals/aspath_monitor.h"
@@ -65,6 +66,14 @@ struct EngineParams {
   // StalenessEngine). Purely a throughput knob: the facade's signal stream
   // is identical for any (shards, threads) combination.
   int shards = 1;
+  // Overlap the table-absorb step with the monitor closes: the just-closed
+  // window's records are applied to the epoch table's shadow buffer by a
+  // pool task while the monitors still read the published start-of-window
+  // epoch, and the flip happens after both are joined. Off recovers the
+  // exact serial schedule (absorb inline between the BGP and trace monitor
+  // closes). The signal stream and semantic telemetry are bit-identical
+  // either way — see DESIGN.md §10 "Epoch pipeline".
+  bool pipeline_absorb = true;
   // Telemetry sink; null (the default) disables all instrumentation — every
   // update site degrades to one branch on a null pointer. Must outlive the
   // engine.
@@ -111,6 +120,16 @@ struct EngineSharedState {
 std::vector<DispatchedRecord> dispatch_against_table(
     const std::vector<bgp::BgpRecord>& records, std::size_t count,
     const bgp::VpTableView& table);
+
+// Moves every record belonging to a window <= `window` to the front of
+// `pending` (stably), sorts that prefix by time, and returns its length.
+// Records for future windows keep their arrival order behind the cut and
+// are *not* re-sorted — closing W must cost O(|window W| log |window W|),
+// not O(|backlog| log |backlog|) as the old whole-buffer sort did. The
+// (time, arrival-order) tie-break is identical to sorting the whole buffer,
+// so the dispatched record order (and thus the signal stream) is unchanged.
+std::size_t cut_window_prefix(std::vector<bgp::BgpRecord>& pending,
+                              const WindowClock& clock, std::int64_t window);
 
 class StalenessEngine {
  public:
@@ -178,7 +197,7 @@ class StalenessEngine {
   const CommunityReputation& community_reputation() const {
     return *reputation_;
   }
-  const bgp::VpTableView& table_view() const { return *context_->table; }
+  const bgp::VpTableView& table_view() const { return context_->table->read(); }
   const PotentialIndex& potentials() const { return *index_; }
   std::int64_t current_window() const { return next_window_; }
   const WindowClock& clock() const { return clock_; }
@@ -209,7 +228,9 @@ class StalenessEngine {
           rels(std::move(rels_in)) {}
 
     std::vector<bgp::VantagePoint> vps;
-    bgp::VpTableView table;
+    // Double-buffered: monitors read the published epoch through `context`;
+    // close_one_window absorbs into the shadow and flips at the boundary.
+    bgp::EpochTableView table;
     BgpContext context;
     PotentialIndex index;
     Calibration calibration;

@@ -170,29 +170,32 @@ void ShardedStalenessEngine::close_one_window(
   // and trace monitors then consult a frozen tracker, which keeps the
   // close TSAN-clean and the gating independent of the partition.
   if (health_ != nullptr) health_->close_window(window);
-  auto in_window = [&](const bgp::BgpRecord& r) {
-    return clock_.index_of(r.time) <= window;
-  };
-  std::stable_sort(pending_records_.begin(), pending_records_.end(),
-                   [](const bgp::BgpRecord& a, const bgp::BgpRecord& b) {
-                     return a.time < b.time;
-                   });
-  std::size_t cut = 0;
-  while (cut < pending_records_.size() && in_window(pending_records_[cut])) {
-    ++cut;
-  }
-  // Normalize the window's records once against the start-of-window table;
-  // every shard dispatches the same read-only views.
+  std::size_t cut = cut_window_prefix(pending_records_, clock_, window);
+  // Normalize the window's records once against the published start-of-
+  // window epoch; every shard dispatches the same read-only views.
   std::vector<DispatchedRecord> dispatched;
   {
     obs::ScopedSpan dispatch_span(obs_.dispatch_us);
-    dispatched = dispatch_against_table(pending_records_, cut, table_);
+    dispatched = dispatch_against_table(pending_records_, cut, table_.read());
   }
+
+  // The absorb writer fills the epoch table's shadow while every reader
+  // (shards in phase A, revocation sweeps) keeps seeing the published
+  // epoch. Pipelined, it overlaps phases A and B on the pool; serial, it
+  // runs inline between them — the exact pre-epoch schedule. The flip is
+  // deferred until writer and readers are joined, so both schedules yield
+  // the same signal stream.
+  runtime::TaskGroup absorb_group(pool_.get());
+  auto absorb_batch = [this, cut] {
+    obs::ScopedSpan absorb_span(obs_.absorb_us);
+    table_.absorb(pending_records_, cut);
+  };
+  if (params_.pipeline_absorb) absorb_group.spawn(absorb_batch);
 
   // Phase A — shards in parallel: dispatch the window's records to the
   // shard's BGP monitors and close them into raw per-shard buffers. The
-  // shared table is read-only here (the snapshot), and each shard touches
-  // only its own entries.
+  // published epoch is immutable here, and each shard touches only its
+  // own entries.
   std::vector<std::vector<StalenessSignal>> raw(shards_.size());
   runtime::parallel_for(
       pool_.get(), shards_.size(),
@@ -204,15 +207,11 @@ void ShardedStalenessEngine::close_one_window(
       },
       /*grain=*/1);
 
-  // Absorb the window's records into the single shared table.
-  {
-    obs::ScopedSpan absorb_span(obs_.absorb_us);
-    table_.apply_all(pending_records_, cut);
+  if (!params_.pipeline_absorb) {
+    absorb_batch();
+    table_.flip();
+    obs::inc(obs_.epoch_flips);
   }
-  obs::inc(obs_.bgp_records_absorbed, static_cast<std::int64_t>(cut));
-  pending_records_.erase(pending_records_.begin(),
-                         pending_records_.begin() +
-                             static_cast<std::ptrdiff_t>(cut));
 
   // Phase B — the three global trace monitors close concurrently (each
   // fans its own per-series work out on the same pool).
@@ -226,6 +225,19 @@ void ShardedStalenessEngine::close_one_window(
     group.spawn([&] { ixp_raw = ixp_.close_window(window, end); });
     group.wait();
   }
+
+  if (params_.pipeline_absorb) {
+    {
+      obs::ScopedSpan wait_span(obs_.absorb_wait_us);
+      absorb_group.wait();
+    }
+    table_.flip();
+    obs::inc(obs_.epoch_flips);
+  }
+  obs::inc(obs_.bgp_records_absorbed, static_cast<std::int64_t>(cut));
+  pending_records_.erase(pending_records_.begin(),
+                         pending_records_.begin() +
+                             static_cast<std::ptrdiff_t>(cut));
 
   // Merge in canonical order, then register serially: registration owns
   // the global cooldown map and the shards' freshness state.

@@ -10,10 +10,15 @@
 // DESIGN.md states for threads (see "Sharded engine").
 //
 // Exactly one copy of the BGP table state exists regardless of shard count:
-// the facade absorbs each window's records once, and shards dispatch
-// against the immutable start-of-window snapshot (a read-only VpTableView
-// borrowed through the shared BgpContext) — the first concrete step toward
-// the ROADMAP's epoch/RCU table view.
+// the facade owns a bgp::EpochTableView whose *published* epoch is the
+// immutable start-of-window snapshot every shard and monitor reads (through
+// the shared BgpContext). The window's records are absorbed once — into the
+// *shadow* buffer, by a pool task that overlaps phases A and B when
+// EngineParams::pipeline_absorb is on — and the epoch flips with one atomic
+// pointer swap in the serial section before the canonical merge. Readers
+// therefore never lock and never observe a half-applied batch; see
+// bgp/epoch_table.h for the buffer protocol and DESIGN.md §10 for the
+// schedule.
 //
 // Cross-pair state that the single-engine design shares *between* pairs —
 // the potential-id space, calibration and community-reputation tallies, the
@@ -84,7 +89,7 @@ class ShardedStalenessEngine {
   const CommunityReputation& community_reputation() const {
     return reputation_;
   }
-  const bgp::VpTableView& table_view() const { return table_; }
+  const bgp::VpTableView& table_view() const { return table_.read(); }
   const PotentialIndex& potentials() const { return index_; }
   std::int64_t current_window() const { return next_window_; }
   const WindowClock& clock() const { return clock_; }
@@ -117,7 +122,9 @@ class ShardedStalenessEngine {
 
   // The single copies of all cross-pair state (see file comment).
   std::vector<bgp::VantagePoint> vps_;
-  bgp::VpTableView table_;
+  // Epoch-flipped table: shards/monitors read the published buffer during
+  // the parallel phases while the absorb writer fills the shadow.
+  bgp::EpochTableView table_;
   BgpContext context_;
   std::vector<bgp::BgpRecord> pending_records_;
   PotentialIndex index_;

@@ -78,7 +78,9 @@ class BgpMonitorFixture : public ::testing::Test {
     return dispatched;
   }
 
-  bgp::VpTableView table_;
+  // The monitors read through BgpContext's epoch table; apply() keeps both
+  // buffers in sync so installs are immediately visible without a flip.
+  bgp::EpochTableView table_;
   std::vector<bgp::VantagePoint> vps_;
   BgpContext context_;
   CorpusView view_;

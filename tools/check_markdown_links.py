@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Check that relative links in markdown files point at real files.
+
+Usage: check_markdown_links.py FILE_OR_DIR [FILE_OR_DIR ...]
+
+Directories are scanned recursively for *.md. For every inline markdown
+link [text](target):
+
+  - http(s)/mailto links are skipped (no network access in CI),
+  - pure-anchor links (#section) are checked against the headings of the
+    same file,
+  - relative paths are resolved against the file's directory and must
+    exist; a trailing #anchor is checked against the target's headings
+    when the target is itself markdown.
+
+Exits non-zero listing every broken link.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug: lowercase, spaces to dashes, drop punctuation."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    text = path.read_text(encoding="utf-8")
+    return {slugify(h) for h in HEADING_RE.findall(text)}
+
+
+def check_file(path: Path) -> list:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    # Links inside fenced code blocks are examples, not navigation.
+    text = CODE_FENCE_RE.sub("", text)
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, anchor = target.partition("#")
+        resolved = path if not base else (path.parent / base).resolve()
+        if base and not resolved.exists():
+            errors.append(f"{path}: broken link -> {target}")
+            continue
+        if anchor and resolved.suffix == ".md" and resolved.exists():
+            if slugify(anchor) not in anchors_of(resolved):
+                errors.append(f"{path}: missing anchor -> {target}")
+    return errors
+
+
+def main(argv: list) -> int:
+    files = []
+    for arg in argv:
+        p = Path(arg)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.md")))
+        elif p.exists():
+            files.append(p)
+        else:
+            print(f"warning: {arg} does not exist, skipping", file=sys.stderr)
+    errors = []
+    for f in files:
+        errors.extend(check_file(f))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {len(files)} file(s), {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
