@@ -80,15 +80,17 @@ inline std::string stats_json_path(const Flags& flags) {
 // One run's collected telemetry, ready for the shared JSON writer.
 struct RunStats {
   std::string label;
-  std::string stats;    // cumulative snapshot (JSON metric array)
-  std::string windows;  // sparse per-window series (JSON array)
+  std::string stats;     // cumulative snapshot (JSON metric array)
+  std::string semantic;  // semantic-domain-only snapshot (JSON metric array)
+  std::string windows;   // sparse per-window series (JSON array)
 };
 
 // Snapshot a world's telemetry under `label`; empty JSON when telemetry is
 // off (the writer still emits the run, keeping run indices aligned).
 inline RunStats capture_stats(const std::string& label,
                               const eval::World& world) {
-  return RunStats{label, world.stats_json(), world.stats_series_json()};
+  return RunStats{label, world.stats_json(), world.semantic_stats_json(),
+                  world.stats_series_json()};
 }
 
 // The one stats file writer every harness shares: a versioned envelope of
@@ -108,6 +110,8 @@ inline void write_stats_json(const std::string& path,
     if (i > 0) out << ",";
     out << "{\"label\":\"" << obs::json_escape(runs[i].label)
         << "\",\"stats\":" << (runs[i].stats.empty() ? "[]" : runs[i].stats)
+        << ",\"semantic\":"
+        << (runs[i].semantic.empty() ? "[]" : runs[i].semantic)
         << ",\"windows\":"
         << (runs[i].windows.empty() ? "[]" : runs[i].windows) << "}";
   }
@@ -161,6 +165,21 @@ inline void apply_fault_flags(const Flags& flags, eval::WorldParams& params) {
   if (flags.get_bool("feed-health")) params.feed_health.enabled = true;
 }
 
+// Checkpoint/resume knobs shared by every harness (DESIGN.md §11):
+// `--checkpoint-dir <dir>` turns on periodic snapshots plus the
+// exogenous-op WAL, `--checkpoint-every N` sets the snapshot cadence in
+// windows, `--resume <dir>` fast-forwards the world from that directory
+// before the run starts, and `--resume-window K` picks the boundary to
+// resume at (default: the furthest state the directory reconstructs).
+inline void apply_checkpoint_flags(const Flags& flags,
+                                   eval::WorldParams& params) {
+  params.checkpoint_dir = flags.get_str("checkpoint-dir", "");
+  params.checkpoint_every =
+      static_cast<int>(flags.get_int("checkpoint-every", 1));
+  params.resume_from = flags.get_str("resume", "");
+  params.resume_window = flags.get_int("resume-window", -1);
+}
+
 // The standard retrospective-evaluation world (§5.1), scaled down from the
 // paper's 223k pairs to laptop size; flags override.
 inline eval::WorldParams retrospective_params(const Flags& flags) {
@@ -182,6 +201,7 @@ inline eval::WorldParams retrospective_params(const Flags& flags) {
   params.pipeline_absorb = flags.get_int("pipeline", 1) != 0;
   params.telemetry = stats_enabled(flags);
   apply_fault_flags(flags, params);
+  apply_checkpoint_flags(flags, params);
   return params;
 }
 

@@ -14,7 +14,16 @@
 // pool; each task renders its own report and the outputs print in seed
 // order whatever the parallelism.
 //
+// Warm-start arm (DESIGN.md §11): `--checkpoint-dir D` snapshots each
+// replicate into D/<label>; a later `--resume D` run fast-forwards from
+// those snapshots instead of replaying the engine from t=0. The semantic
+// stats of cold and warm runs are byte-identical (the resume-determinism
+// contract); the printed day table covers only post-resume days, since the
+// bench-level archive bookkeeping is not part of the checkpoint.
+//
 // Flags: --days N --pairs N --seed N --seeds N --threads N
+//        --checkpoint-dir D --checkpoint-every N --resume D
+//        --resume-window K
 #include <set>
 #include <sstream>
 
@@ -51,9 +60,21 @@ int main(int argc, char** argv) {
       [&](std::size_t k) {
         eval::WorldParams params = base;
         params.seed = bench::replicate_seed(base.seed, k);
+        // Replicates are independent worlds, so each gets its own
+        // checkpoint directory under the flag's base path.
+        if (!params.checkpoint_dir.empty()) {
+          params.checkpoint_dir += "/" + labels[k];
+        }
+        if (!params.resume_from.empty()) {
+          params.resume_from += "/" + labels[k];
+        }
         std::ostringstream out;
 
         eval::World world(params);
+        if (!params.resume_from.empty()) {
+          out << "warm start: resumed at window " << world.completed_windows()
+              << "; day rows below cover the remainder of the run\n";
+        }
         world.run_until(world.corpus_t0());
         std::size_t pairs = world.initialize_corpus();
         out << "archive sources: " << pairs << " pairs, accumulating one "

@@ -34,4 +34,23 @@ void EpochTableView::flip() {
   epoch_.fetch_add(1, std::memory_order_acq_rel);
 }
 
+void EpochTableView::save_state(store::Encoder& enc) const {
+  enc.u64(epoch_.load(std::memory_order_acquire));
+  published_.load(std::memory_order_acquire)->save_state(enc);
+}
+
+void EpochTableView::load_state(store::Decoder& dec) {
+  epoch_.store(dec.u64(), std::memory_order_release);
+  VpTableView* published = published_.load(std::memory_order_relaxed);
+  published->load_state(dec);
+  // Copy the published contents into the shadow by re-serializing: the
+  // buffers must start content-equal so the next absorb() (whose carryover
+  // is empty after a restore) advances both identically.
+  store::Encoder copy;
+  published->save_state(copy);
+  store::Decoder again(copy.buffer());
+  shadow_->load_state(again);
+  carryover_.clear();
+}
+
 }  // namespace rrr::bgp

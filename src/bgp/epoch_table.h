@@ -86,6 +86,17 @@ class EpochTableView {
   // mid-lookup in a parallel phase.
   void flip();
 
+  // Checkpoint support (serial-section only). save_state captures the
+  // published epoch's contents plus the epoch counter; the shadow and the
+  // carryover batch are *not* stored — the restored view loads the
+  // published contents into both buffers with an empty carryover, which is
+  // behaviourally identical: a fresh run's next absorb() replays the
+  // carryover into a shadow that is exactly that batch behind, so both
+  // paths hand the next flip the same table (asserted mid-carryover by
+  // tests/epoch_table_test.cpp).
+  void save_state(store::Encoder& enc) const;
+  void load_state(store::Decoder& dec);
+
  private:
   VpTableView buffers_[2];
   std::atomic<VpTableView*> published_;

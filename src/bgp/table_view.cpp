@@ -74,4 +74,40 @@ std::size_t VpTableView::route_count(VpId vp) const {
   return it == tables_.end() ? 0 : it->second.size();
 }
 
+void VpTableView::save_state(store::Encoder& enc) const {
+  enc.u64(tables_.size());
+  for (const auto& [vp, table] : tables_) {
+    enc.u32(vp);
+    enc.u64(table.size());
+    table.for_each([&](const Prefix& prefix, const VpRoute& route) {
+      store::put(enc, prefix);
+      store::put(enc, route.path);
+      store::put(enc, route.communities);
+      store::put(enc, route.updated);
+    });
+  }
+}
+
+void VpTableView::load_state(store::Decoder& dec) {
+  tables_.clear();
+  std::uint64_t vp_count = dec.u64();
+  for (std::uint64_t i = 0; i < vp_count; ++i) {
+    VpId vp = dec.u32();
+    std::uint64_t routes = dec.u64();
+    for (std::uint64_t j = 0; j < routes; ++j) {
+      Prefix prefix = store::get_prefix(dec);
+      VpRoute route;
+      route.path = store::get_as_path(dec);
+      route.communities = store::get_community_set(dec);
+      route.updated = store::get_time(dec);
+      restore_route(vp, prefix, std::move(route));
+    }
+  }
+}
+
+void VpTableView::restore_route(VpId vp, const Prefix& prefix,
+                                VpRoute route) {
+  tables_[vp].insert(prefix, std::move(route));
+}
+
 }  // namespace rrr::bgp

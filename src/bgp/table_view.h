@@ -13,6 +13,7 @@
 
 #include "bgp/record.h"
 #include "netbase/radix_trie.h"
+#include "store/codec.h"
 
 namespace rrr::bgp {
 
@@ -72,6 +73,14 @@ class VpTableView {
   std::vector<VpId> vps() const;
 
   std::size_t route_count(VpId vp) const;
+
+  // Checkpoint support. save_state enumerates every (vp, prefix, route) in
+  // a deterministic order (VP ascending, prefixes in trie order);
+  // restore_route reinstalls one saved route verbatim (no preprocessing —
+  // stored routes were already stripped/collapsed when first applied).
+  void save_state(store::Encoder& enc) const;
+  void load_state(store::Decoder& dec);
+  void restore_route(VpId vp, const Prefix& prefix, VpRoute route);
 
  private:
   std::set<Asn> ixp_asns_;

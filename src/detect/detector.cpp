@@ -181,6 +181,17 @@ Judgement BitmapDetector::update(double value) {
   return judgement;
 }
 
+void save_deque(store::Encoder& enc, const std::deque<double>& values) {
+  enc.u64(values.size());
+  for (double v : values) enc.f64(v);
+}
+
+void load_deque(store::Decoder& dec, std::deque<double>& values) {
+  values.clear();
+  std::uint64_t n = dec.u64();
+  for (std::uint64_t i = 0; i < n; ++i) values.push_back(dec.f64());
+}
+
 std::unique_ptr<Detector> make_detector(DetectorKind kind) {
   if (kind == DetectorKind::kBitmap) {
     return std::make_unique<BitmapDetector>();

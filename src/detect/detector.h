@@ -15,6 +15,8 @@
 #include <deque>
 #include <memory>
 
+#include "store/serial.h"
+
 namespace rrr::detect {
 
 struct Judgement {
@@ -38,7 +40,17 @@ class Detector {
   virtual void reset() = 0;
 
   virtual std::size_t history_size() const = 0;
+
+  // Checkpoint support: dynamic state only (configuration is supplied by
+  // the owner at construction, exactly as in a fresh run). A loaded
+  // detector judges subsequent observations bit-identically.
+  virtual void save_state(store::Encoder& enc) const = 0;
+  virtual void load_state(store::Decoder& dec) = 0;
 };
+
+// Shared helpers for the detectors' double-deque state.
+void save_deque(store::Encoder& enc, const std::deque<double>& values);
+void load_deque(store::Decoder& dec, std::deque<double>& values);
 
 // Modified z-score: M = 0.6745 (x - median) / MAD, outlier when |M| exceeds
 // the threshold (3.5 by convention). When the MAD degenerates to zero the
@@ -67,6 +79,12 @@ class ModifiedZScoreDetector final : public Detector {
   }
   void reset() override { history_.clear(); }
   std::size_t history_size() const override { return history_.size(); }
+  void save_state(store::Encoder& enc) const override {
+    save_deque(enc, history_);
+  }
+  void load_state(store::Decoder& dec) override {
+    load_deque(dec, history_);
+  }
 
  private:
   ZScoreParams params_;
@@ -102,6 +120,14 @@ class BitmapDetector final : public Detector {
     scores_.clear();
   }
   std::size_t history_size() const override { return values_.size(); }
+  void save_state(store::Encoder& enc) const override {
+    save_deque(enc, values_);
+    save_deque(enc, scores_);
+  }
+  void load_state(store::Decoder& dec) override {
+    load_deque(dec, values_);
+    load_deque(dec, scores_);
+  }
 
  private:
   int discretize(double value) const;

@@ -51,6 +51,21 @@ class LazySeries {
   std::int64_t last_window() const { return last_window_; }
   std::size_t history_size() const { return detector_->history_size(); }
 
+  // Checkpoint support: dynamic state only. The owner reconstructs the
+  // series with its usual detector/gap configuration, then loads.
+  void save_state(store::Encoder& enc) const {
+    detector_->save_state(enc);
+    enc.i64(last_window_);
+    enc.f64(last_value_);
+    enc.boolean(has_last_);
+  }
+  void load_state(store::Decoder& dec) {
+    detector_->load_state(dec);
+    last_window_ = dec.i64();
+    last_value_ = dec.f64();
+    has_last_ = dec.boolean();
+  }
+
  private:
   std::unique_ptr<Detector> detector_;
   GapPolicy gap_;
@@ -94,6 +109,39 @@ class AdaptiveRatioSeries {
   bool has_ratio() const { return has_ratio_; }
 
   static constexpr std::int64_t kMinConsecutive = 20;
+
+  // Checkpoint support: dynamic state only (max_multiplier_ is
+  // configuration, re-supplied at construction).
+  void save_state(store::Encoder& enc) const {
+    detector_->save_state(enc);
+    enc.i64(multiplier_);
+    enc.i64(consecutive_);
+    enc.i64(misses_at_level_);
+    enc.boolean(armed_);
+    enc.boolean(dormant_);
+    enc.i64(pending_num_);
+    enc.i64(pending_den_);
+    enc.i64(current_agg_);
+    enc.i64(next_agg_);
+    enc.boolean(next_agg_init_);
+    enc.f64(last_ratio_);
+    enc.boolean(has_ratio_);
+  }
+  void load_state(store::Decoder& dec) {
+    detector_->load_state(dec);
+    multiplier_ = dec.i64();
+    consecutive_ = dec.i64();
+    misses_at_level_ = dec.i64();
+    armed_ = dec.boolean();
+    dormant_ = dec.boolean();
+    pending_num_ = dec.i64();
+    pending_den_ = dec.i64();
+    current_agg_ = dec.i64();
+    next_agg_ = dec.i64();
+    next_agg_init_ = dec.boolean();
+    last_ratio_ = dec.f64();
+    has_ratio_ = dec.boolean();
+  }
 
  private:
   void escalate();

@@ -2,8 +2,74 @@
 
 #include <algorithm>
 #include <cassert>
+#include <filesystem>
+#include <optional>
+
+#include "signals/serial.h"
+#include "store/codec.h"
+#include "store/framing.h"
 
 namespace rrr::eval {
+namespace {
+
+// Snapshot section codec for the semantic metric values (counters and
+// gauges only — no semantic metric is a histogram). Field order is fixed;
+// see store/serial.h.
+std::string encode_semantic_metrics(const obs::MetricsRegistry& registry) {
+  obs::Snapshot snap = registry.snapshot(obs::Domain::kSemantic);
+  store::Encoder enc;
+  std::uint64_t count = 0;
+  for (const obs::MetricSnapshot& m : snap) {
+    if (m.kind != obs::Kind::kHistogram) ++count;
+  }
+  enc.u64(count);
+  for (const obs::MetricSnapshot& m : snap) {
+    if (m.kind == obs::Kind::kHistogram) continue;
+    enc.str(m.name);
+    enc.u8(static_cast<std::uint8_t>(m.kind));
+    enc.u8(static_cast<std::uint8_t>(m.domain));
+    enc.str(m.help);
+    enc.u64(m.labels.size());
+    for (const auto& [key, value] : m.labels) {
+      enc.str(key);
+      enc.str(value);
+    }
+    enc.i64(m.value);
+  }
+  return enc.take();
+}
+
+obs::Snapshot decode_semantic_metrics(std::string_view payload) {
+  store::Decoder dec(payload);
+  obs::Snapshot snap;
+  std::uint64_t n = dec.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    obs::MetricSnapshot m;
+    m.name = std::string(dec.str());
+    std::uint8_t kind = dec.u8();
+    std::uint8_t domain = dec.u8();
+    if (kind > static_cast<std::uint8_t>(obs::Kind::kHistogram) ||
+        domain > static_cast<std::uint8_t>(obs::Domain::kRuntime)) {
+      throw store::StoreError(store::StoreError::Kind::kCorrupt,
+                              "metrics section holds an impossible tag");
+    }
+    m.kind = static_cast<obs::Kind>(kind);
+    m.domain = static_cast<obs::Domain>(domain);
+    m.help = std::string(dec.str());
+    std::uint64_t labels = dec.u64();
+    for (std::uint64_t j = 0; j < labels; ++j) {
+      std::string key(dec.str());
+      std::string value(dec.str());
+      m.labels.emplace_back(std::move(key), std::move(value));
+    }
+    m.value = dec.i64();
+    snap.push_back(std::move(m));
+  }
+  dec.expect_done();
+  return snap;
+}
+
+}  // namespace
 
 World::World(const WorldParams& params)
     : params_(params),
@@ -145,20 +211,51 @@ World::World(const WorldParams& params)
   for (bgp::BgpRecord& record : feed_->initial_rib(start())) {
     feed_bgp(record);
   }
+
+  params_.checkpoint_every = std::max(params_.checkpoint_every, 1);
+  if (metrics_ &&
+      (!params_.checkpoint_dir.empty() || !params_.resume_from.empty())) {
+    constexpr auto kRt = obs::Domain::kRuntime;
+    obs_snapshots_written_ =
+        &metrics_->counter("rrr_checkpoint_snapshots_written_total", {}, kRt,
+                           "full snapshots written to the checkpoint dir");
+    obs_wal_ops_ = &metrics_->counter("rrr_checkpoint_wal_ops_total", {}, kRt,
+                                      "exogenous ops appended to the WAL");
+    obs_snapshot_bytes_ =
+        &metrics_->gauge("rrr_checkpoint_snapshot_bytes", {}, kRt,
+                         "section payload bytes of the last snapshot");
+    obs_checkpoint_write_us_ = &metrics_->histogram(
+        "rrr_checkpoint_write_us", obs::duration_buckets_us(), {}, kRt,
+        "snapshot assembly + atomic write wall time");
+    obs_resumed_window_ =
+        &metrics_->gauge("rrr_checkpoint_resumed_window", {}, kRt,
+                         "window boundary this world resumed at");
+  }
+  if (!params_.resume_from.empty()) resume_from_checkpoint();
+  if (!params_.checkpoint_dir.empty()) {
+    store::ensure_dir(params_.checkpoint_dir);
+    checkpoint_enabled_ = true;
+  }
 }
 
 void World::feed_bgp(const bgp::BgpRecord& record) {
+  // The injector runs even while the engine is suppressed (resume
+  // fast-forward): its RNG draws and dedup/replay buffers are world-side
+  // state that must advance exactly as in the original run.
   if (fault_ == nullptr) {
-    engine_->on_bgp_record(record);
+    if (!suppress_engine_) engine_->on_bgp_record(record);
     return;
   }
   for (const bgp::BgpRecord& out : fault_->on_bgp_record(record)) {
-    engine_->on_bgp_record(out);
+    if (!suppress_engine_) engine_->on_bgp_record(out);
   }
 }
 
 std::size_t World::initialize_corpus() {
+  if (corpus_initialized_) return ground_truth_->pairs().size();
   assert(now_ == corpus_t0());
+  corpus_initialized_ = true;
+  log_op("init", {});
   std::vector<std::pair<tr::ProbeId, Ipv4>> pairs;
   for (tr::ProbeId probe : corpus_probes_) {
     for (Ipv4 dst : corpus_dests_) {
@@ -174,7 +271,7 @@ std::size_t World::initialize_corpus() {
     const tr::Probe& probe = platform_->probe(probe_id);
     tr::Traceroute trace = platform_->issue(probe_id, dst, now_, 0);
     if (!trace.reached && trace.hops.empty()) continue;  // unroutable
-    engine_->watch(probe, trace);
+    if (!suppress_engine_) engine_->watch(probe, trace);
     ground_truth_->track(probe, dst);
     ++created;
   }
@@ -191,8 +288,25 @@ void World::recalibrate_all(TimePoint t) {
   for (const tr::PairKey& pair : ground_truth_->pairs()) {
     const tr::Probe& probe = platform_->probe(pair.probe);
     tr::Traceroute fresh = platform_->issue(pair.probe, pair.dst, t, 0);
-    engine_->apply_refresh(probe, fresh);
+    if (!suppress_engine_) engine_->apply_refresh(probe, fresh);
   }
+}
+
+std::vector<tr::PairKey> World::plan_refreshes(int budget) {
+  store::Encoder enc;
+  enc.i64(budget);
+  log_op("plan", enc.take());
+  return engine_->plan_refreshes(budget);
+}
+
+signals::RefreshOutcome World::refresh_pair(const tr::PairKey& pair,
+                                            TimePoint t) {
+  store::Encoder enc;
+  signals::put_pair(enc, pair);
+  store::put(enc, t);
+  log_op("refresh", enc.take());
+  tr::Traceroute fresh = issue_corpus_traceroute(pair, t);
+  return engine_->apply_refresh(platform_->probe(pair.probe), fresh);
 }
 
 void World::process_event(const routing::Event& event) {
@@ -216,8 +330,8 @@ void World::issue_public_trace(TimePoint t) {
       // The measurement was issued; whether the result reaches the engine
       // is the injector's call (probe blackout / result loss).
       std::optional<tr::Traceroute> kept = fault_->on_public_trace(trace);
-      if (kept) engine_->on_public_trace(*kept);
-    } else {
+      if (kept && !suppress_engine_) engine_->on_public_trace(*kept);
+    } else if (!suppress_engine_) {
       engine_->on_public_trace(trace);
     }
     return;
@@ -256,10 +370,16 @@ void World::run_until(TimePoint t, const Hooks& hooks) {
       }
     }
 
-    std::vector<signals::StalenessSignal> sigs =
-        engine_->advance_to(window_end);
+    // The window is now closed: advance the clock before the hooks so WAL
+    // ops logged from inside them carry clock == completed_windows().
+    now_ = window_end;
+
+    std::vector<signals::StalenessSignal> sigs;
+    if (!suppress_engine_) sigs = engine_->advance_to(window_end);
     if (hooks.on_signals) {
+      replay_point_ = ReplayPoint::kHook;
       hooks.on_signals(window, window_end, std::move(sigs));
+      replay_point_ = ReplayPoint::kBoundary;
     }
 
     if (params_.recalibration_interval_windows > 0 &&
@@ -271,20 +391,226 @@ void World::run_until(TimePoint t, const Hooks& hooks) {
     if (day_boundary) {
       platform_->advance_churn(window_end);
       if (hooks.on_day) {
+        replay_point_ = ReplayPoint::kDay;
         hooks.on_day(
             static_cast<int>(window_end.seconds() / kSecondsPerDay) - 1,
             window_end);
+        replay_point_ = ReplayPoint::kBoundary;
       }
     }
-    if (series_) series_->sample(window, *metrics_);
-    now_ = window_end;
+    if (series_ && !replaying_) series_->sample(window, *metrics_);
+    if (checkpoint_enabled_ && !replaying_ &&
+        (window + 1) % params_.checkpoint_every == 0) {
+      write_checkpoint();
+    }
   }
 }
 
 void World::run_all(const Hooks& hooks) {
   run_until(corpus_t0(), hooks);
-  initialize_corpus();
+  initialize_corpus();  // no-op when resumed past corpus init
   run_until(end(), hooks);
+}
+
+std::uint64_t World::params_fingerprint() const {
+  // A coarse digest of the parameters that shape the simulated timeline.
+  // It catches the common foot-guns (different seed, days, corpus or feed
+  // shape, fault plan) — it is a guard, not a proof of identity. Pure
+  // throughput knobs (threads, pipeline_absorb) are deliberately excluded;
+  // the engine's loader verifies the shard count itself.
+  store::Encoder enc;
+  enc.u64(params_.seed);
+  enc.i64(params_.days);
+  enc.i64(params_.warmup_days);
+  enc.i64(params_.corpus_pair_target);
+  enc.i64(params_.corpus_dest_count);
+  enc.i64(params_.public_dest_count);
+  enc.i64(params_.public_traces_per_window);
+  enc.i64(params_.recalibration_interval_windows);
+  enc.f64(params_.peeringdb_completeness);
+  enc.i64(params_.topology.num_tier1);
+  enc.i64(params_.topology.num_transit);
+  enc.i64(params_.topology.num_stub);
+  enc.i64(params_.topology.num_ixps);
+  enc.i64(params_.platform.num_probes);
+  enc.i64(params_.platform.num_anchors);
+  enc.f64(params_.platform.probe_death_per_day);
+  enc.boolean(params_.feed_health.enabled);
+  enc.str(params_.fault_plan.spec());
+  return store::fnv1a64(enc.buffer());
+}
+
+void World::log_op(const char* type, std::string payload) {
+  if (!checkpoint_enabled_ || replaying_) return;
+  store::WalOp op;
+  op.clock = completed_windows();
+  op.point = static_cast<std::uint8_t>(replay_point_);
+  op.type = type;
+  op.payload = std::move(payload);
+  store::wal_append(params_.checkpoint_dir, op);
+  obs::inc(obs_wal_ops_);
+}
+
+void World::apply_wal_op(const store::WalOp& op) {
+  store::Decoder dec(op.payload);
+  if (op.type == "init") {
+    dec.expect_done();
+    initialize_corpus();
+  } else if (op.type == "plan") {
+    std::int64_t budget = dec.i64();
+    dec.expect_done();
+    // Consumes only the engine's own RNG stream, which the snapshot
+    // restores — nothing to do while the engine is suppressed.
+    if (!suppress_engine_) {
+      engine_->plan_refreshes(static_cast<int>(budget));
+    }
+  } else if (op.type == "refresh") {
+    tr::PairKey pair = signals::get_pair(dec);
+    TimePoint t = store::get_time(dec);
+    dec.expect_done();
+    tr::Traceroute fresh = issue_corpus_traceroute(pair, t);
+    if (!suppress_engine_) {
+      engine_->apply_refresh(platform_->probe(pair.probe), fresh);
+    }
+  } else {
+    throw store::StoreError(store::StoreError::Kind::kCorrupt,
+                            "wal.log contains unknown op '" + op.type + "'");
+  }
+}
+
+void World::write_checkpoint() {
+  obs::ScopedSpan span(obs_checkpoint_write_us_);
+  store::SnapshotWriter writer(completed_windows(), params_fingerprint());
+  std::size_t bytes = 0;
+  store::Encoder engine_enc;
+  engine_->save_state(engine_enc);
+  bytes += engine_enc.buffer().size();
+  writer.add_section("engine", engine_enc.take());
+  store::Encoder patch_enc;
+  processing_->patcher().save_state(patch_enc);
+  bytes += patch_enc.buffer().size();
+  writer.add_section("patcher", patch_enc.take());
+  if (metrics_) {
+    std::string metrics = encode_semantic_metrics(*metrics_);
+    bytes += metrics.size();
+    writer.add_section("metrics", std::move(metrics));
+  }
+  writer.write(params_.checkpoint_dir);
+  obs::inc(obs_snapshots_written_);
+  obs::set(obs_snapshot_bytes_, static_cast<std::int64_t>(bytes));
+}
+
+void World::load_checkpoint(const store::SnapshotReader& reader) {
+  {
+    store::Decoder dec(reader.section("engine"));
+    engine_->load_state(dec);
+    dec.expect_done();
+  }
+  {
+    store::Decoder dec(reader.section("patcher"));
+    processing_->patcher().load_state(dec);
+    dec.expect_done();
+  }
+  if (metrics_ && reader.has_section("metrics")) {
+    metrics_->restore(decode_semantic_metrics(reader.section("metrics")));
+  }
+}
+
+void World::resume_from_checkpoint() {
+  namespace fs = std::filesystem;
+  const std::string& dir = params_.resume_from;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    throw store::StoreError(store::StoreError::Kind::kIo,
+                            "resume directory '" + dir + "' does not exist");
+  }
+  obs::Histogram* resume_us =
+      metrics_ ? &metrics_->histogram("rrr_checkpoint_resume_us",
+                                      obs::duration_buckets_us(), {},
+                                      obs::Domain::kRuntime,
+                                      "resume fast-forward wall time")
+               : nullptr;
+  obs::ScopedSpan span(resume_us);
+
+  std::vector<store::WalOp> ops = store::wal_read(dir);
+  std::int64_t max_clock = 0;
+  for (const store::WalOp& op : ops) {
+    max_clock = std::max(max_clock, op.clock);
+  }
+  std::optional<std::int64_t> snap =
+      store::latest_snapshot(dir, params_.resume_window);
+  const std::int64_t k = params_.resume_window >= 0
+                             ? params_.resume_window
+                             : std::max(snap.value_or(0), max_clock);
+  if (k > (end() - start()) / window_seconds()) {
+    throw store::StoreError(store::StoreError::Kind::kCorrupt,
+                            "resume window lies beyond this world's end");
+  }
+
+  // Map and validate the snapshot (framing, checksums, fingerprint) before
+  // spending any time on re-simulation.
+  std::optional<store::SnapshotReader> reader;
+  if (snap) {
+    reader.emplace(dir, *snap);
+    if (reader->fingerprint() != params_fingerprint()) {
+      throw store::StoreError(
+          store::StoreError::Kind::kCorrupt,
+          "snapshot was written under different world parameters");
+    }
+  }
+  const std::int64_t r0 = snap.value_or(-1);
+
+  // Phase 1, start..r0: the world side (events, platform, injector, ground
+  // truth) re-simulates live to regenerate its RNG streams; every engine
+  // call is suppressed because the snapshot carries the engine wholesale.
+  // Phase 2, r0..k: fully live — the engine replays the WAL tail and
+  // regenerates the already-delivered signals, which are discarded. The
+  // WAL interpreter applies each op at its recorded (clock, point) so
+  // platform draws interleave exactly as in the original run.
+  replaying_ = true;
+  suppress_engine_ = r0 > 0;
+  std::size_t cursor = 0;
+  auto apply_until = [&](std::int64_t clock, ReplayPoint point) {
+    while (cursor < ops.size() && ops[cursor].clock == clock &&
+           ops[cursor].point == static_cast<std::uint8_t>(point)) {
+      apply_wal_op(ops[cursor]);
+      ++cursor;
+    }
+  };
+  Hooks replay;
+  replay.on_signals = [&](std::int64_t window, TimePoint,
+                          std::vector<signals::StalenessSignal>&&) {
+    apply_until(window + 1, ReplayPoint::kHook);
+  };
+  replay.on_day = [&](int, TimePoint day_end) {
+    apply_until((day_end - start()) / window_seconds(), ReplayPoint::kDay);
+  };
+  apply_until(0, ReplayPoint::kBoundary);
+  for (std::int64_t c = 1; c <= k; ++c) {
+    run_until(start() + c * window_seconds(), replay);
+    if (c == r0) {
+      load_checkpoint(*reader);
+      suppress_engine_ = false;
+    }
+    apply_until(c, ReplayPoint::kBoundary);
+  }
+  replaying_ = false;
+  obs::set(obs_resumed_window_, k);
+
+  // When the run keeps checkpointing into the same directory, drop the
+  // tail beyond the resume point: future appends must not interleave with
+  // dead ops, and stale later snapshots must not shadow the rerun's.
+  if (!params_.checkpoint_dir.empty() &&
+      params_.checkpoint_dir == params_.resume_from) {
+    std::vector<store::WalOp> kept;
+    for (store::WalOp& op : ops) {
+      if (op.clock <= k) kept.push_back(std::move(op));
+    }
+    if (kept.size() != ops.size()) store::wal_rewrite(dir, kept);
+    for (std::int64_t c : store::list_snapshots(dir)) {
+      if (c > k) fs::remove(dir + "/" + store::snapshot_name(c), ec);
+    }
+  }
 }
 
 }  // namespace rrr::eval

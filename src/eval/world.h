@@ -15,6 +15,7 @@
 #include "routing/control_plane.h"
 #include "routing/events.h"
 #include "signals/sharded_engine.h"
+#include "store/checkpoint.h"
 #include "topology/builder.h"
 #include "tracemap/pipeline.h"
 #include "traceroute/platform.h"
@@ -77,6 +78,25 @@ struct WorldParams {
   // Feed-health quarantine parameters, forwarded to the engine. Off by
   // default (the tracker is not constructed).
   signals::FeedHealthParams feed_health;
+
+  // --- durable checkpoint/resume (DESIGN.md §11) ---
+  // Directory receiving periodic snapshots plus the exogenous-op WAL;
+  // empty = checkpointing off.
+  std::string checkpoint_dir;
+  // Snapshot cadence in closed windows (clamped to >= 1). Windows between
+  // snapshots are covered by the WAL: resume restores the newest snapshot
+  // at or before the target and replays the tail live.
+  int checkpoint_every = 1;
+  // Checkpoint directory to resume from; empty = cold start. Construction
+  // fast-forwards the world to `resume_window` (or, when -1, the furthest
+  // state the directory can reconstruct) before the first run_until call.
+  // The snapshot must have been written under the same world parameters
+  // (fingerprint-checked); shard count must match too (the engine's own
+  // check). Refresh-cycle ops are only replayable when they went through
+  // World::plan_refreshes / World::refresh_pair rather than the engine
+  // directly.
+  std::string resume_from;
+  std::int64_t resume_window = -1;
 };
 
 class World {
@@ -117,11 +137,23 @@ class World {
   // Issues the t0 traceroutes for the monitored (probe, anchor) pairs and
   // registers them with the engine and ground truth. Call after running the
   // warmup (so the BGP table view is populated). Returns the pair count.
+  // Idempotent: a world resumed past corpus init returns the existing
+  // count without re-issuing anything.
   std::size_t initialize_corpus();
+  bool corpus_initialized() const { return corpus_initialized_; }
 
   // Issues (and tracks) one corpus refresh measurement right now.
   tr::Traceroute issue_corpus_traceroute(const tr::PairKey& pair,
                                          TimePoint t);
+
+  // --- WAL-logged refresh cycle ---
+  // Checkpoint-aware wrappers over the engine's refresh cycle: each call is
+  // appended to the checkpoint WAL (when checkpointing is on) with the
+  // window clock and replay point at which it ran, so a resumed run
+  // re-applies it at exactly the same place in the timeline. Drivers that
+  // want resumability must go through these, not world.engine() directly.
+  std::vector<tr::PairKey> plan_refreshes(int budget);
+  signals::RefreshOutcome refresh_pair(const tr::PairKey& pair, TimePoint t);
 
   // Remeasures every corpus pair and feeds the outcomes to the engine's
   // calibration (the daily_recalibration step).
@@ -148,6 +180,10 @@ class World {
   void run_all(const Hooks& hooks = {});
 
   std::int64_t window_seconds() const { return kBaseWindowSeconds; }
+  // Number of fully closed base windows (the checkpoint clock).
+  std::int64_t completed_windows() const {
+    return (now_ - start()) / window_seconds();
+  }
 
   // --- telemetry (null/empty unless WorldParams::telemetry or RRR_STATS) ---
   const obs::MetricsRegistry* metrics() const { return metrics_.get(); }
@@ -177,6 +213,34 @@ class World {
   // into the engine.
   void feed_bgp(const bgp::BgpRecord& record);
 
+  // --- checkpoint/resume machinery (DESIGN.md §11) ---
+  // Where in a window an exogenous op ran — resume must replay it at the
+  // same call site because platform/world RNG draws interleave with the
+  // window's own work (recalibration, churn, the next window's feeds).
+  enum class ReplayPoint : std::uint8_t {
+    kHook = 0,      // inside the on_signals hook of a closing window
+    kDay = 1,       // inside the on_day hook of a day boundary
+    kBoundary = 2,  // between run_until calls
+  };
+  // Digest of the parameters that shape the simulated timeline (seed,
+  // corpus/feed shape, fault plan, ...). Pure throughput knobs — threads,
+  // pipeline_absorb — are excluded; shard count is verified separately by
+  // the engine's own loader.
+  std::uint64_t params_fingerprint() const;
+  // Appends one op to the WAL at the current (clock, replay point). No-op
+  // unless checkpointing is on, and always a no-op during replay.
+  void log_op(const char* type, std::string payload);
+  void apply_wal_op(const store::WalOp& op);
+  // Writes a full snapshot (engine, patcher, semantic metrics) for the
+  // current completed-window count.
+  void write_checkpoint();
+  void load_checkpoint(const store::SnapshotReader& reader);
+  // Constructor tail for WorldParams::resume_from: re-simulates the world
+  // side of the timeline with the engine suppressed up to the snapshot,
+  // restores the engine there, then replays the remaining windows and WAL
+  // ops live.
+  void resume_from_checkpoint();
+
   WorldParams params_;
   Rng rng_;
   // Telemetry sink; declared before the engine, which holds instrument
@@ -197,6 +261,26 @@ class World {
   std::size_t event_cursor_ = 0;
   TimePoint now_;
   std::int64_t next_public_trace_slot_ = 0;
+
+  // Checkpoint/resume state. `suppress_engine_` marks the resume
+  // fast-forward region before the snapshot: the world (events, platform,
+  // fault injector, ground truth) re-simulates live to regenerate its RNG
+  // streams and state, while every engine call is skipped — the engine's
+  // state comes wholesale from the snapshot. `replaying_` covers the whole
+  // fast-forward: WAL writes, snapshot writes, and per-window series
+  // samples are suppressed while it is set.
+  bool corpus_initialized_ = false;
+  bool checkpoint_enabled_ = false;
+  bool suppress_engine_ = false;
+  bool replaying_ = false;
+  ReplayPoint replay_point_ = ReplayPoint::kBoundary;
+  // rrr_checkpoint_* telemetry (runtime domain; null when telemetry is off
+  // or checkpointing is off).
+  obs::Counter* obs_snapshots_written_ = nullptr;
+  obs::Counter* obs_wal_ops_ = nullptr;
+  obs::Gauge* obs_snapshot_bytes_ = nullptr;
+  obs::Histogram* obs_checkpoint_write_us_ = nullptr;
+  obs::Gauge* obs_resumed_window_ = nullptr;
 
   std::vector<TimePoint> recalibration_times_;
   std::vector<tr::ProbeId> corpus_probes_;

@@ -90,7 +90,34 @@ std::optional<bgp::RecordType> type_of(std::string_view text) {
   return std::nullopt;
 }
 
+// Skips comments; a header comment declaring a future version throws.
+void check_comment(std::string_view line) {
+  std::optional<int> version = parse_version_header(line);
+  if (version && *version > kIoFormatVersion) {
+    throw VersionMismatchError(*version);
+  }
+}
+
 }  // namespace
+
+std::string version_header() {
+  return "#rrr-io v" + std::to_string(kIoFormatVersion);
+}
+
+std::optional<int> parse_version_header(std::string_view line) {
+  constexpr std::string_view kPrefix = "#rrr-io v";
+  if (line.rfind(kPrefix, 0) != 0) return std::nullopt;
+  auto version = parse_ranged(line.substr(kPrefix.size()), 0,
+                              std::numeric_limits<int>::max());
+  if (!version) return std::nullopt;
+  return static_cast<int>(*version);
+}
+
+VersionMismatchError::VersionMismatchError(int found)
+    : std::runtime_error("io archive declares format version v" +
+                         std::to_string(found) + "; this build reads up to v" +
+                         std::to_string(kIoFormatVersion)),
+      found_(found) {}
 
 std::string to_line(const bgp::BgpRecord& record) {
   std::ostringstream out;
@@ -155,6 +182,7 @@ std::optional<bgp::BgpRecord> bgp_record_from_line(std::string_view line) {
 
 void write_bgp_records(std::ostream& os,
                        const std::vector<bgp::BgpRecord>& records) {
+  os << version_header() << '\n';
   for (const bgp::BgpRecord& record : records) {
     os << to_line(record) << '\n';
   }
@@ -165,7 +193,10 @@ std::vector<bgp::BgpRecord> read_bgp_records(std::istream& is,
   std::vector<bgp::BgpRecord> out;
   std::string line;
   while (std::getline(is, line)) {
-    if (line.empty() || line[0] == '#') continue;
+    if (line.empty() || line[0] == '#') {
+      check_comment(line);
+      continue;
+    }
     if (auto record = bgp_record_from_line(line)) {
       out.push_back(std::move(*record));
     } else if (errors != nullptr) {
@@ -196,6 +227,7 @@ void write_traceroute(std::ostream& os, const tr::Traceroute& trace) {
 
 void write_traceroutes(std::ostream& os,
                        const std::vector<tr::Traceroute>& traces) {
+  os << version_header() << '\n';
   for (const tr::Traceroute& trace : traces) write_traceroute(os, trace);
 }
 
@@ -208,7 +240,10 @@ std::vector<tr::Traceroute> read_traceroutes(std::istream& is,
   };
   constexpr std::int64_t kI64Max = std::numeric_limits<std::int64_t>::max();
   while (std::getline(is, line)) {
-    if (line.empty() || line[0] == '#') continue;
+    if (line.empty() || line[0] == '#') {
+      check_comment(line);
+      continue;
+    }
     if (!well_formed(line)) {
       fail();
       continue;

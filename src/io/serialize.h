@@ -14,6 +14,7 @@
 
 #include <iosfwd>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,32 @@
 #include "traceroute/traceroute.h"
 
 namespace rrr::io {
+
+// --- archive format version ---
+// write_bgp_records / write_traceroutes stamp every archive with a
+// "#rrr-io v<N>" header line. Readers accept headerless (legacy) archives
+// and any version <= kIoFormatVersion; a future version throws
+// VersionMismatchError — a diagnosable error instead of silently skipping
+// every line of a format this build cannot understand. Version bumps must
+// stay backward-readable (mirroring store/framing.h's container rule).
+inline constexpr int kIoFormatVersion = 1;
+
+// The header line, without a trailing newline: "#rrr-io v1".
+std::string version_header();
+
+// Parses an archive header line; nullopt when `line` is not one (an
+// ordinary '#' comment is not a header and stays skippable).
+std::optional<int> parse_version_header(std::string_view line);
+
+// Thrown by the archive readers on a future-version header.
+class VersionMismatchError : public std::runtime_error {
+ public:
+  explicit VersionMismatchError(int found);
+  int found() const { return found_; }
+
+ private:
+  int found_;
+};
 
 // --- BGP records ---
 std::string to_line(const bgp::BgpRecord& record);

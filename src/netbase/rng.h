@@ -12,6 +12,8 @@
 #include <cmath>
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <string>
 #include <vector>
 
 namespace rrr {
@@ -101,10 +103,27 @@ class Rng {
 
   std::mt19937_64& engine() { return engine_; }
 
+  // Exact generator state as a portable text blob (mt19937_64's standard
+  // stream representation), for the checkpoint store. load_state restores
+  // the draw sequence bit-identically.
+  std::string save_state() const;
+  void load_state(const std::string& state);
+
  private:
   std::mt19937_64 engine_;
   std::uint64_t seed_;
 };
+
+inline std::string Rng::save_state() const {
+  std::ostringstream out;
+  out << seed_ << ' ' << engine_;
+  return out.str();
+}
+
+inline void Rng::load_state(const std::string& state) {
+  std::istringstream in(state);
+  in >> seed_ >> engine_;
+}
 
 // Stateless mixing hash used for per-flow load-balancer decisions: the same
 // 5-tuple must map to the same diamond branch every time, independent of any

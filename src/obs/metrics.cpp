@@ -158,6 +158,29 @@ Snapshot MetricsRegistry::snapshot(Domain domain) const {
   return out;
 }
 
+void MetricsRegistry::restore(const Snapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const MetricSnapshot& m : snapshot) {
+    if (m.kind == Kind::kHistogram) continue;
+    LabelList labels = m.labels;
+    std::string help = m.help;
+    Entry& entry =
+        entry_for(m.name, std::move(labels), m.kind, m.domain, std::move(help));
+    switch (m.kind) {
+      case Kind::kCounter:
+        if (entry.counter == nullptr) entry.counter = std::make_unique<Counter>();
+        entry.counter->set(m.value);
+        break;
+      case Kind::kGauge:
+        if (entry.gauge == nullptr) entry.gauge = std::make_unique<Gauge>();
+        entry.gauge->set(m.value);
+        break;
+      case Kind::kHistogram:
+        break;
+    }
+  }
+}
+
 std::size_t MetricsRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();

@@ -44,6 +44,12 @@ class Counter {
   void inc(std::int64_t delta = 1) {
     value_.fetch_add(delta, std::memory_order_relaxed);
   }
+  // Overwrites the running total. Only checkpoint restore may call this:
+  // a resumed run must report the same cumulative semantic counts as an
+  // uninterrupted one, so the saved totals are re-seated wholesale.
+  void set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
   std::int64_t value() const {
     return value_.load(std::memory_order_relaxed);
   }
@@ -172,6 +178,13 @@ class MetricsRegistry {
   Snapshot snapshot() const;
   Snapshot snapshot(Domain domain) const;
   std::size_t size() const;
+
+  // Checkpoint restore: re-seats counter/gauge values from a previously
+  // taken snapshot, registering any series the restoring process has not
+  // touched yet (so early-run counters survive a resume even if their
+  // instrumentation site has not fired). Histograms are skipped — no
+  // semantic metric is a histogram, and runtime series restart by design.
+  void restore(const Snapshot& snapshot);
 
  private:
   struct Entry {

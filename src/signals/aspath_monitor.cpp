@@ -244,6 +244,123 @@ std::vector<StalenessSignal> AsPathMonitor::close_window(
   return signals;
 }
 
+void AsPathMonitor::save_state(store::Encoder& enc) const {
+  std::vector<const Entry*> ordered;
+  ordered.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) ordered.push_back(entry.get());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Entry* a, const Entry* b) { return a->id < b->id; });
+  enc.u64(ordered.size());
+  for (const Entry* entry : ordered) {
+    enc.u64(entry->id);
+    put_pair(enc, entry->pair);
+    store::put(enc, entry->as);
+    store::put(enc, entry->tau_path);
+    enc.u64(entry->tau_index);
+    enc.u64(entry->border_index);
+    enc.u64(entry->v0.size());
+    for (bgp::VpId vp : entry->v0) enc.u32(vp);
+    entry->series.save_state(enc);
+    enc.f64(entry->baseline_ratio);
+    enc.boolean(entry->dirty);
+    enc.i64(entry->hot_windows);
+    enc.u64(entry->window_updates.size());
+    for (const auto& [vp, path] : entry->window_updates) {
+      enc.u32(vp);
+      store::put(enc, path);
+    }
+  }
+  auto put_ids = [&enc](const std::vector<Entry*>& list) {
+    enc.u64(list.size());
+    for (const Entry* entry : list) enc.u64(entry->id);
+  };
+  enc.u64(by_pair_.size());
+  for (const auto& [pair, list] : by_pair_) {
+    put_pair(enc, pair);
+    put_ids(list);
+  }
+  std::vector<Ipv4> dsts;
+  dsts.reserve(by_dst_.size());
+  for (const auto& [dst, list] : by_dst_) dsts.push_back(dst);
+  std::sort(dsts.begin(), dsts.end());
+  enc.u64(dsts.size());
+  for (Ipv4 dst : dsts) {
+    store::put(enc, dst);
+    put_ids(by_dst_.at(dst));
+  }
+  put_ids(dirty_);
+  put_ids(hot_);
+}
+
+void AsPathMonitor::load_state(store::Decoder& dec) {
+  entries_.clear();
+  by_pair_.clear();
+  by_dst_.clear();
+  dst_index_ = DstIndex();
+  dirty_.clear();
+  hot_.clear();
+  by_potential_.clear();
+  std::uint64_t count = dec.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PotentialId id = dec.u64();
+    tr::PairKey pair = get_pair(dec);
+    Asn as = store::get_asn(dec);
+    AsPath tau_path = store::get_as_path(dec);
+    std::uint64_t tau_index = dec.u64();
+    std::uint64_t border_index = dec.u64();
+    std::set<bgp::VpId> v0;
+    std::uint64_t v0_count = dec.u64();
+    for (std::uint64_t j = 0; j < v0_count; ++j) v0.insert(dec.u32());
+    auto entry = std::make_unique<Entry>(Entry{
+        .id = id,
+        .pair = pair,
+        .as = as,
+        .tau_path = std::move(tau_path),
+        .tau_index = tau_index,
+        .border_index = border_index,
+        .v0 = std::move(v0),
+        .series = detect::LazySeries(std::make_unique<detect::BitmapDetector>(),
+                                     detect::GapPolicy::kCarryLast),
+        .window_updates = {},
+    });
+    entry->series.load_state(dec);
+    entry->baseline_ratio = dec.f64();
+    entry->dirty = dec.boolean();
+    entry->hot_windows = static_cast<int>(dec.i64());
+    std::uint64_t update_count = dec.u64();
+    entry->window_updates.reserve(update_count);
+    for (std::uint64_t j = 0; j < update_count; ++j) {
+      bgp::VpId vp = dec.u32();
+      entry->window_updates.emplace_back(vp, store::get_as_path(dec));
+    }
+    by_potential_[entry->id] = entry.get();
+    entries_.emplace(entry->id, std::move(entry));
+  }
+  auto get_ids = [this, &dec]() {
+    std::vector<Entry*> list;
+    std::uint64_t n = dec.u64();
+    list.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      list.push_back(by_potential_.at(dec.u64()));
+    }
+    return list;
+  };
+  std::uint64_t pair_count = dec.u64();
+  for (std::uint64_t i = 0; i < pair_count; ++i) {
+    tr::PairKey pair = get_pair(dec);
+    by_pair_[pair] = get_ids();
+  }
+  std::uint64_t dst_count = dec.u64();
+  for (std::uint64_t i = 0; i < dst_count; ++i) {
+    Ipv4 dst = store::get_ipv4(dec);
+    std::vector<Entry*> list = get_ids();
+    for (std::size_t j = 0; j < list.size(); ++j) dst_index_.add(dst);
+    by_dst_[dst] = std::move(list);
+  }
+  dirty_ = get_ids();
+  hot_ = get_ids();
+}
+
 bool AsPathMonitor::reverted(PotentialId id) const {
   auto it = by_potential_.find(id);
   if (it == by_potential_.end()) return false;

@@ -40,6 +40,15 @@ class AsPathMonitor final : public BgpMonitor {
 
   std::size_t entry_count() const { return entries_.size(); }
 
+  // Checkpoint support. Entries are serialized sorted by potential id with
+  // every dynamic field; the index vectors (by_pair_/by_dst_/dirty_/hot_)
+  // are serialized as ordered id lists rather than rebuilt, because their
+  // order (set by unordered_map-driven insertion at watch/dispatch time)
+  // feeds the close-path work lists and therefore the canonical signal
+  // merge. dst_index_ and by_potential_ are derived and rebuilt on load.
+  void save_state(store::Encoder& enc) const;
+  void load_state(store::Decoder& dec);
+
  private:
   struct Entry {
     PotentialId id = kNoPotential;

@@ -177,6 +177,103 @@ std::vector<StalenessSignal> BorderMonitor::close_window(
   return signals;
 }
 
+void BorderMonitor::save_state(store::Encoder& enc) const {
+  enc.u64(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    store::put(enc, key.as_m);
+    enc.u16(key.c_m);
+    store::put(enc, key.as_n);
+    enc.u16(key.c_n);
+    enc.u64(entry->routers.size());
+    for (const auto& rs : entry->routers) {
+      enc.u64(rs->id);
+      enc.u64(rs->router.value);
+      rs->series.save_state(enc);
+      enc.u64(rs->subscribers.size());
+      for (const Subscriber& sub : rs->subscribers) {
+        put_pair(enc, sub.pair);
+        enc.u64(sub.border);
+        enc.boolean(sub.zombie);
+      }
+      enc.f64(rs->baseline_ratio);
+      enc.boolean(rs->touched);
+      enc.boolean(rs->pending_drop);
+    }
+  }
+  auto put_ids = [&enc](const std::vector<RouterSeries*>& list) {
+    enc.u64(list.size());
+    for (const RouterSeries* rs : list) enc.u64(rs->id);
+  };
+  enc.u64(by_pair_.size());
+  for (const auto& [pair, list] : by_pair_) {
+    put_pair(enc, pair);
+    put_ids(list);
+  }
+  put_ids(touched_);
+}
+
+void BorderMonitor::load_state(store::Decoder& dec) {
+  entries_.clear();
+  by_pair_.clear();
+  by_potential_.clear();
+  touched_.clear();
+  std::uint64_t entry_count = dec.u64();
+  for (std::uint64_t i = 0; i < entry_count; ++i) {
+    CityPairKey key;
+    key.as_m = store::get_asn(dec);
+    key.c_m = dec.u16();
+    key.as_n = store::get_asn(dec);
+    key.c_n = dec.u16();
+    auto entry = std::make_unique<Entry>();
+    entry->key = key;
+    std::uint64_t router_count = dec.u64();
+    entry->routers.reserve(router_count);
+    for (std::uint64_t j = 0; j < router_count; ++j) {
+      auto rs = std::make_unique<RouterSeries>(RouterSeries{
+          .id = dec.u64(),
+          .router = tracemap::RouterKey{dec.u64()},
+          .series = detect::AdaptiveRatioSeries(
+              prototype_, params_.max_window_multiplier),
+          .subscribers = {},
+          .baseline_ratio = -1.0,
+          .touched = false,
+          .pending_drop = false,
+      });
+      rs->series.load_state(dec);
+      std::uint64_t sub_count = dec.u64();
+      rs->subscribers.reserve(sub_count);
+      for (std::uint64_t k = 0; k < sub_count; ++k) {
+        Subscriber sub;
+        sub.pair = get_pair(dec);
+        sub.border = dec.u64();
+        sub.zombie = dec.boolean();
+        rs->subscribers.push_back(sub);
+      }
+      rs->baseline_ratio = dec.f64();
+      rs->touched = dec.boolean();
+      rs->pending_drop = dec.boolean();
+      by_potential_[rs->id] = rs.get();
+      entry->routers.push_back(std::move(rs));
+    }
+    entries_.emplace(key, std::move(entry));
+  }
+  auto get_ids = [this, &dec]() {
+    std::vector<RouterSeries*> list;
+    std::uint64_t n = dec.u64();
+    list.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      list.push_back(by_potential_.at(dec.u64()));
+    }
+    return list;
+  };
+  std::uint64_t pair_count = dec.u64();
+  for (std::uint64_t i = 0; i < pair_count; ++i) {
+    tr::PairKey pair = get_pair(dec);
+    by_pair_[pair] = get_ids();
+  }
+  touched_ = get_ids();
+}
+
 bool BorderMonitor::reverted(PotentialId id) const {
   auto it = by_potential_.find(id);
   if (it == by_potential_.end()) return false;

@@ -54,6 +54,12 @@ class BorderMonitor final : public TraceMonitor {
 
   std::size_t city_pair_count() const { return entries_.size(); }
 
+  // Checkpoint support; router series keep their in-entry order (it drives
+  // touched_-list construction) and by_pair_/touched_ round-trip as ordered
+  // id lists, as in AsPathMonitor::save_state.
+  void save_state(store::Encoder& enc) const;
+  void load_state(store::Decoder& dec);
+
  private:
   // ⟨AS_m, c_m⟩ -> ⟨AS_n, c_n⟩.
   struct CityPairKey {

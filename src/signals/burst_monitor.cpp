@@ -246,4 +246,150 @@ std::vector<StalenessSignal> BurstMonitor::close_window(
   return signals;
 }
 
+void BurstMonitor::save_state(store::Encoder& enc) const {
+  auto put_vps = [&enc](const std::set<bgp::VpId>& vps) {
+    enc.u64(vps.size());
+    for (bgp::VpId vp : vps) enc.u32(vp);
+  };
+  std::vector<const Entry*> ordered;
+  ordered.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) ordered.push_back(entry.get());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Entry* a, const Entry* b) { return a->id < b->id; });
+  enc.u64(ordered.size());
+  for (const Entry* entry : ordered) {
+    enc.u64(entry->id);
+    put_pair(enc, entry->pair);
+    store::put(enc, entry->suffix);
+    enc.u64(entry->border_index);
+    put_vps(entry->v0);
+    entry->series.save_state(enc);
+    put_vps(entry->window_dups);
+    enc.u64(entry->extras.size());
+    for (const ExtraSeries& extra : entry->extras) {
+      store::put(enc, extra.as);
+      put_vps(extra.vps);
+      extra.series.save_state(enc);
+      put_vps(extra.window_dups);
+      enc.boolean(extra.outlier_this_window);
+    }
+    enc.u64(entry->vp_extras.size());
+    for (const auto& [vp, indices] : entry->vp_extras) {
+      enc.u32(vp);
+      enc.u64(indices.size());
+      for (std::size_t index : indices) enc.u64(index);
+    }
+    enc.boolean(entry->dirty);
+  }
+  auto put_ids = [&enc](const std::vector<Entry*>& list) {
+    enc.u64(list.size());
+    for (const Entry* entry : list) enc.u64(entry->id);
+  };
+  enc.u64(by_pair_.size());
+  for (const auto& [pair, list] : by_pair_) {
+    put_pair(enc, pair);
+    put_ids(list);
+  }
+  std::vector<Ipv4> dsts;
+  dsts.reserve(by_dst_.size());
+  for (const auto& [dst, list] : by_dst_) dsts.push_back(dst);
+  std::sort(dsts.begin(), dsts.end());
+  enc.u64(dsts.size());
+  for (Ipv4 dst : dsts) {
+    store::put(enc, dst);
+    put_ids(by_dst_.at(dst));
+  }
+  put_ids(dirty_);
+}
+
+void BurstMonitor::load_state(store::Decoder& dec) {
+  entries_.clear();
+  by_pair_.clear();
+  by_dst_.clear();
+  dst_index_ = DstIndex();
+  dirty_.clear();
+  auto get_vps = [&dec]() {
+    std::set<bgp::VpId> vps;
+    std::uint64_t n = dec.u64();
+    for (std::uint64_t i = 0; i < n; ++i) vps.insert(dec.u32());
+    return vps;
+  };
+  std::unordered_map<PotentialId, Entry*> by_id;
+  std::uint64_t count = dec.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PotentialId id = dec.u64();
+    tr::PairKey pair = get_pair(dec);
+    AsPath suffix = store::get_as_path(dec);
+    std::uint64_t border_index = dec.u64();
+    std::set<bgp::VpId> v0 = get_vps();
+    auto entry = std::make_unique<Entry>(Entry{
+        .id = id,
+        .pair = pair,
+        .suffix = std::move(suffix),
+        .border_index = border_index,
+        .v0 = std::move(v0),
+        .series = detect::LazySeries(std::make_unique<detect::BitmapDetector>(),
+                                     detect::GapPolicy::kZero),
+        .window_dups = {},
+        .extras = {},
+        .vp_extras = {},
+        .dirty = false,
+    });
+    entry->series.load_state(dec);
+    entry->window_dups = get_vps();
+    std::uint64_t extra_count = dec.u64();
+    entry->extras.reserve(extra_count);
+    for (std::uint64_t j = 0; j < extra_count; ++j) {
+      ExtraSeries extra{
+          .as = store::get_asn(dec),
+          .vps = get_vps(),
+          .series = detect::LazySeries(
+              std::make_unique<detect::BitmapDetector>(),
+              detect::GapPolicy::kZero),
+          .window_dups = {},
+          .outlier_this_window = false,
+      };
+      extra.series.load_state(dec);
+      extra.window_dups = get_vps();
+      extra.outlier_this_window = dec.boolean();
+      entry->extras.push_back(std::move(extra));
+    }
+    std::uint64_t vp_extra_count = dec.u64();
+    for (std::uint64_t j = 0; j < vp_extra_count; ++j) {
+      bgp::VpId vp = dec.u32();
+      std::vector<std::size_t>& indices = entry->vp_extras[vp];
+      std::uint64_t index_count = dec.u64();
+      indices.reserve(index_count);
+      for (std::uint64_t k = 0; k < index_count; ++k) {
+        indices.push_back(dec.u64());
+      }
+    }
+    entry->dirty = dec.boolean();
+    by_id[entry->id] = entry.get();
+    entries_.emplace(entry->id, std::move(entry));
+  }
+  auto get_ids = [&by_id, &dec]() {
+    std::vector<Entry*> list;
+    std::uint64_t n = dec.u64();
+    list.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      list.push_back(by_id.at(dec.u64()));
+    }
+    return list;
+  };
+  std::uint64_t pair_count = dec.u64();
+  for (std::uint64_t i = 0; i < pair_count; ++i) {
+    tr::PairKey pair = get_pair(dec);
+    by_pair_[pair] = get_ids();
+  }
+  std::uint64_t dst_count = dec.u64();
+  for (std::uint64_t i = 0; i < dst_count; ++i) {
+    Ipv4 dst = store::get_ipv4(dec);
+    std::vector<Entry*> list = get_ids();
+    for (std::size_t j = 0; j < list.size(); ++j) dst_index_.add(dst);
+    by_dst_[dst] = std::move(list);
+  }
+  dirty_ = get_ids();
+}
+
 }  // namespace rrr::signals

@@ -39,6 +39,11 @@ class BurstMonitor final : public BgpMonitor {
 
   std::size_t entry_count() const { return entries_.size(); }
 
+  // Checkpoint support; same index-vector ordering contract as
+  // AsPathMonitor::save_state.
+  void save_state(store::Encoder& enc) const;
+  void load_state(store::Decoder& dec);
+
  private:
   struct ExtraSeries {
     Asn as;                      // a_k, traversed outside the overlap

@@ -16,6 +16,7 @@
 
 #include "netbase/rng.h"
 #include "signals/signal.h"
+#include "store/serial.h"
 
 namespace rrr::signals {
 
@@ -45,6 +46,41 @@ class Calibration {
   // its outcome sequence). Two engines with equal digests grade refreshes
   // identically; determinism tests compare serial vs. parallel runs by it.
   std::uint64_t digest() const;
+
+  // Checkpoint support: round-trips every tally's outcome deque and window
+  // bounds (sliding_windows_ is configuration, re-supplied by the ctor).
+  void save_state(store::Encoder& enc) const {
+    enc.u64(tallies_.size());
+    for (const auto& [key, tally] : tallies_) {
+      enc.u32(key.first);
+      enc.u64(key.second);
+      enc.u64(tally.events.size());
+      for (const auto& [window, outcome] : tally.events) {
+        enc.i64(window);
+        enc.u8(static_cast<std::uint8_t>(outcome));
+      }
+      enc.i64(tally.first_window);
+      enc.i64(tally.last_window);
+    }
+  }
+  void load_state(store::Decoder& dec) {
+    tallies_.clear();
+    std::uint64_t count = dec.u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::pair<tr::ProbeId, PotentialId> key;
+      key.first = dec.u32();
+      key.second = dec.u64();
+      Tally& tally = tallies_[key];
+      std::uint64_t event_count = dec.u64();
+      for (std::uint64_t j = 0; j < event_count; ++j) {
+        std::int64_t window = dec.i64();
+        auto outcome = static_cast<Outcome>(dec.u8());
+        tally.events.emplace_back(window, outcome);
+      }
+      tally.first_window = dec.i64();
+      tally.last_window = dec.i64();
+    }
+  }
 
  private:
   struct Tally {

@@ -257,6 +257,110 @@ std::vector<StalenessSignal> CommunityMonitor::close_window(
   });
 }
 
+void CommunityMonitor::save_state(store::Encoder& enc) const {
+  enc.i64(stats_.records);
+  enc.i64(stats_.diffs);
+  enc.i64(stats_.no_prev_overlap);
+  enc.i64(stats_.no_new_overlap);
+  enc.i64(stats_.path_rule);
+  enc.i64(stats_.known_elsewhere);
+  enc.i64(stats_.pruned);
+  enc.i64(stats_.fired);
+  std::vector<const Entry*> ordered;
+  ordered.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) ordered.push_back(entry.get());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Entry* a, const Entry* b) { return a->id < b->id; });
+  enc.u64(ordered.size());
+  for (const Entry* entry : ordered) {
+    enc.u64(entry->id);
+    put_pair(enc, entry->pair);
+    store::put(enc, entry->as);
+    store::put(enc, entry->tau_path);
+    enc.u64(entry->tau_index);
+    enc.u64(entry->border_index);
+    store::put(enc, entry->baseline);
+    enc.boolean(entry->pending);
+    store::put(enc, entry->pending_community);
+    enc.i64(entry->pending_vp_count);
+  }
+  auto put_ids = [&enc](const std::vector<Entry*>& list) {
+    enc.u64(list.size());
+    for (const Entry* entry : list) enc.u64(entry->id);
+  };
+  enc.u64(by_pair_.size());
+  for (const auto& [pair, list] : by_pair_) {
+    put_pair(enc, pair);
+    put_ids(list);
+  }
+  std::vector<Ipv4> dsts;
+  dsts.reserve(by_dst_.size());
+  for (const auto& [dst, list] : by_dst_) dsts.push_back(dst);
+  std::sort(dsts.begin(), dsts.end());
+  enc.u64(dsts.size());
+  for (Ipv4 dst : dsts) {
+    store::put(enc, dst);
+    put_ids(by_dst_.at(dst));
+  }
+  put_ids(pending_);
+}
+
+void CommunityMonitor::load_state(store::Decoder& dec) {
+  stats_.records = dec.i64();
+  stats_.diffs = dec.i64();
+  stats_.no_prev_overlap = dec.i64();
+  stats_.no_new_overlap = dec.i64();
+  stats_.path_rule = dec.i64();
+  stats_.known_elsewhere = dec.i64();
+  stats_.pruned = dec.i64();
+  stats_.fired = dec.i64();
+  entries_.clear();
+  by_pair_.clear();
+  by_dst_.clear();
+  dst_index_ = DstIndex();
+  by_potential_.clear();
+  pending_.clear();
+  std::uint64_t count = dec.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    auto entry = std::make_unique<Entry>();
+    entry->id = dec.u64();
+    entry->pair = get_pair(dec);
+    entry->as = store::get_asn(dec);
+    entry->tau_path = store::get_as_path(dec);
+    entry->tau_index = dec.u64();
+    entry->border_index = dec.u64();
+    entry->baseline = store::get_community_set(dec);
+    entry->pending = dec.boolean();
+    entry->pending_community = store::get_community(dec);
+    entry->pending_vp_count = static_cast<int>(dec.i64());
+    by_potential_[entry->id] = entry.get();
+    Entry* raw = entry.get();
+    entries_.emplace(raw->id, std::move(entry));
+  }
+  auto get_ids = [this, &dec]() {
+    std::vector<Entry*> list;
+    std::uint64_t n = dec.u64();
+    list.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      list.push_back(by_potential_.at(dec.u64()));
+    }
+    return list;
+  };
+  std::uint64_t pair_count = dec.u64();
+  for (std::uint64_t i = 0; i < pair_count; ++i) {
+    tr::PairKey pair = get_pair(dec);
+    by_pair_[pair] = get_ids();
+  }
+  std::uint64_t dst_count = dec.u64();
+  for (std::uint64_t i = 0; i < dst_count; ++i) {
+    Ipv4 dst = store::get_ipv4(dec);
+    std::vector<Entry*> list = get_ids();
+    for (std::size_t j = 0; j < list.size(); ++j) dst_index_.add(dst);
+    by_dst_[dst] = std::move(list);
+  }
+  pending_ = get_ids();
+}
+
 bool CommunityMonitor::reverted(PotentialId id) const {
   auto it = by_potential_.find(id);
   if (it == by_potential_.end()) return false;

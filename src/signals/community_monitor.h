@@ -54,6 +54,60 @@ class CommunityReputation {
   int pair_prune_fp_threshold = 4;
   int definer_prune_fp_threshold = 6;
 
+  // Checkpoint support: round-trips the three tally maps (thresholds are
+  // configuration).
+  void save_state(store::Encoder& enc) const {
+    auto put_stats = [&enc](const Stats& stats) {
+      enc.i64(stats.tp);
+      enc.i64(stats.fp);
+    };
+    enc.u64(stats_.size());
+    for (const auto& [community, stats] : stats_) {
+      store::put(enc, community);
+      put_stats(stats);
+    }
+    enc.u64(pair_stats_.size());
+    for (const auto& [key, stats] : pair_stats_) {
+      store::put(enc, key.first);
+      put_pair(enc, key.second);
+      put_stats(stats);
+    }
+    enc.u64(definer_stats_.size());
+    for (const auto& [key, stats] : definer_stats_) {
+      store::put(enc, key.first);
+      put_pair(enc, key.second);
+      put_stats(stats);
+    }
+  }
+  void load_state(store::Decoder& dec) {
+    stats_.clear();
+    pair_stats_.clear();
+    definer_stats_.clear();
+    auto get_stats = [&dec]() {
+      Stats stats;
+      stats.tp = static_cast<int>(dec.i64());
+      stats.fp = static_cast<int>(dec.i64());
+      return stats;
+    };
+    std::uint64_t n = dec.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Community community = store::get_community(dec);
+      stats_[community] = get_stats();
+    }
+    n = dec.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Community community = store::get_community(dec);
+      tr::PairKey pair = get_pair(dec);
+      pair_stats_[{community, pair}] = get_stats();
+    }
+    n = dec.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Asn definer = store::get_asn(dec);
+      tr::PairKey pair = get_pair(dec);
+      definer_stats_[{definer, pair}] = get_stats();
+    }
+  }
+
  private:
   std::map<Community, Stats> stats_;
   std::map<std::pair<Community, tr::PairKey>, Stats> pair_stats_;
@@ -90,6 +144,11 @@ class CommunityMonitor final : public BgpMonitor {
     std::int64_t fired = 0;            // pending signals created
   };
   const Stats& stats() const { return stats_; }
+
+  // Checkpoint support; same index-vector ordering contract as
+  // AsPathMonitor::save_state.
+  void save_state(store::Encoder& enc) const;
+  void load_state(store::Decoder& dec);
 
  private:
   mutable Stats stats_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "bgp/serial.h"
 #include "runtime/task_group.h"
 
 namespace rrr::signals {
@@ -573,6 +574,108 @@ RefreshOutcome StalenessEngine::apply_refresh(const tr::Probe& probe,
     obs::inc(obs_.refreshes_changed);
   }
   return outcome;
+}
+
+void StalenessEngine::save_shard_state(store::Encoder& enc) const {
+  enc.str(rng_.save_state());
+  enc.u64(pending_records_.size());
+  for (const bgp::BgpRecord& record : pending_records_) {
+    bgp::put_record(enc, record);
+  }
+  enc.u64(corpus_.size());
+  for (const auto& [key, state] : corpus_) {
+    put_pair(enc, key);
+    enc.u32(state.view.probe_as);
+    enc.u16(state.view.probe_city);
+    enc.i64(state.view.window);
+    tracemap::put_processed(enc, state.view.processed);
+    enc.u8(static_cast<std::uint8_t>(state.freshness));
+    enc.i64(state.watched_window);
+    enc.u64(state.active.size());
+    for (const auto& [potential, active] : state.active) {
+      enc.u64(potential);
+      put_active(enc, active);
+    }
+  }
+  enc.u64(last_fired_.size());
+  for (const auto& [potential, window] : last_fired_) {
+    enc.u64(potential);
+    enc.i64(window);
+  }
+  enc.i64(next_window_);
+  aspath_->save_state(enc);
+  community_->save_state(enc);
+  burst_->save_state(enc);
+}
+
+void StalenessEngine::load_shard_state(store::Decoder& dec) {
+  rng_.load_state(std::string(dec.str()));
+  pending_records_.clear();
+  std::uint64_t record_count = dec.u64();
+  pending_records_.reserve(record_count);
+  for (std::uint64_t i = 0; i < record_count; ++i) {
+    pending_records_.push_back(bgp::get_record(dec));
+  }
+  corpus_.clear();
+  std::uint64_t pair_count = dec.u64();
+  for (std::uint64_t i = 0; i < pair_count; ++i) {
+    tr::PairKey key = get_pair(dec);
+    PairState state;
+    state.view.key = key;
+    state.view.probe_as = dec.u32();
+    state.view.probe_city = dec.u16();
+    state.view.window = dec.i64();
+    state.view.processed = tracemap::get_processed(dec);
+    state.freshness = static_cast<tr::Freshness>(dec.u8());
+    state.watched_window = dec.i64();
+    std::uint64_t active_count = dec.u64();
+    for (std::uint64_t j = 0; j < active_count; ++j) {
+      PotentialId potential = dec.u64();
+      state.active[potential] = get_active(dec);
+    }
+    corpus_[key] = std::move(state);
+  }
+  last_fired_.clear();
+  std::uint64_t fired_count = dec.u64();
+  for (std::uint64_t i = 0; i < fired_count; ++i) {
+    PotentialId potential = dec.u64();
+    last_fired_[potential] = dec.i64();
+  }
+  next_window_ = dec.i64();
+  aspath_->load_state(dec);
+  community_->load_state(dec);
+  burst_->load_state(dec);
+}
+
+void StalenessEngine::save_global_state(store::Encoder& enc) const {
+  assert(owned_ != nullptr && "global state belongs to standalone engines");
+  owned_->table.save_state(enc);
+  owned_->index.save_state(enc);
+  owned_->calibration.save_state(enc);
+  owned_->reputation.save_state(enc);
+  owned_->subpath->save_state(enc);
+  owned_->border->save_state(enc);
+  owned_->ixp->save_state(enc);
+  enc.boolean(owned_->health != nullptr);
+  if (owned_->health != nullptr) owned_->health->save_state(enc);
+}
+
+void StalenessEngine::load_global_state(store::Decoder& dec) {
+  assert(owned_ != nullptr && "global state belongs to standalone engines");
+  owned_->table.load_state(dec);
+  owned_->index.load_state(dec);
+  owned_->calibration.load_state(dec);
+  owned_->reputation.load_state(dec);
+  owned_->subpath->load_state(dec);
+  owned_->border->load_state(dec);
+  owned_->ixp->load_state(dec, &owned_->index);
+  bool has_health = dec.boolean();
+  if (has_health != (owned_->health != nullptr)) {
+    throw store::StoreError(
+        store::StoreError::Kind::kCorrupt,
+        "snapshot feed-health state does not match engine configuration");
+  }
+  if (owned_->health != nullptr) owned_->health->load_state(dec);
 }
 
 tr::Freshness StalenessEngine::freshness(const tr::PairKey& pair) const {

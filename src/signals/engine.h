@@ -207,6 +207,29 @@ class StalenessEngine {
   const AsPathMonitor& aspath_monitor() const { return *aspath_; }
   const CommunityMonitor& community_monitor() const { return *community_; }
 
+  // --- checkpoint support ---
+  // Shard-local dynamic state: rng, pending record backlog, corpus slice
+  // with per-pair freshness/active-signal state, cooldown map, window
+  // cursor, and the per-pair BGP monitors. Configuration (params, topology,
+  // processing context) is not stored — the owner reconstructs the engine
+  // with identical parameters before loading.
+  void save_shard_state(store::Encoder& enc) const;
+  void load_shard_state(store::Decoder& dec);
+  // Standalone engines only: the owned cross-pair state (epoch table,
+  // potential index, calibration, reputation, trace-driven monitors, feed
+  // health). In sharded mode the facade saves its single instances itself.
+  void save_global_state(store::Encoder& enc) const;
+  void load_global_state(store::Decoder& dec);
+  // Full standalone state = globals followed by the shard-local slice.
+  void save_state(store::Encoder& enc) const {
+    save_global_state(enc);
+    save_shard_state(enc);
+  }
+  void load_state(store::Decoder& dec) {
+    load_global_state(dec);
+    load_shard_state(dec);
+  }
+
  private:
   struct PairState {
     CorpusView view;

@@ -265,4 +265,92 @@ bool FeedHealthTracker::trace_quarantined(tr::ProbeId probe) const {
   return state == FeedState::kDead || state == FeedState::kRecovering;
 }
 
+void FeedHealthTracker::save_state(store::Encoder& enc) const {
+  auto save_feed = [&](const Feed& feed) {
+    enc.u64(feed.streams.size());
+    for (const auto& [id, stream] : feed.streams) {
+      enc.u32(id);
+      enc.f64(stream.baseline);
+      enc.u8(static_cast<std::uint8_t>(stream.state));
+      enc.i64(stream.gap_streak);
+      enc.i64(stream.ok_streak);
+      enc.i64(stream.seen_windows);
+      enc.u64(stream.recent.size());
+      for (std::int64_t v : stream.recent) enc.i64(v);
+      enc.u64(stream.recent_pos);
+      enc.u64(stream.pending.size());
+      for (const auto& [window, count] : stream.pending) {
+        enc.i64(window);
+        enc.i64(count);
+      }
+    }
+    enc.u64(feed.totals.size());
+    for (std::int64_t v : feed.totals) enc.i64(v);
+    enc.u64(feed.totals_pos);
+    enc.i64(feed.seen_windows);
+  };
+  save_feed(bgp_);
+  save_feed(trace_);
+  enc.u64(collector_ids_.size());
+  for (const auto& [collector, id] : collector_ids_) {
+    enc.str(collector);
+    enc.u32(id);
+  }
+  enc.u64(vp_collector_.size());
+  for (const auto& [vp, id] : vp_collector_) {
+    enc.u32(vp);
+    enc.u32(id);
+  }
+  enc.boolean(bgp_degraded_);
+  enc.boolean(trace_degraded_);
+  enc.f64(bgp_quarantined_fraction_);
+  enc.f64(trace_quarantined_fraction_);
+}
+
+void FeedHealthTracker::load_state(store::Decoder& dec) {
+  auto load_feed = [&](Feed& feed) {
+    feed.streams.clear();
+    std::uint64_t stream_count = dec.u64();
+    for (std::uint64_t i = 0; i < stream_count; ++i) {
+      std::uint32_t id = dec.u32();
+      Stream& stream = feed.streams[id];
+      stream.baseline = dec.f64();
+      stream.state = static_cast<FeedState>(dec.u8());
+      stream.gap_streak = dec.i64();
+      stream.ok_streak = dec.i64();
+      stream.seen_windows = dec.i64();
+      stream.recent.assign(dec.u64(), 0);
+      for (std::int64_t& v : stream.recent) v = dec.i64();
+      stream.recent_pos = dec.u64();
+      std::uint64_t pending = dec.u64();
+      for (std::uint64_t j = 0; j < pending; ++j) {
+        std::int64_t window = dec.i64();
+        stream.pending[window] = dec.i64();
+      }
+    }
+    feed.totals.assign(dec.u64(), 0);
+    for (std::int64_t& v : feed.totals) v = dec.i64();
+    feed.totals_pos = dec.u64();
+    feed.seen_windows = dec.i64();
+  };
+  load_feed(bgp_);
+  load_feed(trace_);
+  collector_ids_.clear();
+  std::uint64_t collectors = dec.u64();
+  for (std::uint64_t i = 0; i < collectors; ++i) {
+    std::string collector(dec.str());
+    collector_ids_[collector] = dec.u32();
+  }
+  vp_collector_.clear();
+  std::uint64_t vps = dec.u64();
+  for (std::uint64_t i = 0; i < vps; ++i) {
+    bgp::VpId vp = dec.u32();
+    vp_collector_[vp] = dec.u32();
+  }
+  bgp_degraded_ = dec.boolean();
+  trace_degraded_ = dec.boolean();
+  bgp_quarantined_fraction_ = dec.f64();
+  trace_quarantined_fraction_ = dec.f64();
+}
+
 }  // namespace rrr::signals

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "bgp/record.h"
+#include "store/serial.h"
 #include "traceroute/traceroute.h"
 
 namespace rrr::obs {
@@ -147,6 +148,15 @@ class FeedHealthTracker {
   }
 
   const FeedHealthParams& params() const { return params_; }
+
+  // Checkpoint support: round-trips every stream's quarantine state
+  // machine (state, streaks, EWMA baseline, arrival rings, pending
+  // buckets) plus the collector-intern tables, so a restored tracker's
+  // subsequent judgements are bit-identical to the uninterrupted one
+  // (asserted by tests/checkpoint_resume_test.cpp). The exported gauges
+  // are refreshed on the next close_window.
+  void save_state(store::Encoder& enc) const;
+  void load_state(store::Decoder& dec);
 
  private:
   struct Stream {

@@ -49,6 +49,12 @@ class IxpMonitor final : public TraceMonitor {
   const std::set<Asn>& members_of(topo::IxpId ixp) const;
   std::size_t detected_joins() const { return detected_joins_; }
 
+  // Checkpoint support. The potential index is re-bound explicitly on load
+  // (it is normally captured at first watch, which a restored monitor may
+  // never see again).
+  void save_state(store::Encoder& enc) const;
+  void load_state(store::Decoder& dec, PotentialIndex* index);
+
  private:
   struct WatchedPair {
     tr::PairKey key;

@@ -14,9 +14,11 @@
 #include "bgp/record.h"
 #include "bgp/table_view.h"
 #include "signals/engine_obs.h"
+#include "signals/serial.h"
 #include "signals/signal.h"
 #include "topology/types.h"
 #include "tracemap/processed.h"
+#include "tracemap/serial.h"
 #include "traceroute/corpus.h"
 
 namespace rrr::signals {
@@ -60,6 +62,47 @@ class PotentialIndex {
   // null entries (or never calling this) keep create() uninstrumented.
   void set_obs(const std::array<obs::Counter*, kTechniqueCount>& opened) {
     opened_ = opened;
+  }
+
+  // Checkpoint support: round-trips the id->technique table and every
+  // pair relation, so restored ids keep their meanings and calibration
+  // grading sees the same silent/firing partition.
+  void save_state(store::Encoder& enc) const {
+    enc.u64(techniques_.size());
+    for (Technique technique : techniques_) {
+      enc.u8(static_cast<std::uint8_t>(technique));
+    }
+    enc.u64(by_pair_.size());
+    for (const auto& [pair, relations] : by_pair_) {
+      put_pair(enc, pair);
+      enc.u64(relations.size());
+      for (const Relation& relation : relations) {
+        enc.u64(relation.id);
+        enc.u64(relation.border_index);
+      }
+    }
+  }
+  void load_state(store::Decoder& dec) {
+    techniques_.clear();
+    by_pair_.clear();
+    std::uint64_t count = dec.u64();
+    techniques_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      techniques_.push_back(static_cast<Technique>(dec.u8()));
+    }
+    std::uint64_t pair_count = dec.u64();
+    for (std::uint64_t i = 0; i < pair_count; ++i) {
+      tr::PairKey pair = get_pair(dec);
+      std::vector<Relation>& relations = by_pair_[pair];
+      std::uint64_t relation_count = dec.u64();
+      relations.reserve(relation_count);
+      for (std::uint64_t j = 0; j < relation_count; ++j) {
+        Relation relation;
+        relation.id = dec.u64();
+        relation.border_index = dec.u64();
+        relations.push_back(relation);
+      }
+    }
   }
 
  private:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "bgp/serial.h"
 #include "runtime/parallel.h"
 
 namespace rrr::signals {
@@ -335,6 +336,69 @@ std::vector<tr::PairKey> ShardedStalenessEngine::stale_pairs() const {
 const tracemap::ProcessedTrace* ShardedStalenessEngine::processed_of(
     const tr::PairKey& pair) const {
   return shards_[shard_of(pair)]->processed_of(pair);
+}
+
+void ShardedStalenessEngine::save_state(store::Encoder& enc) const {
+  enc.str(rng_.save_state());
+  table_.save_state(enc);
+  enc.u64(pending_records_.size());
+  for (const bgp::BgpRecord& record : pending_records_) {
+    bgp::put_record(enc, record);
+  }
+  index_.save_state(enc);
+  calibration_.save_state(enc);
+  reputation_.save_state(enc);
+  subpath_.save_state(enc);
+  border_.save_state(enc);
+  ixp_.save_state(enc);
+  enc.boolean(health_ != nullptr);
+  if (health_ != nullptr) health_->save_state(enc);
+  enc.u64(last_fired_.size());
+  for (const auto& [potential, window] : last_fired_) {
+    enc.u64(potential);
+    enc.i64(window);
+  }
+  enc.i64(next_window_);
+  enc.u32(static_cast<std::uint32_t>(shards_.size()));
+  for (const auto& shard : shards_) shard->save_shard_state(enc);
+}
+
+void ShardedStalenessEngine::load_state(store::Decoder& dec) {
+  rng_.load_state(std::string(dec.str()));
+  table_.load_state(dec);
+  pending_records_.clear();
+  std::uint64_t record_count = dec.u64();
+  pending_records_.reserve(record_count);
+  for (std::uint64_t i = 0; i < record_count; ++i) {
+    pending_records_.push_back(bgp::get_record(dec));
+  }
+  index_.load_state(dec);
+  calibration_.load_state(dec);
+  reputation_.load_state(dec);
+  subpath_.load_state(dec);
+  border_.load_state(dec);
+  ixp_.load_state(dec, &index_);
+  bool has_health = dec.boolean();
+  if (has_health != (health_ != nullptr)) {
+    throw store::StoreError(
+        store::StoreError::Kind::kCorrupt,
+        "snapshot feed-health state does not match engine configuration");
+  }
+  if (health_ != nullptr) health_->load_state(dec);
+  last_fired_.clear();
+  std::uint64_t fired_count = dec.u64();
+  for (std::uint64_t i = 0; i < fired_count; ++i) {
+    PotentialId potential = dec.u64();
+    last_fired_[potential] = dec.i64();
+  }
+  next_window_ = dec.i64();
+  std::uint32_t shard_count = dec.u32();
+  if (shard_count != shards_.size()) {
+    throw store::StoreError(
+        store::StoreError::Kind::kCorrupt,
+        "snapshot shard count does not match engine configuration");
+  }
+  for (auto& shard : shards_) shard->load_shard_state(dec);
 }
 
 CommunityMonitor::Stats ShardedStalenessEngine::community_stats() const {

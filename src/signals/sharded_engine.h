@@ -101,6 +101,16 @@ class ShardedStalenessEngine {
   // Direct shard access (tests / diagnostics).
   const StalenessEngine& shard(std::size_t i) const { return *shards_[i]; }
 
+  // --- checkpoint support ---
+  // Serializes the facade's single cross-pair instances followed by every
+  // shard's local slice. The shard count is stored and verified on load:
+  // a snapshot written at N shards restores only into an engine built with
+  // N shards (the partition fixes which shard holds which pair — but the
+  // merged signal stream is partition-invariant, so the determinism grid
+  // may still compare runs across shard counts by their outputs).
+  void save_state(store::Encoder& enc) const;
+  void load_state(store::Decoder& dec);
+
  private:
   void close_one_window(std::int64_t window,
                         std::vector<StalenessSignal>& out);

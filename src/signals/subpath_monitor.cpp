@@ -268,6 +268,110 @@ std::vector<SubpathMonitor::SegmentInfo> SubpathMonitor::segments_for(
   return out;
 }
 
+void SubpathMonitor::save_state(store::Encoder& enc) const {
+  std::vector<const Segment*> ordered;
+  ordered.reserve(segments_.size());
+  for (const auto& [key, segment] : segments_) {
+    ordered.push_back(segment.get());
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Segment* a, const Segment* b) { return a->id < b->id; });
+  enc.u64(ordered.size());
+  for (const Segment* segment : ordered) {
+    enc.u64(segment->id);
+    enc.u64(segment->ips.size());
+    for (Ipv4 ip : segment->ips) store::put(enc, ip);
+    segment->series.save_state(enc);
+    enc.u64(segment->subscribers.size());
+    for (const Subscriber& sub : segment->subscribers) {
+      put_pair(enc, sub.pair);
+      enc.u64(sub.border);
+      enc.boolean(sub.zombie);
+    }
+    enc.f64(segment->baseline_ratio);
+    enc.boolean(segment->touched);
+    enc.boolean(segment->pending_drop);
+  }
+  auto put_ids = [&enc](const std::vector<Segment*>& list) {
+    enc.u64(list.size());
+    for (const Segment* segment : list) enc.u64(segment->id);
+  };
+  enc.u64(by_pair_.size());
+  for (const auto& [pair, list] : by_pair_) {
+    put_pair(enc, pair);
+    put_ids(list);
+  }
+  put_ids(touched_);
+  enc.u64(observations_);
+}
+
+void SubpathMonitor::load_state(store::Decoder& dec) {
+  segments_.clear();
+  by_first_ip_.clear();
+  by_pair_.clear();
+  by_potential_.clear();
+  touched_.clear();
+  std::vector<Segment*> in_id_order;
+  std::uint64_t count = dec.u64();
+  in_id_order.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PotentialId id = dec.u64();
+    std::vector<Ipv4> ips;
+    std::uint64_t ip_count = dec.u64();
+    ips.reserve(ip_count);
+    for (std::uint64_t j = 0; j < ip_count; ++j) {
+      ips.push_back(store::get_ipv4(dec));
+    }
+    auto segment = std::make_unique<Segment>(Segment{
+        .id = id,
+        .ips = std::move(ips),
+        .series = detect::AdaptiveRatioSeries(prototype_,
+                                              params_.max_window_multiplier),
+        .subscribers = {},
+        .baseline_ratio = -1.0,
+        .touched = false,
+        .pending_drop = false,
+    });
+    segment->series.load_state(dec);
+    std::uint64_t sub_count = dec.u64();
+    segment->subscribers.reserve(sub_count);
+    for (std::uint64_t j = 0; j < sub_count; ++j) {
+      Subscriber sub;
+      sub.pair = get_pair(dec);
+      sub.border = dec.u64();
+      sub.zombie = dec.boolean();
+      segment->subscribers.push_back(sub);
+    }
+    segment->baseline_ratio = dec.f64();
+    segment->touched = dec.boolean();
+    segment->pending_drop = dec.boolean();
+    Segment* raw = segment.get();
+    in_id_order.push_back(raw);
+    by_potential_[raw->id] = raw;
+    segments_.emplace(key_of(raw->ips), std::move(segment));
+  }
+  // Id order == original registration order (see header comment).
+  for (Segment* segment : in_id_order) {
+    by_first_ip_[segment->ips.front()].push_back(segment);
+  }
+  auto get_ids = [this, &dec]() {
+    std::vector<Segment*> list;
+    std::uint64_t n = dec.u64();
+    list.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      list.push_back(by_potential_.at(dec.u64()));
+    }
+    return list;
+  };
+  std::uint64_t pair_count = dec.u64();
+  for (std::uint64_t i = 0; i < pair_count; ++i) {
+    tr::PairKey pair = get_pair(dec);
+    by_pair_[pair] = get_ids();
+  }
+  touched_ = get_ids();
+  observations_ = dec.u64();
+}
+
 bool SubpathMonitor::reverted(PotentialId id) const {
   auto it = by_potential_.find(id);
   if (it == by_potential_.end()) return false;

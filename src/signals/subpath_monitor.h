@@ -84,6 +84,15 @@ class SubpathMonitor final : public TraceMonitor {
   // Diagnostic view of the segments monitoring `pair`.
   std::vector<SegmentInfo> segments_for(const tr::PairKey& pair) const;
 
+  // Checkpoint support. Segments serialize sorted by potential id with
+  // subscribers in list order; by_pair_/touched_ round-trip as ordered id
+  // lists. by_first_ip_ is rebuilt in id order, which equals its original
+  // insertion order (ensure_segment registers a segment the moment its id
+  // is created, and ids are handed out monotonically). Map keys are
+  // recomputed from segment contents.
+  void save_state(store::Encoder& enc) const;
+  void load_state(store::Decoder& dec);
+
  private:
   // Subscriptions survive a refresh as "zombies" until the segment's
   // pending aggregate windows flush: a change detected by a slow window is

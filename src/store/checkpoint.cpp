@@ -1,0 +1,178 @@
+#include "store/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace rrr::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+constexpr std::string_view kSnapshotKind = "rrr.snapshot";
+constexpr std::string_view kSectionKind = "rrr.section";
+constexpr std::string_view kWalKind = "wal.op";
+}  // namespace
+
+std::string snapshot_name(std::int64_t completed_windows) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "snap-%08lld",
+                static_cast<long long>(completed_windows));
+  return buf;
+}
+
+std::vector<std::int64_t> list_snapshots(const std::string& dir) {
+  std::vector<std::int64_t> out;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind("snap-", 0) != 0) continue;
+    errno = 0;
+    char* end = nullptr;
+    long long v = std::strtoll(name.c_str() + 5, &end, 10);
+    if (end == name.c_str() + 5 || *end != '\0' || errno != 0) continue;
+    out.push_back(v);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<std::int64_t> latest_snapshot(const std::string& dir,
+                                            std::int64_t limit) {
+  std::optional<std::int64_t> best;
+  for (std::int64_t c : list_snapshots(dir)) {
+    if (limit >= 0 && c > limit) break;
+    best = c;
+  }
+  return best;
+}
+
+void SnapshotWriter::add_section(std::string name, std::string payload) {
+  sections_.emplace_back(std::move(name), std::move(payload));
+}
+
+std::string SnapshotWriter::write(const std::string& dir) const {
+  Encoder header;
+  header.i64(completed_);
+  header.u64(fingerprint_);
+  header.u64(sections_.size());
+  std::string data;
+  append_frame(data, kSnapshotKind, header.buffer());
+  for (const auto& [name, payload] : sections_) {
+    Encoder section;
+    section.str(name);
+    section.str(payload);
+    append_frame(data, kSectionKind, section.buffer());
+  }
+  std::string path = dir + "/" + snapshot_name(completed_);
+  write_file_atomic(path, data);
+  return path;
+}
+
+SnapshotReader::SnapshotReader(const std::string& dir,
+                               std::int64_t completed_windows)
+    : file_(dir + "/" + snapshot_name(completed_windows)) {
+  std::vector<FrameView> frames = read_all_frames(file_.view());
+  if (frames.empty() || frames.front().kind != kSnapshotKind) {
+    throw StoreError(StoreError::Kind::kCorrupt,
+                     "snapshot missing header frame");
+  }
+  Decoder header(frames.front().payload);
+  completed_ = header.i64();
+  fingerprint_ = header.u64();
+  std::uint64_t count = header.u64();
+  header.expect_done();
+  if (completed_ != completed_windows) {
+    throw StoreError(StoreError::Kind::kCorrupt,
+                     "snapshot header window count disagrees with filename");
+  }
+  if (count != frames.size() - 1) {
+    throw StoreError(StoreError::Kind::kTruncated,
+                     "snapshot section count disagrees with frame count");
+  }
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    if (frames[i].kind != kSectionKind) {
+      throw StoreError(StoreError::Kind::kCorrupt,
+                       "snapshot contains a non-section frame");
+    }
+    Decoder section(frames[i].payload);
+    std::string_view name = section.str();
+    std::string_view payload = section.str();
+    section.expect_done();
+    sections_.emplace(std::string(name), payload);
+  }
+}
+
+std::string_view SnapshotReader::section(const std::string& name) const {
+  auto it = sections_.find(name);
+  if (it == sections_.end()) {
+    throw StoreError(StoreError::Kind::kCorrupt,
+                     "snapshot missing section '" + name + "'");
+  }
+  return it->second;
+}
+
+void wal_append(const std::string& dir, const WalOp& op) {
+  Encoder enc;
+  enc.i64(op.clock);
+  enc.u8(op.point);
+  enc.str(op.type);
+  enc.str(op.payload);
+  std::string frame;
+  append_frame(frame, kWalKind, enc.buffer());
+  std::ofstream out(dir + "/wal.log", std::ios::binary | std::ios::app);
+  out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  out.flush();
+  if (!out) {
+    throw StoreError(StoreError::Kind::kIo,
+                     "store cannot append to '" + dir + "/wal.log'");
+  }
+}
+
+std::vector<WalOp> wal_read(const std::string& dir) {
+  std::string path = dir + "/wal.log";
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return {};
+  MappedFile file(path);
+  std::vector<WalOp> ops;
+  for (const FrameView& frame : read_all_frames(file.view())) {
+    if (frame.kind != kWalKind) {
+      throw StoreError(StoreError::Kind::kCorrupt,
+                       "wal.log contains a non-op frame");
+    }
+    Decoder dec(frame.payload);
+    WalOp op;
+    op.clock = dec.i64();
+    op.point = dec.u8();
+    op.type = std::string(dec.str());
+    op.payload = std::string(dec.str());
+    dec.expect_done();
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+void wal_rewrite(const std::string& dir, const std::vector<WalOp>& ops) {
+  std::string data;
+  for (const WalOp& op : ops) {
+    Encoder enc;
+    enc.i64(op.clock);
+    enc.u8(op.point);
+    enc.str(op.type);
+    enc.str(op.payload);
+    append_frame(data, kWalKind, enc.buffer());
+  }
+  write_file_atomic(dir + "/wal.log", data);
+}
+
+void ensure_dir(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec && !fs::is_directory(dir)) {
+    throw StoreError(StoreError::Kind::kIo,
+                     "store cannot create directory '" + dir + "'");
+  }
+}
+
+}  // namespace rrr::store

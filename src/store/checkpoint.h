@@ -1,0 +1,110 @@
+// The log-structured checkpoint directory: periodic full snapshots plus a
+// WAL of per-window exogenous operations.
+//
+// Layout of a checkpoint directory:
+//
+//   snap-00000042        full snapshot after 42 completed windows
+//   snap-00000084        ... one per checkpoint_every windows
+//   wal.log              append-only op log covering the whole run
+//
+// A snapshot file is a header frame ("rrr.snapshot": completed-window
+// count, writer fingerprint, section count) followed by one frame per
+// named section ("engine", "patcher", "metrics", ...). Sections are opaque
+// Encoder payloads owned by the checkpointed classes; the container knows
+// nothing about their contents. The WAL is a sequence of "wal.op" frames,
+// each tagged with the window clock and replay point at which the op must
+// be re-applied (eval/world.cpp's resume loop is the interpreter).
+//
+// Resuming at window k uses the newest snapshot with completed <= k and
+// replays the WAL tail (ops with clock in (snapshot, k]) live. Every decode
+// failure surfaces as a classified StoreError — a corrupted, truncated, or
+// future-version snapshot is a clean error, never UB.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/framing.h"
+#include "store/serial.h"
+
+namespace rrr::store {
+
+// Snapshot filename for a completed-window count, e.g. "snap-00000042".
+std::string snapshot_name(std::int64_t completed_windows);
+
+// Completed-window counts of every snapshot in `dir`, ascending.
+std::vector<std::int64_t> list_snapshots(const std::string& dir);
+
+// The newest snapshot with completed <= limit (limit < 0: no limit).
+std::optional<std::int64_t> latest_snapshot(const std::string& dir,
+                                            std::int64_t limit = -1);
+
+class SnapshotWriter {
+ public:
+  // `fingerprint` identifies the writing configuration (the world params
+  // digest); readers refuse to resume under a different one.
+  SnapshotWriter(std::int64_t completed_windows, std::uint64_t fingerprint)
+      : completed_(completed_windows), fingerprint_(fingerprint) {}
+
+  void add_section(std::string name, std::string payload);
+
+  // Assembles the snapshot and writes it atomically into `dir` (which must
+  // exist). Returns the file path.
+  std::string write(const std::string& dir) const;
+
+ private:
+  std::int64_t completed_;
+  std::uint64_t fingerprint_;
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+class SnapshotReader {
+ public:
+  // Maps and validates `dir/snap-<completed>`.
+  SnapshotReader(const std::string& dir, std::int64_t completed_windows);
+
+  std::int64_t completed_windows() const { return completed_; }
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
+  bool has_section(const std::string& name) const {
+    return sections_.contains(name);
+  }
+  // Throws kCorrupt when the section is absent.
+  std::string_view section(const std::string& name) const;
+
+ private:
+  MappedFile file_;
+  std::int64_t completed_ = 0;
+  std::uint64_t fingerprint_ = 0;
+  std::map<std::string, std::string_view, std::less<>> sections_;
+};
+
+// One exogenous operation recorded in the WAL. `clock` is the number of
+// windows completed when the op ran; `point` distinguishes the call sites
+// a resume must replay at (see eval/world.cpp).
+struct WalOp {
+  std::int64_t clock = 0;
+  std::uint8_t point = 0;
+  std::string type;
+  std::string payload;
+};
+
+// Appends one op frame to `dir/wal.log`.
+void wal_append(const std::string& dir, const WalOp& op);
+
+// Reads the full WAL (empty when the file does not exist).
+std::vector<WalOp> wal_read(const std::string& dir);
+
+// Atomically rewrites `dir/wal.log` to hold exactly `ops`. Resuming at a
+// window earlier than the logged tail uses this to drop the now-dead ops
+// before new appends would interleave with them.
+void wal_rewrite(const std::string& dir, const std::vector<WalOp>& ops);
+
+// Creates `dir` (and parents) if needed; throws StoreError(kIo) on failure.
+void ensure_dir(const std::string& dir);
+
+}  // namespace rrr::store

@@ -1,0 +1,186 @@
+#include "store/framing.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace rrr::store {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint32_t get_u32(std::string_view data, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data[pos + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(std::string_view data, std::size_t pos) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data[pos + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view data, std::uint64_t seed) {
+  std::uint64_t hash = seed;
+  for (char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void append_frame_versioned(std::string& out, std::string_view kind,
+                            std::string_view payload, std::uint32_t version) {
+  out.append(kMagic, sizeof(kMagic));
+  put_u32(out, version);
+  put_u64(out, kind.size());
+  out.append(kind.data(), kind.size());
+  put_u64(out, payload.size());
+  out.append(payload.data(), payload.size());
+  put_u64(out, fnv1a64(payload, fnv1a64(kind)));
+}
+
+void append_frame(std::string& out, std::string_view kind,
+                  std::string_view payload) {
+  append_frame_versioned(out, kind, payload, kFormatVersion);
+}
+
+FrameView read_frame(std::string_view data, std::size_t& pos) {
+  auto need = [&](std::size_t n, const char* what) {
+    if (n > data.size() - pos) {
+      throw StoreError(StoreError::Kind::kTruncated,
+                       std::string("store frame truncated in ") + what);
+    }
+  };
+  need(4, "magic");
+  if (std::memcmp(data.data() + pos, kMagic, sizeof(kMagic)) != 0) {
+    throw StoreError(StoreError::Kind::kCorrupt, "store frame bad magic");
+  }
+  pos += 4;
+  need(4, "version");
+  std::uint32_t version = get_u32(data, pos);
+  pos += 4;
+  if (version > kFormatVersion) {
+    throw StoreError(StoreError::Kind::kVersionSkew,
+                     "store frame written by format version " +
+                         std::to_string(version) + ", this binary reads <= " +
+                         std::to_string(kFormatVersion));
+  }
+  need(8, "kind length");
+  std::uint64_t kind_len = get_u64(data, pos);
+  pos += 8;
+  need(kind_len, "kind");
+  std::string_view kind = data.substr(pos, kind_len);
+  pos += kind_len;
+  need(8, "payload length");
+  std::uint64_t payload_len = get_u64(data, pos);
+  pos += 8;
+  need(payload_len, "payload");
+  std::string_view payload = data.substr(pos, payload_len);
+  pos += payload_len;
+  need(8, "checksum");
+  std::uint64_t stored = get_u64(data, pos);
+  pos += 8;
+  if (stored != fnv1a64(payload, fnv1a64(kind))) {
+    throw StoreError(StoreError::Kind::kBadChecksum,
+                     "store frame checksum mismatch in kind '" +
+                         std::string(kind) + "'");
+  }
+  return FrameView{kind, payload};
+}
+
+std::vector<FrameView> read_all_frames(std::string_view data) {
+  std::vector<FrameView> frames;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    frames.push_back(read_frame(data, pos));
+  }
+  return frames;
+}
+
+MappedFile::MappedFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw StoreError(StoreError::Kind::kIo,
+                     "store cannot open '" + path + "'");
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw StoreError(StoreError::Kind::kIo,
+                     "store cannot stat '" + path + "'");
+  }
+  std::size_t size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    view_ = std::string_view();
+    return;
+  }
+  void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (mapping != MAP_FAILED) {
+    mapping_ = mapping;
+    mapped_size_ = size;
+    view_ = std::string_view(static_cast<const char*>(mapping), size);
+    return;
+  }
+  // mmap unavailable (exotic filesystem): fall back to a heap read.
+  std::ifstream in(path, std::ios::binary);
+  fallback_.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+  if (!in && !in.eof()) {
+    throw StoreError(StoreError::Kind::kIo,
+                     "store cannot read '" + path + "'");
+  }
+  view_ = fallback_;
+}
+
+MappedFile::~MappedFile() {
+  if (mapping_ != nullptr) {
+    ::munmap(mapping_, mapped_size_);
+  }
+}
+
+void write_file_atomic(const std::string& path, std::string_view data) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    out.flush();
+    if (!out) {
+      throw StoreError(StoreError::Kind::kIo,
+                       "store cannot write '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw StoreError(StoreError::Kind::kIo,
+                     "store cannot rename '" + tmp + "' to '" + path + "'");
+  }
+}
+
+}  // namespace rrr::store

@@ -1,0 +1,83 @@
+// Versioned, checksummed frames — the on-disk unit of the state store.
+//
+// Every store file (snapshot or WAL) is a sequence of frames:
+//
+//   offset  size  field
+//   0       4     magic "RRRS"
+//   4       4     container format version (u32 LE, kFormatVersion)
+//   8       8     kind length K (u64 LE)
+//   16      K     kind (short ASCII tag, e.g. "engine", "wal.op")
+//   16+K    8     payload length P (u64 LE)
+//   24+K    P     payload (opaque bytes, usually an Encoder buffer)
+//   24+K+P  8     FNV-1a-64 checksum over kind + payload (u64 LE)
+//
+// The layout is memory-mappable: MappedFile maps the file read-only and
+// frame payloads are returned as string_views into the mapping, so reading
+// a multi-megabyte snapshot copies nothing until a Decoder consumes it.
+// Readers classify every failure: short data -> kTruncated, wrong magic ->
+// kCorrupt, version > kFormatVersion -> kVersionSkew, checksum mismatch ->
+// kBadChecksum. A frame written by an older (smaller) version is accepted —
+// version bumps must stay backward-readable or bump the magic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/serial.h"
+
+namespace rrr::store {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr char kMagic[4] = {'R', 'R', 'R', 'S'};
+
+// FNV-1a 64-bit over `data`, seedable for the two-part kind+payload sweep.
+std::uint64_t fnv1a64(std::string_view data,
+                      std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+// Appends one frame to `out`.
+void append_frame(std::string& out, std::string_view kind,
+                  std::string_view payload);
+
+// Appends a frame whose version field is `version` instead of
+// kFormatVersion — the hook the malformed-frame tests use to fabricate
+// future-version frames without hand-rolling the layout.
+void append_frame_versioned(std::string& out, std::string_view kind,
+                            std::string_view payload, std::uint32_t version);
+
+struct FrameView {
+  std::string_view kind;
+  std::string_view payload;  // points into the caller's buffer / mapping
+};
+
+// Reads the frame starting at `pos` (advancing it past the frame) or
+// throws a classified StoreError. `data` must outlive the returned views.
+FrameView read_frame(std::string_view data, std::size_t& pos);
+
+// Reads every frame in `data`; throws on the first malformed one.
+std::vector<FrameView> read_all_frames(std::string_view data);
+
+// Read-only file access for frame scans: mmap(2) when available, with a
+// heap-buffer fallback (the view is identical either way). Not copyable.
+class MappedFile {
+ public:
+  explicit MappedFile(const std::string& path);  // throws StoreError(kIo)
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  std::string_view view() const { return view_; }
+
+ private:
+  std::string_view view_;
+  void* mapping_ = nullptr;  // non-null when mmap'd
+  std::size_t mapped_size_ = 0;
+  std::string fallback_;  // used when mmap is unavailable
+};
+
+// Writes `data` to `path` atomically (temp file + rename), so a crashed
+// checkpoint never leaves a half-written snapshot behind.
+void write_file_atomic(const std::string& path, std::string_view data);
+
+}  // namespace rrr::store

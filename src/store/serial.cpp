@@ -1,0 +1,29 @@
+#include "store/serial.h"
+
+#include <bit>
+
+namespace rrr::store {
+
+const char* to_string(StoreError::Kind kind) {
+  switch (kind) {
+    case StoreError::Kind::kTruncated: return "truncated";
+    case StoreError::Kind::kBadChecksum: return "bad-checksum";
+    case StoreError::Kind::kVersionSkew: return "version-skew";
+    case StoreError::Kind::kCorrupt: return "corrupt";
+    case StoreError::Kind::kIo: return "io";
+  }
+  return "unknown";
+}
+
+void Encoder::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+double Decoder::f64() { return std::bit_cast<double>(u64()); }
+
+void Decoder::expect_done() const {
+  if (!done()) {
+    throw StoreError(StoreError::Kind::kCorrupt,
+                     "store payload has trailing bytes");
+  }
+}
+
+}  // namespace rrr::store

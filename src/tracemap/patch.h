@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "netbase/ipv4.h"
+#include "store/codec.h"
 #include "traceroute/traceroute.h"
 
 namespace rrr::tracemap {
@@ -25,6 +26,30 @@ class HopPatcher {
   std::optional<Ipv4> unique_middle(Ipv4 prev, Ipv4 next) const;
 
   std::size_t triple_count() const { return middles_.size(); }
+
+  // Checkpoint support: the learned triple store round-trips verbatim.
+  void save_state(store::Encoder& enc) const {
+    enc.u64(middles_.size());
+    for (const auto& [ends, mids] : middles_) {
+      store::put(enc, ends.first);
+      store::put(enc, ends.second);
+      enc.u64(mids.size());
+      for (Ipv4 mid : mids) store::put(enc, mid);
+    }
+  }
+  void load_state(store::Decoder& dec) {
+    middles_.clear();
+    std::uint64_t n = dec.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Ipv4 prev = store::get_ipv4(dec);
+      Ipv4 next = store::get_ipv4(dec);
+      std::set<Ipv4>& mids = middles_[{prev, next}];
+      std::uint64_t m = dec.u64();
+      for (std::uint64_t j = 0; j < m; ++j) {
+        mids.insert(store::get_ipv4(dec));
+      }
+    }
+  }
 
  private:
   std::map<std::pair<Ipv4, Ipv4>, std::set<Ipv4>> middles_;

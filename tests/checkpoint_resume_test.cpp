@@ -1,0 +1,799 @@
+// The resume-determinism contract of the durable state store (DESIGN.md
+// §11): a run that checkpoints at window k and resumes must be
+// indistinguishable — signal stream, stale pairs, calibration digest,
+// semantic telemetry, and the io/serialize rendering of the final corpus —
+// from the run that never stopped. The grid here pins that for every
+// window k of a small world, across (shards x threads x pipeline x fault
+// plan), through the WAL tail after a mid-cadence crash, and across
+// resume-of-a-resumed-run. The rejection tables pin the other half of the
+// contract: a corrupted, truncated, or version-skewed snapshot is a
+// classified StoreError, never UB and never a silently wrong world.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "eval/world.h"
+#include "io/serialize.h"
+#include "signals/feed_health.h"
+#include "store/checkpoint.h"
+#include "store/framing.h"
+#include "store/serial.h"
+
+namespace rrr::eval {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Unique scratch directory under the gtest temp root, removed on scope
+// exit. Checkpoint directories are cheap (a few MB of snapshots) but the
+// grid makes many, so each case cleans up after itself.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    static std::atomic<int> counter{0};
+    path_ = fs::path(::testing::TempDir()) /
+            ("rrr-ckpt-" + tag + "-" + std::to_string(::getpid()) + "-" +
+             std::to_string(counter.fetch_add(1)));
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// A deliberately small world: one day, no warmup, 96 base windows — small
+// enough that the every-k sweep (which costs one near-full run per k) stays
+// within test-suite budget, busy enough that the engine emits signals and
+// the refresh cycle grades them.
+WorldParams tiny_params(std::uint64_t seed, int threads = 1, int shards = 1,
+                        bool pipeline = false, bool faulted = false) {
+  WorldParams params;
+  params.days = 1;
+  params.warmup_days = 0;
+  params.corpus_pair_target = 60;
+  params.corpus_dest_count = 6;
+  params.public_dest_count = 20;
+  params.public_traces_per_window = 40;
+  params.platform.num_probes = 80;
+  params.topology.num_transit = 16;
+  params.topology.num_stub = 50;
+  // One day is short, so crank the routing dynamics: roughly a week's
+  // worth of events compressed into the 96 windows, keeping the engine
+  // busy enough to open potentials and emit signals.
+  params.dynamics.interconnect_flap_per_day = 60.0;
+  params.dynamics.interconnect_outage_mean_hours = 3.0;
+  params.dynamics.egress_shift_per_day = 45.0;
+  params.dynamics.egress_shift_mean_hours = 4.0;
+  params.dynamics.adjacency_flap_per_day = 30.0;
+  params.dynamics.adjacency_outage_mean_hours = 3.0;
+  params.dynamics.preferred_link_shift_per_day = 25.0;
+  params.dynamics.preferred_link_mean_hours = 6.0;
+  params.dynamics.te_community_churn_per_day = 80.0;
+  params.dynamics.parrot_update_per_day = 150.0;
+  params.seed = seed;
+  params.engine_threads = threads;
+  params.engine_shards = shards;
+  params.pipeline_absorb = pipeline;
+  // Telemetry on: the semantic-counter snapshot is part of the resume
+  // contract (restored wholesale from the snapshot, then advanced live).
+  params.telemetry = true;
+  if (faulted) {
+    fault::FaultPlan plan;
+    plan.collector_blackout_fraction = 0.4;
+    plan.blackout_start_window = 30;
+    plan.blackout_windows = 16;
+    plan.session_reset_replay = true;
+    plan.drop_rate = 0.05;
+    plan.duplicate_rate = 0.1;
+    plan.reorder_rate = 0.1;
+    plan.reorder_max_seconds = 120;
+    plan.corrupt_rate = 0.02;
+    plan.seed = 99;
+    params.fault_plan = plan;
+    params.feed_health.enabled = true;
+  }
+  return params;
+}
+
+std::int64_t total_windows(const WorldParams& params) {
+  return (params.days + params.warmup_days) * kSecondsPerDay /
+         kBaseWindowSeconds;
+}
+
+// Everything about a signal that identifies it across runs; the leading
+// element is the window index, which suffix comparison keys on.
+using SignalKey = std::tuple<std::int64_t, tr::ProbeId, std::uint32_t, int,
+                             signals::PotentialId, std::size_t, std::int64_t>;
+
+struct RunTrace {
+  std::int64_t resumed_at = 0;  // completed windows right after construction
+  std::vector<SignalKey> signals;
+  std::vector<tr::PairKey> stale;
+  std::uint64_t calibration_digest = 0;
+  std::string semantic_stats;
+  std::string corpus_bytes;  // io/serialize rendering of the final corpus
+  bool finished = false;     // false for deliberately "crashed" runs
+};
+
+std::vector<SignalKey> window_suffix(const std::vector<SignalKey>& all,
+                                     std::int64_t k) {
+  std::vector<SignalKey> out;
+  for (const SignalKey& key : all) {
+    if (std::get<0>(key) >= k) out.push_back(key);
+  }
+  return out;
+}
+
+struct DriveSpec {
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;
+  std::string resume_from;
+  std::int64_t resume_window = -1;
+  // >= 0: stop ("crash") once this many windows completed, skipping the
+  // final-state capture — the world simply goes out of scope mid-run.
+  std::int64_t stop_window = -1;
+  // Drive the WAL-logged refresh cycle from the hooks: plan + refresh
+  // inside on_signals every 7th window, one refresh inside on_day, and one
+  // between-run_until refresh at mid-run (all three ReplayPoints).
+  bool ops = false;
+};
+
+RunTrace drive(WorldParams params, const DriveSpec& spec) {
+  params.checkpoint_dir = spec.checkpoint_dir;
+  params.checkpoint_every = spec.checkpoint_every;
+  params.resume_from = spec.resume_from;
+  params.resume_window = spec.resume_window;
+  World world(params);
+
+  RunTrace trace;
+  trace.resumed_at = spec.resume_from.empty() ? 0 : world.completed_windows();
+  World::Hooks hooks;
+  hooks.on_signals = [&](std::int64_t window, TimePoint window_end,
+                         std::vector<signals::StalenessSignal>&& sigs) {
+    for (const signals::StalenessSignal& s : sigs) {
+      trace.signals.emplace_back(window, s.pair.probe, s.pair.dst.value(),
+                                 static_cast<int>(s.technique), s.potential,
+                                 s.border_index, s.time.seconds());
+    }
+    if (spec.ops && window % 7 == 3) {
+      std::vector<tr::PairKey> plan = world.plan_refreshes(2);
+      if (!plan.empty()) world.refresh_pair(plan.front(), window_end);
+    }
+  };
+  hooks.on_day = [&](int, TimePoint day_end) {
+    if (spec.ops && !world.ground_truth().pairs().empty()) {
+      world.refresh_pair(world.ground_truth().pairs().front(), day_end);
+    }
+  };
+
+  world.run_until(world.corpus_t0(), hooks);
+  world.initialize_corpus();
+  const std::int64_t windows = total_windows(params);
+  const std::int64_t stop =
+      spec.stop_window >= 0 ? spec.stop_window : windows;
+  const std::int64_t mid = windows / 2;
+  if (spec.ops && world.completed_windows() < mid && stop > mid) {
+    // A between-run_until op (ReplayPoint::kBoundary). Skipped when the
+    // resume point is already past mid: the WAL replays it instead.
+    world.run_until(world.start() + mid * world.window_seconds(), hooks);
+    world.refresh_pair(world.ground_truth().pairs().back(),
+                       world.start() + mid * world.window_seconds());
+  }
+  world.run_until(world.start() + stop * world.window_seconds(), hooks);
+  if (stop < windows) return trace;  // crashed mid-run, no final state
+
+  trace.stale = world.engine().stale_pairs();
+  trace.calibration_digest = world.engine().calibration().digest();
+  trace.semantic_stats = world.semantic_stats_json();
+  std::ostringstream corpus;
+  std::vector<tr::Traceroute> finals;
+  for (const tr::PairKey& pair : world.ground_truth().pairs()) {
+    finals.push_back(world.issue_corpus_traceroute(pair, world.end()));
+  }
+  io::write_traceroutes(corpus, finals);
+  trace.corpus_bytes = corpus.str();
+  trace.finished = true;
+  return trace;
+}
+
+void expect_same_final_state(const RunTrace& want, const RunTrace& got,
+                             const std::string& label) {
+  ASSERT_TRUE(want.finished && got.finished) << label;
+  EXPECT_EQ(want.stale, got.stale) << label;
+  EXPECT_EQ(want.calibration_digest, got.calibration_digest) << label;
+  EXPECT_EQ(want.semantic_stats, got.semantic_stats) << label;
+  EXPECT_EQ(want.corpus_bytes, got.corpus_bytes) << label;
+}
+
+// Resume expected to fail during World construction; returns the error.
+store::StoreError resume_error(WorldParams params, const DriveSpec& spec) {
+  params.checkpoint_dir = spec.checkpoint_dir;
+  params.checkpoint_every = spec.checkpoint_every;
+  params.resume_from = spec.resume_from;
+  params.resume_window = spec.resume_window;
+  try {
+    World world(params);
+  } catch (const store::StoreError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "resume unexpectedly succeeded";
+  return store::StoreError(store::StoreError::Kind::kIo, "unreachable");
+}
+
+// --- the checkpointed run is the same run ---
+
+// Turning checkpointing on must not perturb the run: snapshot writes and
+// WAL appends are side effects, not timeline inputs.
+TEST(CheckpointResume, CheckpointingIsOutputInvisible) {
+  WorldParams params = tiny_params(21);
+  TempDir dir("invisible");
+  DriveSpec with;
+  with.checkpoint_dir = dir.str();
+  with.checkpoint_every = 4;
+  RunTrace checkpointed = drive(params, with);
+  RunTrace plain = drive(params, DriveSpec{});
+  ASSERT_GT(checkpointed.signals.size(), 0u)
+      << "world too quiet to exercise the engine";
+  EXPECT_EQ(plain.signals, checkpointed.signals);
+  expect_same_final_state(plain, checkpointed, "checkpointing on vs off");
+
+  // The directory really is a checkpoint store: periodic snapshots plus a
+  // WAL that starts with the corpus-init op.
+  std::vector<std::int64_t> snaps = store::list_snapshots(dir.str());
+  ASSERT_FALSE(snaps.empty());
+  EXPECT_EQ(snaps.front(), 4);
+  EXPECT_EQ(snaps.back(), total_windows(params));
+  std::vector<store::WalOp> ops = store::wal_read(dir.str());
+  ASSERT_FALSE(ops.empty());
+  EXPECT_EQ(ops.front().type, "init");
+  EXPECT_EQ(ops.front().clock, 0);
+}
+
+// --- the every-k sweep ---
+// Resume at every single window boundary must reproduce the uninterrupted
+// run: the post-k signal stream and the complete final state. Split into
+// thirds so ctest can run the sweep in parallel.
+void sweep_every_window(std::uint64_t seed, std::int64_t lo, std::int64_t hi) {
+  WorldParams params = tiny_params(seed);
+  TempDir dir("sweep");
+  DriveSpec cold_spec;
+  cold_spec.checkpoint_dir = dir.str();
+  RunTrace cold = drive(params, cold_spec);
+  ASSERT_GT(cold.signals.size(), 0u)
+      << "world too quiet to exercise the engine";
+  for (std::int64_t k = lo; k <= hi; ++k) {
+    DriveSpec spec;
+    spec.resume_from = dir.str();
+    spec.resume_window = k;
+    RunTrace warm = drive(params, spec);
+    const std::string label = "k=" + std::to_string(k);
+    EXPECT_EQ(warm.resumed_at, k) << label;
+    EXPECT_EQ(window_suffix(cold.signals, k), warm.signals) << label;
+    expect_same_final_state(cold, warm, label);
+  }
+}
+
+TEST(CheckpointResume, ResumeAtEveryWindowFirstThird) {
+  sweep_every_window(31, 1, 32);
+}
+TEST(CheckpointResume, ResumeAtEveryWindowMiddleThird) {
+  sweep_every_window(31, 33, 64);
+}
+TEST(CheckpointResume, ResumeAtEveryWindowLastThird) {
+  WorldParams params = tiny_params(31);
+  sweep_every_window(31, 65, total_windows(params));
+}
+
+// --- the (shards x threads x pipeline x fault plan) grid ---
+// Every grid point writes its own checkpoint and resumes at mid-run; the
+// resumed run must match both its own cold run and the serial single-shard
+// baseline (tying the resume contract to the engine determinism contract).
+void grid_resume(bool faulted) {
+  const std::uint64_t seed = faulted ? 47 : 46;
+  WorldParams serial = tiny_params(seed, 1, 1, false, faulted);
+  RunTrace baseline = drive(serial, DriveSpec{});
+  ASSERT_GT(baseline.signals.size(), 0u)
+      << "world too quiet to exercise the engine";
+  const std::int64_t k = total_windows(serial) / 2;
+  for (int shards : {1, 2}) {
+    for (int threads : {1, 4}) {
+      for (bool pipeline : {false, true}) {
+        WorldParams params =
+            tiny_params(seed, threads, shards, pipeline, faulted);
+        TempDir dir("grid");
+        DriveSpec cold_spec;
+        cold_spec.checkpoint_dir = dir.str();
+        cold_spec.checkpoint_every = 4;  // k is a multiple: exact snapshot
+        RunTrace cold = drive(params, cold_spec);
+        DriveSpec warm_spec;
+        warm_spec.resume_from = dir.str();
+        warm_spec.resume_window = k;
+        RunTrace warm = drive(params, warm_spec);
+        std::ostringstream os;
+        os << "shards=" << shards << " threads=" << threads
+           << " pipeline=" << pipeline << " faulted=" << faulted;
+        const std::string point = os.str();
+        EXPECT_EQ(baseline.signals, cold.signals) << point;
+        EXPECT_EQ(warm.resumed_at, k) << point;
+        EXPECT_EQ(window_suffix(baseline.signals, k), warm.signals) << point;
+        expect_same_final_state(baseline, warm, point);
+      }
+    }
+  }
+}
+
+TEST(CheckpointResume, GridResumeMatchesColdRun) { grid_resume(false); }
+TEST(CheckpointResume, FaultedGridResumeMatchesColdRun) {
+  grid_resume(true);
+}
+
+// Threads and pipelining are pure throughput knobs, so a snapshot written
+// under one combination must resume under another (the fingerprint
+// deliberately excludes them) and still reproduce the run byte for byte.
+TEST(CheckpointResume, ResumeAcrossThroughputKnobs) {
+  WorldParams writer = tiny_params(52, /*threads=*/1, /*shards=*/2,
+                                   /*pipeline=*/false);
+  TempDir dir("knobs");
+  DriveSpec cold_spec;
+  cold_spec.checkpoint_dir = dir.str();
+  cold_spec.checkpoint_every = 8;
+  RunTrace cold = drive(writer, cold_spec);
+  WorldParams reader = tiny_params(52, /*threads=*/4, /*shards=*/2,
+                                   /*pipeline=*/true);
+  DriveSpec warm_spec;
+  warm_spec.resume_from = dir.str();
+  warm_spec.resume_window = 40;
+  RunTrace warm = drive(reader, warm_spec);
+  EXPECT_EQ(window_suffix(cold.signals, 40), warm.signals);
+  expect_same_final_state(cold, warm, "threads=1/pipeline=off snapshot "
+                                      "resumed at threads=4/pipeline=on");
+}
+
+// --- the WAL tail ---
+
+// A run that snapshots every 8 windows, logs exogenous refresh-cycle ops
+// through the World wrappers, and crashes mid-cadence must resume at the
+// furthest reconstructible state (last snapshot + WAL tail) and then — with
+// the driver re-attached — converge with the run that never crashed. The
+// resumed run keeps checkpointing into the same directory, so a second
+// resume from the rewritten store must work too.
+TEST(CheckpointResume, WalTailReplayAfterMidCadenceCrash) {
+  WorldParams params = tiny_params(63);
+  TempDir dir("crash");
+
+  DriveSpec ref_spec;
+  ref_spec.ops = true;
+  RunTrace reference = drive(params, ref_spec);
+  ASSERT_GT(reference.signals.size(), 0u);
+
+  DriveSpec crash_spec;
+  crash_spec.checkpoint_dir = dir.str();
+  crash_spec.checkpoint_every = 8;
+  crash_spec.ops = true;
+  crash_spec.stop_window = 21;  // between the snapshots at 16 and 24
+  RunTrace crashed = drive(params, crash_spec);
+  EXPECT_FALSE(crashed.finished);
+  {
+    // The WAL really holds the exogenous ops the hooks issued.
+    std::vector<store::WalOp> ops = store::wal_read(dir.str());
+    bool saw_plan = false, saw_refresh = false;
+    for (const store::WalOp& op : ops) {
+      saw_plan |= op.type == "plan";
+      saw_refresh |= op.type == "refresh";
+    }
+    EXPECT_TRUE(saw_plan);
+    EXPECT_TRUE(saw_refresh);
+  }
+
+  DriveSpec resume_spec;
+  resume_spec.checkpoint_dir = dir.str();  // keep checkpointing where we left
+  resume_spec.checkpoint_every = 8;
+  resume_spec.resume_from = dir.str();
+  resume_spec.ops = true;
+  RunTrace warm = drive(params, resume_spec);
+  // Crash-resume granularity: at least the last snapshot, at most the crash
+  // point (windows closed after the last snapshot/op are legitimately lost).
+  EXPECT_GE(warm.resumed_at, 16);
+  EXPECT_LE(warm.resumed_at, 21);
+  EXPECT_EQ(window_suffix(reference.signals, warm.resumed_at), warm.signals);
+  expect_same_final_state(reference, warm, "first resume after crash");
+
+  // Second generation: the continued run rewrote the WAL tail and kept
+  // snapshotting, so resuming the resumed run is just as exact.
+  DriveSpec again_spec;
+  again_spec.resume_from = dir.str();
+  again_spec.resume_window = 40;
+  again_spec.ops = true;
+  RunTrace again = drive(params, again_spec);
+  EXPECT_EQ(again.resumed_at, 40);
+  EXPECT_EQ(window_suffix(reference.signals, 40), again.signals);
+  expect_same_final_state(reference, again, "resume of the resumed run");
+}
+
+// No snapshot at all (cadence longer than the crashed run): resume must
+// rebuild purely from the WAL — full live replay from window zero.
+TEST(CheckpointResume, ResumeFromWalOnlyWhenNoSnapshotExists) {
+  WorldParams params = tiny_params(64);
+  TempDir dir("walonly");
+  DriveSpec ref_spec;
+  ref_spec.ops = true;
+  RunTrace reference = drive(params, ref_spec);
+
+  DriveSpec crash_spec;
+  crash_spec.checkpoint_dir = dir.str();
+  crash_spec.checkpoint_every = 200;  // never reached: WAL is all there is
+  crash_spec.ops = true;
+  crash_spec.stop_window = 21;
+  drive(params, crash_spec);
+  EXPECT_TRUE(store::list_snapshots(dir.str()).empty());
+
+  DriveSpec resume_spec;
+  resume_spec.resume_from = dir.str();
+  resume_spec.ops = true;
+  RunTrace warm = drive(params, resume_spec);
+  EXPECT_GT(warm.resumed_at, 0);
+  EXPECT_LE(warm.resumed_at, 21);
+  EXPECT_EQ(window_suffix(reference.signals, warm.resumed_at), warm.signals);
+  expect_same_final_state(reference, warm, "WAL-only resume");
+}
+
+// --- the fig11 warm-start arm, in miniature (bench reproducibility) ---
+// An archival-reuse-flavored world (no free recalibration, probe churn)
+// checkpointed to the end and resumed at the final window: the warm world
+// must report the same rrr-stats-v1 semantic snapshot byte for byte — the
+// property the bench-level smoke test (tools/resume_smoke.py) checks
+// through the real fig11 binary and its --stats-json files.
+TEST(CheckpointResume, SemanticStatsByteIdenticalColdVsWarmFinalWindow) {
+  WorldParams params = tiny_params(55);
+  params.recalibration_interval_windows = 0;
+  params.platform.probe_death_per_day = 0.006;
+  TempDir dir("fig11");
+  DriveSpec cold_spec;
+  cold_spec.checkpoint_dir = dir.str();
+  cold_spec.checkpoint_every = 16;
+  RunTrace cold = drive(params, cold_spec);
+  DriveSpec warm_spec;
+  warm_spec.resume_from = dir.str();  // default window: furthest state
+  RunTrace warm = drive(params, warm_spec);
+  EXPECT_EQ(warm.resumed_at, total_windows(params));
+  EXPECT_TRUE(warm.signals.empty());  // nothing left to run
+  ASSERT_NE(cold.semantic_stats.find("rrr_signals_emitted_total"),
+            std::string::npos);
+  expect_same_final_state(cold, warm, "cold vs warm final-window resume");
+}
+
+// --- rejection: malformed snapshots are classified errors, not UB ---
+
+TEST(CheckpointResume, MalformedSnapshotRejectionTable) {
+  WorldParams params = tiny_params(71);
+  TempDir dir("malformed");
+  DriveSpec make_spec;
+  make_spec.checkpoint_dir = dir.str();
+  make_spec.checkpoint_every = 2;
+  make_spec.stop_window = 6;
+  drive(params, make_spec);
+  const std::string snap_path = dir.str() + "/" + store::snapshot_name(6);
+  const std::string good = read_bytes(snap_path);
+  ASSERT_GT(good.size(), 64u);
+
+  std::string future_version;
+  store::append_frame_versioned(future_version, "rrr.snapshot",
+                                "from-the-future",
+                                store::kFormatVersion + 1);
+
+  struct Case {
+    const char* label;
+    std::string bytes;
+    store::StoreError::Kind want;
+  };
+  std::string checksum_flip = good;
+  checksum_flip[checksum_flip.size() - 1] ^= 0x5A;  // inside the checksum
+  std::string payload_flip = good;
+  payload_flip[good.size() / 2] ^= 0x5A;  // inside a section payload
+  std::string bad_magic = good;
+  bad_magic[0] ^= 0x20;
+  std::vector<Case> cases = {
+      // No bytes at all is not a short frame but a structurally headerless
+      // snapshot — classified kCorrupt ("snapshot missing header frame").
+      {"empty file", std::string(), store::StoreError::Kind::kCorrupt},
+      {"truncated mid-frame", good.substr(0, good.size() / 2),
+       store::StoreError::Kind::kTruncated},
+      {"truncated mid-header", good.substr(0, 10),
+       store::StoreError::Kind::kTruncated},
+      {"checksum byte flipped", checksum_flip,
+       store::StoreError::Kind::kBadChecksum},
+      {"payload byte flipped", payload_flip,
+       store::StoreError::Kind::kBadChecksum},
+      {"bad magic", bad_magic, store::StoreError::Kind::kCorrupt},
+      {"future container version", future_version,
+       store::StoreError::Kind::kVersionSkew},
+  };
+  for (const Case& c : cases) {
+    write_bytes(snap_path, c.bytes);
+    DriveSpec spec;
+    spec.resume_from = dir.str();
+    spec.resume_window = 6;
+    store::StoreError error = resume_error(params, spec);
+    EXPECT_EQ(error.kind(), c.want)
+        << c.label << ": " << error.what();
+  }
+  // Restore the pristine snapshot: the store must work again untouched.
+  write_bytes(snap_path, good);
+  DriveSpec ok_spec;
+  ok_spec.resume_from = dir.str();
+  ok_spec.resume_window = 6;
+  RunTrace warm = drive(params, ok_spec);
+  EXPECT_EQ(warm.resumed_at, 6);
+  EXPECT_TRUE(warm.finished);
+}
+
+TEST(CheckpointResume, CorruptedWalIsRejected) {
+  WorldParams params = tiny_params(72);
+  TempDir dir("badwal");
+  DriveSpec make_spec;
+  make_spec.checkpoint_dir = dir.str();
+  make_spec.stop_window = 4;
+  drive(params, make_spec);
+  const std::string wal_path = dir.str() + "/wal.log";
+  std::string wal = read_bytes(wal_path);
+  ASSERT_FALSE(wal.empty());
+  wal[wal.size() / 2] ^= 0x5A;
+  write_bytes(wal_path, wal);
+  DriveSpec spec;
+  spec.resume_from = dir.str();
+  EXPECT_EQ(resume_error(params, spec).kind(),
+            store::StoreError::Kind::kBadChecksum);
+}
+
+TEST(CheckpointResume, UnknownWalOpIsRejected) {
+  WorldParams params = tiny_params(73);
+  TempDir dir("bogusop");
+  DriveSpec make_spec;
+  make_spec.checkpoint_dir = dir.str();
+  make_spec.stop_window = 4;
+  drive(params, make_spec);
+  store::WalOp bogus;
+  bogus.clock = 2;
+  bogus.point = 2;  // ReplayPoint::kBoundary
+  bogus.type = "defragment";
+  store::wal_append(dir.str(), bogus);
+  DriveSpec spec;
+  spec.resume_from = dir.str();
+  spec.resume_window = 4;
+  store::StoreError error = resume_error(params, spec);
+  EXPECT_EQ(error.kind(), store::StoreError::Kind::kCorrupt);
+  EXPECT_NE(std::string(error.what()).find("defragment"), std::string::npos);
+}
+
+TEST(CheckpointResume, FingerprintMismatchIsRejected) {
+  WorldParams writer = tiny_params(74);
+  TempDir dir("fingerprint");
+  DriveSpec make_spec;
+  make_spec.checkpoint_dir = dir.str();
+  make_spec.stop_window = 4;
+  drive(writer, make_spec);
+  // A different seed is a different timeline; the snapshot must refuse.
+  WorldParams reader = tiny_params(75);
+  DriveSpec spec;
+  spec.resume_from = dir.str();
+  spec.resume_window = 4;
+  store::StoreError error = resume_error(reader, spec);
+  EXPECT_EQ(error.kind(), store::StoreError::Kind::kCorrupt);
+  EXPECT_NE(std::string(error.what()).find("different world parameters"),
+            std::string::npos);
+}
+
+TEST(CheckpointResume, ShardCountMismatchIsRejected) {
+  WorldParams writer = tiny_params(76, /*threads=*/1, /*shards=*/1);
+  TempDir dir("shards");
+  DriveSpec make_spec;
+  make_spec.checkpoint_dir = dir.str();
+  make_spec.stop_window = 4;
+  drive(writer, make_spec);
+  // Shard count shapes the engine's serialized layout; the fingerprint
+  // passes (it is a throughput knob) but the engine's own loader refuses.
+  WorldParams reader = tiny_params(76, /*threads=*/1, /*shards=*/2);
+  DriveSpec spec;
+  spec.resume_from = dir.str();
+  spec.resume_window = 4;
+  EXPECT_EQ(resume_error(reader, spec).kind(),
+            store::StoreError::Kind::kCorrupt);
+}
+
+TEST(CheckpointResume, ResumeBeyondWorldEndIsRejected) {
+  WorldParams params = tiny_params(77);
+  TempDir dir("beyond");
+  DriveSpec make_spec;
+  make_spec.checkpoint_dir = dir.str();
+  make_spec.stop_window = 4;
+  drive(params, make_spec);
+  DriveSpec spec;
+  spec.resume_from = dir.str();
+  spec.resume_window = total_windows(params) + 10;
+  EXPECT_EQ(resume_error(params, spec).kind(),
+            store::StoreError::Kind::kCorrupt);
+}
+
+TEST(CheckpointResume, MissingResumeDirectoryIsRejected) {
+  WorldParams params = tiny_params(78);
+  TempDir dir("missing");
+  DriveSpec spec;
+  spec.resume_from = dir.str() + "/nope";
+  EXPECT_EQ(resume_error(params, spec).kind(),
+            store::StoreError::Kind::kIo);
+}
+
+// --- FeedHealthTracker round-trip (the quarantine state machine) ---
+// Save mid-run with one stream quarantined and its EWMA baseline mid-decay;
+// the restored tracker's judgements must be bit-identical from there on —
+// checked both through the query surface and by re-serializing after every
+// subsequent window.
+TEST(CheckpointResume, FeedHealthTrackerRoundTripsBitIdentically) {
+  signals::FeedHealthParams p;
+  p.enabled = true;
+  p.warmup_windows = 4;
+  p.suspect_windows = 2;
+  p.recover_windows = 4;
+  p.judge_mass = 8.0;  // short horizons: judgements nearly per window
+  p.max_horizon_windows = 8;
+  signals::FeedHealthTracker live(p);
+
+  // Collector rrc00 (vp 1) and probe 7 stay healthy; collector rrc01
+  // (vp 2) and probe 8 fall silent over [10, 16) and then return, so the
+  // save point (after window 17) lands mid-recovery.
+  auto feed_window = [&](signals::FeedHealthTracker& t, std::int64_t w) {
+    for (int i = 0; i < 6; ++i) {
+      t.count_bgp(1, "rrc00", w);
+      t.count_trace(7, w);
+    }
+    if (w < 10 || w >= 16) {
+      for (int i = 0; i < 5; ++i) {
+        t.count_bgp(2, "rrc01", w);
+        t.count_trace(8, w);
+      }
+    }
+    t.close_window(w);
+  };
+  bool was_dead = false;
+  for (std::int64_t w = 0; w < 18; ++w) {
+    feed_window(live, w);
+    was_dead |= live.trace_state(8) == signals::FeedState::kDead;
+  }
+  ASSERT_TRUE(was_dead) << "the silent stream never reached kDead";
+  ASSERT_TRUE(live.trace_quarantined(8))
+      << "save point not mid-quarantine; state "
+      << to_string(live.trace_state(8));
+  ASSERT_TRUE(live.bgp_quarantined(2));
+
+  store::Encoder enc;
+  live.save_state(enc);
+  signals::FeedHealthTracker restored(p);
+  store::Decoder dec(enc.buffer());
+  restored.load_state(dec);
+  dec.expect_done();
+
+  // Restoring is lossless: re-serializing yields the same bytes.
+  store::Encoder again;
+  restored.save_state(again);
+  EXPECT_EQ(enc.buffer(), again.buffer());
+
+  for (std::int64_t w = 18; w < 40; ++w) {
+    feed_window(live, w);
+    feed_window(restored, w);
+    const std::string label = "window " + std::to_string(w);
+    for (bgp::VpId vp : {bgp::VpId(1), bgp::VpId(2)}) {
+      EXPECT_EQ(live.bgp_state(vp), restored.bgp_state(vp)) << label;
+      EXPECT_EQ(live.bgp_quarantined(vp), restored.bgp_quarantined(vp))
+          << label;
+    }
+    for (tr::ProbeId probe : {tr::ProbeId(7), tr::ProbeId(8)}) {
+      EXPECT_EQ(live.trace_state(probe), restored.trace_state(probe))
+          << label;
+      EXPECT_EQ(live.trace_quarantined(probe),
+                restored.trace_quarantined(probe))
+          << label;
+    }
+    EXPECT_EQ(live.bgp_degraded(), restored.bgp_degraded()) << label;
+    EXPECT_EQ(live.trace_degraded(), restored.trace_degraded()) << label;
+    EXPECT_EQ(live.bgp_quarantined_fraction(),
+              restored.bgp_quarantined_fraction())
+        << label;
+    EXPECT_EQ(live.trace_quarantined_fraction(),
+              restored.trace_quarantined_fraction())
+        << label;
+    store::Encoder ea, eb;
+    live.save_state(ea);
+    restored.save_state(eb);
+    EXPECT_EQ(ea.buffer(), eb.buffer()) << label;
+  }
+  // The recovered stream made it back to healthy across the restore.
+  EXPECT_EQ(live.trace_state(8), signals::FeedState::kHealthy);
+  EXPECT_EQ(restored.trace_state(8), signals::FeedState::kHealthy);
+}
+
+// --- on-disk format pinning ---
+
+// The frame layout documented in store/framing.h, reproduced here by hand:
+// any accidental layout change (field order, endianness, checksum seeding)
+// breaks this before it breaks someone's archived checkpoint.
+TEST(CheckpointResume, FrameLayoutMatchesDocumentedSpec) {
+  std::string frame;
+  store::append_frame(frame, "wal.op", "payload-bytes");
+
+  std::string want;
+  auto u32le = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      want.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  };
+  auto u64le = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      want.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  };
+  want += "RRRS";
+  u32le(store::kFormatVersion);
+  u64le(6);
+  want += "wal.op";
+  u64le(13);
+  want += "payload-bytes";
+  u64le(store::fnv1a64("payload-bytes", store::fnv1a64("wal.op")));
+  EXPECT_EQ(frame, want);
+}
+
+// Golden snapshot fixture: when RRR_GOLDEN_SNAPSHOT_DIR is set (CI does),
+// write a deterministic checkpoint there — uploaded as an artifact so
+// format regressions are diffable across PRs — and prove it resumes.
+TEST(CheckpointResume, GoldenSnapshotFixture) {
+  const char* golden = std::getenv("RRR_GOLDEN_SNAPSHOT_DIR");
+  if (golden == nullptr) {
+    GTEST_SKIP() << "RRR_GOLDEN_SNAPSHOT_DIR not set";
+  }
+  store::ensure_dir(golden);
+  WorldParams params = tiny_params(7);
+  DriveSpec make_spec;
+  make_spec.checkpoint_dir = golden;
+  make_spec.checkpoint_every = 4;
+  make_spec.stop_window = 8;
+  drive(params, make_spec);
+  DriveSpec spec;
+  spec.resume_from = golden;
+  spec.resume_window = 8;
+  RunTrace warm = drive(params, spec);
+  EXPECT_EQ(warm.resumed_at, 8);
+  EXPECT_TRUE(warm.finished);
+  // Sidecar digest so artifact diffs have a one-line summary.
+  const std::string snap =
+      std::string(golden) + "/" + store::snapshot_name(8);
+  std::ofstream digest(std::string(golden) + "/DIGEST.txt");
+  digest << store::snapshot_name(8) << " fnv1a64="
+         << store::fnv1a64(read_bytes(snap)) << "\n";
+}
+
+}  // namespace
+}  // namespace rrr::eval

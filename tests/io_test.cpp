@@ -218,5 +218,82 @@ TEST(TracerouteSerialization, OrphanHopLinesAreErrors) {
   EXPECT_EQ(errors, 1u);
 }
 
+// --- archive format versioning ---
+
+TEST(ArchiveVersion, WritersStampTheCurrentHeader) {
+  std::stringstream bgp_buffer;
+  write_bgp_records(bgp_buffer, {sample_record()});
+  std::string first;
+  ASSERT_TRUE(std::getline(bgp_buffer, first));
+  EXPECT_EQ(first, version_header());
+
+  std::stringstream trace_buffer;
+  write_traceroutes(trace_buffer, {sample_trace()});
+  ASSERT_TRUE(std::getline(trace_buffer, first));
+  EXPECT_EQ(first, version_header());
+}
+
+TEST(ArchiveVersion, ParseHeaderTable) {
+  struct Case {
+    const char* line;
+    std::optional<int> want;
+  };
+  std::vector<Case> cases = {
+      {"#rrr-io v1", 1},
+      {"#rrr-io v2", 2},
+      {"#rrr-io v0", 0},
+      {"#rrr-io v12", 12},
+      {"# a plain comment", std::nullopt},
+      {"#rrr-io", std::nullopt},
+      {"#rrr-io v", std::nullopt},
+      {"#rrr-io vx", std::nullopt},
+      {"#rrr-io v-1", std::nullopt},
+      {"#rrr-io v1 trailing", std::nullopt},
+      {"rrr-io v1", std::nullopt},
+      {"", std::nullopt},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(parse_version_header(c.line), c.want) << "line: " << c.line;
+  }
+}
+
+// Legacy archives predate the header; both readers must keep accepting
+// them, along with ordinary comments and a same/older-version header.
+TEST(ArchiveVersion, LegacyAndCurrentArchivesAreAccepted) {
+  std::stringstream legacy;
+  legacy << "# some tool wrote this before versioning\n"
+         << to_line(sample_record()) << "\n";
+  EXPECT_EQ(read_bgp_records(legacy).size(), 1u);
+
+  std::stringstream current;
+  write_bgp_records(current, {sample_record()});
+  EXPECT_EQ(read_bgp_records(current).size(), 1u);
+
+  std::stringstream older;
+  older << "#rrr-io v0\n" << to_line(sample_record()) << "\n";
+  EXPECT_EQ(read_bgp_records(older).size(), 1u);
+}
+
+// A future-version archive is a hard, diagnosable error — the reader must
+// not silently skip every line it cannot understand.
+TEST(ArchiveVersion, FutureVersionThrowsFromBothReaders) {
+  const std::string header =
+      "#rrr-io v" + std::to_string(kIoFormatVersion + 1);
+  std::stringstream bgp_buffer;
+  bgp_buffer << header << "\n" << to_line(sample_record()) << "\n";
+  try {
+    read_bgp_records(bgp_buffer);
+    FAIL() << "future-version BGP archive was accepted";
+  } catch (const VersionMismatchError& e) {
+    EXPECT_EQ(e.found(), kIoFormatVersion + 1);
+    EXPECT_NE(std::string(e.what()).find("v2"), std::string::npos);
+  }
+
+  std::stringstream trace_buffer;
+  trace_buffer << header << "\n";
+  write_traceroute(trace_buffer, sample_trace());
+  EXPECT_THROW(read_traceroutes(trace_buffer), VersionMismatchError);
+}
+
 }  // namespace
 }  // namespace rrr::io

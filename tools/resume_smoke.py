@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Bench-level resume-reproducibility smoke test (DESIGN.md §11).
+
+Runs the fig11 archival-reuse harness twice with the same world flags:
+once cold with --checkpoint-dir (writing snapshots + the op WAL), then
+once warm with --resume pointing at the same directory. Both runs write an
+rrr-stats-v1 envelope via --stats-json; the warm run fast-forwards from the
+snapshot instead of replaying the engine, so its day table is empty — but
+the `semantic` member of every run object must match the cold run byte for
+byte. That is the resume-determinism contract surfaced at the CLI, the
+same property tests/checkpoint_resume_test.cpp pins at the World level.
+
+Usage: resume_smoke.py /path/to/fig11_archival_reuse [--days N] ...
+Extra arguments are forwarded to both runs. Exits non-zero on any diff.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def run(cmd):
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout)
+        sys.exit(f"command failed ({proc.returncode}): {' '.join(cmd)}")
+    return proc.stdout
+
+
+def load_runs(path):
+    with open(path, encoding="utf-8") as fh:
+        envelope = json.load(fh)
+    if envelope.get("schema") != "rrr-stats-v1":
+        sys.exit(f"{path}: unexpected schema {envelope.get('schema')!r}")
+    return envelope["runs"]
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    binary = sys.argv[1]
+    extra = sys.argv[2:] or ["--days", "2", "--pairs", "200", "--seeds", "2"]
+
+    with tempfile.TemporaryDirectory(prefix="rrr-resume-smoke-") as scratch:
+        scratch = Path(scratch)
+        ckpt = scratch / "checkpoints"
+        cold_json = scratch / "cold.json"
+        warm_json = scratch / "warm.json"
+
+        run([binary, *extra, "--checkpoint-dir", str(ckpt),
+             "--checkpoint-every", "16", "--stats-json", str(cold_json)])
+        out = run([binary, *extra, "--resume", str(ckpt),
+                   "--stats-json", str(warm_json)])
+        if "warm start: resumed at window" not in out:
+            sys.exit("warm run never announced a resume — did the "
+                     "checkpoint directory load?")
+
+        cold_runs = load_runs(cold_json)
+        warm_runs = load_runs(warm_json)
+        if len(cold_runs) != len(warm_runs):
+            sys.exit(f"run count mismatch: cold {len(cold_runs)} vs "
+                     f"warm {len(warm_runs)}")
+        failures = 0
+        for cold, warm in zip(cold_runs, warm_runs):
+            label = cold.get("label", "?")
+            if warm.get("label") != label:
+                sys.exit(f"label mismatch: {label!r} vs "
+                         f"{warm.get('label')!r}")
+            # Byte-for-byte on the serialized semantic member: re-dump with
+            # no whitespace changes so the comparison is on content order
+            # too, not a normalized view.
+            cold_bytes = json.dumps(cold["semantic"], sort_keys=False)
+            warm_bytes = json.dumps(warm["semantic"], sort_keys=False)
+            if cold_bytes != warm_bytes:
+                failures += 1
+                print(f"[{label}] semantic stats diverge:")
+                for c, w in zip(cold["semantic"], warm["semantic"]):
+                    if c != w:
+                        print(f"  cold: {c}\n  warm: {w}")
+        if failures:
+            sys.exit(f"{failures} run(s) diverged")
+        print(f"resume smoke OK: {len(cold_runs)} run(s), semantic stats "
+              "byte-identical cold vs warm")
+
+
+if __name__ == "__main__":
+    main()
