@@ -85,6 +85,29 @@ struct RunStats {
   std::string windows;   // sparse per-window series (JSON array)
 };
 
+// Process memory footprint from /proc/self/status, in kB: current resident
+// set (VmRSS) and lifetime peak (VmHWM). Zero when the field is missing
+// (non-Linux). Captured into the stats envelope so memory regressions show
+// up in the same artifact the CI perf step already uploads.
+struct MemoryUsage {
+  long long rss_kb = 0;
+  long long peak_rss_kb = 0;
+};
+
+inline MemoryUsage read_memory_usage() {
+  MemoryUsage usage;
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      usage.rss_kb = std::atoll(line.c_str() + 6);
+    } else if (line.rfind("VmHWM:", 0) == 0) {
+      usage.peak_rss_kb = std::atoll(line.c_str() + 6);
+    }
+  }
+  return usage;
+}
+
 // Snapshot a world's telemetry under `label`; empty JSON when telemetry is
 // off (the writer still emits the run, keeping run indices aligned).
 inline RunStats capture_stats(const std::string& label,
@@ -105,7 +128,10 @@ inline void write_stats_json(const std::string& path,
     log << "stats-json: cannot open " << path << "\n";
     return;
   }
-  out << "{\"schema\":\"rrr-stats-v1\",\"runs\":[";
+  MemoryUsage memory = read_memory_usage();
+  out << "{\"schema\":\"rrr-stats-v1\",\"memory\":{\"rss_kb\":"
+      << memory.rss_kb << ",\"peak_rss_kb\":" << memory.peak_rss_kb
+      << "},\"runs\":[";
   for (std::size_t i = 0; i < runs.size(); ++i) {
     if (i > 0) out << ",";
     out << "{\"label\":\"" << obs::json_escape(runs[i].label)

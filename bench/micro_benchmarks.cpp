@@ -11,8 +11,10 @@
 
 #include "detect/detector.h"
 #include "eval/world.h"
+#include "netbase/intern.h"
 #include "netbase/radix_trie.h"
 #include "netbase/rng.h"
+#include "runtime/arena.h"
 #include "routing/control_plane.h"
 #include "topology/builder.h"
 #include "tracemap/pipeline.h"
@@ -323,6 +325,71 @@ BENCHMARK(BM_TelemetryOverhead)
     ->Arg(1)
     ->Iterations(96)
     ->Unit(benchmark::kMillisecond);
+
+// The two primitives the interning refactor put on the per-record path:
+// content→id lookup of an already-interned AS path (the steady state — new
+// content is rare by design) and id→content resolution (one acquire-load).
+void BM_InternLookup(benchmark::State& state) {
+  Interner::ScopedInstance interner;
+  Rng rng(7);
+  std::vector<AsPath> paths;
+  std::vector<PathId> ids;
+  for (int i = 0; i < 1024; ++i) {
+    AsPath path;
+    int hops = static_cast<int>(rng.uniform_int(2, 6));
+    for (int h = 0; h < hops; ++h) {
+      path.push_back(Asn(static_cast<std::uint32_t>(
+          rng.uniform_int(64500, 64500 + 200))));
+    }
+    paths.push_back(path);
+    ids.push_back(interner.get().path_id(path));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    PathId id = interner.get().path_id(paths[i & 1023]);
+    benchmark::DoNotOptimize(id);
+    benchmark::DoNotOptimize(&interner.get().path(ids[i & 1023]));
+    ++i;
+  }
+}
+BENCHMARK(BM_InternLookup);
+
+// The window-close allocation pattern with and without the epoch arena:
+// build a dispatched-batch-sized vector of 64-byte records, tear it down,
+// repeat. Arg(1) = arena backing with reset() per epoch (the engines'
+// steady state: zero heap traffic); Arg(0) = plain heap vector.
+void BM_ArenaVsHeapBacklog(benchmark::State& state) {
+  struct Rec {
+    std::uint64_t words[8];
+  };
+  constexpr std::size_t kBatch = 4096;
+  const bool use_arena = state.range(0) != 0;
+  runtime::Arena arena;
+  for (auto _ : state) {
+    if (use_arena) {
+      std::vector<Rec, runtime::ArenaAllocator<Rec>> batch{
+          runtime::ArenaAllocator<Rec>(arena)};
+      batch.reserve(kBatch);
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        batch.push_back(Rec{{i, i, i, i, i, i, i, i}});
+      }
+      benchmark::DoNotOptimize(batch.data());
+      batch.clear();
+      arena.reset();
+    } else {
+      std::vector<Rec> batch;
+      batch.reserve(kBatch);
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        batch.push_back(Rec{{i, i, i, i, i, i, i, i}});
+      }
+      benchmark::DoNotOptimize(batch.data());
+    }
+  }
+  state.counters["arena"] = static_cast<double>(state.range(0));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_ArenaVsHeapBacklog)->Arg(0)->Arg(1);
 
 }  // namespace
 

@@ -7,6 +7,7 @@
 
 #include "netbase/asn.h"
 #include "netbase/community.h"
+#include "netbase/intern.h"
 #include "netbase/ipv4.h"
 #include "netbase/prefix.h"
 #include "netbase/time.h"
@@ -27,16 +28,26 @@ const char* to_string(RecordType type);
 // One BGP element as a collector exposes it: who said it (peer), when, and
 // the route attributes. `vp` is a dense index assigned by the feed for fast
 // per-VP bookkeeping (real BGPStream users derive it from peer address).
+//
+// Attributes are interned (netbase/intern.h): `as_path`, `communities`, and
+// `collector` are 32-bit handles whose assignment interns and whose
+// comparison is one integer compare, so copying a record around the backlog
+// and epoch-table carryover buffers touches no heap.
 struct BgpRecord {
   TimePoint time;
   RecordType type = RecordType::kAnnouncement;
   VpId vp = kNoVp;
   Asn peer_asn;
   Ipv4 peer_ip;
-  std::string collector;
+  InternedCollector collector;
   Prefix prefix;
-  AsPath as_path;        // empty for withdrawals
-  CommunitySet communities;
+  InternedPath as_path;  // empty for withdrawals
+  InternedCommunities communities;
+  // Table-canonical form of `as_path` (IXP-strip + prepend-collapse),
+  // stamped by the engine's serial feed boundary so the epoch-table absorb
+  // never interns on a pool thread. kInvalidInternId = not stamped; the
+  // table view then canonicalizes on its own (single-writer) cache.
+  PathId canonical_path = kInvalidInternId;
 
   // A human-readable dump in the style of the paper's Figure 3.
   std::string to_string() const;
@@ -48,7 +59,7 @@ struct VantagePoint {
   std::uint32_t as_index = 0;  // topo::AsIndex of the host AS
   Asn asn;
   Ipv4 peer_ip;
-  std::string collector;
+  InternedCollector collector;
   bool full_table = true;  // 84% of RouteViews/RIS peers send full tables
 };
 

@@ -10,13 +10,18 @@
 
 namespace rrr::bgp {
 
+// Interned attributes are resolved to content on write and re-interned on
+// read, so the byte format is identical to the pre-interning one and never
+// leaks intern-id values (which are free to differ across runs). The
+// `canonical_path` stamp is deliberately not stored: a loaded backlog
+// re-canonicalizes through the table view's own memo.
 inline void put_record(store::Encoder& enc, const BgpRecord& record) {
   store::put(enc, record.time);
   enc.u8(static_cast<std::uint8_t>(record.type));
   enc.u32(record.vp);
   store::put(enc, record.peer_asn);
   store::put(enc, record.peer_ip);
-  enc.str(record.collector);
+  enc.str(record.collector.str());
   store::put(enc, record.prefix);
   store::put(enc, record.as_path);
   store::put(enc, record.communities);
@@ -29,7 +34,7 @@ inline BgpRecord get_record(store::Decoder& dec) {
   record.vp = dec.u32();
   record.peer_asn = store::get_asn(dec);
   record.peer_ip = store::get_ipv4(dec);
-  record.collector = std::string(dec.str());
+  record.collector = dec.str();
   record.prefix = store::get_prefix(dec);
   record.as_path = store::get_as_path(dec);
   record.communities = store::get_community_set(dec);

@@ -9,9 +9,11 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "bgp/record.h"
+#include "netbase/intern.h"
 #include "netbase/radix_trie.h"
 #include "store/codec.h"
 
@@ -22,15 +24,43 @@ namespace rrr::bgp {
 bool acceptable_prefix(const Prefix& prefix);
 
 // §4.1.1: remove IXP route-server ASNs so paths link IXP members directly.
-AsPath strip_ixp_asns(const AsPath& path, const std::set<Asn>& ixp_asns);
+// `sorted_ixp_asns` must be sorted ascending — the per-hop membership test
+// is a binary search over a flat array (the per-record hot path; the old
+// std::set walked a node-based tree per hop).
+AsPath strip_ixp_asns(const AsPath& path,
+                      const std::vector<Asn>& sorted_ixp_asns);
 
 // Collapse prepending (consecutive identical ASNs) into a single hop.
 AsPath collapse_prepending(const AsPath& path);
 
-// The route a VP currently holds for a prefix.
+// Memoized raw-path → table-canonical-path (IXP-strip + prepend-collapse)
+// id mapping. Most updates repeat a path already seen, so canonicalization
+// amortizes to one hash lookup instead of two vector rebuilds per record.
+//
+// Single-writer: the cache has no locking. Each owner (an engine's serial
+// feed boundary, a VpTableView's absorb writer) keeps its own instance.
+// With an empty IXP list this memoizes plain prepend-collapse — the
+// dispatch-path normalization.
+class PathCanonicalizer {
+ public:
+  PathCanonicalizer() = default;
+  explicit PathCanonicalizer(const std::set<Asn>& ixp_asns)
+      : ixp_asns_(ixp_asns.begin(), ixp_asns.end()) {}
+
+  PathId canonical(PathId raw);
+
+  const std::vector<Asn>& ixp_asns() const { return ixp_asns_; }
+
+ private:
+  std::vector<Asn> ixp_asns_;  // sorted (std::set iteration order)
+  std::unordered_map<PathId, PathId> cache_;
+};
+
+// The route a VP currently holds for a prefix. Interned: copying a route or
+// comparing paths/community sets is integer work.
 struct VpRoute {
-  AsPath path;  // already IXP-stripped and prepending-collapsed
-  CommunitySet communities;
+  InternedPath path;  // already IXP-stripped and prepending-collapsed
+  InternedCommunities communities;
   TimePoint updated;
 };
 
@@ -46,12 +76,16 @@ struct VpRoute {
 // a single thread.
 class VpTableView {
  public:
-  explicit VpTableView(std::set<Asn> ixp_asns = {})
-      : ixp_asns_(std::move(ixp_asns)) {}
+  explicit VpTableView(std::set<Asn> ixp_asns = {}) : canon_(ixp_asns) {}
 
   // Applies one record (RIB entries and updates are treated alike; the
   // latest information wins). Records with unacceptable prefixes are
   // dropped; returns whether the record was applied.
+  //
+  // When `record.canonical_path` is stamped (the engines do it at the
+  // serial feed boundary) the stored route is a pure id copy — no interner
+  // write, no path rebuild; otherwise the view canonicalizes through its
+  // own single-writer memo.
   bool apply(const BgpRecord& record);
 
   // Absorbs the first `count` records of `records` in order; returns how
@@ -74,16 +108,20 @@ class VpTableView {
 
   std::size_t route_count(VpId vp) const;
 
-  // Checkpoint support. save_state enumerates every (vp, prefix, route) in
-  // a deterministic order (VP ascending, prefixes in trie order);
-  // restore_route reinstalls one saved route verbatim (no preprocessing —
-  // stored routes were already stripped/collapsed when first applied).
+  // Checkpoint support. save_state writes one local dictionary section —
+  // every distinct path / community set once, in first-appearance order —
+  // followed by the routes as dictionary indices (VP ascending, prefixes in
+  // trie order), so snapshot bytes are a pure function of table *content*
+  // (global intern ids never reach the disk) and repeated attributes cost
+  // four bytes per route. restore_route reinstalls one route verbatim (no
+  // preprocessing — stored routes were already stripped/collapsed when
+  // first applied).
   void save_state(store::Encoder& enc) const;
   void load_state(store::Decoder& dec);
   void restore_route(VpId vp, const Prefix& prefix, VpRoute route);
 
  private:
-  std::set<Asn> ixp_asns_;
+  PathCanonicalizer canon_;
   std::map<VpId, RadixTrie<VpRoute>> tables_;
 };
 

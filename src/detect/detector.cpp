@@ -65,7 +65,10 @@ void ModifiedZScoreDetector::backfill(double value, std::size_t count) {
   while (history_.size() > params_.max_history) history_.pop_front();
 }
 
-BitmapDetector::BitmapDetector(const BitmapParams& params) : params_(params) {}
+BitmapDetector::BitmapDetector(const BitmapParams& params)
+    : params_(params),
+      values_(params.lag_window + params.lead_window),
+      scores_(kScoreHistoryCap) {}
 
 void BitmapDetector::backfill(double value, std::size_t count) {
   std::size_t cap = params_.lag_window + params_.lead_window;
@@ -78,7 +81,7 @@ void BitmapDetector::backfill(double value, std::size_t count) {
   for (std::size_t i = 0; i < score_fill; ++i) {
     if (values_.size() >= params_.min_history) {
       scores_.push_back(bitmap_distance());
-      if (scores_.size() > 128) scores_.pop_front();
+      if (scores_.size() > kScoreHistoryCap) scores_.pop_front();
     }
   }
 }
@@ -171,7 +174,7 @@ Judgement BitmapDetector::update(double value) {
     }
     if (!judgement.outlier) {
       scores_.push_back(score);
-      if (scores_.size() > 128) scores_.pop_front();
+      if (scores_.size() > kScoreHistoryCap) scores_.pop_front();
     }
   }
 
@@ -181,12 +184,12 @@ Judgement BitmapDetector::update(double value) {
   return judgement;
 }
 
-void save_deque(store::Encoder& enc, const std::deque<double>& values) {
+void save_ring(store::Encoder& enc, const Ring& values) {
   enc.u64(values.size());
   for (double v : values) enc.f64(v);
 }
 
-void load_deque(store::Decoder& dec, std::deque<double>& values) {
+void load_ring(store::Decoder& dec, Ring& values) {
   values.clear();
   std::uint64_t n = dec.u64();
   for (std::uint64_t i = 0; i < n; ++i) values.push_back(dec.f64());

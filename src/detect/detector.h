@@ -11,13 +11,106 @@
 // maintenance).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
-#include <deque>
+#include <iterator>
 #include <memory>
 
 #include "store/serial.h"
 
 namespace rrr::detect {
+
+// Bounded history of doubles backed by one flat allocation. The detectors'
+// histories have small, configuration-known caps (tens of values), but the
+// engine holds one detector per watched (pair, suffix) entry — tens of
+// thousands at 10x corpus scale — and a std::deque<double> pre-allocates a
+// ~512-byte node plus its pointer map even when empty, which dominated the
+// monitors' resident set. The ring grows geometrically and clamps its
+// capacity to the expected cap, so a full history costs exactly its
+// payload. Push/pop semantics and iteration order match the deque it
+// replaced; hitting the expected cap is not an error, growth just resumes
+// doubling (load_state may momentarily hold more than the cap).
+class Ring {
+ public:
+  explicit Ring(std::size_t expected_cap)
+      : hint_(expected_cap == 0 ? 1 : expected_cap) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  double operator[](std::size_t i) const { return data_[slot(i)]; }
+  double front() const { return data_[head_]; }
+  double back() const { return data_[slot(size_ - 1)]; }
+
+  void push_back(double value) {
+    if (size_ == cap_) grow();
+    data_[slot(size_)] = value;
+    ++size_;
+  }
+  void pop_front() {
+    head_ = head_ + 1 == cap_ ? 0 : head_ + 1;
+    --size_;
+  }
+  void pop_back() { --size_; }
+
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = double;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const double*;
+    using reference = double;
+
+    const_iterator(const Ring* ring, std::size_t i) : ring_(ring), i_(i) {}
+    double operator*() const { return (*ring_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator copy = *this;
+      ++i_;
+      return copy;
+    }
+    bool operator==(const const_iterator& other) const {
+      return i_ == other.i_;
+    }
+    bool operator!=(const const_iterator& other) const {
+      return i_ != other.i_;
+    }
+
+   private:
+    const Ring* ring_;
+    std::size_t i_;
+  };
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, size_); }
+
+ private:
+  std::size_t slot(std::size_t i) const {
+    std::size_t s = head_ + i;
+    return s >= cap_ ? s - cap_ : s;
+  }
+  void grow() {
+    std::size_t next = cap_ == 0 ? std::min<std::size_t>(hint_, 8) : cap_ * 2;
+    if (cap_ < hint_ && next > hint_) next = hint_;
+    auto fresh = std::make_unique<double[]>(next);
+    for (std::size_t i = 0; i < size_; ++i) fresh[i] = data_[slot(i)];
+    data_ = std::move(fresh);
+    cap_ = next;
+    head_ = 0;
+  }
+
+  std::unique_ptr<double[]> data_;
+  std::size_t hint_;
+  std::size_t cap_ = 0;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
 
 struct Judgement {
   bool outlier = false;
@@ -48,9 +141,11 @@ class Detector {
   virtual void load_state(store::Decoder& dec) = 0;
 };
 
-// Shared helpers for the detectors' double-deque state.
-void save_deque(store::Encoder& enc, const std::deque<double>& values);
-void load_deque(store::Decoder& dec, std::deque<double>& values);
+// Shared helpers for the detectors' history-ring state. The byte format
+// (u64 count + f64 values in order) is unchanged from the deque-backed
+// representation these replaced, so existing snapshots load as-is.
+void save_ring(store::Encoder& enc, const Ring& values);
+void load_ring(store::Decoder& dec, Ring& values);
 
 // Modified z-score: M = 0.6745 (x - median) / MAD, outlier when |M| exceeds
 // the threshold (3.5 by convention). When the MAD degenerates to zero the
@@ -70,7 +165,7 @@ struct ZScoreParams {
 class ModifiedZScoreDetector final : public Detector {
  public:
   explicit ModifiedZScoreDetector(const ZScoreParams& params = {})
-      : params_(params) {}
+      : params_(params), history_(params.max_history) {}
 
   Judgement update(double value) override;
   void backfill(double value, std::size_t count) override;
@@ -80,15 +175,15 @@ class ModifiedZScoreDetector final : public Detector {
   void reset() override { history_.clear(); }
   std::size_t history_size() const override { return history_.size(); }
   void save_state(store::Encoder& enc) const override {
-    save_deque(enc, history_);
+    save_ring(enc, history_);
   }
   void load_state(store::Decoder& dec) override {
-    load_deque(dec, history_);
+    load_ring(dec, history_);
   }
 
  private:
   ZScoreParams params_;
-  std::deque<double> history_;
+  Ring history_;
 };
 
 // Bitmap anomaly detection: SAX-discretize the series, build chaos-game
@@ -121,21 +216,24 @@ class BitmapDetector final : public Detector {
   }
   std::size_t history_size() const override { return values_.size(); }
   void save_state(store::Encoder& enc) const override {
-    save_deque(enc, values_);
-    save_deque(enc, scores_);
+    save_ring(enc, values_);
+    save_ring(enc, scores_);
   }
   void load_state(store::Decoder& dec) override {
-    load_deque(dec, values_);
-    load_deque(dec, scores_);
+    load_ring(dec, values_);
+    load_ring(dec, scores_);
   }
+
+  // Retained past anomaly scores for the adaptive threshold.
+  static constexpr std::size_t kScoreHistoryCap = 128;
 
  private:
   int discretize(double value) const;
   double bitmap_distance() const;
 
   BitmapParams params_;
-  std::deque<double> values_;   // lag + lead raw values (outliers dropped)
-  std::deque<double> scores_;   // past anomaly scores for thresholding
+  Ring values_;   // lag + lead raw values (outliers dropped)
+  Ring scores_;   // past anomaly scores for thresholding
 };
 
 enum class DetectorKind : std::uint8_t { kBitmap, kModifiedZScore };

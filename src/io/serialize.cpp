@@ -156,26 +156,32 @@ std::optional<bgp::BgpRecord> bgp_record_from_line(std::string_view line) {
   }
   record.time = TimePoint(*time);
   record.type = *type;
-  record.collector = std::string(fields[2]);
+  record.collector = fields[2];
   record.peer_asn = Asn(static_cast<std::uint32_t>(*peer_asn));
   record.peer_ip = *peer_ip;
   record.vp = static_cast<bgp::VpId>(*vp);
   record.prefix = *prefix;
+  // Attributes are parsed into plain containers and interned once at the
+  // end, so a rejected line never touches the intern tables.
   if (!fields[7].empty()) {
+    AsPath path;
     for (std::string_view hop : split(fields[7], ' ')) {
       auto asn = parse_ranged(hop, 0, kU32Max);
       if (!asn) return std::nullopt;
-      if (record.as_path.size() >= kMaxPathHops) return std::nullopt;
-      record.as_path.push_back(Asn(static_cast<std::uint32_t>(*asn)));
+      if (path.size() >= kMaxPathHops) return std::nullopt;
+      path.push_back(Asn(static_cast<std::uint32_t>(*asn)));
     }
+    record.as_path = path;
   }
   if (!fields[8].empty()) {
+    CommunitySet communities;
     for (std::string_view text : split(fields[8], ' ')) {
       auto community = Community::parse(text);
       if (!community) return std::nullopt;
-      if (record.communities.size() >= kMaxCommunities) return std::nullopt;
-      record.communities.insert(*community);
+      if (communities.size() >= kMaxCommunities) return std::nullopt;
+      communities.insert(*community);
     }
+    record.communities = communities;
   }
   return record;
 }

@@ -1,0 +1,36 @@
+#include "runtime/arena.h"
+
+#include <algorithm>
+
+namespace rrr::runtime {
+
+void* Arena::allocate_slow(std::size_t bytes, std::size_t align) {
+  allocated_ += bytes;
+  // Advance through existing (recycled) chunks first; allocate a new slab
+  // only when none of them fits. Oversized requests get a dedicated slab so
+  // one huge batch cannot poison the chunk size for every later epoch.
+  while (current_ < chunks_.size()) {
+    std::size_t offset = (offset_ + (align - 1)) & ~(align - 1);
+    if (offset + bytes <= chunks_[current_].size) {
+      void* p = chunks_[current_].data.get() + offset;
+      offset_ = offset + bytes;
+      return p;
+    }
+    ++current_;
+    offset_ = 0;
+  }
+  std::size_t size = std::max(bytes + align, chunk_bytes_);
+  Chunk chunk;
+  chunk.data = std::make_unique<std::byte[]>(size);
+  chunk.size = size;
+  chunks_.push_back(std::move(chunk));
+  current_ = chunks_.size() - 1;
+  void* base = chunks_[current_].data.get();
+  std::size_t offset =
+      (reinterpret_cast<std::uintptr_t>(base) + (align - 1)) & ~(align - 1);
+  offset -= reinterpret_cast<std::uintptr_t>(base);
+  offset_ = offset + bytes;
+  return chunks_[current_].data.get() + offset;
+}
+
+}  // namespace rrr::runtime

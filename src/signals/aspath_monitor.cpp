@@ -26,13 +26,17 @@ void AsPathMonitor::watch(const CorpusView& view, PotentialIndex& index) {
 
   // Pin V0 per AS hop: VPs whose standing route to d first intersects τ at
   // that hop. Hops no VP can see are unmonitorable and get no entry.
-  std::vector<std::set<bgp::VpId>> v0s(pt.as_path.size());
+  std::vector<std::vector<bgp::VpId>> v0s(pt.as_path.size());
   for (const bgp::VantagePoint& vp : *context_.vps) {
     const bgp::VpRoute* route = context_.table->route(vp.id, view.key.dst);
     if (route == nullptr || route->path.empty()) continue;
     int j = first_intersection(route->path, pt.as_path);
     if (j < 0) continue;
-    v0s[static_cast<std::size_t>(j)].insert(vp.id);
+    v0s[static_cast<std::size_t>(j)].push_back(vp.id);
+  }
+  for (std::vector<bgp::VpId>& v0 : v0s) {
+    std::sort(v0.begin(), v0.end());  // each VP lands in exactly one hop
+    v0.shrink_to_fit();
   }
 
   for (std::size_t j = 0; j < pt.as_path.size(); ++j) {
@@ -98,7 +102,10 @@ void AsPathMonitor::on_record(const DispatchedRecord& record,
     auto it = by_dst_.find(dst);
     if (it == by_dst_.end()) return;
     for (Entry* entry : it->second) {
-      if (!entry->v0.contains(record.record->vp)) continue;
+      if (!std::binary_search(entry->v0.begin(), entry->v0.end(),
+                              record.record->vp)) {
+        continue;
+      }
       entry->window_updates.emplace_back(record.record->vp, record.path);
       if (!entry->dirty) {
         entry->dirty = true;
@@ -308,9 +315,11 @@ void AsPathMonitor::load_state(store::Decoder& dec) {
     AsPath tau_path = store::get_as_path(dec);
     std::uint64_t tau_index = dec.u64();
     std::uint64_t border_index = dec.u64();
-    std::set<bgp::VpId> v0;
+    // Writer order is sorted, preserving the sorted-unique invariant.
+    std::vector<bgp::VpId> v0;
     std::uint64_t v0_count = dec.u64();
-    for (std::uint64_t j = 0; j < v0_count; ++j) v0.insert(dec.u32());
+    v0.reserve(v0_count);
+    for (std::uint64_t j = 0; j < v0_count; ++j) v0.push_back(dec.u32());
     auto entry = std::make_unique<Entry>(Entry{
         .id = id,
         .pair = pair,

@@ -54,10 +54,12 @@ class AsPathMonitor final : public BgpMonitor {
     PotentialId id = kNoPotential;
     tr::PairKey pair;
     Asn as;                 // a_j
-    AsPath tau_path;        // τ_d's full AS path
+    InternedPath tau_path;  // τ_d's full AS path; shared across entries
     std::size_t tau_index;  // position of a_j in tau_path
     std::size_t border_index = kWholePath;
-    std::set<bgp::VpId> v0;
+    // Sorted, duplicate-free; flat instead of std::set for the same
+    // resident-set reasons as BurstMonitor's VP lists.
+    std::vector<bgp::VpId> v0;
     detect::LazySeries series;
     double baseline_ratio = 1.0;
     bool dirty = false;
@@ -66,8 +68,10 @@ class AsPathMonitor final : public BgpMonitor {
     // of a shifted level before the bitmap distance peaks, so a value
     // change keeps the entry "hot" for a few windows.
     int hot_windows = 0;
-    // Update paths observed in the open window, per VP.
-    std::vector<std::pair<bgp::VpId, AsPath>> window_updates;
+    // Update paths observed in the open window, per VP. Interned handles:
+    // buffering an update is an id copy, and the checkpoint codec resolves
+    // to content on write (bytes unchanged) / re-interns on read.
+    std::vector<std::pair<bgp::VpId, InternedPath>> window_updates;
   };
 
   // Computes (match, intersect) counts for `entry` from standing routes and

@@ -15,18 +15,29 @@ bool shares_suffix(const AsPath& path, const AsPath& suffix) {
                     path.end() - static_cast<std::ptrdiff_t>(suffix.size()));
 }
 
+bool vp_contains(const std::vector<bgp::VpId>& vps, bgp::VpId vp) {
+  return std::binary_search(vps.begin(), vps.end(), vp);
+}
+
+// Sorted-unique insert, preserving the old std::set semantics.
+void vp_insert(std::vector<bgp::VpId>& vps, bgp::VpId vp) {
+  auto it = std::lower_bound(vps.begin(), vps.end(), vp);
+  if (it == vps.end() || *it != vp) vps.insert(it, vp);
+}
+
 }  // namespace
 
 void BurstMonitor::watch(const CorpusView& view, PotentialIndex& index) {
   const tracemap::ProcessedTrace& pt = view.processed;
   if (pt.as_path.empty()) return;
 
-  // Gather each VP's standing path toward d once.
+  // Gather each VP's standing path toward d once. The resolved references
+  // are stable: interned entries never move.
   std::vector<std::pair<bgp::VpId, const AsPath*>> vp_paths;
   for (const bgp::VantagePoint& vp : *context_.vps) {
     const bgp::VpRoute* route = context_.table->route(vp.id, view.key.dst);
     if (route != nullptr && !route->path.empty()) {
-      vp_paths.emplace_back(vp.id, &route->path);
+      vp_paths.emplace_back(vp.id, &route->path.view());
     }
   }
 
@@ -48,14 +59,15 @@ void BurstMonitor::watch(const CorpusView& view, PotentialIndex& index) {
         .dirty = false,
     });
     for (auto& [vp, path] : vp_paths) {
-      if (shares_suffix(*path, suffix)) entry->v0.insert(vp);
+      if (shares_suffix(*path, suffix)) vp_insert(entry->v0, vp);
     }
     if (entry->v0.size() < 2) continue;  // need corroboration across VPs
+    entry->v0.shrink_to_fit();
 
     // Extra ASes: on >= 2 V0 paths but not on τ.
     std::map<Asn, std::set<bgp::VpId>> outside;
     for (auto& [vp, path] : vp_paths) {
-      if (!entry->v0.contains(vp)) continue;
+      if (!vp_contains(entry->v0, vp)) continue;
       for (Asn asn : *path) {
         if (!contains(pt.as_path, asn)) outside[asn].insert(vp);
       }
@@ -74,10 +86,11 @@ void BurstMonitor::watch(const CorpusView& view, PotentialIndex& index) {
       // W^{k,d}: VPs traversing a_k toward d but NOT the whole suffix.
       for (auto& [vp, path] : vp_paths) {
         if (contains(*path, asn) && !shares_suffix(*path, suffix)) {
-          extra.vps.insert(vp);
+          vp_insert(extra.vps, vp);
         }
       }
       if (extra.vps.empty()) continue;
+      extra.vps.shrink_to_fit();
       std::size_t extra_index = entry->extras.size();
       entry->extras.push_back(std::move(extra));
       for (bgp::VpId vp : vps_on) {
@@ -133,13 +146,13 @@ void BurstMonitor::on_record(const DispatchedRecord& record,
     if (dit == by_dst_.end()) return;
     for (Entry* entry : dit->second) {
       bool touched = false;
-      if (entry->v0.contains(rec.vp)) {
-        entry->window_dups.insert(rec.vp);
+      if (vp_contains(entry->v0, rec.vp)) {
+        vp_insert(entry->window_dups, rec.vp);
         touched = true;
       }
       for (ExtraSeries& extra : entry->extras) {
-        if (extra.vps.contains(rec.vp)) {
-          extra.window_dups.insert(rec.vp);
+        if (vp_contains(extra.vps, rec.vp)) {
+          vp_insert(extra.window_dups, rec.vp);
           touched = true;
         }
       }
@@ -247,7 +260,7 @@ std::vector<StalenessSignal> BurstMonitor::close_window(
 }
 
 void BurstMonitor::save_state(store::Encoder& enc) const {
-  auto put_vps = [&enc](const std::set<bgp::VpId>& vps) {
+  auto put_vps = [&enc](const std::vector<bgp::VpId>& vps) {
     enc.u64(vps.size());
     for (bgp::VpId vp : vps) enc.u32(vp);
   };
@@ -309,9 +322,12 @@ void BurstMonitor::load_state(store::Decoder& dec) {
   dst_index_ = DstIndex();
   dirty_.clear();
   auto get_vps = [&dec]() {
-    std::set<bgp::VpId> vps;
+    // The writer emits VPs in sorted order; keeping stream order preserves
+    // the sorted-unique invariant the binary searches rely on.
+    std::vector<bgp::VpId> vps;
     std::uint64_t n = dec.u64();
-    for (std::uint64_t i = 0; i < n; ++i) vps.insert(dec.u32());
+    vps.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) vps.push_back(dec.u32());
     return vps;
   };
   std::unordered_map<PotentialId, Entry*> by_id;
@@ -321,7 +337,7 @@ void BurstMonitor::load_state(store::Decoder& dec) {
     tr::PairKey pair = get_pair(dec);
     AsPath suffix = store::get_as_path(dec);
     std::uint64_t border_index = dec.u64();
-    std::set<bgp::VpId> v0 = get_vps();
+    VpList v0 = get_vps();
     auto entry = std::make_unique<Entry>(Entry{
         .id = id,
         .pair = pair,

@@ -45,22 +45,29 @@ class BurstMonitor final : public BgpMonitor {
   void load_state(store::Decoder& dec);
 
  private:
+  // Sorted duplicate-free VP lists, flat instead of std::set: the monitor
+  // holds one entry per (pair, suffix) — tens of thousands at 10x corpus
+  // scale, each watching ~25 VPs — and rb-tree nodes (48 bytes per VP)
+  // dominated its resident set. Sorted order keeps iteration, and therefore
+  // save_state bytes and the close-path work, identical to the set.
+  using VpList = std::vector<bgp::VpId>;
+
   struct ExtraSeries {
     Asn as;                      // a_k, traversed outside the overlap
-    std::set<bgp::VpId> vps;     // W^{k,d}
+    VpList vps;                  // W^{k,d}
     detect::LazySeries series;   // U'^{k,d}
-    std::set<bgp::VpId> window_dups;
+    VpList window_dups;
     bool outlier_this_window = false;
   };
 
   struct Entry {                  // one per (pair, suffix start j)
     PotentialId id = kNoPotential;
     tr::PairKey pair;
-    AsPath suffix;               // {a_j .. a_d}
+    InternedPath suffix;         // {a_j .. a_d}; shared across entries
     std::size_t border_index = kWholePath;
-    std::set<bgp::VpId> v0;      // VPs sharing the suffix at watch time
+    VpList v0;                   // VPs sharing the suffix at watch time
     detect::LazySeries series;   // U^{j,d}
-    std::set<bgp::VpId> window_dups;
+    VpList window_dups;
     std::vector<ExtraSeries> extras;
     // Extra ASes traversed per V0 VP (indices into `extras`).
     std::map<bgp::VpId, std::vector<std::size_t>> vp_extras;

@@ -159,7 +159,8 @@ class CommunityMonitor final : public BgpMonitor {
     PotentialId id = kNoPotential;
     tr::PairKey pair;
     Asn as;  // the defining AS a_j
-    AsPath tau_path;
+    // τ_d's full AS path; interned handle shared across entries.
+    InternedPath tau_path;
     std::size_t tau_index = 0;
     std::size_t border_index = kWholePath;
     // Communities defined by `as` present on overlapping VP paths at watch

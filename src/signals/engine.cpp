@@ -17,23 +17,28 @@ EngineParams normalized(EngineParams params) {
 
 }  // namespace
 
-std::vector<DispatchedRecord> dispatch_against_table(
+DispatchedBatch dispatch_against_table(
     const std::vector<bgp::BgpRecord>& records, std::size_t count,
-    const bgp::VpTableView& table) {
-  std::vector<DispatchedRecord> out;
+    const bgp::VpTableView& table, bgp::PathCanonicalizer& collapse,
+    runtime::Arena& arena) {
+  DispatchedBatch out{runtime::ArenaAllocator<DispatchedRecord>(arena)};
   out.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     const bgp::BgpRecord& record = records[i];
     DispatchedRecord dispatched;
     dispatched.record = &record;
-    dispatched.path = bgp::collapse_prepending(record.as_path);
+    dispatched.path =
+        InternedPath::from_id(collapse.canonical(record.as_path.id()));
     const bgp::VpRoute* standing =
         table.route(record.vp, record.prefix.network());
+    // Duplicate status is two id compares now: id equality is content
+    // equality within one interner, so this matches the old vector/set
+    // comparisons exactly.
     dispatched.duplicate = record.type == bgp::RecordType::kAnnouncement &&
                            standing != nullptr &&
                            standing->path == dispatched.path &&
                            standing->communities == record.communities;
-    out.push_back(std::move(dispatched));
+    out.push_back(dispatched);
   }
   return out;
 }
@@ -254,10 +259,16 @@ void StalenessEngine::on_bgp_record(const bgp::BgpRecord& record) {
   // Feed-boundary delivery tally (standalone mode only; the facade counts
   // on its own tracker before records reach the shards).
   if (owned_ != nullptr && owned_->health != nullptr) {
-    owned_->health->count_bgp(record.vp, record.collector,
+    owned_->health->count_bgp(record.vp, record.collector.id(),
                               clock_.index_of(record.time));
   }
-  pending_records_.push_back(record);
+  bgp::BgpRecord& stored = pending_records_.emplace_back(record);
+  // Stamp the table-canonical path at the serial feed boundary (standalone
+  // mode; the facade stamps at its own boundary) so the epoch-table absorb
+  // task is interner-read-only on the pool thread.
+  if (owned_ != nullptr) {
+    stored.canonical_path = owned_->feed_canon.canonical(stored.as_path.id());
+  }
 }
 
 void StalenessEngine::on_public_trace(const tr::Traceroute& trace) {
@@ -328,7 +339,7 @@ void StalenessEngine::mark_stale(const StalenessSignal& signal) {
 }
 
 void StalenessEngine::dispatch_window_records(
-    const std::vector<DispatchedRecord>& records, std::int64_t window) {
+    const DispatchedBatch& records, std::int64_t window) {
   for (const DispatchedRecord& dispatched : records) {
     aspath_->on_record(dispatched, window);
     community_->on_record(dispatched, window);
@@ -361,8 +372,9 @@ void StalenessEngine::close_one_window(std::int64_t window,
   std::size_t cut = cut_window_prefix(pending_records_, clock_, window);
   {
     obs::ScopedSpan dispatch_span(obs_.dispatch_us);
-    std::vector<DispatchedRecord> dispatched =
-        dispatch_against_table(pending_records_, cut, owned_->table.read());
+    DispatchedBatch dispatched =
+        dispatch_against_table(pending_records_, cut, owned_->table.read(),
+                               collapse_canon_, close_arena_);
     dispatch_window_records(dispatched, window);
   }
 
@@ -406,6 +418,9 @@ void StalenessEngine::close_one_window(std::int64_t window,
   pending_records_.erase(pending_records_.begin(),
                          pending_records_.begin() +
                              static_cast<std::ptrdiff_t>(cut));
+  // Everything arena-allocated this close (the dispatch batch) is dead;
+  // recycle the slabs wholesale for the next window.
+  close_arena_.reset();
 
   if (params_.revocation_check_interval > 0 &&
       window % params_.revocation_check_interval ==

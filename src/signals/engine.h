@@ -116,10 +116,14 @@ struct EngineSharedState {
 
 // Builds the monitor-facing view of the first `count` records (normalized
 // path, duplicate status) against the standing start-of-window `table`. The
-// returned views point into `records`, which must outlive them.
-std::vector<DispatchedRecord> dispatch_against_table(
+// returned views point into `records`, which must outlive them. `collapse`
+// is the caller's single-writer prepend-collapse memo (most updates repeat
+// a path already normalized this run), and the batch itself is bump-
+// allocated from `arena` — the caller resets it once the close is over.
+DispatchedBatch dispatch_against_table(
     const std::vector<bgp::BgpRecord>& records, std::size_t count,
-    const bgp::VpTableView& table);
+    const bgp::VpTableView& table, bgp::PathCanonicalizer& collapse,
+    runtime::Arena& arena);
 
 // Moves every record belonging to a window <= `window` to the front of
 // `pending` (stably), sorts that prefix by time, and returns its length.
@@ -170,7 +174,7 @@ class StalenessEngine {
   // --- facade hooks (shard mode; see sharded_engine.h) ---
   // Dispatches one window's records to this shard's BGP monitors (records
   // are read-only; the shared table still holds the start-of-window state).
-  void dispatch_window_records(const std::vector<DispatchedRecord>& records,
+  void dispatch_window_records(const DispatchedBatch& records,
                                std::int64_t window);
   // Closes the shard's BGP monitors, appending their raw (unregistered)
   // signals to `into`; the facade merges and registers across shards.
@@ -246,11 +250,17 @@ class StalenessEngine {
                  std::set<Asn> ixp_route_server_asns,
                  std::int64_t calibration_windows, AsRelDb rels_in)
         : vps(std::move(vps_in)),
+          feed_canon(ixp_route_server_asns),
           table(std::move(ixp_route_server_asns)),
           calibration(calibration_windows),
           rels(std::move(rels_in)) {}
 
     std::vector<bgp::VantagePoint> vps;
+    // Table-canonical (IXP-strip + prepend-collapse) memo used at the
+    // serial feed boundary to stamp BgpRecord::canonical_path, so the
+    // pipelined absorb task never interns. Declared before `table`, which
+    // consumes the IXP set.
+    bgp::PathCanonicalizer feed_canon;
     // Double-buffered: monitors read the published epoch through `context`;
     // close_one_window absorbs into the shadow and flips at the boundary.
     bgp::EpochTableView table;
@@ -308,6 +318,11 @@ class StalenessEngine {
   const FeedHealthTracker* health_ = nullptr;
 
   std::vector<bgp::BgpRecord> pending_records_;
+  // Dispatch-path prepend-collapse memo (empty IXP list) and the epoch
+  // arena backing the per-close dispatch batch; both live on the serial
+  // close path only. The arena resets at the end of every close.
+  bgp::PathCanonicalizer collapse_canon_;
+  runtime::Arena close_arena_;
 
   // BGP monitors hold per-pair entries only, so every shard owns its own.
   std::unique_ptr<AsPathMonitor> aspath_;

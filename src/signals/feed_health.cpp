@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
 
@@ -47,12 +50,17 @@ void FeedHealthTracker::set_metrics(obs::MetricsRegistry& registry) {
                       "1 when the feed's quarantined fraction is degraded");
 }
 
-void FeedHealthTracker::count_bgp(bgp::VpId vp, const std::string& collector,
+void FeedHealthTracker::count_bgp(bgp::VpId vp, CollectorId collector,
                                   std::int64_t window) {
-  auto [it, inserted] = collector_ids_.try_emplace(
-      collector, static_cast<std::uint32_t>(collector_ids_.size()));
+  auto [it, inserted] = collector_local_.try_emplace(
+      collector, static_cast<std::uint32_t>(collector_local_.size()));
   vp_collector_.emplace(vp, it->second);
   ++bgp_.streams[it->second].pending[window];
+}
+
+void FeedHealthTracker::count_bgp(bgp::VpId vp, const std::string& collector,
+                                  std::int64_t window) {
+  count_bgp(vp, Interner::global().collector_id(collector), window);
 }
 
 void FeedHealthTracker::count_trace(tr::ProbeId probe, std::int64_t window) {
@@ -291,10 +299,19 @@ void FeedHealthTracker::save_state(store::Encoder& enc) const {
   };
   save_feed(bgp_);
   save_feed(trace_);
-  enc.u64(collector_ids_.size());
-  for (const auto& [collector, id] : collector_ids_) {
-    enc.str(collector);
-    enc.u32(id);
+  // Written as (name, local id) sorted by name — exactly the bytes the
+  // pre-interning std::map<std::string, id> emitted — so snapshots depend
+  // only on content, never on global intern-id assignment history.
+  std::vector<std::pair<std::string_view, std::uint32_t>> collectors;
+  collectors.reserve(collector_local_.size());
+  for (const auto& [collector, local] : collector_local_) {
+    collectors.emplace_back(Interner::global().collector(collector), local);
+  }
+  std::sort(collectors.begin(), collectors.end());
+  enc.u64(collectors.size());
+  for (const auto& [name, local] : collectors) {
+    enc.str(name);
+    enc.u32(local);
   }
   enc.u64(vp_collector_.size());
   for (const auto& [vp, id] : vp_collector_) {
@@ -335,11 +352,11 @@ void FeedHealthTracker::load_state(store::Decoder& dec) {
   };
   load_feed(bgp_);
   load_feed(trace_);
-  collector_ids_.clear();
+  collector_local_.clear();
   std::uint64_t collectors = dec.u64();
   for (std::uint64_t i = 0; i < collectors; ++i) {
     std::string collector(dec.str());
-    collector_ids_[collector] = dec.u32();
+    collector_local_[Interner::global().collector_id(collector)] = dec.u32();
   }
   vp_collector_.clear();
   std::uint64_t vps = dec.u64();

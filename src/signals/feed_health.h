@@ -121,6 +121,11 @@ class FeedHealthTracker {
   // enough sessions to have a judgeable rate, and a collector outage is
   // exactly the failure mode worth catching. The vp argument records which
   // collector answers for that VP's quarantine queries.
+  //
+  // The hot path takes the interned collector id (the engines pass
+  // record.collector.id(): one integer-keyed map probe per record); the
+  // string overload interns and delegates, for tests and offline callers.
+  void count_bgp(bgp::VpId vp, CollectorId collector, std::int64_t window);
   void count_bgp(bgp::VpId vp, const std::string& collector,
                  std::int64_t window);
   void count_trace(tr::ProbeId probe, std::int64_t window);
@@ -199,11 +204,14 @@ class FeedHealthTracker {
   CloseResult close_feed(Feed& feed, std::int64_t window);
 
   FeedHealthParams params_;
-  // BGP streams are keyed by interned collector id; vp_collector_ maps each
-  // vantage point to the collector stream that answers for it. Intern order
-  // follows the serial feed, so ids are grid-invariant.
+  // BGP streams are keyed by a tracker-local dense id assigned in serial
+  // feed first-sight order (so stream iteration order — and with it FP
+  // summation order and the exported gauges — is grid-invariant);
+  // collector_local_ maps the global interned CollectorId to that local id,
+  // and vp_collector_ maps each vantage point to the collector stream that
+  // answers for it. Snapshots store collector *names*, never intern ids.
   Feed bgp_;
-  std::map<std::string, std::uint32_t> collector_ids_;
+  std::map<CollectorId, std::uint32_t> collector_local_;
   std::map<bgp::VpId, std::uint32_t> vp_collector_;
   Feed trace_;
   bool bgp_degraded_ = false;

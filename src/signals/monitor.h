@@ -13,6 +13,7 @@
 
 #include "bgp/record.h"
 #include "bgp/table_view.h"
+#include "runtime/arena.h"
 #include "signals/engine_obs.h"
 #include "signals/serial.h"
 #include "signals/signal.h"
@@ -112,12 +113,20 @@ class PotentialIndex {
 };
 
 // A BGP record as dispatched to monitors: attributes normalized (§4.1.1)
-// and duplicate status precomputed against the standing table.
+// and duplicate status precomputed against the standing table. The
+// normalized path is an interned handle, so building a dispatch batch
+// copies ids instead of hop vectors and monitors compare paths by id.
 struct DispatchedRecord {
   const bgp::BgpRecord* record = nullptr;
-  AsPath path;  // IXP-ASN-stripped, prepending-collapsed
+  InternedPath path;  // IXP-ASN-stripped, prepending-collapsed
   bool duplicate = false;  // same path & communities as the standing route
 };
+
+// One window's dispatch batch. Arena-backed: it lives exactly one window
+// close, so the memory comes back wholesale at the owner's Arena::reset()
+// instead of through per-window heap churn.
+using DispatchedBatch =
+    std::vector<DispatchedRecord, runtime::ArenaAllocator<DispatchedRecord>>;
 
 // Index from announced prefixes to the monitored destination IPs they
 // cover. Destinations are bucketed by /16 blocks so a record dispatch only

@@ -55,6 +55,7 @@ ShardedStalenessEngine::ShardedStalenessEngine(
       processing_(processing),
       rng_(Rng(params.seed).fork(0xE9619E)),
       vps_(std::move(vps)),
+      feed_canon_(ixp_route_server_asns),
       table_(std::move(ixp_route_server_asns)),
       calibration_(params.calibration_windows),
       rels_(std::move(rels)),
@@ -145,10 +146,13 @@ void ShardedStalenessEngine::on_bgp_record(const bgp::BgpRecord& record) {
   // Delivery tally at the (serial) feed boundary — the one place every
   // record passes exactly once regardless of the shard partition.
   if (health_ != nullptr) {
-    health_->count_bgp(record.vp, record.collector,
+    health_->count_bgp(record.vp, record.collector.id(),
                        clock_.index_of(record.time));
   }
-  pending_records_.push_back(record);
+  bgp::BgpRecord& stored = pending_records_.emplace_back(record);
+  // Stamp the table-canonical path here — the one serial point every record
+  // passes — so the pipelined absorb never interns on a pool thread.
+  stored.canonical_path = feed_canon_.canonical(stored.as_path.id());
 }
 
 void ShardedStalenessEngine::on_public_trace(const tr::Traceroute& trace) {
@@ -173,12 +177,14 @@ void ShardedStalenessEngine::close_one_window(
   if (health_ != nullptr) health_->close_window(window);
   std::size_t cut = cut_window_prefix(pending_records_, clock_, window);
   // Normalize the window's records once against the published start-of-
-  // window epoch; every shard dispatches the same read-only views.
-  std::vector<DispatchedRecord> dispatched;
-  {
+  // window epoch; every shard dispatches the same read-only views. The
+  // batch is arena-backed: dead by the end of this close, reclaimed by the
+  // reset below.
+  DispatchedBatch dispatched = [&] {
     obs::ScopedSpan dispatch_span(obs_.dispatch_us);
-    dispatched = dispatch_against_table(pending_records_, cut, table_.read());
-  }
+    return dispatch_against_table(pending_records_, cut, table_.read(),
+                                  collapse_canon_, close_arena_);
+  }();
 
   // The absorb writer fills the epoch table's shadow while every reader
   // (shards in phase A, revocation sweeps) keeps seeing the published
@@ -239,6 +245,10 @@ void ShardedStalenessEngine::close_one_window(
   pending_records_.erase(pending_records_.begin(),
                          pending_records_.begin() +
                              static_cast<std::ptrdiff_t>(cut));
+  // Phase A is joined, so nothing references the dispatch batch anymore;
+  // drop it and recycle the arena slabs for the next window.
+  dispatched.clear();
+  close_arena_.reset();
 
   // Merge in canonical order, then register serially: registration owns
   // the global cooldown map and the shards' freshness state.

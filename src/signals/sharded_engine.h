@@ -132,11 +132,19 @@ class ShardedStalenessEngine {
 
   // The single copies of all cross-pair state (see file comment).
   std::vector<bgp::VantagePoint> vps_;
+  // Table-canonical path memo used at the serial feed boundary to stamp
+  // BgpRecord::canonical_path (the absorb task then never interns on a
+  // pool thread). Declared before `table_`, which consumes the IXP set.
+  bgp::PathCanonicalizer feed_canon_;
   // Epoch-flipped table: shards/monitors read the published buffer during
   // the parallel phases while the absorb writer fills the shadow.
   bgp::EpochTableView table_;
   BgpContext context_;
   std::vector<bgp::BgpRecord> pending_records_;
+  // Dispatch-path prepend-collapse memo and the epoch arena backing the
+  // per-close dispatch batch; serial close path only, arena reset per close.
+  bgp::PathCanonicalizer collapse_canon_;
+  runtime::Arena close_arena_;
   PotentialIndex index_;
   Calibration calibration_;
   CommunityReputation reputation_;

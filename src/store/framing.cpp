@@ -85,11 +85,11 @@ FrameView read_frame(std::string_view data, std::size_t& pos) {
   need(4, "version");
   std::uint32_t version = get_u32(data, pos);
   pos += 4;
-  if (version > kFormatVersion) {
+  if (version != kFormatVersion) {
     throw StoreError(StoreError::Kind::kVersionSkew,
                      "store frame written by format version " +
-                         std::to_string(version) + ", this binary reads <= " +
-                         std::to_string(kFormatVersion));
+                         std::to_string(version) + ", this binary reads " +
+                         std::to_string(kFormatVersion) + " only");
   }
   need(8, "kind length");
   std::uint64_t kind_len = get_u64(data, pos);

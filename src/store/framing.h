@@ -15,9 +15,16 @@
 // frame payloads are returned as string_views into the mapping, so reading
 // a multi-megabyte snapshot copies nothing until a Decoder consumes it.
 // Readers classify every failure: short data -> kTruncated, wrong magic ->
-// kCorrupt, version > kFormatVersion -> kVersionSkew, checksum mismatch ->
-// kBadChecksum. A frame written by an older (smaller) version is accepted —
-// version bumps must stay backward-readable or bump the magic.
+// kCorrupt, version != kFormatVersion -> kVersionSkew, checksum mismatch ->
+// kBadChecksum. The version check is an exact match in *both* directions:
+// payload layouts change between versions (v2 introduced the interned-
+// attribute dictionary sections), so a frame from any other version —
+// older or newer — is rejected rather than misparsed.
+//
+// Version history:
+//   1  initial layout
+//   2  table snapshots carry local attribute dictionaries (paths /
+//      community sets as content, routes as u32 dictionary indices)
 #pragma once
 
 #include <cstdint>
@@ -29,7 +36,7 @@
 
 namespace rrr::store {
 
-inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kFormatVersion = 2;
 inline constexpr char kMagic[4] = {'R', 'R', 'R', 'S'};
 
 // FNV-1a 64-bit over `data`, seedable for the two-part kind+payload sweep.

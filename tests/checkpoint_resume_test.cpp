@@ -20,10 +20,13 @@
 #include <tuple>
 #include <vector>
 
+#include "bgp/table_view.h"
 #include "eval/world.h"
 #include "io/serialize.h"
+#include "netbase/intern.h"
 #include "signals/feed_health.h"
 #include "store/checkpoint.h"
+#include "store/codec.h"
 #include "store/framing.h"
 #include "store/serial.h"
 
@@ -505,6 +508,11 @@ TEST(CheckpointResume, MalformedSnapshotRejectionTable) {
   store::append_frame_versioned(future_version, "rrr.snapshot",
                                 "from-the-future",
                                 store::kFormatVersion + 1);
+  // Version checking is exact-match in both directions: a v1 snapshot (no
+  // table attribute dictionaries) must be rejected, not misparsed.
+  std::string old_version;
+  store::append_frame_versioned(old_version, "rrr.snapshot",
+                                "from-the-past", store::kFormatVersion - 1);
 
   struct Case {
     const char* label;
@@ -532,6 +540,8 @@ TEST(CheckpointResume, MalformedSnapshotRejectionTable) {
       {"bad magic", bad_magic, store::StoreError::Kind::kCorrupt},
       {"future container version", future_version,
        store::StoreError::Kind::kVersionSkew},
+      {"pre-dictionary container version", old_version,
+       store::StoreError::Kind::kVersionSkew},
   };
   for (const Case& c : cases) {
     write_bytes(snap_path, c.bytes);
@@ -550,6 +560,82 @@ TEST(CheckpointResume, MalformedSnapshotRejectionTable) {
   RunTrace warm = drive(params, ok_spec);
   EXPECT_EQ(warm.resumed_at, 6);
   EXPECT_TRUE(warm.finished);
+}
+
+// The v2 table snapshot carries local attribute dictionaries (paths and
+// community sets as *content*, routes as u32 indices). The bytes must be a
+// pure function of table content — independent of the process-global
+// intern-id assignment history — so saving, loading into a world whose
+// interner assigned ids in a different order, and saving again is
+// byte-identical.
+TEST(CheckpointResume, TableSnapshotDictionaryIsContentPure) {
+  auto make_record = [](std::uint32_t vp, std::uint32_t net,
+                        std::initializer_list<std::uint32_t> hops) {
+    bgp::BgpRecord record;
+    record.vp = vp;
+    record.prefix = Prefix(Ipv4(net), 24);
+    AsPath path;
+    for (std::uint32_t h : hops) path.push_back(Asn(h));
+    record.as_path = path;
+    CommunitySet comms;
+    comms.insert(Community(Asn(hops.size() ? *hops.begin() : 1), 7));
+    record.communities = comms;
+    record.time = TimePoint(1000);
+    return record;
+  };
+
+  std::string first_bytes;
+  {
+    Interner::ScopedInstance interner;
+    bgp::VpTableView table;
+    table.apply(make_record(1, 0x0A000000, {64500, 64501}));
+    table.apply(make_record(1, 0x0A000100, {64502}));
+    table.apply(make_record(2, 0x0A000000, {64500, 64501}));
+    store::Encoder enc;
+    table.save_state(enc);
+    first_bytes = enc.buffer();
+  }
+  std::string second_bytes;
+  {
+    Interner::ScopedInstance interner;
+    // Pre-seed the fresh interner so the same contents land on *different*
+    // global ids than in the first scope.
+    for (std::uint32_t i = 0; i < 50; ++i) {
+      AsPath noise;
+      noise.push_back(Asn(90000 + i));
+      interner.get().path_id(noise);
+    }
+    bgp::VpTableView table;
+    store::Decoder dec(first_bytes);
+    table.load_state(dec);
+    store::Encoder enc;
+    table.save_state(enc);
+    second_bytes = enc.buffer();
+  }
+  ASSERT_FALSE(first_bytes.empty());
+  EXPECT_EQ(first_bytes, second_bytes);
+}
+
+// A route row whose dictionary index points past the dictionary is a
+// classified kCorrupt, not an out-of-bounds read.
+TEST(CheckpointResume, TableSnapshotDanglingDictionaryIndexIsRejected) {
+  store::Encoder enc;
+  enc.u32(0);  // empty path dictionary
+  enc.u32(0);  // empty community-set dictionary
+  enc.u64(1);  // one VP
+  enc.u32(7);  // VP id
+  enc.u64(1);  // one route
+  store::put(enc, Prefix(Ipv4(0x0A000000), 24));
+  enc.u32(0);  // path index 0 — but the dictionary is empty
+  enc.u32(0);  // community index, same
+  bgp::VpTableView table;
+  store::Decoder dec(enc.buffer());
+  try {
+    table.load_state(dec);
+    FAIL() << "expected StoreError";
+  } catch (const store::StoreError& e) {
+    EXPECT_EQ(e.kind(), store::StoreError::Kind::kCorrupt);
+  }
 }
 
 TEST(CheckpointResume, CorruptedWalIsRejected) {

@@ -12,6 +12,8 @@
 
 #include "eval/world.h"
 #include "io/serialize.h"
+#include "netbase/intern.h"
+#include "store/serial.h"
 
 namespace rrr::eval {
 namespace {
@@ -52,6 +54,11 @@ struct RunTrace {
   std::string corpus_bytes;  // io/serialize rendering of the final corpus
   std::string semantic_stats;  // JSON of the semantic-domain metrics
   std::int64_t fault_records_affected = 0;
+  // Full id→content dump of the run's intern tables (save_state bytes:
+  // content in id order). Byte equality means the id *assignment order* —
+  // not just the value set — was identical, which is the serial-insert
+  // discipline the interner relies on (netbase/intern.h).
+  std::string interner_dict;
 };
 
 // The fault plan of the degraded-grid test: every clause active at once, so
@@ -81,6 +88,10 @@ RunTrace run_world(std::uint64_t seed, int engine_threads,
     params.fault_plan = grid_fault_plan();
     params.feed_health.enabled = true;
   }
+  // Fresh intern tables per grid point, so the dictionary dump compares id
+  // assignment from a clean slate (the process-global instance would carry
+  // ids interned by earlier tests).
+  Interner::ScopedInstance interner;
   World world(params);
   RunTrace trace;
   World::Hooks hooks;
@@ -118,6 +129,10 @@ RunTrace run_world(std::uint64_t seed, int engine_threads,
   }
   io::write_traceroutes(corpus, finals);
   trace.corpus_bytes = corpus.str();
+
+  store::Encoder dict;
+  interner.get().save_state(dict);
+  trace.interner_dict = dict.buffer();
   return trace;
 }
 
@@ -184,12 +199,23 @@ TEST(Determinism, ShardGridMatchesSingleShardSerial) {
         // be byte-identical at every grid point (pipeline-only differences
         // like absorb-wait spans live in the runtime domain).
         EXPECT_EQ(baseline.semantic_stats, run.semantic_stats) << point;
+        // So is the intern dictionary: byte-identical dumps mean every grid
+        // point assigned every path/commset/collector id in the same order,
+        // i.e. all interner inserts really are confined to serial code.
+        EXPECT_EQ(baseline.interner_dict, run.interner_dict) << point;
       }
     }
   }
   EXPECT_NE(baseline.semantic_stats.find("rrr_signals_emitted_total"),
             std::string::npos)
       << "semantic snapshot missing the emitted-signal counters";
+  // The dictionary comparison must not be vacuous: the run interned real
+  // feed content beyond the three built-in empty values.
+  Interner::ScopedInstance decoded;
+  store::Decoder dict(baseline.interner_dict);
+  decoded.get().load_state(dict);
+  EXPECT_GT(decoded.get().path_count(), 1u);
+  EXPECT_GT(decoded.get().collector_count(), 1u);
 }
 
 // The degraded half of the contract: a fault plan plus feed-health gating
@@ -224,6 +250,7 @@ TEST(Determinism, FaultedGridMatchesSingleShardSerial) {
             << point;
         EXPECT_EQ(baseline.corpus_bytes, run.corpus_bytes) << point;
         EXPECT_EQ(baseline.semantic_stats, run.semantic_stats) << point;
+        EXPECT_EQ(baseline.interner_dict, run.interner_dict) << point;
         EXPECT_EQ(baseline.fault_records_affected,
                   run.fault_records_affected)
             << point;

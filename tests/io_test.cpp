@@ -41,8 +41,8 @@ TEST(BgpSerialization, RoundTripsEveryField) {
 TEST(BgpSerialization, WithdrawalsHaveEmptyAttributes) {
   bgp::BgpRecord record = sample_record();
   record.type = bgp::RecordType::kWithdrawal;
-  record.as_path.clear();
-  record.communities.clear();
+  record.as_path = AsPath{};
+  record.communities = CommunitySet{};
   auto parsed = bgp_record_from_line(to_line(record));
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->type, bgp::RecordType::kWithdrawal);
