@@ -10,6 +10,8 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -17,6 +19,8 @@
 #include "eval/world.h"
 #include "netbase/rng.h"
 #include "obs/export.h"
+#include "obs/http_export.h"
+#include "obs/trace.h"
 #include "runtime/parallel.h"
 
 namespace rrr::bench {
@@ -77,12 +81,25 @@ inline std::string stats_json_path(const Flags& flags) {
   return flags.get_str("stats-json", "");
 }
 
+// Flight-recorder knobs shared by every harness (DESIGN.md §13):
+// `--trace-out <path>` turns the trace recorder on and writes the Chrome
+// trace-event JSON there after the run; the RRR_TRACE environment variable
+// force-enables recording without a file (the trace is still reachable via
+// --serve-obs). `--watchdog` arms the slow-window watchdog.
+inline bool trace_enabled(const Flags& flags) {
+  return flags.get_bool("trace-out") || obs::trace_env_enabled();
+}
+inline std::string trace_out_path(const Flags& flags) {
+  return flags.get_str("trace-out", "");
+}
+
 // One run's collected telemetry, ready for the shared JSON writer.
 struct RunStats {
   std::string label;
   std::string stats;     // cumulative snapshot (JSON metric array)
   std::string semantic;  // semantic-domain-only snapshot (JSON metric array)
   std::string windows;   // sparse per-window series (JSON array)
+  std::string trace;     // flight-recorder export (Chrome trace JSON)
 };
 
 // Process memory footprint from /proc/self/status, in kB: current resident
@@ -113,7 +130,24 @@ inline MemoryUsage read_memory_usage() {
 inline RunStats capture_stats(const std::string& label,
                               const eval::World& world) {
   return RunStats{label, world.stats_json(), world.semantic_stats_json(),
-                  world.stats_series_json()};
+                  world.stats_series_json(), world.trace_json()};
+}
+
+// Writes the primary run's flight-recorder export to --trace-out. Fan-out
+// harnesses pass replicate 0's trace; the other replicates record too (the
+// knob is per-world) but only the primary is written, keeping one file per
+// invocation.
+inline void maybe_write_trace(const Flags& flags, const std::string& trace,
+                              std::ostream& log) {
+  std::string path = trace_out_path(flags);
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    log << "trace-out: cannot open " << path << "\n";
+    return;
+  }
+  out << trace << "\n";
+  log << "trace-out: wrote " << trace.size() << " bytes to " << path << "\n";
 }
 
 // The one stats file writer every harness shares: a versioned envelope of
@@ -225,11 +259,105 @@ inline eval::WorldParams retrospective_params(const Flags& flags) {
   params.engine_shards = static_cast<int>(flags.get_int("engine-shards", 1));
   // --pipeline 0 recovers the serial absorb schedule (DESIGN.md §10).
   params.pipeline_absorb = flags.get_int("pipeline", 1) != 0;
-  params.telemetry = stats_enabled(flags);
+  // A live /metrics endpoint is useless without a registry behind it, so
+  // --serve-obs implies telemetry even when --stats-json is absent.
+  params.telemetry =
+      stats_enabled(flags) || flags.get_int("serve-obs", -1) >= 0;
+  params.trace = trace_enabled(flags);
+  if (flags.get_bool("watchdog")) params.watchdog.enabled = true;
   apply_fault_flags(flags, params);
   apply_checkpoint_flags(flags, params);
   return params;
 }
+
+// Live introspection endpoint for a running bench: `--serve-obs PORT`
+// starts the loopback HTTP server (obs/http_export.h) for the process
+// lifetime; `--serve-obs-linger N` keeps it up N extra seconds after the
+// run so a scraper polling mid-run always gets one last look. The handlers
+// read whichever World is currently attached — harnesses attach the
+// primary replicate for the duration of its run (WorldLease below), and
+// routes answer with empty-but-valid documents while no world is attached
+// (before the first window, between replicates, during the linger).
+class ScopedObsServer {
+ public:
+  ScopedObsServer(const Flags& flags, std::ostream& log) : log_(&log) {
+    long long port = flags.get_int("serve-obs", -1);
+    if (port < 0) return;
+    linger_seconds_ =
+        static_cast<int>(flags.get_int("serve-obs-linger", 0));
+    obs::HttpHandlers handlers;
+    handlers.metrics_text = [this] {
+      std::lock_guard<std::mutex> lock(mu_);
+      return world_ != nullptr ? world_->stats_prometheus() : std::string();
+    };
+    handlers.stats_json = [this] {
+      std::lock_guard<std::mutex> lock(mu_);
+      return world_ != nullptr ? world_->stats_json() : std::string("[]");
+    };
+    handlers.trace_json = [this] {
+      std::lock_guard<std::mutex> lock(mu_);
+      return world_ != nullptr
+                 ? world_->trace_json()
+                 : std::string(
+                       "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+    };
+    try {
+      server_ = std::make_unique<obs::HttpServer>(static_cast<int>(port),
+                                                  std::move(handlers));
+      log << "serve-obs: listening on 127.0.0.1:" << server_->port()
+          << "\n";
+    } catch (const std::exception& error) {
+      log << "serve-obs: " << error.what() << " — endpoint disabled\n";
+    }
+  }
+
+  ~ScopedObsServer() {
+    if (server_ != nullptr && linger_seconds_ > 0) {
+      *log_ << "serve-obs: lingering " << linger_seconds_ << " s ("
+            << server_->requests_served() << " request(s) served)\n";
+      std::this_thread::sleep_for(std::chrono::seconds(linger_seconds_));
+    }
+  }
+
+  ScopedObsServer(const ScopedObsServer&) = delete;
+  ScopedObsServer& operator=(const ScopedObsServer&) = delete;
+
+  bool active() const { return server_ != nullptr; }
+
+  void attach(const eval::World* world) {
+    std::lock_guard<std::mutex> lock(mu_);
+    world_ = world;
+  }
+  void detach(const eval::World* world) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (world_ == world) world_ = nullptr;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  const eval::World* world_ = nullptr;  // guarded by mu_
+  std::unique_ptr<obs::HttpServer> server_;
+  int linger_seconds_ = 0;
+  std::ostream* log_;
+};
+
+// RAII attach/detach of one World to the obs server: the primary replicate
+// constructs a lease around its World for the scope of its run, so the
+// endpoint never serves a pointer to a destroyed world.
+class WorldLease {
+ public:
+  WorldLease(ScopedObsServer& server, const eval::World* world)
+      : server_(&server), world_(world) {
+    server_->attach(world_);
+  }
+  ~WorldLease() { server_->detach(world_); }
+  WorldLease(const WorldLease&) = delete;
+  WorldLease& operator=(const WorldLease&) = delete;
+
+ private:
+  ScopedObsServer* server_;
+  const eval::World* world_;
+};
 
 // Parallelism for bench fan-outs: --threads wins, otherwise the hardware,
 // capped by the task count (an idle worker is pure overhead here).

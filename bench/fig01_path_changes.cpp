@@ -67,5 +67,6 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\ntotal ground-truth change events: "
             << world.ground_truth().changes().size() << "\n";
+  bench::maybe_write_trace(flags, world.trace_json(), std::cout);
   return 0;
 }

@@ -126,6 +126,8 @@ int main(int argc, char** argv) {
   for (Replicate& replicate : replicates) {
     stats.push_back(std::move(replicate.stats));
   }
+  bench::maybe_write_trace(flags, stats.empty() ? "" : stats[0].trace,
+                           std::cout);
   bench::write_stats_json(bench::stats_json_path(flags), stats, std::cout);
   return 0;
 }

@@ -275,6 +275,8 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::vector<bench::RunStats> stats;
   for (PpsResult& result : results) stats.push_back(std::move(result.stats));
+  bench::maybe_write_trace(flags, stats.empty() ? "" : stats[0].trace,
+                           std::cout);
   bench::write_stats_json(bench::stats_json_path(flags), stats, std::cout);
   return 0;
 }

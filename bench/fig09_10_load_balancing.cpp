@@ -116,5 +116,6 @@ int main(int argc, char** argv) {
             << " vs non-LB "
             << eval::TableWriter::fmt(nonlb_precision.median())
             << " (paper: 0.68 vs 0.84)\n";
+  bench::maybe_write_trace(flags, world.trace_json(), std::cout);
   return 0;
 }

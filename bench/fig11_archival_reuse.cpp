@@ -23,7 +23,9 @@
 //
 // Flags: --days N --pairs N --seed N --seeds N --threads N
 //        --checkpoint-dir D --checkpoint-every N --resume D
-//        --resume-window K
+//        --resume-window K --trace-out F --serve-obs PORT
+//        --serve-obs-linger N --watchdog
+#include <optional>
 #include <set>
 #include <sstream>
 
@@ -55,6 +57,7 @@ int main(int argc, char** argv) {
     bench::RunStats stats;
   };
   int threads = bench::fanout_threads(flags, labels.size());
+  bench::ScopedObsServer obs_server(flags, std::cout);
   std::vector<Replicate> replicates = bench::fan_out<Replicate>(
       threads, labels,
       [&](std::size_t k) {
@@ -71,6 +74,10 @@ int main(int argc, char** argv) {
         std::ostringstream out;
 
         eval::World world(params);
+        // The live endpoint follows the primary replicate for the length
+        // of its run; other replicates stay detached.
+        std::optional<bench::WorldLease> lease;
+        if (k == 0 && obs_server.active()) lease.emplace(obs_server, &world);
         if (!params.resume_from.empty()) {
           out << "warm start: resumed at window " << world.completed_windows()
               << "; day rows below cover the remainder of the run\n";
@@ -181,6 +188,8 @@ int main(int argc, char** argv) {
   for (Replicate& replicate : replicates) {
     stats.push_back(std::move(replicate.stats));
   }
+  bench::maybe_write_trace(flags, stats.empty() ? "" : stats[0].trace,
+                           std::cout);
   bench::write_stats_json(bench::stats_json_path(flags), stats, std::cout);
   return 0;
 }

@@ -65,5 +65,6 @@ int main(int argc, char** argv) {
                    .community_reputation()
                    .active_false_positive_communities()
             << "\n";
+  bench::maybe_write_trace(flags, world.trace_json(), std::cout);
   return 0;
 }

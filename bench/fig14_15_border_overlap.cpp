@@ -102,5 +102,6 @@ int main(int argc, char** argv) {
             << eval::TableWriter::fmt_pct(
                    1.0 - paths_unchanged.fraction_at_most(9.0))
             << " (paper: >80% vs ~40%)\n";
+  bench::maybe_write_trace(flags, world.trace_json(), std::cout);
   return 0;
 }

@@ -114,5 +114,6 @@ int main(int argc, char** argv) {
   };
   world.run_until(world.end(), hooks);
   table.print(std::cout);
+  bench::maybe_write_trace(flags, world.trace_json(), std::cout);
   return 0;
 }

@@ -225,6 +225,8 @@ int main(int argc, char** argv) {
   for (ArmResult& r : results) stats.push_back(std::move(r.stats));
   std::string path =
       flags.get_str("stats-json", "BENCH_fault_resilience.json");
+  bench::maybe_write_trace(flags, stats.empty() ? "" : stats[0].trace,
+                           std::cout);
   bench::write_stats_json(path, stats, std::cout);
   return 0;
 }

@@ -202,6 +202,8 @@ int main(int argc, char** argv) {
   for (ArmResult& r : results) stats.push_back(std::move(r.stats));
   std::string path =
       flags.get_str("stats-json", "BENCH_pipeline_scaling.json");
+  bench::maybe_write_trace(flags, stats.empty() ? "" : stats[0].trace,
+                           std::cout);
   bench::write_stats_json(path, stats, std::cout);
   return 0;
 }

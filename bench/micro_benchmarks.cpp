@@ -137,7 +137,7 @@ BENCHMARK(BM_TraceProcessing);
 struct AdvanceToFixture {
   explicit AdvanceToFixture(int threads, int shards = 1, int pairs = 2000,
                             int num_probes = 700, bool telemetry = false,
-                            bool pipeline = true) {
+                            bool pipeline = true, bool trace = false) {
     eval::WorldParams params;
     params.days = 1;
     params.warmup_days = 1;
@@ -154,6 +154,7 @@ struct AdvanceToFixture {
     params.engine_shards = shards;
     params.telemetry = telemetry;
     params.pipeline_absorb = pipeline;
+    params.trace = trace;
     world = std::make_unique<eval::World>(params);
     world->run_until(world->corpus_t0());
     world->initialize_corpus();
@@ -173,8 +174,12 @@ struct AdvanceToFixture {
   }
 
   // Feeds one window's worth of traces, timestamps shifted into the
-  // current window.
+  // current window. Also drains the flight recorder (when tracing) so the
+  // rings never fill mid-measurement — a full ring fails pushes fast and
+  // would understate the recording cost. The drain itself runs untimed,
+  // matching World::run_until's boundary drain.
   void feed_window() {
+    if (world->tracer() != nullptr) world->tracer()->drain();
     const std::int64_t w = world->window_seconds();
     std::int64_t spacing =
         pool.empty() ? w
@@ -270,7 +275,8 @@ void BM_PipelinedAdvanceTo(benchmark::State& state) {
   AdvanceToFixture fixture(static_cast<int>(state.range(0)), /*shards=*/4,
                            /*pairs=*/4200, /*probes=*/900,
                            /*telemetry=*/false,
-                           /*pipeline=*/state.range(1) != 0);
+                           /*pipeline=*/state.range(1) != 0,
+                           /*trace=*/state.range(2) != 0);
   std::size_t signals = 0;
   for (auto _ : state) {
     state.PauseTiming();
@@ -285,26 +291,38 @@ void BM_PipelinedAdvanceTo(benchmark::State& state) {
   }
   state.counters["threads"] = static_cast<double>(state.range(0));
   state.counters["pipeline"] = static_cast<double>(state.range(1));
+  state.counters["trace"] = static_cast<double>(state.range(2));
   state.counters["signals"] = static_cast<double>(signals);
 }
+// The {4, 1, 1} arm is the tracing-cost guard on the fully parallel close:
+// compare it against {4, 1, 0} — the delta is the recorder's span pushes
+// on the pool threads and must stay under the ~5% budget (DESIGN.md §13).
 BENCHMARK(BM_PipelinedAdvanceTo)
-    ->Args({1, 0})
-    ->Args({1, 1})
-    ->Args({4, 0})
-    ->Args({4, 1})
+    ->Args({1, 0, 0})
+    ->Args({1, 1, 0})
+    ->Args({4, 0, 0})
+    ->Args({4, 1, 0})
+    ->Args({4, 1, 1})
     ->Iterations(96)
     ->Unit(benchmark::kMillisecond);
 
-// Telemetry overhead on the full close path: Arg(0) runs with the registry
-// off (every instrumentation site is one null-pointer branch), Arg(1) with
-// every counter, histogram, and span live. DESIGN.md "Observability"
-// documents the measured delta; if enabled-vs-disabled ever exceeds ~2%,
-// the hot path regressed (a registry lookup or allocation leaked into a
-// per-item loop) — fix that rather than accepting the number.
+// Telemetry overhead on the full close path, three arms (emit
+// BENCH_trace_overhead.json with --benchmark_filter=TelemetryOverhead):
+//   Arg(0) — registry and recorder both off: every instrumentation site
+//            (counter, histogram, span) is one null-pointer branch;
+//   Arg(1) — metrics on, tracing off: every counter/histogram/span live;
+//   Arg(2) — metrics AND the flight recorder on: each close-path span
+//            additionally stamps two steady_clock reads and one SPSC push.
+// DESIGN.md §13 documents the budgets: Arg(1)/Arg(0) must stay under ~2%,
+// Arg(2)/Arg(0) under ~5%. If either regresses, a registry lookup, an
+// allocation, or an unconditional clock read leaked into a per-item loop —
+// fix that rather than accepting the number.
 void BM_TelemetryOverhead(benchmark::State& state) {
   AdvanceToFixture fixture(/*threads=*/1, /*shards=*/1, /*pairs=*/2000,
                            /*probes=*/700,
-                           /*telemetry=*/state.range(0) != 0);
+                           /*telemetry=*/state.range(0) >= 1,
+                           /*pipeline=*/true,
+                           /*trace=*/state.range(0) >= 2);
   std::size_t signals = 0;
   for (auto _ : state) {
     state.PauseTiming();
@@ -317,12 +335,14 @@ void BM_TelemetryOverhead(benchmark::State& state) {
     signals += sigs.size();
     fixture.now = fixture.now + fixture.world->window_seconds();
   }
-  state.counters["telemetry"] = static_cast<double>(state.range(0));
+  state.counters["telemetry"] = static_cast<double>(state.range(0) >= 1);
+  state.counters["trace"] = static_cast<double>(state.range(0) >= 2);
   state.counters["signals"] = static_cast<double>(signals);
 }
 BENCHMARK(BM_TelemetryOverhead)
     ->Arg(0)
     ->Arg(1)
+    ->Arg(2)
     ->Iterations(96)
     ->Unit(benchmark::kMillisecond);
 

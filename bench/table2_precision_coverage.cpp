@@ -29,9 +29,11 @@ namespace {
 using namespace rrr;
 
 // One full replicate at `seed`, rendered to text (tasks run concurrently,
-// so nothing may write to stdout until the fan-out returns).
+// so nothing may write to stdout until the fan-out returns). `trace_out`
+// receives the primary replicate's flight-recorder export (--trace-out).
 std::string run_replicate(eval::WorldParams params, std::uint64_t seed,
-                          const bench::Flags& flags) {
+                          const bench::Flags& flags,
+                          std::string* trace_out = nullptr) {
   params.seed = seed;
   std::ostringstream out;
   out << "world: " << params.days << " days, target "
@@ -209,6 +211,7 @@ std::string run_replicate(eval::WorldParams params, std::uint64_t seed,
     }
     daily.print(out);
   }
+  if (trace_out != nullptr) *trace_out = world.trace_json();
   return out.str();
 }
 
@@ -235,16 +238,18 @@ int main(int argc, char** argv) {
     labels.push_back("seed " +
                      std::to_string(bench::replicate_seed(params.seed, i)));
   }
+  std::string primary_trace;
   std::vector<std::string> reports = bench::fan_out<std::string>(
       bench::fanout_threads(flags, seeds), labels,
       [&](std::size_t i) {
         return run_replicate(params, bench::replicate_seed(params.seed, i),
-                             flags);
+                             flags, i == 0 ? &primary_trace : nullptr);
       },
       std::cout);
   for (std::size_t i = 0; i < reports.size(); ++i) {
     if (i > 0) std::cout << "\n";
     std::cout << reports[i];
   }
+  bench::maybe_write_trace(flags, primary_trace, std::cout);
   return 0;
 }

@@ -19,7 +19,14 @@ std::size_t EpochTableView::absorb(const std::vector<BgpRecord>& records,
                                    std::size_t count) {
   // Replay the batch the shadow missed while it was published; only then is
   // it at the same state the published buffer had before this window.
-  shadow_->apply_all(carryover_, carryover_.size());
+  {
+    obs::TraceSpan replay_span(tracer_, "carryover_replay", "table", -1,
+                               "records",
+                               static_cast<std::int64_t>(carryover_.size()));
+    shadow_->apply_all(carryover_, carryover_.size());
+  }
+  obs::TraceSpan apply_span(tracer_, "absorb_apply", "table", -1, "records",
+                            static_cast<std::int64_t>(count));
   std::size_t applied = shadow_->apply_all(records, count);
   carryover_.assign(records.begin(),
                     records.begin() + static_cast<std::ptrdiff_t>(
@@ -31,7 +38,12 @@ void EpochTableView::flip() {
   VpTableView* fresh = shadow_;
   shadow_ = published_.load(std::memory_order_relaxed);
   published_.store(fresh, std::memory_order_release);
-  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  const std::uint64_t epoch =
+      epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (tracer_ != nullptr) {
+    tracer_->instant("epoch_flip", "table", -1, "epoch",
+                     static_cast<std::int64_t>(epoch));
+  }
 }
 
 void EpochTableView::save_state(store::Encoder& enc) const {

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "bgp/table_view.h"
+#include "obs/trace.h"
 
 namespace rrr::bgp {
 
@@ -97,6 +98,12 @@ class EpochTableView {
   void save_state(store::Encoder& enc) const;
   void load_state(store::Decoder& dec);
 
+  // Attaches (or detaches, with nullptr) the flight recorder: absorb emits
+  // carryover-replay and batch-apply spans on whatever thread runs the
+  // writer task, flip emits an "epoch_flip" instant. Null-pointer cost
+  // model as everywhere else in obs.
+  void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
+
  private:
   VpTableView buffers_[2];
   std::atomic<VpTableView*> published_;
@@ -105,6 +112,7 @@ class EpochTableView {
   // into the new shadow at the start of the next absorb().
   std::vector<BgpRecord> carryover_;
   std::atomic<std::uint64_t> epoch_{0};
+  obs::TraceRecorder* tracer_ = nullptr;
 };
 
 }  // namespace rrr::bgp

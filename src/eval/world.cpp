@@ -169,11 +169,21 @@ World::World(const WorldParams& params)
     metrics_ = std::make_unique<obs::MetricsRegistry>();
     series_ = std::make_unique<obs::StatsSeries>();
   }
+  if (params_.trace || obs::trace_env_enabled()) {
+    tracer_ = std::make_unique<obs::TraceRecorder>(params_.trace_params);
+    tracer_->name_this_thread("driver");
+    if (metrics_) tracer_->set_metrics(*metrics_);
+  }
+  if (params_.watchdog.enabled) {
+    watchdog_ = std::make_unique<obs::Watchdog>(params_.watchdog);
+    if (metrics_) watchdog_->set_metrics(*metrics_);
+  }
 
   if (params_.fault_plan.enabled()) {
     fault_ = std::make_unique<fault::FaultInjector>(
         params_.fault_plan, start(), kBaseWindowSeconds);
     if (metrics_) fault_->set_metrics(*metrics_);
+    if (tracer_) fault_->set_tracer(tracer_.get());
   }
 
   signals::EngineParams engine_params;
@@ -186,6 +196,7 @@ World::World(const WorldParams& params)
   engine_params.shards = params_.engine_shards;
   engine_params.pipeline_absorb = params_.pipeline_absorb;
   engine_params.metrics = metrics_.get();
+  engine_params.tracer = tracer_.get();
   engine_params.feed_health = params_.feed_health;
   engine_ = std::make_unique<signals::ShardedStalenessEngine>(
       engine_params, *processing_, std::move(vps), std::move(vp_as),
@@ -375,7 +386,34 @@ void World::run_until(TimePoint t, const Hooks& hooks) {
     now_ = window_end;
 
     std::vector<signals::StalenessSignal> sigs;
-    if (!suppress_engine_) sigs = engine_->advance_to(window_end);
+    if (!suppress_engine_) {
+      // One "window" span per closed window wraps the whole close; every
+      // cat="close" span the engine emits for this window nests inside it
+      // (asserted by tools/validate_trace.py).
+      double close_us = -1.0;
+      {
+        obs::TraceSpan window_span(tracer_.get(), "window", "window",
+                                   window);
+        if (watchdog_ == nullptr) {
+          sigs = engine_->advance_to(window_end);
+        } else {
+          const auto close_begin = obs::SpanClock::now();
+          sigs = engine_->advance_to(window_end);
+          close_us = std::chrono::duration<double, std::micro>(
+                         obs::SpanClock::now() - close_begin)
+                         .count();
+        }
+      }
+      // Window boundary = the serial drain point: every thread's ring
+      // moves into the flight recorder, so exports (and the watchdog
+      // report below) see everything through this window.
+      if (tracer_) tracer_->drain();
+      if (watchdog_ != nullptr && close_us >= 0.0) {
+        watchdog_->observe(
+            window, close_us, [this] { return trace_json(); },
+            [this] { return stats_json(); });
+      }
+    }
     if (hooks.on_signals) {
       replay_point_ = ReplayPoint::kHook;
       hooks.on_signals(window, window_end, std::move(sigs));
@@ -480,6 +518,8 @@ void World::apply_wal_op(const store::WalOp& op) {
 
 void World::write_checkpoint() {
   obs::ScopedSpan span(obs_checkpoint_write_us_);
+  obs::TraceSpan trace_span(tracer_.get(), "checkpoint_write", "checkpoint",
+                            completed_windows());
   store::SnapshotWriter writer(completed_windows(), params_fingerprint());
   std::size_t bytes = 0;
   store::Encoder engine_enc;
@@ -501,6 +541,7 @@ void World::write_checkpoint() {
 }
 
 void World::load_checkpoint(const store::SnapshotReader& reader) {
+  obs::TraceSpan trace_span(tracer_.get(), "checkpoint_load", "checkpoint");
   {
     store::Decoder dec(reader.section("engine"));
     engine_->load_state(dec);

@@ -12,6 +12,8 @@
 #include "fault/injector.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "routing/control_plane.h"
 #include "routing/events.h"
 #include "signals/sharded_engine.h"
@@ -71,6 +73,17 @@ struct WorldParams {
   // regardless of this flag; when off, the engine's instrumentation sites
   // degrade to null-pointer branches.
   bool telemetry = false;
+  // Enables the flight recorder (DESIGN.md §13): structured trace spans of
+  // the window-close machinery, drained at window boundaries and exported
+  // via trace_json(). RRR_TRACE force-enables it the same way RRR_STATS
+  // force-enables telemetry. Runtime-domain only: the semantic snapshot is
+  // byte-identical with tracing on or off.
+  bool trace = false;
+  obs::TraceParams trace_params;
+  // Slow-window watchdog (obs/watchdog.h): snapshots the flight recorder
+  // and metrics when a window close exceeds the EWMA-derived deadline.
+  // Off by default (watchdog.enabled).
+  obs::WatchdogParams watchdog;
   // Fault plan applied at the feed boundary (DESIGN.md "Fault model &
   // degradation"). Inert by default; the injector is only constructed when
   // fault_plan.enabled().
@@ -206,6 +219,22 @@ class World {
     return series_ ? series_->json() : "[]";
   }
 
+  // --- tracing (null/empty unless WorldParams::trace or RRR_TRACE) ---
+  obs::TraceRecorder* tracer() { return tracer_.get(); }
+  // Chrome trace-event / Perfetto JSON of the flight recorder: everything
+  // drained through the last closed window. Always a valid document, even
+  // with tracing off. Safe from another thread (a live introspection
+  // endpoint) concurrently with the run.
+  std::string trace_json() const {
+    return tracer_ ? tracer_->json()
+                   : "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}";
+  }
+  // Null unless WorldParams::watchdog.enabled.
+  const obs::Watchdog* watchdog() const { return watchdog_.get(); }
+  std::string watchdog_reports_json() const {
+    return watchdog_ ? watchdog_->reports_json() : "[]";
+  }
+
  private:
   void process_event(const routing::Event& event);
   void issue_public_trace(TimePoint t);
@@ -247,6 +276,10 @@ class World {
   // pointers into it.
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::unique_ptr<obs::StatsSeries> series_;
+  // Flight recorder; declared before the engine, which holds the tracer
+  // pointer (same lifetime rule as metrics_).
+  std::unique_ptr<obs::TraceRecorder> tracer_;
+  std::unique_ptr<obs::Watchdog> watchdog_;
   // Fault injector at the feed boundary; null when the plan is inert.
   std::unique_ptr<fault::FaultInjector> fault_;
   topo::Topology topology_;

@@ -5,6 +5,7 @@
 
 #include "io/serialize.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rrr::fault {
 namespace {
@@ -170,6 +171,10 @@ std::vector<bgp::BgpRecord> FaultInjector::on_bgp_record(
   if (stream_blacked && blackout_active(window)) {
     ++stats_.bgp_blackout_dropped;
     obs::inc(obs_bgp_dropped_blackout_);
+    if (tracer_ != nullptr && window != last_traced_blackout_window_) {
+      last_traced_blackout_window_ = window;
+      tracer_->instant("fault_blackout_active", "fault", window);
+    }
     return out;
   }
 
@@ -184,6 +189,7 @@ std::vector<bgp::BgpRecord> FaultInjector::on_bgp_record(
       !replay_done_ &&
       window >= plan_.blackout_start_window + plan_.blackout_windows) {
     replay_done_ = true;
+    const std::int64_t replayed_before = stats_.bgp_replayed;
     for (const auto& [vp, routes] : last_routes_) {
       if (routes.empty()) continue;
       if (!vp_blacked(vp) &&
@@ -198,6 +204,10 @@ std::vector<bgp::BgpRecord> FaultInjector::on_bgp_record(
         ++stats_.bgp_replayed;
         obs::inc(obs_bgp_replayed_);
       }
+    }
+    if (tracer_ != nullptr) {
+      tracer_->instant("fault_replay_storm", "fault", window, "records",
+                       stats_.bgp_replayed - replayed_before);
     }
   }
 

@@ -35,6 +35,7 @@
 namespace rrr::obs {
 class Counter;
 class MetricsRegistry;
+class TraceRecorder;
 }  // namespace rrr::obs
 
 namespace rrr::fault {
@@ -50,6 +51,13 @@ class FaultInjector {
   // Registers semantic fault counters (rrr_fault_*). Injection happens on
   // the serial feed path, so the counters are grid-invariant.
   void set_metrics(obs::MetricsRegistry& registry);
+
+  // Attaches the flight recorder: activations become instant events on the
+  // feed thread's track — one "fault_blackout_active" per window while a
+  // blackout is dropping records, one "fault_replay_storm" when the
+  // session-reset table dump fires. Tracing never consumes randomness, so
+  // the injected stream is identical with it on or off.
+  void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
 
   // Applies the plan to one BGP record: zero records for a dropped one, the
   // (possibly corrupted / re-timestamped) record plus any duplicates
@@ -107,6 +115,10 @@ class FaultInjector {
   bool replay_done_ = false;
 
   Stats stats_;
+  obs::TraceRecorder* tracer_ = nullptr;
+  // Last window a blackout activation instant was recorded for (bounds the
+  // event volume to one per window, not one per dropped record).
+  std::int64_t last_traced_blackout_window_ = -1;
   obs::Counter* obs_bgp_dropped_blackout_ = nullptr;
   obs::Counter* obs_bgp_dropped_loss_ = nullptr;
   obs::Counter* obs_bgp_dropped_corrupt_ = nullptr;

@@ -38,7 +38,8 @@ std::string labels_prometheus(const LabelList& labels,
   std::string out = "{";
   for (std::size_t i = 0; i < labels.size(); ++i) {
     if (i > 0) out += ",";
-    out += labels[i].first + "=\"" + labels[i].second + "\"";
+    out += labels[i].first + "=\"" + prometheus_escape_label(labels[i].second) +
+           "\"";
   }
   if (!extra.empty()) {
     if (!labels.empty()) out += ",";
@@ -118,10 +119,38 @@ std::string to_json(const Snapshot& snapshot) {
   return out;
 }
 
+bool prometheus_valid_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (i > 0 && digit))) return false;
+  }
+  return true;
+}
+
+std::string prometheus_escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string to_prometheus(const Snapshot& snapshot) {
   std::string out;
   std::string last_family;
   for (const MetricSnapshot& m : snapshot) {
+    if (!prometheus_valid_name(m.name)) continue;
     if (m.name != last_family) {
       if (!m.help.empty()) {
         out += "# HELP " + m.name + " " + m.help + "\n";
@@ -175,6 +204,7 @@ bool env_enabled() {
 void StatsSeries::sample(std::int64_t window,
                          const MetricsRegistry& registry) {
   Snapshot snapshot = registry.snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
   std::string body;
   for (const MetricSnapshot& m : snapshot) {
     // Change fingerprint: observation count for histograms (sum is derived
@@ -195,6 +225,7 @@ void StatsSeries::sample(std::int64_t window,
 }
 
 std::string StatsSeries::json() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out = "[";
   for (std::size_t i = 0; i < windows_.size(); ++i) {
     if (i > 0) out += ",";

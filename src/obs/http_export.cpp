@@ -1,0 +1,156 @@
+#include "obs/http_export.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace rrr::obs {
+namespace {
+
+// One full response; Content-Length + Connection: close keeps the
+// protocol stateless — no keep-alive, no chunking.
+void write_response(int fd, const char* status, const char* content_type,
+                    const std::string& body) {
+  std::string response = "HTTP/1.1 ";
+  response += status;
+  response += "\r\nContent-Type: ";
+  response += content_type;
+  response += "\r\nContent-Length: " + std::to_string(body.size());
+  response += "\r\nConnection: close\r\n\r\n";
+  response += body;
+  std::size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t n =
+        ::send(fd, response.data() + sent, response.size() - sent, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // peer went away; nothing useful to do
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+HttpServer::HttpServer(int port, HttpHandlers handlers)
+    : handlers_(std::move(handlers)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("obs: socket() failed");
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  // Loopback only: an introspection hatch, never an external service.
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("obs: cannot bind 127.0.0.1:" +
+                             std::to_string(port));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::pipe(wake_fds_) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("obs: pipe() failed");
+  }
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+HttpServer::~HttpServer() {
+  // Self-pipe wake: poll returns, the loop sees the readable wake fd and
+  // exits; no signal games, no accept() to interrupt.
+  const char byte = 'q';
+  (void)!::write(wake_fds_[1], &byte, 1);
+  thread_.join();
+  ::close(listen_fd_);
+  ::close(wake_fds_[0]);
+  ::close(wake_fds_[1]);
+}
+
+std::int64_t HttpServer::requests_served() const {
+  return requests_.load(std::memory_order_relaxed);
+}
+
+void HttpServer::serve_loop() {
+  pollfd fds[2];
+  fds[0].fd = listen_fd_;
+  fds[0].events = POLLIN;
+  fds[1].fd = wake_fds_[0];
+  fds[1].events = POLLIN;
+  for (;;) {
+    fds[0].revents = 0;
+    fds[1].revents = 0;
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // shutdown wake
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  // Read until the end of the request head; a GET carries no body. 4 KiB
+  // is generous for "GET /metrics HTTP/1.1" plus headers.
+  std::string request;
+  char buf[1024];
+  while (request.size() < 4096 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::size_t line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  if (line.compare(0, 4, "GET ") != 0) {
+    write_response(fd, "405 Method Not Allowed", "text/plain",
+                   "GET only\n");
+    return;
+  }
+  const std::size_t path_end = line.find(' ', 4);
+  const std::string path =
+      path_end == std::string::npos ? line.substr(4)
+                                    : line.substr(4, path_end - 4);
+
+  if (path == "/healthz") {
+    write_response(fd, "200 OK", "text/plain",
+                   handlers_.healthz ? handlers_.healthz() : "ok\n");
+  } else if (path == "/metrics" && handlers_.metrics_text) {
+    write_response(fd, "200 OK",
+                   "text/plain; version=0.0.4; charset=utf-8",
+                   handlers_.metrics_text());
+  } else if (path == "/stats.json" && handlers_.stats_json) {
+    write_response(fd, "200 OK", "application/json",
+                   handlers_.stats_json());
+  } else if (path == "/trace.json" && handlers_.trace_json) {
+    write_response(fd, "200 OK", "application/json",
+                   handlers_.trace_json());
+  } else {
+    write_response(fd, "404 Not Found", "text/plain",
+                   "unknown path: " + path + "\n");
+  }
+}
+
+}  // namespace rrr::obs

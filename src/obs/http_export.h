@@ -1,0 +1,65 @@
+// Minimal in-tree HTTP introspection server — the first crack in the
+// batch-only wall. A running bench passes `--serve-obs PORT` and gets a
+// live, loopback-only endpoint:
+//
+//   GET /metrics     Prometheus text exposition 0.0.4 (scrape target)
+//   GET /healthz     "ok\n" while the process is serving
+//   GET /stats.json  the same rrr-stats JSON the batch artifact gets
+//   GET /trace.json  the flight recorder (everything through the last
+//                    window-boundary drain)
+//
+// Deliberately tiny: POSIX sockets + poll, one thread, one request per
+// connection ("Connection: close"), GET only, bound to 127.0.0.1. No
+// external dependencies, no TLS, no keep-alive — it is an introspection
+// hatch, not a web server. Handlers are std::functions evaluated per
+// request on the server thread, so everything they touch must be
+// thread-safe against the run thread (MetricsRegistry snapshots and
+// TraceRecorder::json both lock internally).
+//
+// Port 0 asks the kernel for an ephemeral port (tests); `port()` reports
+// the bound one. The destructor wakes the poll loop via a self-pipe and
+// joins — no orphaned threads, no blocking accept to interrupt.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace rrr::obs {
+
+// Content callbacks for each route; an empty function 404s the route.
+struct HttpHandlers {
+  std::function<std::string()> metrics_text;  // GET /metrics
+  std::function<std::string()> stats_json;    // GET /stats.json
+  std::function<std::string()> trace_json;    // GET /trace.json
+  std::function<std::string()> healthz;       // GET /healthz (default "ok\n")
+};
+
+class HttpServer {
+ public:
+  // Binds 127.0.0.1:port (0 = ephemeral) and starts the serving thread.
+  // Throws std::runtime_error when the socket cannot be bound.
+  HttpServer(int port, HttpHandlers handlers);
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  int port() const { return port_; }
+  // Requests served so far (any route, including 404s).
+  std::int64_t requests_served() const;
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  HttpHandlers handlers_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: [0] polled, [1] written to stop
+  int port_ = 0;
+  std::thread thread_;
+  std::atomic<std::int64_t> requests_{0};
+};
+
+}  // namespace rrr::obs

@@ -1,6 +1,9 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "obs/export.h"
 
 namespace rrr::obs {
 namespace {
@@ -66,6 +69,12 @@ MetricsRegistry::Entry& MetricsRegistry::entry_for(const std::string& name,
                                                    LabelList&& labels,
                                                    Kind kind, Domain domain,
                                                    std::string&& help) {
+  // Registration is the one place a bad name can enter the registry, so
+  // enforce the exposition grammar here rather than silently emitting a
+  // series every scraper rejects.
+  if (!prometheus_valid_name(name)) {
+    throw std::invalid_argument("obs: invalid metric name: " + name);
+  }
   std::string key = flatten(name, labels);
   auto it = by_key_.find(key);
   if (it != by_key_.end()) {

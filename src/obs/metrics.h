@@ -35,6 +35,13 @@ namespace rrr::obs {
 enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
 enum class Domain : std::uint8_t { kSemantic, kRuntime };
 
+// Clock discipline for the whole observability layer: every span and
+// duration measurement (ScopedSpan, pool wait timers, trace spans) reads
+// SpanClock — monotonic, immune to wall-clock steps. Wall time
+// (system_clock) is allowed only as an exported-timestamp anchor
+// (obs/trace.cpp), never for measuring elapsed time.
+using SpanClock = std::chrono::steady_clock;
+
 // Label key/value pairs, e.g. {{"technique", "aspath"}}. Part of a metric's
 // identity: the same name with different labels is a different time series.
 using LabelList = std::vector<std::pair<std::string, std::string>>;
@@ -113,12 +120,12 @@ inline void observe(Histogram* histogram, double value) {
 class ScopedSpan {
  public:
   explicit ScopedSpan(Histogram* histogram) : histogram_(histogram) {
-    if (histogram_ != nullptr) begin_ = std::chrono::steady_clock::now();
+    if (histogram_ != nullptr) begin_ = SpanClock::now();
   }
   ~ScopedSpan() {
     if (histogram_ == nullptr) return;
     histogram_->observe(std::chrono::duration<double, std::micro>(
-                            std::chrono::steady_clock::now() - begin_)
+                            SpanClock::now() - begin_)
                             .count());
   }
   ScopedSpan(const ScopedSpan&) = delete;
@@ -126,7 +133,7 @@ class ScopedSpan {
 
  private:
   Histogram* histogram_;
-  std::chrono::steady_clock::time_point begin_;
+  SpanClock::time_point begin_;
 };
 
 // Standard bucket ladders (1-2-5 decades): microsecond durations up to 5 s,

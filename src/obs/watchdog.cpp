@@ -1,0 +1,75 @@
+#include "obs/watchdog.h"
+
+#include <algorithm>
+
+#include "obs/export.h"
+
+namespace rrr::obs {
+
+Watchdog::Watchdog(WatchdogParams params) : params_(params) {}
+
+double Watchdog::deadline_us() const {
+  if (observed_ < params_.warmup_windows) return 0.0;
+  return std::max(params_.min_deadline_us,
+                  ewma_us_ * params_.deadline_factor);
+}
+
+bool Watchdog::observe(std::int64_t window, double duration_us,
+                       const std::function<std::string()>& trace_snapshot,
+                       const std::function<std::string()>& stats_snapshot) {
+  if (!params_.enabled) return false;
+  // Judge against the deadline derived from *prior* windows: a stalled
+  // window must not dilute the baseline it is measured against.
+  const double deadline = deadline_us();
+  bool tripped = deadline > 0.0 && duration_us > deadline;
+  if (tripped) {
+    ++trips_;
+    if (obs_trips_ != nullptr) obs_trips_->inc();
+    if (reports_.size() < params_.max_reports) {
+      Report report;
+      report.window = window;
+      report.duration_us = duration_us;
+      report.deadline_us = deadline;
+      report.ewma_us = ewma_us_;
+      if (trace_snapshot) report.trace_json = trace_snapshot();
+      if (stats_snapshot) report.stats_json = stats_snapshot();
+      reports_.push_back(std::move(report));
+    }
+  }
+  if (observed_ == 0) {
+    ewma_us_ = duration_us;
+  } else {
+    ewma_us_ += params_.ewma_alpha * (duration_us - ewma_us_);
+  }
+  ++observed_;
+  return tripped;
+}
+
+std::string Watchdog::reports_json() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < reports_.size(); ++i) {
+    const Report& report = reports_[i];
+    if (i > 0) out += ',';
+    out += "{\"window\":" + std::to_string(report.window);
+    out += ",\"duration_us\":" + format_number(report.duration_us);
+    out += ",\"deadline_us\":" + format_number(report.deadline_us);
+    out += ",\"ewma_us\":" + format_number(report.ewma_us);
+    // Both payloads are already JSON documents; embed them verbatim so
+    // consumers get objects, not double-encoded strings.
+    out += ",\"trace\":";
+    out += report.trace_json.empty() ? "null" : report.trace_json;
+    out += ",\"stats\":";
+    out += report.stats_json.empty() ? "null" : report.stats_json;
+    out += '}';
+  }
+  out += ']';
+  return out;
+}
+
+void Watchdog::set_metrics(MetricsRegistry& registry) {
+  obs_trips_ = &registry.counter(
+      "rrr_watchdog_trips_total", {}, Domain::kRuntime,
+      "Window closes that exceeded the slow-window deadline");
+}
+
+}  // namespace rrr::obs

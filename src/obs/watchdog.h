@@ -1,0 +1,91 @@
+// Slow-window watchdog: learns what "normal" window-close latency looks
+// like (an EWMA over observed durations), and when one window blows past
+// an EWMA-derived deadline, captures a diagnostic report — the flight
+// recorder's trace JSON and a metrics snapshot — at the moment of the
+// stall, not minutes later when a human looks.
+//
+// Policy: deadline = max(min_deadline_us, ewma_us * deadline_factor),
+// evaluated *before* the observation is folded into the EWMA (the slow
+// window must not raise its own bar). The first `warmup_windows`
+// observations only train the EWMA — cold caches and first-window table
+// absorption would otherwise trip it on every run. Reports are capped at
+// `max_reports`: the first stalls are the diagnostic ones, and an
+// unbounded pile of trace snapshots is its own memory incident.
+//
+// The watchdog is driven with explicit durations (`observe(window,
+// duration_us, ...)`) rather than reading a clock, so tests feed it a fake
+// clock and production feeds it the same steady-clock span the window
+// histogram sees. Runtime-domain by construction: it only consumes
+// measurements, never engine state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace rrr::obs {
+
+struct WatchdogParams {
+  bool enabled = false;
+  // EWMA smoothing: ewma += alpha * (x - ewma).
+  double ewma_alpha = 0.2;
+  // A window is slow when it exceeds ewma * deadline_factor.
+  double deadline_factor = 4.0;
+  // Floor under the deadline so microsecond-scale windows (tiny test
+  // corpora) don't trip on scheduler jitter.
+  double min_deadline_us = 2000.0;
+  // Observations that train the EWMA before tripping is armed.
+  int warmup_windows = 8;
+  // Retained reports; further trips only bump the counter.
+  std::size_t max_reports = 4;
+};
+
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogParams params = {});
+
+  // One diagnostic capture: everything known at the moment of the stall.
+  struct Report {
+    std::int64_t window = 0;
+    double duration_us = 0.0;
+    double deadline_us = 0.0;
+    double ewma_us = 0.0;  // the EWMA the deadline was derived from
+    std::string trace_json;
+    std::string stats_json;
+  };
+
+  // Feeds one window-close duration. Returns true when the window tripped
+  // the deadline; on a trip that still fits under max_reports, the
+  // snapshot callbacks (either may be empty) are invoked to capture the
+  // report payloads.
+  bool observe(std::int64_t window, double duration_us,
+               const std::function<std::string()>& trace_snapshot = {},
+               const std::function<std::string()>& stats_snapshot = {});
+
+  const std::vector<Report>& reports() const { return reports_; }
+  std::int64_t trips() const { return trips_; }
+  double ewma_us() const { return ewma_us_; }
+  // Current deadline (what the *next* observation is judged against), or
+  // 0 while still warming up.
+  double deadline_us() const;
+
+  // JSON array of report objects (trace_json embedded as an object, not a
+  // string), for `--serve-obs` consumers and post-run dumps.
+  std::string reports_json() const;
+
+  // Registers rrr_watchdog_trips_total (runtime domain).
+  void set_metrics(MetricsRegistry& registry);
+
+ private:
+  const WatchdogParams params_;
+  double ewma_us_ = 0.0;
+  int observed_ = 0;
+  std::int64_t trips_ = 0;
+  std::vector<Report> reports_;
+  Counter* obs_trips_ = nullptr;
+};
+
+}  // namespace rrr::obs

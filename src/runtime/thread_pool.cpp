@@ -44,19 +44,24 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::execute(Item item) {
   const PoolObs* obs = obs_.load(std::memory_order_acquire);
+  obs::TraceRecorder* tracer = tracer_.load(std::memory_order_acquire);
   if (obs == nullptr) {
+    obs::TraceSpan span(tracer, "task", "pool");
     item.fn();
     return;
   }
-  auto start = std::chrono::steady_clock::now();
+  auto start = obs::SpanClock::now();
   if (item.enqueued.time_since_epoch().count() != 0) {
     obs::observe(obs->wait_us,
                  std::chrono::duration<double, std::micro>(start -
                                                            item.enqueued)
                      .count());
   }
-  item.fn();
-  auto end = std::chrono::steady_clock::now();
+  {
+    obs::TraceSpan span(tracer, "task", "pool");
+    item.fn();
+  }
+  auto end = obs::SpanClock::now();
   double run_us =
       std::chrono::duration<double, std::micro>(end - start).count();
   obs::observe(obs->run_us, run_us);
@@ -71,7 +76,7 @@ void ThreadPool::submit(std::function<void()> task) {
     return;
   }
   Item item{std::move(task), {}};
-  if (obs != nullptr) item.enqueued = std::chrono::steady_clock::now();
+  if (obs != nullptr) item.enqueued = obs::SpanClock::now();
   std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);

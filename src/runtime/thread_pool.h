@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rrr::runtime {
 
@@ -68,11 +69,18 @@ class ThreadPool {
     obs_.store(obs, std::memory_order_release);
   }
 
+  // Attaches (or detaches, with nullptr) the trace recorder: every executed
+  // task becomes a "task" span on its worker's track. Same lifetime
+  // contract as set_obs.
+  void set_tracer(obs::TraceRecorder* tracer) {
+    tracer_.store(tracer, std::memory_order_release);
+  }
+
  private:
   struct Item {
     std::function<void()> fn;
     // Only stamped when instrumentation is attached at enqueue time.
-    std::chrono::steady_clock::time_point enqueued;
+    obs::SpanClock::time_point enqueued;
   };
 
   void worker_loop();
@@ -85,6 +93,7 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   bool stopping_ = false;
   std::atomic<const PoolObs*> obs_{nullptr};
+  std::atomic<obs::TraceRecorder*> tracer_{nullptr};
 };
 
 }  // namespace rrr::runtime

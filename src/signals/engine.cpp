@@ -94,6 +94,11 @@ StalenessEngine::StalenessEngine(
   }
   pool_ = owned_pool_.get();
 
+  if (params_.tracer != nullptr) {
+    if (owned_pool_ != nullptr) owned_pool_->set_tracer(params_.tracer);
+    owned_->table.set_tracer(params_.tracer);
+  }
+
   if (params_.metrics != nullptr) {
     obs_ = EngineObs::create(*params_.metrics);
     index_->set_obs(obs_.potentials_opened);
@@ -372,6 +377,8 @@ void StalenessEngine::close_one_window(std::int64_t window,
   std::size_t cut = cut_window_prefix(pending_records_, clock_, window);
   {
     obs::ScopedSpan dispatch_span(obs_.dispatch_us);
+    obs::TraceSpan trace_span(params_.tracer, "dispatch", "close", window,
+                              "records", static_cast<std::int64_t>(cut));
     DispatchedBatch dispatched =
         dispatch_against_table(pending_records_, cut, owned_->table.read(),
                                collapse_canon_, close_arena_);
@@ -386,8 +393,10 @@ void StalenessEngine::close_one_window(std::int64_t window,
   // once the writer and all readers are joined — so the signal stream is
   // identical across both schedules.
   runtime::TaskGroup absorb_group(pool_);
-  auto absorb_batch = [this, cut] {
+  auto absorb_batch = [this, cut, window] {
     obs::ScopedSpan absorb_span(obs_.absorb_us);
+    obs::TraceSpan trace_span(params_.tracer, "absorb", "close", window,
+                              "records", static_cast<std::int64_t>(cut));
     owned_->table.absorb(pending_records_, cut);
   };
   if (params_.pipeline_absorb) absorb_group.spawn(absorb_batch);
@@ -409,6 +418,8 @@ void StalenessEngine::close_one_window(std::int64_t window,
   if (params_.pipeline_absorb) {
     {
       obs::ScopedSpan wait_span(obs_.absorb_wait_us);
+      obs::TraceSpan trace_span(params_.tracer, "absorb_wait", "close",
+                                window);
       absorb_group.wait();
     }
     owned_->table.flip();

@@ -25,6 +25,8 @@
 
 #include "runtime/thread_pool.h"
 
+#include "obs/trace.h"
+
 #include "bgp/epoch_table.h"
 #include "bgp/record.h"
 #include "bgp/table_view.h"
@@ -78,6 +80,10 @@ struct EngineParams {
   // update site degrades to one branch on a null pointer. Must outlive the
   // engine.
   obs::MetricsRegistry* metrics = nullptr;
+  // Trace recorder for flight-recorder spans (obs/trace.h); null disables
+  // the trace path the same way — every span site is one branch on a null
+  // pointer. Must outlive the engine.
+  obs::TraceRecorder* tracer = nullptr;
   // Feed-health quarantine (feed_health.h). Disabled by default: the
   // tracker is not even constructed and every consult site degrades to one
   // branch on a null pointer.

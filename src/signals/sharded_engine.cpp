@@ -69,6 +69,10 @@ ShardedStalenessEngine::ShardedStalenessEngine(
   if (params_.threads > 1) {
     pool_ = std::make_unique<runtime::ThreadPool>(params_.threads);
   }
+  if (params_.tracer != nullptr) {
+    if (pool_ != nullptr) pool_->set_tracer(params_.tracer);
+    table_.set_tracer(params_.tracer);
+  }
   subpath_.set_pool(pool_.get());
   border_.set_pool(pool_.get());
   ixp_.set_pool(pool_.get());
@@ -182,6 +186,8 @@ void ShardedStalenessEngine::close_one_window(
   // reset below.
   DispatchedBatch dispatched = [&] {
     obs::ScopedSpan dispatch_span(obs_.dispatch_us);
+    obs::TraceSpan trace_span(params_.tracer, "dispatch", "close", window,
+                              "records", static_cast<std::int64_t>(cut));
     return dispatch_against_table(pending_records_, cut, table_.read(),
                                   collapse_canon_, close_arena_);
   }();
@@ -193,8 +199,10 @@ void ShardedStalenessEngine::close_one_window(
   // deferred until writer and readers are joined, so both schedules yield
   // the same signal stream.
   runtime::TaskGroup absorb_group(pool_.get());
-  auto absorb_batch = [this, cut] {
+  auto absorb_batch = [this, cut, window] {
     obs::ScopedSpan absorb_span(obs_.absorb_us);
+    obs::TraceSpan trace_span(params_.tracer, "absorb", "close", window,
+                              "records", static_cast<std::int64_t>(cut));
     table_.absorb(pending_records_, cut);
   };
   if (params_.pipeline_absorb) absorb_group.spawn(absorb_batch);
@@ -209,6 +217,9 @@ void ShardedStalenessEngine::close_one_window(
       [&](std::size_t i) {
         obs::ScopedSpan shard_span(
             shard_close_us_.empty() ? nullptr : shard_close_us_[i]);
+        obs::TraceSpan trace_span(params_.tracer, "shard_close", "close",
+                                  window, "shard",
+                                  static_cast<std::int64_t>(i));
         shards_[i]->dispatch_window_records(dispatched, window);
         shards_[i]->collect_bgp_close(raw[i], window, end);
       },
@@ -227,15 +238,26 @@ void ShardedStalenessEngine::close_one_window(
   std::vector<StalenessSignal> ixp_raw;
   {
     runtime::TaskGroup group(pool_.get());
-    group.spawn([&] { subpath_raw = subpath_.close_window(window, end); });
-    group.spawn([&] { border_raw = border_.close_window(window, end); });
-    group.spawn([&] { ixp_raw = ixp_.close_window(window, end); });
+    group.spawn([&] {
+      obs::TraceSpan span(params_.tracer, "close_subpath", "close", window);
+      subpath_raw = subpath_.close_window(window, end);
+    });
+    group.spawn([&] {
+      obs::TraceSpan span(params_.tracer, "close_border", "close", window);
+      border_raw = border_.close_window(window, end);
+    });
+    group.spawn([&] {
+      obs::TraceSpan span(params_.tracer, "close_ixp", "close", window);
+      ixp_raw = ixp_.close_window(window, end);
+    });
     group.wait();
   }
 
   if (params_.pipeline_absorb) {
     {
       obs::ScopedSpan wait_span(obs_.absorb_wait_us);
+      obs::TraceSpan trace_span(params_.tracer, "absorb_wait", "close",
+                                window);
       absorb_group.wait();
     }
     table_.flip();
@@ -255,6 +277,7 @@ void ShardedStalenessEngine::close_one_window(
   std::vector<StalenessSignal> batch;
   {
     obs::ScopedSpan merge_span(obs_.merge_us);
+    obs::TraceSpan trace_span(params_.tracer, "merge", "close", window);
     std::size_t total =
         subpath_raw.size() + border_raw.size() + ixp_raw.size();
     for (const auto& buffer : raw) total += buffer.size();
@@ -272,6 +295,9 @@ void ShardedStalenessEngine::close_one_window(
 
   {
     obs::ScopedSpan register_span(obs_.register_us);
+    obs::TraceSpan trace_span(params_.tracer, "register", "close", window,
+                              "signals",
+                              static_cast<std::int64_t>(batch.size()));
     out.reserve(out.size() + batch.size());
     for (StalenessSignal& signal : batch) {
       StalenessEngine& shard = *shards_[shard_of(signal.pair)];
@@ -295,6 +321,7 @@ void ShardedStalenessEngine::close_one_window(
   if (params_.revocation_check_interval > 0 &&
       window % params_.revocation_check_interval ==
           params_.revocation_check_interval - 1) {
+    obs::TraceSpan trace_span(params_.tracer, "revocation", "close", window);
     // Each shard sweeps its own corpus; monitors and table are read-only.
     runtime::parallel_for(
         pool_.get(), shards_.size(),

@@ -39,6 +39,11 @@ WorldParams small_params(std::uint64_t seed, int engine_threads,
   // refreshes graded, ...) are part of the determinism contract, unlike the
   // kRuntime timing histograms which differ run to run by design.
   params.telemetry = true;
+  // Flight recorder on across the whole grid: tracing is kRuntime-only
+  // (clock reads and private buffers, no RNG or engine state), so every
+  // byte-identity assertion below also proves recording never perturbs
+  // the semantic outputs (DESIGN.md §13).
+  params.trace = true;
   return params;
 }
 

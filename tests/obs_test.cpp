@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -378,6 +379,71 @@ TEST(Concurrency, CountersAndHistogramsSumAcrossThreads) {
   // All observations land in the le="2" bucket.
   std::vector<std::int64_t> expected = {0, kTotal, 0, 0};
   EXPECT_EQ(histogram.bucket_counts(), expected);
+}
+
+// Exposition hardening (DESIGN.md §13): label values pass through the
+// 0.0.4 escaping rules and malformed metric names are rejected at
+// registration, so a scrape can never be corrupted by a stray quote or an
+// invalid family name.
+TEST(Export, PrometheusLabelValueEscaping) {
+  struct Case {
+    const char* raw;
+    const char* escaped;
+  };
+  const Case cases[] = {
+      {"plain", "plain"},
+      {"", ""},
+      {"with \"quotes\"", "with \\\"quotes\\\""},
+      {"back\\slash", "back\\\\slash"},
+      {"line\nbreak", "line\\nbreak"},
+      {"\\\"\n", "\\\\\\\"\\n"},
+      {"utf8 ✓ ok", "utf8 ✓ ok"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(prometheus_escape_label(c.raw), c.escaped) << c.raw;
+  }
+
+  MetricsRegistry registry;
+  registry.counter("rrr_esc_total", {{"collector", "rrc\"00\nx\\y"}})
+      .inc(1);
+  std::string text = to_prometheus(registry.snapshot());
+  EXPECT_NE(
+      text.find("rrr_esc_total{collector=\"rrc\\\"00\\nx\\\\y\"} 1"),
+      std::string::npos)
+      << text;
+}
+
+TEST(Export, PrometheusNameValidation) {
+  struct Case {
+    const char* name;
+    bool valid;
+  };
+  const Case cases[] = {
+      {"rrr_ok_total", true},
+      {"_leading_underscore", true},
+      {":colon:name", true},
+      {"a", true},
+      {"", false},
+      {"9starts_with_digit", false},
+      {"has-dash", false},
+      {"has space", false},
+      {"has{brace", false},
+      {"unicode_✓", false},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(prometheus_valid_name(c.name), c.valid) << c.name;
+  }
+
+  // Registration rejects invalid families outright...
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.counter("bad-name"), std::invalid_argument);
+  EXPECT_THROW(registry.gauge("9bad"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("bad name", {1.0}),
+               std::invalid_argument);
+  // ...and valid ones still register and expose.
+  registry.counter("rrr_good_total").inc(2);
+  EXPECT_NE(to_prometheus(registry.snapshot()).find("rrr_good_total 2"),
+            std::string::npos);
 }
 
 }  // namespace
