@@ -16,6 +16,7 @@
 #include <thread>
 
 #include "eval/report.h"
+#include "eval/supervisor.h"
 #include "eval/world.h"
 #include "netbase/rng.h"
 #include "obs/export.h"
@@ -240,6 +241,41 @@ inline void apply_checkpoint_flags(const Flags& flags,
   params.resume_window = flags.get_int("resume-window", -1);
 }
 
+// Crash-fault tolerance knobs (DESIGN.md §14): `--io-fault-plan <spec>`
+// injects storage faults into every store IO (fault::IoFaultPlan::parse
+// syntax, e.g. "torn=0.05,enospc=0.02,seed=7"; RRR_IO_FAULT_PLAN supplies
+// the spec when the flag is absent), `--io-retry <spec>` configures the
+// transient-error retry policy (store::RetryPolicy::parse, e.g.
+// "attempts=4,base_us=100"), and `--supervise` runs under the
+// self-healing recovery supervisor (eval/supervisor.h).
+inline void apply_io_fault_flags(const Flags& flags,
+                                 eval::WorldParams& params) {
+  std::string spec = flags.get_str("io-fault-plan", "");
+  if (spec.empty()) {
+    const char* env = std::getenv("RRR_IO_FAULT_PLAN");
+    if (env != nullptr) spec = env;
+  }
+  if (!spec.empty()) {
+    std::optional<fault::IoFaultPlan> parsed = fault::IoFaultPlan::parse(spec);
+    if (parsed) {
+      params.io_fault_plan = *parsed;
+    } else {
+      std::cerr << "io-fault-plan: cannot parse \"" << spec
+                << "\" — ignored\n";
+    }
+  }
+  std::string retry = flags.get_str("io-retry", "");
+  if (!retry.empty()) {
+    std::optional<store::RetryPolicy> parsed = store::RetryPolicy::parse(retry);
+    if (parsed) {
+      params.io_retry = *parsed;
+    } else {
+      std::cerr << "io-retry: cannot parse \"" << retry << "\" — ignored\n";
+    }
+  }
+  if (flags.get_bool("supervise")) params.supervise = true;
+}
+
 // The standard retrospective-evaluation world (§5.1), scaled down from the
 // paper's 223k pairs to laptop size; flags override.
 inline eval::WorldParams retrospective_params(const Flags& flags) {
@@ -267,6 +303,7 @@ inline eval::WorldParams retrospective_params(const Flags& flags) {
   if (flags.get_bool("watchdog")) params.watchdog.enabled = true;
   apply_fault_flags(flags, params);
   apply_checkpoint_flags(flags, params);
+  apply_io_fault_flags(flags, params);
   return params;
 }
 

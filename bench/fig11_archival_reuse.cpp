@@ -21,9 +21,20 @@
 // contract); the printed day table covers only post-resume days, since the
 // bench-level archive bookkeeping is not part of the checkpoint.
 //
+// Supervised arm (DESIGN.md §14): `--supervise` wraps the run in the
+// self-healing recovery supervisor, so a store failure (typically injected
+// via --io-fault-plan) scrubs the checkpoint directory and resumes instead
+// of killing the process. Hooks here follow the supervisor's re-delivery
+// contract: archive/table/signal state is keyed by day or window, never
+// appended blindly, so a re-delivered boundary overwrites rather than
+// duplicates. The live obs endpoint is not attached in supervised mode —
+// incarnations are born and die inside the run, and the endpoint must
+// never serve a pointer to a dead one.
+//
 // Flags: --days N --pairs N --seed N --seeds N --threads N
 //        --checkpoint-dir D --checkpoint-every N --resume D
-//        --resume-window K --trace-out F --serve-obs PORT
+//        --resume-window K --io-fault-plan SPEC --io-retry SPEC
+//        --supervise --trace-out F --serve-obs PORT
 //        --serve-obs-linger N --watchdog
 #include <optional>
 #include <set>
@@ -73,20 +84,6 @@ int main(int argc, char** argv) {
         }
         std::ostringstream out;
 
-        eval::World world(params);
-        // The live endpoint follows the primary replicate for the length
-        // of its run; other replicates stay detached.
-        std::optional<bench::WorldLease> lease;
-        if (k == 0 && obs_server.active()) lease.emplace(obs_server, &world);
-        if (!params.resume_from.empty()) {
-          out << "warm start: resumed at window " << world.completed_windows()
-              << "; day rows below cover the remainder of the run\n";
-        }
-        world.run_until(world.corpus_t0());
-        std::size_t pairs = world.initialize_corpus();
-        out << "archive sources: " << pairs << " pairs, accumulating one "
-            << "measurement per pair per day\n\n";
-
         // The archive: (pair, issue day). Every pair contributes one
         // archived trace per day (scaled stand-in for the public firehose).
         struct Archived {
@@ -94,8 +91,21 @@ int main(int argc, char** argv) {
           TimePoint issued;
         };
         std::vector<Archived> archive;
-        // Stale knowledge: for each pair, times at which signals fired.
+        // Stale knowledge, keyed by the window that produced it so a
+        // window re-delivered after a supervisor recovery overwrites its
+        // own signals instead of appending duplicates (the re-delivery
+        // contract in eval/supervisor.h).
+        std::map<std::int64_t, std::vector<signals::StalenessSignal>>
+            signals_by_window;
+        // Flattened view: for each pair, times at which signals fired.
         std::map<tr::PairKey, std::vector<TimePoint>> signal_times;
+        auto rebuild_signal_times = [&] {
+          signal_times.clear();
+          for (const auto& [window, sigs] : signals_by_window) {
+            (void)window;
+            for (const auto& s : sigs) signal_times[s.pair].push_back(s.time);
+          }
+        };
         auto stale_after = [&](const tr::PairKey& pair, TimePoint issued) {
           auto it = signal_times.find(pair);
           if (it == signal_times.end()) return false;
@@ -105,19 +115,33 @@ int main(int argc, char** argv) {
           return false;
         };
 
+        // The current incarnation: under the supervisor the World may be
+        // torn down and rebuilt mid-run, so hooks resolve it per call
+        // instead of capturing a reference that a recovery would dangle.
+        std::optional<eval::Supervisor> supervisor;
+        std::unique_ptr<eval::World> world_owner;
+        auto current = [&]() -> eval::World& {
+          return supervisor ? supervisor->world() : *world_owner;
+        };
+
         eval::TableWriter table({"day", "archived", "fresh", "stale",
                                  "unknown", "fresh, dead probe"});
+        int last_day = -1;  // re-delivered day boundaries are skipped
         eval::World::Hooks hooks;
-        hooks.on_signals = [&](std::int64_t, TimePoint,
+        hooks.on_signals = [&](std::int64_t window, TimePoint,
                                std::vector<signals::StalenessSignal>&& sigs) {
-          for (const auto& s : sigs) signal_times[s.pair].push_back(s.time);
+          signals_by_window[window] = std::move(sigs);
         };
         hooks.on_day = [&](int day, TimePoint t) {
+          eval::World& world = current();
           if (t < world.corpus_t0()) return;
+          if (day <= last_day) return;  // already processed pre-recovery
+          last_day = day;
           for (const tr::PairKey& pair : world.ground_truth().pairs()) {
             archive.push_back(Archived{pair, t});
           }
           // Classify the whole archive as of now.
+          rebuild_signal_times();
           std::int64_t fresh = 0, stale = 0, unknown = 0, fresh_dead = 0;
           for (const Archived& entry : archive) {
             if (stale_after(entry.pair, entry.issued)) {
@@ -148,8 +172,51 @@ int main(int argc, char** argv) {
                              fresh ? double(fresh_dead) / double(fresh)
                                    : 0)});
         };
-        world.run_until(world.end(), hooks);
-        table.print(out);
+
+        if (params.supervise) {
+          // Supervised: run_all under the recovery loop. No obs lease —
+          // incarnations are born and die inside run(), and the endpoint
+          // must never hold a pointer to a dead one.
+          supervisor.emplace(params);
+          supervisor->run(hooks);
+          if (!supervisor->recoveries().empty()) {
+            out << "supervised: recovered "
+                << supervisor->recoveries().size() << " time(s)";
+            for (const eval::RecoveryEvent& event :
+                 supervisor->recoveries()) {
+              out << "; resume@" << event.resume_window;
+            }
+            out << "\n";
+          }
+          world_owner = supervisor->take_world();
+          supervisor.reset();
+          out << "archive sources: "
+              << world_owner->ground_truth().pairs().size()
+              << " pairs, accumulating one measurement per pair per day\n\n";
+          table.print(out);
+        } else {
+          world_owner = std::make_unique<eval::World>(params);
+          eval::World& world = *world_owner;
+          // The live endpoint follows the primary replicate for the length
+          // of its run; other replicates stay detached.
+          std::optional<bench::WorldLease> lease;
+          if (k == 0 && obs_server.active()) {
+            lease.emplace(obs_server, &world);
+          }
+          if (!params.resume_from.empty()) {
+            out << "warm start: resumed at window "
+                << world.completed_windows()
+                << "; day rows below cover the remainder of the run\n";
+          }
+          world.run_until(world.corpus_t0());
+          std::size_t pairs = world.initialize_corpus();
+          out << "archive sources: " << pairs << " pairs, accumulating one "
+              << "measurement per pair per day\n\n";
+          world.run_until(world.end(), hooks);
+          table.print(out);
+        }
+        eval::World& world = *world_owner;
+        rebuild_signal_times();
 
         // §6.2's request-serving estimate: a request for (probe AS+city ->
         // destination prefix) can be served when a fresh archived trace

@@ -224,6 +224,16 @@ World::World(const WorldParams& params)
   }
 
   params_.checkpoint_every = std::max(params_.checkpoint_every, 1);
+  if (!params_.checkpoint_dir.empty() || !params_.resume_from.empty()) {
+    if (params_.io_fault_plan.enabled()) {
+      io_fault_ = std::make_unique<fault::IoFaultInjector>(
+          params_.io_fault_plan);
+    }
+    io_ = std::make_unique<store::IoContext>(params_.io_retry,
+                                             io_fault_.get());
+    if (metrics_) io_->set_metrics(*metrics_);
+    if (tracer_) io_->set_tracer(tracer_.get());
+  }
   if (metrics_ &&
       (!params_.checkpoint_dir.empty() || !params_.resume_from.empty())) {
     constexpr auto kRt = obs::Domain::kRuntime;
@@ -450,32 +460,37 @@ void World::run_all(const Hooks& hooks) {
   run_until(end(), hooks);
 }
 
-std::uint64_t World::params_fingerprint() const {
+std::uint64_t World::fingerprint(const WorldParams& params) {
   // A coarse digest of the parameters that shape the simulated timeline.
   // It catches the common foot-guns (different seed, days, corpus or feed
   // shape, fault plan) — it is a guard, not a proof of identity. Pure
-  // throughput knobs (threads, pipeline_absorb) are deliberately excluded;
-  // the engine's loader verifies the shard count itself.
+  // throughput knobs (threads, pipeline_absorb) and robustness knobs
+  // (io_fault_plan, io_retry, supervise) are deliberately excluded; the
+  // engine's loader verifies the shard count itself.
   store::Encoder enc;
-  enc.u64(params_.seed);
-  enc.i64(params_.days);
-  enc.i64(params_.warmup_days);
-  enc.i64(params_.corpus_pair_target);
-  enc.i64(params_.corpus_dest_count);
-  enc.i64(params_.public_dest_count);
-  enc.i64(params_.public_traces_per_window);
-  enc.i64(params_.recalibration_interval_windows);
-  enc.f64(params_.peeringdb_completeness);
-  enc.i64(params_.topology.num_tier1);
-  enc.i64(params_.topology.num_transit);
-  enc.i64(params_.topology.num_stub);
-  enc.i64(params_.topology.num_ixps);
-  enc.i64(params_.platform.num_probes);
-  enc.i64(params_.platform.num_anchors);
-  enc.f64(params_.platform.probe_death_per_day);
-  enc.boolean(params_.feed_health.enabled);
-  enc.str(params_.fault_plan.spec());
+  enc.u64(params.seed);
+  enc.i64(params.days);
+  enc.i64(params.warmup_days);
+  enc.i64(params.corpus_pair_target);
+  enc.i64(params.corpus_dest_count);
+  enc.i64(params.public_dest_count);
+  enc.i64(params.public_traces_per_window);
+  enc.i64(params.recalibration_interval_windows);
+  enc.f64(params.peeringdb_completeness);
+  enc.i64(params.topology.num_tier1);
+  enc.i64(params.topology.num_transit);
+  enc.i64(params.topology.num_stub);
+  enc.i64(params.topology.num_ixps);
+  enc.i64(params.platform.num_probes);
+  enc.i64(params.platform.num_anchors);
+  enc.f64(params.platform.probe_death_per_day);
+  enc.boolean(params.feed_health.enabled);
+  enc.str(params.fault_plan.spec());
   return store::fnv1a64(enc.buffer());
+}
+
+std::uint64_t World::params_fingerprint() const {
+  return fingerprint(params_);
 }
 
 void World::log_op(const char* type, std::string payload) {
@@ -485,7 +500,9 @@ void World::log_op(const char* type, std::string payload) {
   op.point = static_cast<std::uint8_t>(replay_point_);
   op.type = type;
   op.payload = std::move(payload);
-  store::wal_append(params_.checkpoint_dir, op);
+  store::wal_append(params_.checkpoint_dir, op, io_.get());
+  wal_pos_.digest = store::chain_wal_digest(wal_pos_.digest, op);
+  ++wal_pos_.count;
   obs::inc(obs_wal_ops_);
 }
 
@@ -535,7 +552,13 @@ void World::write_checkpoint() {
     bytes += metrics.size();
     writer.add_section("metrics", std::move(metrics));
   }
-  writer.write(params_.checkpoint_dir);
+  // The WAL position this snapshot was written over: the world side of a
+  // resume is regenerated by replaying exactly these ops, so a log that
+  // can no longer produce this prefix makes the snapshot unusable.
+  std::string walpos = store::encode_wal_position(wal_pos_);
+  bytes += walpos.size();
+  writer.add_section(store::kWalPositionSection, std::move(walpos));
+  writer.write(params_.checkpoint_dir, io_.get());
   obs::inc(obs_snapshots_written_);
   obs::set(obs_snapshot_bytes_, static_cast<std::int64_t>(bytes));
 }
@@ -573,7 +596,7 @@ void World::resume_from_checkpoint() {
                : nullptr;
   obs::ScopedSpan span(resume_us);
 
-  std::vector<store::WalOp> ops = store::wal_read(dir);
+  std::vector<store::WalOp> ops = store::wal_read(dir, io_.get());
   std::int64_t max_clock = 0;
   for (const store::WalOp& op : ops) {
     max_clock = std::max(max_clock, op.clock);
@@ -592,11 +615,25 @@ void World::resume_from_checkpoint() {
   // spending any time on re-simulation.
   std::optional<store::SnapshotReader> reader;
   if (snap) {
-    reader.emplace(dir, *snap);
+    reader.emplace(dir, *snap, io_.get());
     if (reader->fingerprint() != params_fingerprint()) {
       throw store::StoreError(
           store::StoreError::Kind::kCorrupt,
           "snapshot was written under different world parameters");
+    }
+    // The ops the snapshot was written over must still head the log: the
+    // world side (corpus, platform, RNG streams) is regenerated by
+    // replaying them, so a WAL whose head was lost to silent corruption
+    // must not pair with this snapshot — that would resume a silently
+    // wrong world, not a slightly older one.
+    if (reader->has_section(store::kWalPositionSection)) {
+      const store::WalPosition pos = store::decode_wal_position(
+          reader->section(store::kWalPositionSection));
+      if (!store::wal_position_consistent(pos, ops)) {
+        throw store::StoreError(
+            store::StoreError::Kind::kCorrupt,
+            "snapshot depends on WAL ops the log no longer holds");
+      }
     }
   }
   const std::int64_t r0 = snap.value_or(-1);
@@ -647,10 +684,12 @@ void World::resume_from_checkpoint() {
     for (store::WalOp& op : ops) {
       if (op.clock <= k) kept.push_back(std::move(op));
     }
-    if (kept.size() != ops.size()) store::wal_rewrite(dir, kept);
+    if (kept.size() != ops.size()) store::wal_rewrite(dir, kept, io_.get());
     for (std::int64_t c : store::list_snapshots(dir)) {
       if (c > k) fs::remove(dir + "/" + store::snapshot_name(c), ec);
     }
+    // Future appends and snapshots continue the kept prefix.
+    wal_pos_ = store::wal_position_of(kept, kept.size());
   }
 }
 

@@ -10,6 +10,7 @@
 #include "bgp/feed.h"
 #include "eval/ground_truth.h"
 #include "fault/injector.h"
+#include "fault/io_plan.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -18,6 +19,7 @@
 #include "routing/events.h"
 #include "signals/sharded_engine.h"
 #include "store/checkpoint.h"
+#include "store/io_env.h"
 #include "topology/builder.h"
 #include "tracemap/pipeline.h"
 #include "traceroute/platform.h"
@@ -110,6 +112,21 @@ struct WorldParams {
   // directly.
   std::string resume_from;
   std::int64_t resume_window = -1;
+
+  // --- crash-fault tolerance (DESIGN.md §14) ---
+  // Storage fault plan applied to every physical store IO (snapshot and
+  // WAL reads/writes). Inert by default; like fault_plan it is a
+  // robustness knob, deliberately excluded from the params fingerprint —
+  // injected storage faults must never change the semantic timeline.
+  fault::IoFaultPlan io_fault_plan;
+  // Retry policy for transient-classified store IO errors. The default
+  // (max_attempts = 1) disables retrying.
+  store::RetryPolicy io_retry;
+  // Run under the self-healing supervisor (eval/supervisor.h): a failed
+  // window close scrubs the checkpoint directory, restores the last good
+  // state, and replays. Read by run_supervised / the benches, not by
+  // World itself.
+  bool supervise = false;
 };
 
 class World {
@@ -128,6 +145,13 @@ class World {
   Rng& rng() { return rng_; }
   // Null when WorldParams::fault_plan is inert.
   const fault::FaultInjector* fault_injector() const { return fault_.get(); }
+  // Store IO context (retries + fault injection). Null unless
+  // checkpointing or resume is configured.
+  store::IoContext* io_context() { return io_.get(); }
+  // Null when WorldParams::io_fault_plan is inert.
+  const fault::IoFaultInjector* io_fault_injector() const {
+    return io_fault_.get();
+  }
 
   // --- timeline ---
   TimePoint start() const { return TimePoint(0); }
@@ -198,8 +222,16 @@ class World {
     return (now_ - start()) / window_seconds();
   }
 
+  // Digest of the parameters that shape the simulated timeline; snapshots
+  // written under a different fingerprint must not feed a resume. The
+  // supervisor passes this to RecoveryManager::scrub.
+  static std::uint64_t fingerprint(const WorldParams& params);
+
   // --- telemetry (null/empty unless WorldParams::telemetry or RRR_STATS) ---
   const obs::MetricsRegistry* metrics() const { return metrics_.get(); }
+  // Mutable registry access for the supervisor's rrr_recovery_* counters
+  // (null when telemetry is off).
+  obs::MetricsRegistry* metrics_mutable() { return metrics_.get(); }
   // Full cumulative snapshot as a JSON metric array.
   std::string stats_json() const {
     return metrics_ ? obs::to_json(metrics_->snapshot()) : "[]";
@@ -282,6 +314,11 @@ class World {
   std::unique_ptr<obs::Watchdog> watchdog_;
   // Fault injector at the feed boundary; null when the plan is inert.
   std::unique_ptr<fault::FaultInjector> fault_;
+  // Storage fault environment + retry context for every store IO this
+  // world performs. io_fault_ is null when io_fault_plan is inert; io_ is
+  // null unless checkpointing or resume is configured.
+  std::unique_ptr<fault::IoFaultInjector> io_fault_;
+  std::unique_ptr<store::IoContext> io_;
   topo::Topology topology_;
   std::unique_ptr<routing::ControlPlane> cp_;
   std::unique_ptr<bgp::FeedSimulator> feed_;
@@ -307,6 +344,11 @@ class World {
   bool suppress_engine_ = false;
   bool replaying_ = false;
   ReplayPoint replay_point_ = ReplayPoint::kBoundary;
+  // How far the checkpoint WAL has advanced (op count + chained digest).
+  // Stamped into every snapshot as its "walpos" section: the world side of
+  // a resume is regenerated by WAL replay, so a snapshot is only loadable
+  // while the log still holds the exact op prefix it was written over.
+  store::WalPosition wal_pos_;
   // rrr_checkpoint_* telemetry (runtime domain; null when telemetry is off
   // or checkpointing is off).
   obs::Counter* obs_snapshots_written_ = nullptr;

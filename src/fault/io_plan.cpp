@@ -1,0 +1,235 @@
+#include "fault/io_plan.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+
+namespace rrr::fault {
+namespace {
+
+std::optional<double> parse_double(std::string_view text) {
+  std::string buffer(text);
+  char* end = nullptr;
+  double value = std::strtod(buffer.c_str(), &end);
+  if (end != buffer.c_str() + buffer.size() || buffer.empty()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view text) {
+  std::int64_t value = 0;
+  auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                 value);
+  if (ec != std::errc{} || p != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+void emit(std::ostringstream& out, bool& first, std::string_view key,
+          const std::string& value) {
+  if (!first) out << ',';
+  first = false;
+  out << key << '=' << value;
+}
+
+std::string fmt(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+bool IoFaultPlan::enabled() const {
+  return torn_write_rate > 0.0 || bit_flip_rate > 0.0 || enospc_rate > 0.0 ||
+         eio_write_rate > 0.0 || eio_fsync_rate > 0.0 ||
+         eio_rename_rate > 0.0 || eio_read_rate > 0.0 ||
+         crash_rename_rate > 0.0;
+}
+
+std::string IoFaultPlan::spec() const {
+  std::ostringstream out;
+  bool first = true;
+  if (torn_write_rate > 0.0) emit(out, first, "torn", fmt(torn_write_rate));
+  if (bit_flip_rate > 0.0) emit(out, first, "bitflip", fmt(bit_flip_rate));
+  if (enospc_rate > 0.0) emit(out, first, "enospc", fmt(enospc_rate));
+  if (eio_write_rate > 0.0) emit(out, first, "eio", fmt(eio_write_rate));
+  if (eio_fsync_rate > 0.0) {
+    emit(out, first, "eio_fsync", fmt(eio_fsync_rate));
+  }
+  if (eio_rename_rate > 0.0) {
+    emit(out, first, "eio_rename", fmt(eio_rename_rate));
+  }
+  if (eio_read_rate > 0.0) emit(out, first, "eio_read", fmt(eio_read_rate));
+  if (crash_rename_rate > 0.0) {
+    emit(out, first, "crash_rename", fmt(crash_rename_rate));
+  }
+  if (transient_fraction != 0.75) {
+    emit(out, first, "transient", fmt(transient_fraction));
+  }
+  if (transient_clears_after != 2) {
+    emit(out, first, "clears_after", std::to_string(transient_clears_after));
+  }
+  if (seed != 1) emit(out, first, "seed", std::to_string(seed));
+  return out.str();
+}
+
+std::optional<IoFaultPlan> IoFaultPlan::parse(std::string_view spec) {
+  IoFaultPlan plan;
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    std::string_view clause = spec.substr(
+        start, comma == std::string_view::npos ? std::string_view::npos
+                                               : comma - start);
+    start = comma == std::string_view::npos ? spec.size() : comma + 1;
+    if (clause.empty()) continue;
+    std::size_t eq = clause.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    std::string_view key = clause.substr(0, eq);
+    std::string_view value = clause.substr(eq + 1);
+
+    auto set_rate = [&](double* field) {
+      auto v = parse_double(value);
+      if (!v || *v < 0.0 || *v > 1.0) return false;
+      *field = *v;
+      return true;
+    };
+
+    bool ok = false;
+    if (key == "torn") {
+      ok = set_rate(&plan.torn_write_rate);
+    } else if (key == "bitflip") {
+      ok = set_rate(&plan.bit_flip_rate);
+    } else if (key == "enospc") {
+      ok = set_rate(&plan.enospc_rate);
+    } else if (key == "eio") {
+      ok = set_rate(&plan.eio_write_rate);
+    } else if (key == "eio_fsync") {
+      ok = set_rate(&plan.eio_fsync_rate);
+    } else if (key == "eio_rename") {
+      ok = set_rate(&plan.eio_rename_rate);
+    } else if (key == "eio_read") {
+      ok = set_rate(&plan.eio_read_rate);
+    } else if (key == "crash_rename") {
+      ok = set_rate(&plan.crash_rename_rate);
+    } else if (key == "transient") {
+      ok = set_rate(&plan.transient_fraction);
+    } else if (key == "clears_after") {
+      auto v = parse_int(value);
+      ok = v && *v >= 0;
+      if (ok) plan.transient_clears_after = static_cast<int>(*v);
+    } else if (key == "seed") {
+      auto v = parse_int(value);
+      ok = v && *v >= 0;
+      if (ok) plan.seed = static_cast<std::uint64_t>(*v);
+    }
+    if (!ok) return std::nullopt;
+  }
+  return plan;
+}
+
+IoFaultInjector::IoFaultInjector(const IoFaultPlan& plan) : plan_(plan) {}
+
+Rng& IoFaultInjector::stream(store::IoOp op) {
+  int key = static_cast<int>(op);
+  auto it = streams_.find(key);
+  if (it == streams_.end()) {
+    it = streams_
+             .emplace(key, Rng(plan_.seed).split(0x1000 +
+                                                 static_cast<std::uint64_t>(
+                                                     key)))
+             .first;
+  }
+  return it->second;
+}
+
+store::IoOutcome IoFaultInjector::draw(store::IoOp op, std::uint64_t size) {
+  using Kind = store::IoOutcome::Kind;
+  Rng& rng = stream(op);
+  store::IoOutcome out;
+  auto transient = [&] { return rng.bernoulli(plan_.transient_fraction); };
+  switch (op) {
+    case store::IoOp::kWrite:
+    case store::IoOp::kAppend:
+      // Reported errors first (they abort the attempt before bytes land),
+      // then silent corruption of the bytes that do land.
+      if (rng.bernoulli(plan_.enospc_rate)) {
+        out.kind = Kind::kEnospc;
+        out.transient = transient();
+      } else if (rng.bernoulli(plan_.eio_write_rate)) {
+        out.kind = Kind::kEio;
+        out.transient = transient();
+      } else if (rng.bernoulli(plan_.torn_write_rate)) {
+        out.kind = Kind::kTornWrite;
+        out.offset = size > 0 ? static_cast<std::uint64_t>(rng.uniform_int(
+                                    0, static_cast<std::int64_t>(size) - 1))
+                              : 0;
+      } else if (rng.bernoulli(plan_.bit_flip_rate)) {
+        out.kind = Kind::kBitFlip;
+        out.offset = size > 0 ? static_cast<std::uint64_t>(rng.uniform_int(
+                                    0, static_cast<std::int64_t>(size) - 1))
+                              : 0;
+        out.bit = static_cast<std::uint8_t>(rng.uniform_int(0, 7));
+      }
+      break;
+    case store::IoOp::kFsync:
+      if (rng.bernoulli(plan_.eio_fsync_rate)) {
+        out.kind = Kind::kEio;
+        out.transient = transient();
+      }
+      break;
+    case store::IoOp::kRename:
+      if (rng.bernoulli(plan_.crash_rename_rate)) {
+        out.kind = Kind::kCrashRename;
+      } else if (rng.bernoulli(plan_.eio_rename_rate)) {
+        out.kind = Kind::kEio;
+        out.transient = transient();
+      }
+      break;
+    case store::IoOp::kRead:
+      // Read faults are always transient: flaky reads must never
+      // permanently hide data that is on the disk.
+      if (rng.bernoulli(plan_.eio_read_rate)) {
+        out.kind = Kind::kEio;
+        out.transient = true;
+      }
+      break;
+  }
+  return out;
+}
+
+store::IoOutcome IoFaultInjector::on_op(store::IoOp op, std::string_view path,
+                                        std::uint64_t size, int attempt) {
+  using Kind = store::IoOutcome::Kind;
+  ++stats_.ops;
+  auto key = std::make_pair(static_cast<int>(op), std::string(path));
+  store::IoOutcome out;
+  if (attempt == 0) {
+    out = draw(op, size);
+    decisions_[key] = out;
+  } else {
+    auto it = decisions_.find(key);
+    out = it != decisions_.end() ? it->second : store::IoOutcome{};
+    if (out.transient && attempt >= plan_.transient_clears_after) {
+      // The disk "recovered": the retry loop's persistence paid off.
+      out = store::IoOutcome{};
+      decisions_[key] = out;
+      ++stats_.cleared;
+      return out;
+    }
+  }
+  switch (out.kind) {
+    case Kind::kOk: break;
+    case Kind::kTornWrite: ++stats_.torn; break;
+    case Kind::kBitFlip: ++stats_.bitflip; break;
+    case Kind::kEnospc: ++stats_.enospc; break;
+    case Kind::kEio: ++stats_.eio; break;
+    case Kind::kCrashRename: ++stats_.crash_rename; break;
+  }
+  return out;
+}
+
+}  // namespace rrr::fault

@@ -1,0 +1,108 @@
+// Declarative storage-fault plans, the disk-side sibling of FaultPlan.
+//
+// An `IoFaultPlan` describes how the state store's disk misbehaves: the
+// probability that a snapshot/WAL write is torn at a random byte, that a
+// bit flips on the way down, that write/fsync/rename/read report ENOSPC
+// or EIO, or that the process "dies" between writing a temp file and the
+// publishing rename. The plan is pure data — `IoFaultInjector` interprets
+// it deterministically from `plan.seed` as a store::IoEnv, so a (plan,
+// seed) pair replays bit-identically: store IO runs serially on the
+// driver thread, and every decision is drawn from a per-op-kind
+// `Rng::split` stream in call order.
+//
+// Fault taxonomy (matching store::IoOutcome):
+//   silent    torn writes, bit flips, crash-renames — the store call
+//             *succeeds*; the damage surfaces at read time through frame
+//             checksums and is the RecoveryManager's problem.
+//   reported  ENOSPC / EIO — thrown as StoreError(kIo), carrying a
+//             transient flag drawn from `transient_fraction`; transient
+//             faults clear after `transient_clears_after` retries, which
+//             is what the RetryPolicy's backoff loop exercises.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "netbase/rng.h"
+#include "store/io_env.h"
+
+namespace rrr::fault {
+
+struct IoFaultPlan {
+  // Silent write-path corruption (writes and WAL appends).
+  double torn_write_rate = 0.0;
+  double bit_flip_rate = 0.0;
+  // Reported write-path errors.
+  double enospc_rate = 0.0;
+  double eio_write_rate = 0.0;
+  double eio_fsync_rate = 0.0;
+  double eio_rename_rate = 0.0;
+  // Reported read-path errors (always transient: a flaky read never
+  // permanently hides data that is on the disk).
+  double eio_read_rate = 0.0;
+  // Silent crash between temp-file write and rename: the temp file is
+  // fully written and stranded, nothing is published.
+  double crash_rename_rate = 0.0;
+
+  // Fraction of reported write-path errors classified transient, and how
+  // many retries a transient fault survives before clearing.
+  double transient_fraction = 0.75;
+  int transient_clears_after = 2;
+
+  std::uint64_t seed = 1;
+
+  // True when any clause can fire; a default plan is a no-op and the
+  // injector is not even constructed.
+  bool enabled() const;
+
+  // Canonical `key=value,...` spec / parser, FaultPlan-style: only
+  // non-default clauses render; "" is the default plan. Keys: torn,
+  // bitflip, enospc, eio, eio_fsync, eio_rename, eio_read, crash_rename,
+  // transient, clears_after, seed.
+  std::string spec() const;
+  static std::optional<IoFaultPlan> parse(std::string_view spec);
+};
+
+// Deterministic store::IoEnv interpreting an IoFaultPlan.
+//
+// Attempt 0 of a logical op draws a fresh outcome from the op-kind's
+// stream and caches it keyed by (op, path); retries (attempt > 0) replay
+// the cached outcome without consuming randomness, except that a cached
+// transient fault clears once `attempt >= transient_clears_after` — the
+// disk "recovered", and the retry loop's persistence paid off.
+class IoFaultInjector : public store::IoEnv {
+ public:
+  explicit IoFaultInjector(const IoFaultPlan& plan);
+
+  store::IoOutcome on_op(store::IoOp op, std::string_view path,
+                         std::uint64_t size, int attempt) override;
+
+  const IoFaultPlan& plan() const { return plan_; }
+
+  struct Stats {
+    std::int64_t ops = 0;  // on_op consultations, all attempts
+    std::int64_t torn = 0;
+    std::int64_t bitflip = 0;
+    std::int64_t enospc = 0;
+    std::int64_t eio = 0;
+    std::int64_t crash_rename = 0;
+    std::int64_t cleared = 0;  // transient faults that cleared on retry
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  store::IoOutcome draw(store::IoOp op, std::uint64_t size);
+  Rng& stream(store::IoOp op);
+
+  IoFaultPlan plan_;
+  std::map<int, Rng> streams_;  // one per IoOp kind
+  // Last attempt-0 outcome per (op, path) — what retries replay.
+  std::map<std::pair<int, std::string>, store::IoOutcome> decisions_;
+  Stats stats_;
+};
+
+}  // namespace rrr::fault

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
@@ -38,8 +39,8 @@ void write_response(int fd, const char* status, const char* content_type,
 
 }  // namespace
 
-HttpServer::HttpServer(int port, HttpHandlers handlers)
-    : handlers_(std::move(handlers)) {
+HttpServer::HttpServer(int port, HttpHandlers handlers, HttpLimits limits)
+    : handlers_(std::move(handlers)), limits_(limits) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     throw std::runtime_error("obs: socket() failed");
@@ -106,20 +107,65 @@ void HttpServer::serve_loop() {
 }
 
 void HttpServer::handle_connection(int fd) {
-  // Read until the end of the request head; a GET carries no body. 4 KiB
-  // is generous for "GET /metrics HTTP/1.1" plus headers.
+  // Receive the request head (a GET carries no body) under the
+  // connection's abuse guards: each recv waits only for the remainder of
+  // the read deadline, so a slow-loris client dribbling one byte at a
+  // time cannot hold the single serving thread hostage, and a head that
+  // outgrows the size cap is rejected instead of half-parsed.
+  using Clock = std::chrono::steady_clock;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(limits_.read_deadline_ms);
   std::string request;
+  bool timed_out = false;
+  bool too_large = false;
   char buf[1024];
-  while (request.size() < 4096 &&
-         request.find("\r\n\r\n") == std::string::npos) {
+  while (true) {
+    // Size cap first: an oversize head is rejected even when it arrived
+    // complete in one read, not just while it is still dribbling in.
+    if (request.size() > limits_.max_request_bytes) {
+      too_large = true;
+      break;
+    }
+    if (request.find("\r\n\r\n") != std::string::npos) break;
+    const auto remaining_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                              Clock::now())
+            .count();
+    if (remaining_ms <= 0) {
+      timed_out = true;
+      break;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining_ms));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) {
+      timed_out = true;
+      break;
+    }
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      break;
+      break;  // peer closed or errored; answer whatever arrived
     }
     request.append(buf, static_cast<std::size_t>(n));
   }
   requests_.fetch_add(1, std::memory_order_relaxed);
+
+  if (timed_out) {
+    write_response(fd, "408 Request Timeout", "text/plain",
+                   "request head not received before the read deadline\n");
+    return;
+  }
+  if (too_large) {
+    write_response(fd, "431 Request Header Fields Too Large", "text/plain",
+                   "request head exceeds " +
+                       std::to_string(limits_.max_request_bytes) +
+                       " bytes\n");
+    return;
+  }
 
   const std::size_t line_end = request.find("\r\n");
   const std::string line =

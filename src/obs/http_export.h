@@ -16,12 +16,21 @@
 // thread-safe against the run thread (MetricsRegistry snapshots and
 // TraceRecorder::json both lock internally).
 //
+// Because connections are served serially, one misbehaving client could
+// otherwise starve every other scraper. Two guards bound each request
+// (HttpLimits): a per-connection read deadline — a client that dribbles
+// bytes slower than the deadline (slow-loris) gets "408 Request Timeout"
+// and the socket back — and a maximum request-head size, past which the
+// client gets "431 Request Header Fields Too Large" instead of a parse of
+// whatever half-request fit the old fixed buffer.
+//
 // Port 0 asks the kernel for an ephemeral port (tests); `port()` reports
 // the bound one. The destructor wakes the poll loop via a self-pipe and
 // joins — no orphaned threads, no blocking accept to interrupt.
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -37,11 +46,22 @@ struct HttpHandlers {
   std::function<std::string()> healthz;       // GET /healthz (default "ok\n")
 };
 
+// Abuse guards for one connection. The defaults are far above anything a
+// legitimate scraper produces; tests shrink them to exercise the 408/431
+// paths without waiting.
+struct HttpLimits {
+  // Total budget for receiving the request head, in milliseconds. A
+  // client still mid-request when it expires gets 408.
+  int read_deadline_ms = 2000;
+  // Maximum request-head bytes before "\r\n\r\n". Exceeding it gets 431.
+  std::size_t max_request_bytes = 8192;
+};
+
 class HttpServer {
  public:
   // Binds 127.0.0.1:port (0 = ephemeral) and starts the serving thread.
   // Throws std::runtime_error when the socket cannot be bound.
-  HttpServer(int port, HttpHandlers handlers);
+  HttpServer(int port, HttpHandlers handlers, HttpLimits limits = {});
   ~HttpServer();
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
@@ -55,6 +75,7 @@ class HttpServer {
   void handle_connection(int fd);
 
   HttpHandlers handlers_;
+  HttpLimits limits_;
   int listen_fd_ = -1;
   int wake_fds_[2] = {-1, -1};  // self-pipe: [0] polled, [1] written to stop
   int port_ = 0;

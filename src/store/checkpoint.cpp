@@ -52,7 +52,8 @@ void SnapshotWriter::add_section(std::string name, std::string payload) {
   sections_.emplace_back(std::move(name), std::move(payload));
 }
 
-std::string SnapshotWriter::write(const std::string& dir) const {
+std::string SnapshotWriter::write(const std::string& dir,
+                                  IoContext* io) const {
   Encoder header;
   header.i64(completed_);
   header.u64(fingerprint_);
@@ -66,13 +67,13 @@ std::string SnapshotWriter::write(const std::string& dir) const {
     append_frame(data, kSectionKind, section.buffer());
   }
   std::string path = dir + "/" + snapshot_name(completed_);
-  write_file_atomic(path, data);
+  write_file_atomic(path, data, io);
   return path;
 }
 
 SnapshotReader::SnapshotReader(const std::string& dir,
-                               std::int64_t completed_windows)
-    : file_(dir + "/" + snapshot_name(completed_windows)) {
+                               std::int64_t completed_windows, IoContext* io)
+    : file_(dir + "/" + snapshot_name(completed_windows), io) {
   std::vector<FrameView> frames = read_all_frames(file_.view());
   if (frames.empty() || frames.front().kind != kSnapshotKind) {
     throw StoreError(StoreError::Kind::kCorrupt,
@@ -113,28 +114,62 @@ std::string_view SnapshotReader::section(const std::string& name) const {
   return it->second;
 }
 
-void wal_append(const std::string& dir, const WalOp& op) {
+std::string encode_wal_op(const WalOp& op) {
   Encoder enc;
   enc.i64(op.clock);
   enc.u8(op.point);
   enc.str(op.type);
   enc.str(op.payload);
-  std::string frame;
-  append_frame(frame, kWalKind, enc.buffer());
-  std::ofstream out(dir + "/wal.log", std::ios::binary | std::ios::app);
-  out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
-  out.flush();
-  if (!out) {
-    throw StoreError(StoreError::Kind::kIo,
-                     "store cannot append to '" + dir + "/wal.log'");
-  }
+  return enc.take();
 }
 
-std::vector<WalOp> wal_read(const std::string& dir) {
+std::uint64_t chain_wal_digest(std::uint64_t digest, const WalOp& op) {
+  return fnv1a64(encode_wal_op(op), digest);
+}
+
+WalPosition wal_position_of(const std::vector<WalOp>& ops,
+                            std::size_t count) {
+  WalPosition pos;
+  for (std::size_t i = 0; i < count && i < ops.size(); ++i) {
+    pos.digest = chain_wal_digest(pos.digest, ops[i]);
+    ++pos.count;
+  }
+  return pos;
+}
+
+bool wal_position_consistent(const WalPosition& pos,
+                             const std::vector<WalOp>& ops) {
+  if (pos.count > ops.size()) return false;
+  return wal_position_of(ops, pos.count).digest == pos.digest;
+}
+
+std::string encode_wal_position(const WalPosition& pos) {
+  Encoder enc;
+  enc.u64(pos.count);
+  enc.u64(pos.digest);
+  return enc.take();
+}
+
+WalPosition decode_wal_position(std::string_view payload) {
+  Decoder dec(payload);
+  WalPosition pos;
+  pos.count = dec.u64();
+  pos.digest = dec.u64();
+  dec.expect_done();
+  return pos;
+}
+
+void wal_append(const std::string& dir, const WalOp& op, IoContext* io) {
+  std::string frame;
+  append_frame(frame, kWalKind, encode_wal_op(op));
+  append_file(dir + "/wal.log", frame, io);
+}
+
+std::vector<WalOp> wal_read(const std::string& dir, IoContext* io) {
   std::string path = dir + "/wal.log";
   std::error_code ec;
   if (!fs::exists(path, ec)) return {};
-  MappedFile file(path);
+  MappedFile file(path, io);
   std::vector<WalOp> ops;
   for (const FrameView& frame : read_all_frames(file.view())) {
     if (frame.kind != kWalKind) {
@@ -153,17 +188,13 @@ std::vector<WalOp> wal_read(const std::string& dir) {
   return ops;
 }
 
-void wal_rewrite(const std::string& dir, const std::vector<WalOp>& ops) {
+void wal_rewrite(const std::string& dir, const std::vector<WalOp>& ops,
+                 IoContext* io) {
   std::string data;
   for (const WalOp& op : ops) {
-    Encoder enc;
-    enc.i64(op.clock);
-    enc.u8(op.point);
-    enc.str(op.type);
-    enc.str(op.payload);
-    append_frame(data, kWalKind, enc.buffer());
+    append_frame(data, kWalKind, encode_wal_op(op));
   }
-  write_file_atomic(dir + "/wal.log", data);
+  write_file_atomic(dir + "/wal.log", data, io);
 }
 
 void ensure_dir(const std::string& dir) {

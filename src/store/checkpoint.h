@@ -53,8 +53,9 @@ class SnapshotWriter {
   void add_section(std::string name, std::string payload);
 
   // Assembles the snapshot and writes it atomically into `dir` (which must
-  // exist). Returns the file path.
-  std::string write(const std::string& dir) const;
+  // exist). Returns the file path. Physical IO flows through `io` when one
+  // is given (fault injection + retries; see io_env.h).
+  std::string write(const std::string& dir, IoContext* io = nullptr) const;
 
  private:
   std::int64_t completed_;
@@ -65,7 +66,8 @@ class SnapshotWriter {
 class SnapshotReader {
  public:
   // Maps and validates `dir/snap-<completed>`.
-  SnapshotReader(const std::string& dir, std::int64_t completed_windows);
+  SnapshotReader(const std::string& dir, std::int64_t completed_windows,
+                 IoContext* io = nullptr);
 
   std::int64_t completed_windows() const { return completed_; }
   std::uint64_t fingerprint() const { return fingerprint_; }
@@ -93,16 +95,55 @@ struct WalOp {
   std::string payload;
 };
 
+// Canonical encoded payload of one op (the bytes inside its WAL frame):
+// clock, point, type, payload. wal_append/wal_rewrite and the WalPosition
+// digest all use this encoding, so the digest chain matches the log bytes.
+std::string encode_wal_op(const WalOp& op);
+
+// Position in the op log that a snapshot's state depends on. The world
+// side of a resume re-simulates from window zero driven by WAL replay, so
+// a snapshot is only usable while the WAL still holds every op that
+// preceded it: `count` ops whose chained digest is `digest`. A WAL whose
+// surviving prefix cannot satisfy a snapshot's position (a silently torn
+// or bit-flipped frame truncated the log underneath it) makes that
+// snapshot unusable — the RecoveryManager quarantines it and falls back,
+// as far as a full cold start when nothing satisfiable remains.
+struct WalPosition {
+  std::uint64_t count = 0;
+  std::uint64_t digest = kWalDigestSeed;
+
+  static constexpr std::uint64_t kWalDigestSeed = 0xcbf29ce484222325ULL;
+};
+
+// Snapshot section name carrying an encoded WalPosition.
+inline constexpr const char* kWalPositionSection = "walpos";
+
+// Extends `digest` over one more op (chained FNV-1a of encode_wal_op).
+std::uint64_t chain_wal_digest(std::uint64_t digest, const WalOp& op);
+
+// The position after the first `count` ops of `ops`.
+WalPosition wal_position_of(const std::vector<WalOp>& ops, std::size_t count);
+
+// True when `ops` starts with the `pos.count`-op prefix `pos` digests.
+bool wal_position_consistent(const WalPosition& pos,
+                             const std::vector<WalOp>& ops);
+
+std::string encode_wal_position(const WalPosition& pos);
+// Throws a classified StoreError on a malformed payload.
+WalPosition decode_wal_position(std::string_view payload);
+
 // Appends one op frame to `dir/wal.log`.
-void wal_append(const std::string& dir, const WalOp& op);
+void wal_append(const std::string& dir, const WalOp& op,
+                IoContext* io = nullptr);
 
 // Reads the full WAL (empty when the file does not exist).
-std::vector<WalOp> wal_read(const std::string& dir);
+std::vector<WalOp> wal_read(const std::string& dir, IoContext* io = nullptr);
 
 // Atomically rewrites `dir/wal.log` to hold exactly `ops`. Resuming at a
 // window earlier than the logged tail uses this to drop the now-dead ops
 // before new appends would interleave with them.
-void wal_rewrite(const std::string& dir, const std::vector<WalOp>& ops);
+void wal_rewrite(const std::string& dir, const std::vector<WalOp>& ops,
+                 IoContext* io = nullptr);
 
 // Creates `dir` (and parents) if needed; throws StoreError(kIo) on failure.
 void ensure_dir(const std::string& dir);

@@ -5,9 +5,12 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+
+#include "store/io_env.h"
 
 namespace rrr::store {
 
@@ -41,6 +44,142 @@ std::uint64_t get_u64(std::string_view data, std::size_t pos) {
          << (8 * i);
   }
   return v;
+}
+
+// Closes `fd` on scope exit unless released (for the fsync-then-close
+// ordering the happy path needs).
+struct FdGuard {
+  int fd = -1;
+  ~FdGuard() {
+    if (fd >= 0) ::close(fd);
+  }
+  int release() {
+    int f = fd;
+    fd = -1;
+    return f;
+  }
+};
+
+// Unlinks the temp file of an atomic-write cycle on scope exit unless the
+// cycle completed (rename published it) or an injected crash deliberately
+// strands it. This is what keeps a failed checkpoint from leaking *.tmp
+// litter into the store directory.
+struct TmpGuard {
+  std::string path;
+  bool armed = true;
+  ~TmpGuard() {
+    if (armed) ::unlink(path.c_str());
+  }
+  void release() { armed = false; }
+};
+
+[[noreturn]] void throw_errno(const char* verb, const std::string& path) {
+  int err = errno;
+  throw StoreError(StoreError::Kind::kIo,
+                   std::string("store cannot ") + verb + " '" + path +
+                       "': " + std::strerror(err),
+                   err == EINTR || err == EAGAIN);
+}
+
+// Reported (thrown) injected outcomes. Silent ones never reach here.
+[[noreturn]] void throw_injected(const IoOutcome& outcome, IoOp op,
+                                 const std::string& path) {
+  const char* what =
+      outcome.kind == IoOutcome::Kind::kEnospc ? "ENOSPC" : "EIO";
+  throw StoreError(StoreError::Kind::kIo,
+                   std::string("injected ") + what + " on " + to_string(op) +
+                       " of '" + path + "'",
+                   outcome.transient);
+}
+
+bool is_reported(const IoOutcome& outcome) {
+  return outcome.kind == IoOutcome::Kind::kEnospc ||
+         outcome.kind == IoOutcome::Kind::kEio;
+}
+
+// Applies a silent outcome to the bytes about to hit the disk: a torn
+// write keeps only the prefix before the cut point, a bit flip damages one
+// bit in place. `scratch` backs the mutated copy when one is needed.
+std::string_view apply_silent(std::string_view data, const IoOutcome& outcome,
+                              std::string& scratch) {
+  if (data.empty()) return data;
+  switch (outcome.kind) {
+    case IoOutcome::Kind::kTornWrite:
+      return data.substr(0, outcome.offset % data.size());
+    case IoOutcome::Kind::kBitFlip:
+      scratch.assign(data);
+      scratch[outcome.offset % data.size()] ^=
+          static_cast<char>(1u << (outcome.bit % 8));
+      return scratch;
+    default:
+      return data;
+  }
+}
+
+void write_all(int fd, std::string_view data, const std::string& path) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write", path);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void write_file_atomic_once(const std::string& path, std::string_view data,
+                            IoContext* io, int attempt) {
+  const std::string tmp = path + ".tmp";
+  TmpGuard guard{tmp};
+  int raw_fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (raw_fd < 0) throw_errno("create", tmp);
+  FdGuard fd{raw_fd};
+
+  IoOutcome on_write =
+      io ? io->consult(IoOp::kWrite, path, data.size(), attempt)
+         : IoOutcome{};
+  if (is_reported(on_write)) throw_injected(on_write, IoOp::kWrite, tmp);
+  std::string scratch;
+  write_all(fd.fd, apply_silent(data, on_write, scratch), tmp);
+
+  IoOutcome on_fsync =
+      io ? io->consult(IoOp::kFsync, path, data.size(), attempt)
+         : IoOutcome{};
+  if (is_reported(on_fsync)) throw_injected(on_fsync, IoOp::kFsync, tmp);
+  if (::fsync(fd.fd) != 0) throw_errno("fsync", tmp);
+  if (::close(fd.release()) != 0) throw_errno("close", tmp);
+
+  IoOutcome on_rename =
+      io ? io->consult(IoOp::kRename, path, data.size(), attempt)
+         : IoOutcome{};
+  if (on_rename.kind == IoOutcome::Kind::kCrashRename) {
+    // The modeled process died between fsync and rename: the fully written
+    // temp file stays behind and no snapshot is published. Deliberately
+    // not an error — the caller believes the write happened, exactly like
+    // the real crash; RecoveryManager sweeps the stray tmp later.
+    guard.release();
+    return;
+  }
+  if (is_reported(on_rename)) throw_injected(on_rename, IoOp::kRename, path);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) throw_errno("rename", tmp);
+  guard.release();
+}
+
+void append_file_once(const std::string& path, std::string_view data,
+                      IoContext* io, int attempt) {
+  IoOutcome on_append =
+      io ? io->consult(IoOp::kAppend, path, data.size(), attempt)
+         : IoOutcome{};
+  if (is_reported(on_append)) throw_injected(on_append, IoOp::kAppend, path);
+  int raw_fd = ::open(path.c_str(),
+                      O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (raw_fd < 0) throw_errno("open for append", path);
+  FdGuard fd{raw_fd};
+  std::string scratch;
+  write_all(fd.fd, apply_silent(data, on_append, scratch), path);
+  if (::close(fd.release()) != 0) throw_errno("close", path);
 }
 
 }  // namespace
@@ -123,7 +262,21 @@ std::vector<FrameView> read_all_frames(std::string_view data) {
   return frames;
 }
 
-MappedFile::MappedFile(const std::string& path) {
+MappedFile::MappedFile(const std::string& path, IoContext* io) {
+  if (io == nullptr) {
+    open_once(path, nullptr, 0);
+    return;
+  }
+  io->run(IoOp::kRead, path,
+          [&](int attempt) { open_once(path, io, attempt); });
+}
+
+void MappedFile::open_once(const std::string& path, IoContext* io,
+                           int attempt) {
+  if (io != nullptr) {
+    IoOutcome on_read = io->consult(IoOp::kRead, path, 0, attempt);
+    if (is_reported(on_read)) throw_injected(on_read, IoOp::kRead, path);
+  }
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     throw StoreError(StoreError::Kind::kIo,
@@ -166,21 +319,26 @@ MappedFile::~MappedFile() {
   }
 }
 
-void write_file_atomic(const std::string& path, std::string_view data) {
-  std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    out.write(data.data(), static_cast<std::streamsize>(data.size()));
-    out.flush();
-    if (!out) {
-      throw StoreError(StoreError::Kind::kIo,
-                       "store cannot write '" + tmp + "'");
-    }
+void write_file_atomic(const std::string& path, std::string_view data,
+                       IoContext* io) {
+  if (io == nullptr) {
+    write_file_atomic_once(path, data, nullptr, 0);
+    return;
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    throw StoreError(StoreError::Kind::kIo,
-                     "store cannot rename '" + tmp + "' to '" + path + "'");
+  io->run(IoOp::kWrite, path, [&](int attempt) {
+    write_file_atomic_once(path, data, io, attempt);
+  });
+}
+
+void append_file(const std::string& path, std::string_view data,
+                 IoContext* io) {
+  if (io == nullptr) {
+    append_file_once(path, data, nullptr, 0);
+    return;
   }
+  io->run(IoOp::kAppend, path, [&](int attempt) {
+    append_file_once(path, data, io, attempt);
+  });
 }
 
 }  // namespace rrr::store

@@ -21,6 +21,12 @@
 // attribute dictionary sections), so a frame from any other version —
 // older or newer — is rejected rather than misparsed.
 //
+// Physical IO here optionally flows through an IoContext (io_env.h): the
+// write/fsync/rename/append/read sites consult its fault environment, so a
+// seeded IoFaultPlan can tear writes, flip bits, fail fsyncs, or strand
+// temp files at exactly the byte the plan dictates. A null context is the
+// default and costs one branch per site.
+//
 // Version history:
 //   1  initial layout
 //   2  table snapshots carry local attribute dictionaries (paths /
@@ -35,6 +41,8 @@
 #include "store/serial.h"
 
 namespace rrr::store {
+
+class IoContext;
 
 inline constexpr std::uint32_t kFormatVersion = 2;
 inline constexpr char kMagic[4] = {'R', 'R', 'R', 'S'};
@@ -67,9 +75,12 @@ std::vector<FrameView> read_all_frames(std::string_view data);
 
 // Read-only file access for frame scans: mmap(2) when available, with a
 // heap-buffer fallback (the view is identical either way). Not copyable.
+// With an `io` context the open is the retry unit: an injected transient
+// EIO on the read site re-attempts under the context's RetryPolicy.
 class MappedFile {
  public:
-  explicit MappedFile(const std::string& path);  // throws StoreError(kIo)
+  explicit MappedFile(const std::string& path,
+                      IoContext* io = nullptr);  // throws StoreError(kIo)
   ~MappedFile();
   MappedFile(const MappedFile&) = delete;
   MappedFile& operator=(const MappedFile&) = delete;
@@ -77,14 +88,27 @@ class MappedFile {
   std::string_view view() const { return view_; }
 
  private:
+  void open_once(const std::string& path, IoContext* io, int attempt);
+
   std::string_view view_;
   void* mapping_ = nullptr;  // non-null when mmap'd
   std::size_t mapped_size_ = 0;
   std::string fallback_;  // used when mmap is unavailable
 };
 
-// Writes `data` to `path` atomically (temp file + rename), so a crashed
-// checkpoint never leaves a half-written snapshot behind.
-void write_file_atomic(const std::string& path, std::string_view data);
+// Writes `data` to `path` atomically (temp file + fsync + rename), so a
+// crashed checkpoint never leaves a half-written snapshot where a reader
+// expects a whole one. On any reported failure the temp file is removed
+// before the error propagates — only an injected crash-during-rename
+// (which models the process dying, not an error the caller sees) strands
+// it, and the RecoveryManager sweeps those. Retries per `io`'s policy.
+void write_file_atomic(const std::string& path, std::string_view data,
+                       IoContext* io = nullptr);
+
+// Appends `data` to `path` (creating it if absent) with O_APPEND, the WAL
+// write primitive. An injected torn append lands only a prefix — exactly
+// the artifact a power cut leaves at the log tail. Retries per `io`.
+void append_file(const std::string& path, std::string_view data,
+                 IoContext* io = nullptr);
 
 }  // namespace rrr::store

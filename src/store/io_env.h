@@ -1,0 +1,167 @@
+// The storage fault model and retry layer of the state store.
+//
+// Every physical IO the store performs — snapshot writes, WAL appends,
+// fsyncs, renames, snapshot/WAL reads — flows through an optional
+// `IoContext`. The context does two jobs:
+//
+//   1. It consults an `IoEnv` (when one is installed) before each physical
+//      attempt. The env can dictate a fault outcome for the attempt: a
+//      *reported* error (ENOSPC / EIO, thrown as a classified, possibly
+//      transient StoreError) or a *silent* crash artifact (a torn write
+//      truncated at byte k, a flipped bit, a rename that "crashes" leaving
+//      the temp file stranded). Silent faults succeed from the caller's
+//      point of view — exactly like real storage, the damage is only
+//      discoverable at read time through the frame checksums, which is
+//      what the RecoveryManager (recovery.h) exists to handle.
+//
+//   2. It drives a bounded-exponential-backoff `RetryPolicy` around each
+//      logical operation: a thrown StoreError with transient() set is
+//      retried (after a jittered delay drawn from a dedicated Rng::split
+//      stream) until the attempt cap or the per-op delay budget runs out.
+//      Only transient errors retry; corruption kinds and permanent IO
+//      errors surface immediately.
+//
+// The production `IoEnv` implementation is fault::IoFaultInjector
+// (src/fault/io_plan.h), which interprets a seeded, declarative
+// IoFaultPlan deterministically — the store layer itself knows nothing
+// about fault plans, only about outcomes. A null IoContext (the default
+// everywhere) costs one branch.
+//
+// Determinism: store IO runs on the serial driver thread, so env
+// consultations happen in a reproducible order, and the retry budget is
+// accounted in *planned* backoff time (the sum of the delays the policy
+// chose), never wall-clock — a loaded machine retries exactly as often as
+// an idle one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "netbase/rng.h"
+#include "store/serial.h"
+
+namespace rrr::obs {
+class Counter;
+class MetricsRegistry;
+class TraceRecorder;
+}  // namespace rrr::obs
+
+namespace rrr::store {
+
+// Physical operation sites the environment can intercept.
+enum class IoOp : std::uint8_t {
+  kWrite = 0,  // payload write of an atomic temp-file cycle
+  kFsync = 1,  // fsync before the publishing rename
+  kRename = 2, // the publishing rename itself
+  kAppend = 3, // append to a log file (the WAL)
+  kRead = 4,   // open/map of a store file
+};
+const char* to_string(IoOp op);
+
+// What the environment dictates for one physical attempt.
+struct IoOutcome {
+  enum class Kind : std::uint8_t {
+    kOk = 0,
+    kTornWrite = 1,    // silent: only the first `offset % size` bytes land
+    kBitFlip = 2,      // silent: bit `bit` of byte `offset % size` flips
+    kEnospc = 3,       // reported: "no space left on device"
+    kEio = 4,          // reported: generic device error
+    kCrashRename = 5,  // silent: temp file fully written, rename never ran
+  };
+  Kind kind = Kind::kOk;
+  std::uint64_t offset = 0;  // torn-write cut point / bit-flip byte
+  std::uint8_t bit = 0;      // bit index for kBitFlip
+  bool transient = false;    // reported errors only: a retry may succeed
+};
+
+// Fault-dictating environment. `attempt` is the 0-based retry index of the
+// logical operation; implementations draw a fresh decision at attempt 0
+// and replay (or clear, for transient faults) the cached one on retries.
+class IoEnv {
+ public:
+  virtual ~IoEnv() = default;
+  virtual IoOutcome on_op(IoOp op, std::string_view path, std::uint64_t size,
+                          int attempt) = 0;
+};
+
+// Bounded exponential backoff with jitter for transient IO errors.
+// max_attempts = 1 disables retrying entirely (the default: opt-in).
+struct RetryPolicy {
+  int max_attempts = 1;
+  std::int64_t base_delay_us = 200;    // first retry delay, doubled per retry
+  std::int64_t max_delay_us = 20000;   // per-retry delay cap
+  double jitter = 0.5;                 // fraction of each delay randomized
+  std::int64_t op_budget_us = 1000000; // total planned backoff per logical op
+  std::uint64_t seed = 1;              // jitter stream seed
+
+  // Canonical "key=value,..." spec (only non-default clauses) / parser.
+  // Keys: attempts, base_us, max_us, jitter, budget_us, seed. Unknown keys
+  // or out-of-range values yield nullopt; "" is the default policy.
+  std::string spec() const;
+  static std::optional<RetryPolicy> parse(std::string_view spec);
+};
+
+// Plain tallies mirroring the rrr_io_* counters, for tests and harnesses.
+struct IoStats {
+  std::int64_t attempts = 0;            // physical attempts, all ops
+  std::int64_t retries = 0;             // attempts beyond the first
+  std::int64_t transient_errors = 0;    // transient failures seen
+  std::int64_t permanent_errors = 0;    // non-transient failures seen
+  std::int64_t gave_up = 0;             // logical ops that exhausted retries
+  std::int64_t backoff_us = 0;          // planned backoff actually slept
+  std::int64_t injected_torn = 0;
+  std::int64_t injected_bitflip = 0;
+  std::int64_t injected_enospc = 0;
+  std::int64_t injected_eio = 0;
+  std::int64_t injected_crash_rename = 0;
+};
+
+class IoContext {
+ public:
+  explicit IoContext(RetryPolicy policy = {}, IoEnv* env = nullptr);
+
+  // Registers the rrr_io_* runtime counters. Injection and retrying only
+  // touch the runtime domain: the semantic snapshot is byte-identical with
+  // any fault plan, which is the chaos harness's acceptance bar.
+  void set_metrics(obs::MetricsRegistry& registry);
+  // Injected faults and retry give-ups become instant events on the
+  // calling thread's track ("io_fault" / "io_gave_up", cat "store").
+  void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
+
+  IoEnv* env() const { return env_; }
+  const RetryPolicy& policy() const { return policy_; }
+  const IoStats& stats() const { return stats_; }
+
+  // Consults the env for one physical attempt (kOk when no env) and
+  // tallies whatever it injected. Called by the framing layer at each
+  // physical site.
+  IoOutcome consult(IoOp op, std::string_view path, std::uint64_t size,
+                    int attempt);
+
+  // Runs `attempt_fn(attempt_index)` under the retry policy: a StoreError
+  // with transient() set is swallowed and re-attempted after a jittered
+  // exponential delay while attempts and the planned-delay budget last;
+  // the final failure (or any permanent error) propagates to the caller.
+  void run(IoOp op, std::string_view path,
+           const std::function<void(int)>& attempt_fn);
+
+ private:
+  void note_failure(IoOp op, const StoreError& error);
+
+  RetryPolicy policy_;
+  IoEnv* env_;
+  Rng jitter_;
+  IoStats stats_;
+  obs::TraceRecorder* tracer_ = nullptr;
+  obs::Counter* obs_attempts_ = nullptr;
+  obs::Counter* obs_retries_ = nullptr;
+  obs::Counter* obs_transient_ = nullptr;
+  obs::Counter* obs_permanent_ = nullptr;
+  obs::Counter* obs_gave_up_ = nullptr;
+  obs::Counter* obs_injected_ = nullptr;
+};
+
+}  // namespace rrr::store

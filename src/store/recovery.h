@@ -1,0 +1,90 @@
+// Self-healing for a damaged checkpoint directory.
+//
+// A crash — real or injected — leaves one of a small set of artifacts
+// behind: a stranded `*.tmp` from an interrupted atomic-write cycle, a
+// snapshot whose frames no longer checksum (torn write, bit flip), or a
+// WAL whose tail is garbage because the process died mid-append. The
+// RecoveryManager turns any such directory back into one the resume path
+// can load without manual intervention:
+//
+//   1. Stray `*.tmp` files are swept into `corrupt/` (they were never
+//      published; nothing may ever read them as live state).
+//   2. The WAL is scanned frame by frame; at the first frame that fails
+//      to parse, the log is truncated to the last good byte and the bad
+//      tail is preserved in `corrupt/`. This is exactly crash semantics:
+//      bytes after a torn append are garbage, and every op before the
+//      tear is intact and kept.
+//   3. Every snapshot is validated newest -> oldest by actually parsing
+//      it (frames, header, section decode). A snapshot that throws any
+//      classified StoreError — or whose writer fingerprint disagrees with
+//      the expected one, or whose recorded WalPosition the truncated log
+//      can no longer satisfy — is *quarantined*: moved into `corrupt/`,
+//      never deleted, never silently read. The newest survivor becomes
+//      the resume anchor; when none survives, the resume is a cold start.
+//
+// The scrub is idempotent — running it on a healthy directory moves
+// nothing and reports the newest snapshot. All physical IO flows through
+// the optional IoContext, so a scrub itself runs under the same fault
+// environment and retry policy as normal store traffic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rrr::store {
+
+class IoContext;
+
+// What one scrub pass found and did. `quarantined` holds the basenames
+// (as moved into corrupt/) in the order they were quarantined.
+struct RecoveryReport {
+  std::vector<std::string> quarantined;
+  int stray_tmp = 0;              // *.tmp files swept into corrupt/
+  int snapshots_quarantined = 0;  // snapshots that failed validation
+  std::optional<std::int64_t> snapshot;  // newest snapshot that validated
+  bool wal_truncated = false;
+  std::uint64_t wal_valid_bytes = 0;  // WAL length after the scrub
+  std::size_t wal_ops = 0;            // ops that survive in the WAL
+
+  bool clean() const {
+    return quarantined.empty() && !wal_truncated;
+  }
+};
+
+class RecoveryManager {
+ public:
+  // `io` (optional) carries the fault environment and retry policy for
+  // the scrub's own reads and rewrites.
+  explicit RecoveryManager(std::string dir, IoContext* io = nullptr)
+      : dir_(std::move(dir)), io_(io) {}
+
+  // Scrubs the directory as described above. When `expected_fingerprint`
+  // is nonzero, snapshots written under any other fingerprint are
+  // quarantined too (a mixed-config directory must not feed a resume).
+  // Throws StoreError only for environment-level failures (an unreadable
+  // directory, a quarantine move that fails) — per-artifact corruption is
+  // handled, not propagated.
+  RecoveryReport scrub(std::uint64_t expected_fingerprint = 0);
+
+  // Step 1 of the scrub alone: sweeps stray `*.tmp` files into corrupt/
+  // without touching snapshots or the WAL. Cheap (no frame validation),
+  // so a successful supervised run can tidy the debris of absorbed
+  // crash-rename faults without re-reading every snapshot.
+  RecoveryReport sweep_stray_tmp();
+
+  const std::string& dir() const { return dir_; }
+  // Where quarantined artifacts land ("<dir>/corrupt").
+  std::string quarantine_dir() const { return dir_ + "/corrupt"; }
+
+ private:
+  // Moves `path` (a live file in dir_) into corrupt/, uniquifying the
+  // name on collision. Returns the basename it landed under.
+  std::string quarantine(const std::string& path);
+
+  std::string dir_;
+  IoContext* io_;
+};
+
+}  // namespace rrr::store

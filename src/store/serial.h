@@ -18,7 +18,11 @@ namespace rrr::store {
 
 // Classified store failure. Every decode/IO error in src/store throws this
 // (never UB, never a partial object): callers branch on `kind` to report
-// truncated vs. corrupted vs. version-skewed snapshots distinctly.
+// truncated vs. corrupted vs. version-skewed snapshots distinctly. kIo
+// errors additionally carry a transient flag: a transient failure (EINTR,
+// an injected flaky-disk EIO) may succeed if the same operation is retried
+// — the RetryPolicy in io_env.h only re-attempts transient-classified
+// errors; corruption kinds are never transient.
 class StoreError : public std::runtime_error {
  public:
   enum class Kind {
@@ -29,13 +33,15 @@ class StoreError : public std::runtime_error {
     kIo,           // filesystem-level failure (open/stat/rename)
   };
 
-  StoreError(Kind kind, const std::string& message)
-      : std::runtime_error(message), kind_(kind) {}
+  StoreError(Kind kind, const std::string& message, bool transient = false)
+      : std::runtime_error(message), kind_(kind), transient_(transient) {}
 
   Kind kind() const { return kind_; }
+  bool transient() const { return transient_; }
 
  private:
   Kind kind_;
+  bool transient_;
 };
 
 const char* to_string(StoreError::Kind kind);

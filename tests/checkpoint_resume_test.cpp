@@ -28,6 +28,7 @@
 #include "store/checkpoint.h"
 #include "store/codec.h"
 #include "store/framing.h"
+#include "store/recovery.h"
 #include "store/serial.h"
 
 namespace rrr::eval {
@@ -463,6 +464,125 @@ TEST(CheckpointResume, ResumeFromWalOnlyWhenNoSnapshotExists) {
   EXPECT_LE(warm.resumed_at, 21);
   EXPECT_EQ(window_suffix(reference.signals, warm.resumed_at), warm.signals);
   expect_same_final_state(reference, warm, "WAL-only resume");
+}
+
+// --- storage faults on the checkpoint path (DESIGN.md §14) ---
+
+// (crash-at-window-k x io-fault-seed) grid under a silent-only fault plan
+// (torn writes, bit flips, crash-renames — nothing is ever reported to the
+// writer). The crashed directory holds checksummed-but-damaged artifacts;
+// a RecoveryManager scrub must turn it back into one the resume path
+// loads, and the resumed run must converge with the never-faulted,
+// never-crashed reference. Storage faults are a robustness knob outside
+// the params fingerprint, so the faulted writer's snapshots anchor a
+// fault-free resume and vice versa.
+//
+// No exogenous WAL ops here: a torn append can sever the log *inside* a
+// hook's op group, and replaying a partial group while the live hook
+// re-issues it is exactly the duplicate-delivery hazard the supervisor's
+// resume_window = last_hook_window + 1 discipline exists to prevent
+// (pinned in recovery_test.cpp). An unsupervised resume_window = -1 is
+// only exact for state the world re-simulates deterministically.
+TEST(CheckpointResume, SilentFaultCrashScrubResumeGrid) {
+  WorldParams params = tiny_params(65);
+  RunTrace reference = drive(params, DriveSpec{});
+  ASSERT_GT(reference.signals.size(), 0u)
+      << "world too quiet to exercise the engine";
+
+  for (std::int64_t k : {9, 21}) {
+    for (std::uint64_t io_seed : {5u, 6u}) {
+      const std::string label =
+          "k=" + std::to_string(k) + " io_seed=" + std::to_string(io_seed);
+      TempDir dir("silent");
+      WorldParams faulted = params;
+      faulted.io_fault_plan.torn_write_rate = 0.05;
+      faulted.io_fault_plan.bit_flip_rate = 0.03;
+      faulted.io_fault_plan.crash_rename_rate = 0.05;
+      faulted.io_fault_plan.seed = io_seed;
+
+      DriveSpec crash_spec;
+      crash_spec.checkpoint_dir = dir.str();
+      crash_spec.checkpoint_every = 4;
+      crash_spec.stop_window = k;
+      RunTrace crashed = drive(faulted, crash_spec);
+      EXPECT_FALSE(crashed.finished) << label;
+
+      // Scrub exactly as the supervisor would before a resume: damaged
+      // snapshots and stranded temp files quarantined, the WAL truncated
+      // at its first bad frame.
+      store::RecoveryManager manager(dir.str());
+      manager.scrub(World::fingerprint(faulted));
+
+      DriveSpec resume_spec;
+      resume_spec.resume_from = dir.str();
+      RunTrace warm = drive(faulted, resume_spec);
+      EXPECT_LE(warm.resumed_at, k) << label;
+      EXPECT_EQ(window_suffix(reference.signals, warm.resumed_at),
+                warm.signals)
+          << label;
+      expect_same_final_state(reference, warm, label);
+    }
+  }
+}
+
+// Reported-but-transient faults under a retry budget: every injected
+// ENOSPC / EIO clears within the policy's attempts, so the run completes
+// without crashing, the final state is byte-identical to the fault-free
+// reference, and the retry layer's tallies prove the plan actually fired.
+TEST(CheckpointResume, TransientReportedFaultsAreInvisibleUnderRetry) {
+  WorldParams params = tiny_params(66);
+  RunTrace reference = drive(params, DriveSpec{});
+  ASSERT_GT(reference.signals.size(), 0u);
+
+  TempDir dir("transient");
+  WorldParams faulted = params;
+  faulted.checkpoint_dir = dir.str();
+  faulted.checkpoint_every = 4;
+  faulted.io_fault_plan.enospc_rate = 0.05;
+  faulted.io_fault_plan.eio_write_rate = 0.03;
+  faulted.io_fault_plan.eio_fsync_rate = 0.02;
+  faulted.io_fault_plan.transient_fraction = 1.0;  // retries always win
+  faulted.io_fault_plan.transient_clears_after = 2;
+  faulted.io_fault_plan.seed = 7;
+  faulted.io_retry.max_attempts = 4;
+  faulted.io_retry.base_delay_us = 10;
+  faulted.io_retry.max_delay_us = 100;
+
+  World world(faulted);
+  RunTrace trace;
+  World::Hooks hooks;
+  hooks.on_signals = [&](std::int64_t window, TimePoint,
+                         std::vector<signals::StalenessSignal>&& sigs) {
+    for (const signals::StalenessSignal& s : sigs) {
+      trace.signals.emplace_back(window, s.pair.probe, s.pair.dst.value(),
+                                 static_cast<int>(s.technique), s.potential,
+                                 s.border_index, s.time.seconds());
+    }
+  };
+  world.run_until(world.corpus_t0(), hooks);
+  world.initialize_corpus();
+  world.run_until(world.end(), hooks);
+  trace.stale = world.engine().stale_pairs();
+  trace.calibration_digest = world.engine().calibration().digest();
+  trace.semantic_stats = world.semantic_stats_json();
+  std::ostringstream corpus;
+  std::vector<tr::Traceroute> finals;
+  for (const tr::PairKey& pair : world.ground_truth().pairs()) {
+    finals.push_back(world.issue_corpus_traceroute(pair, world.end()));
+  }
+  io::write_traceroutes(corpus, finals);
+  trace.corpus_bytes = corpus.str();
+  trace.finished = true;
+
+  EXPECT_EQ(reference.signals, trace.signals);
+  expect_same_final_state(reference, trace, "transient faults + retry");
+
+  ASSERT_NE(world.io_context(), nullptr);
+  const store::IoStats& io = world.io_context()->stats();
+  EXPECT_GT(io.injected_enospc + io.injected_eio, 0)
+      << "fault plan never fired; the test exercised nothing";
+  EXPECT_GT(io.retries, 0);
+  EXPECT_EQ(io.gave_up, 0) << "a transient fault exhausted the retry budget";
 }
 
 // --- the fig11 warm-start arm, in miniature (bench reproducibility) ---

@@ -399,6 +399,58 @@ TEST(HttpServer, HandlerExceptionsAndShutdownAreClean) {
   }  // destructor joins without a pending request — must not hang
 }
 
+TEST(HttpServer, OversizeRequestHeadGets431) {
+  HttpHandlers handlers;
+  HttpLimits limits;
+  limits.max_request_bytes = 128;
+  HttpServer server(0, std::move(handlers), limits);
+  std::string padded = "GET /healthz HTTP/1.1\r\nX-Pad: " +
+                       std::string(512, 'a') + "\r\n\r\n";
+  std::string response = http_get(server.port(), padded);
+  EXPECT_NE(response.find("431"), std::string::npos);
+  EXPECT_NE(response.find("128"), std::string::npos);  // limit is echoed
+
+  // A request within the limit still succeeds on the same server.
+  std::string health =
+      http_get(server.port(), "GET /healthz HTTP/1.1\r\n\r\n");
+  EXPECT_NE(health.find("200"), std::string::npos);
+}
+
+TEST(HttpServer, SlowLorisHitsTheReadDeadlineWith408) {
+  HttpHandlers handlers;
+  HttpLimits limits;
+  limits.read_deadline_ms = 150;
+  HttpServer server(0, std::move(handlers), limits);
+
+  // Open a connection, send an incomplete request head, and never finish:
+  // the server must answer 408 at the deadline instead of blocking its
+  // accept loop on the dribbling client forever.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char partial[] = "GET /healthz HTTP/1.1\r\n";
+  ASSERT_GT(::send(fd, partial, sizeof(partial) - 1, 0), 0);
+  std::string response;
+  char buf[1024];
+  ssize_t got;
+  while ((got = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("408"), std::string::npos);
+
+  // The deadline only cut off the stuck connection, not the server: a
+  // well-formed request on a fresh connection still succeeds.
+  std::string health =
+      http_get(server.port(), "GET /healthz HTTP/1.1\r\n\r\n");
+  EXPECT_NE(health.find("200"), std::string::npos);
+}
+
 // The contract the live endpoint + flight recorder must not break: a fully
 // traced, watchdogged run produces byte-identical *semantic* output to a
 // plain run of the same world (tracing is kRuntime-domain only).
