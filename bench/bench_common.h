@@ -18,6 +18,7 @@
 #include "eval/report.h"
 #include "eval/supervisor.h"
 #include "eval/world.h"
+#include "serve/service.h"
 #include "netbase/rng.h"
 #include "obs/export.h"
 #include "obs/http_export.h"
@@ -296,9 +297,11 @@ inline eval::WorldParams retrospective_params(const Flags& flags) {
   // --pipeline 0 recovers the serial absorb schedule (DESIGN.md §10).
   params.pipeline_absorb = flags.get_int("pipeline", 1) != 0;
   // A live /metrics endpoint is useless without a registry behind it, so
-  // --serve-obs implies telemetry even when --stats-json is absent.
-  params.telemetry =
-      stats_enabled(flags) || flags.get_int("serve-obs", -1) >= 0;
+  // --serve-obs (and --serve, which exposes the same fixed routes next to
+  // the /v1 family) implies telemetry even when --stats-json is absent.
+  params.telemetry = stats_enabled(flags) ||
+                     flags.get_int("serve-obs", -1) >= 0 ||
+                     flags.get_int("serve", -1) >= 0;
   params.trace = trace_enabled(flags);
   if (flags.get_bool("watchdog")) params.watchdog.enabled = true;
   apply_fault_flags(flags, params);
@@ -315,14 +318,34 @@ inline eval::WorldParams retrospective_params(const Flags& flags) {
 // primary replicate for the duration of its run (WorldLease below), and
 // routes answer with empty-but-valid documents while no world is attached
 // (before the first window, between replicates, during the linger).
+//
+// `--serve PORT` additionally enables the staleness query service
+// (serve/service.h): the same server answers the /v1 route family from the
+// snapshot the attached world publishes at each window boundary, and
+// `--serve-linger N` keeps it up after the run the same way. With both
+// port flags given, one server binds the --serve-obs port and answers
+// everything.
 class ScopedObsServer {
  public:
   ScopedObsServer(const Flags& flags, std::ostream& log) : log_(&log) {
-    long long port = flags.get_int("serve-obs", -1);
-    if (port < 0) return;
-    linger_seconds_ =
-        static_cast<int>(flags.get_int("serve-obs-linger", 0));
+    long long obs_port = flags.get_int("serve-obs", -1);
+    long long serve_port = flags.get_int("serve", -1);
+    if (obs_port < 0 && serve_port < 0) return;
+    linger_seconds_ = static_cast<int>(
+        std::max(flags.get_int("serve-obs-linger", 0),
+                 flags.get_int("serve-linger", 0)));
+    if (serve_port >= 0) {
+      service_ = std::make_unique<serve::StalenessService>();
+    }
     obs::HttpHandlers handlers;
+    if (service_ != nullptr) {
+      // The service is built before the server thread starts and outlives
+      // it (declaration order below), so no lock: handle() reads the
+      // atomically published snapshot.
+      handlers.api = [this](const std::string& target) {
+        return service_->handle(target);
+      };
+    }
     handlers.metrics_text = [this] {
       std::lock_guard<std::mutex> lock(mu_);
       return world_ != nullptr ? world_->stats_prometheus() : std::string();
@@ -338,13 +361,16 @@ class ScopedObsServer {
                  : std::string(
                        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
     };
+    const long long port = obs_port >= 0 ? obs_port : serve_port;
     try {
       server_ = std::make_unique<obs::HttpServer>(static_cast<int>(port),
                                                   std::move(handlers));
       log << "serve-obs: listening on 127.0.0.1:" << server_->port()
+          << (service_ != nullptr ? " (/v1 staleness API enabled)" : "")
           << "\n";
     } catch (const std::exception& error) {
       log << "serve-obs: " << error.what() << " — endpoint disabled\n";
+      service_.reset();
     }
   }
 
@@ -360,6 +386,9 @@ class ScopedObsServer {
   ScopedObsServer& operator=(const ScopedObsServer&) = delete;
 
   bool active() const { return server_ != nullptr; }
+  int port() const { return server_ != nullptr ? server_->port() : -1; }
+  // Null unless --serve was given (and the server bound).
+  serve::StalenessService* serving() { return service_.get(); }
 
   void attach(const eval::World* world) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -373,6 +402,9 @@ class ScopedObsServer {
  private:
   mutable std::mutex mu_;
   const eval::World* world_ = nullptr;  // guarded by mu_
+  // Declared before server_: the server thread calls into the service, so
+  // the service must outlive it (members destroy in reverse order).
+  std::unique_ptr<serve::StalenessService> service_;
   std::unique_ptr<obs::HttpServer> server_;
   int linger_seconds_ = 0;
   std::ostream* log_;
@@ -380,20 +412,30 @@ class ScopedObsServer {
 
 // RAII attach/detach of one World to the obs server: the primary replicate
 // constructs a lease around its World for the scope of its run, so the
-// endpoint never serves a pointer to a destroyed world.
+// endpoint never serves a pointer to a destroyed world. When the server
+// carries the staleness query service (--serve), the lease also wires the
+// world's window boundary to it, and unwires on release — queries after
+// the lease keep answering from the last published snapshot, which owns
+// every byte it needs (see serve/snapshot.h).
 class WorldLease {
  public:
-  WorldLease(ScopedObsServer& server, const eval::World* world)
+  WorldLease(ScopedObsServer& server, eval::World* world)
       : server_(&server), world_(world) {
     server_->attach(world_);
+    if (server_->serving() != nullptr) {
+      world_->attach_serving(server_->serving());
+    }
   }
-  ~WorldLease() { server_->detach(world_); }
+  ~WorldLease() {
+    if (server_->serving() != nullptr) world_->attach_serving(nullptr);
+    server_->detach(world_);
+  }
   WorldLease(const WorldLease&) = delete;
   WorldLease& operator=(const WorldLease&) = delete;
 
  private:
   ScopedObsServer* server_;
-  const eval::World* world_;
+  eval::World* world_;
 };
 
 // Parallelism for bench fan-outs: --threads wins, otherwise the hardware,

@@ -12,7 +12,16 @@
 // arm × seed-replicate grid fans out over the pool; results print in task
 // order whatever the parallelism.
 //
+// The staleness query service (--serve PORT) follows the primary signal-arm
+// replicate: while it runs, /v1/verdict &co answer live from its
+// window-boundary snapshots; --serve-linger keeps the endpoint up
+// afterwards, answering from the final snapshot.
+//
 // Flags: --days N --pairs N --budget N --seed N --seeds N --threads N
+//        --serve PORT --serve-linger N --serve-obs PORT
+//        --serve-obs-linger N
+#include <optional>
+
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
@@ -55,6 +64,7 @@ int main(int argc, char** argv) {
     labels.push_back("random s" + s);
   }
   int threads = bench::fanout_threads(flags, labels.size());
+  bench::ScopedObsServer obs_server(flags, std::cout);
   std::vector<ArmResult> results = bench::fan_out<ArmResult>(
       threads, labels,
       [&](std::size_t i) {
@@ -62,6 +72,12 @@ int main(int argc, char** argv) {
         params.seed = bench::replicate_seed(base.seed, i / 2);
         const bool random_arm = i % 2 == 1;
         eval::World world(params);
+        // The live endpoint (and the /v1 query service under --serve)
+        // follows the primary signal-arm replicate for its whole run.
+        std::optional<bench::WorldLease> lease;
+        if (i == 0 && obs_server.active()) {
+          lease.emplace(obs_server, &world);
+        }
         world.run_until(world.corpus_t0());
         ArmResult result;
         result.pairs = world.initialize_corpus();

@@ -35,7 +35,7 @@
 //        --checkpoint-dir D --checkpoint-every N --resume D
 //        --resume-window K --io-fault-plan SPEC --io-retry SPEC
 //        --supervise --trace-out F --serve-obs PORT
-//        --serve-obs-linger N --watchdog
+//        --serve-obs-linger N --serve PORT --serve-linger N --watchdog
 #include <optional>
 #include <set>
 #include <sstream>

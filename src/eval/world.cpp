@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <optional>
 
+#include "serve/service.h"
 #include "signals/serial.h"
 #include "store/codec.h"
 #include "store/framing.h"
@@ -423,6 +424,13 @@ void World::run_until(TimePoint t, const Hooks& hooks) {
             window, close_us, [this] { return trace_json(); },
             [this] { return stats_json(); });
       }
+    }
+    // Serving materialization: still inside the serial section (no close
+    // is in flight), so the engine read is race-free; the publish itself is
+    // the release store HTTP readers synchronize with. Skipped while the
+    // engine is suppressed (resume fast-forward) — its state is not live.
+    if (serving_ != nullptr && !suppress_engine_) {
+      serving_->on_window(*engine_, window, window_end, sigs);
     }
     if (hooks.on_signals) {
       replay_point_ = ReplayPoint::kHook;

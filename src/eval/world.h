@@ -24,6 +24,10 @@
 #include "tracemap/pipeline.h"
 #include "traceroute/platform.h"
 
+namespace rrr::serve {
+class StalenessService;
+}  // namespace rrr::serve
+
 namespace rrr::eval {
 
 struct WorldParams {
@@ -209,6 +213,16 @@ class World {
     std::function<void(int day_index, TimePoint day_end)> on_day;
   };
 
+  // Attaches (or detaches, with null) the staleness query service: after
+  // every closed window — in the serial section, before hooks.on_signals —
+  // the world hands the service the engine's per-pair state and the
+  // window's signals so it can publish a fresh ServingSnapshot. Borrowed;
+  // must outlive every subsequent run_until call. The service only reads,
+  // so attaching it never changes the semantic timeline (pinned by
+  // tests/serve_test.cpp).
+  void attach_serving(serve::StalenessService* service) { serving_ = service; }
+  serve::StalenessService* serving() const { return serving_; }
+
   // Advances the world to `t`: applies routing events and public
   // measurements in time order, feeds the engine, closes windows.
   void run_until(TimePoint t, const Hooks& hooks = {});
@@ -326,6 +340,9 @@ class World {
   std::unique_ptr<tracemap::ProcessingContext> processing_;
   std::unique_ptr<signals::ShardedStalenessEngine> engine_;
   std::unique_ptr<GroundTruth> ground_truth_;
+
+  // Borrowed serving layer; null when no query service is attached.
+  serve::StalenessService* serving_ = nullptr;
 
   std::vector<routing::Event> schedule_;
   std::size_t event_cursor_ = 0;

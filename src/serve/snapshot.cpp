@@ -1,0 +1,37 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+
+namespace rrr::serve {
+
+const PairVerdict* ServingSnapshot::find(const tr::PairKey& pair) const {
+  auto it = std::lower_bound(
+      pairs.begin(), pairs.end(), pair,
+      [](const PairVerdict& v, const tr::PairKey& key) { return v.pair < key; });
+  if (it == pairs.end() || it->pair != pair) return nullptr;
+  return &*it;
+}
+
+SnapshotPublisher::SnapshotPublisher() {
+  current_.store(std::make_shared<const ServingSnapshot>(),
+                 std::memory_order_release);
+}
+
+void SnapshotPublisher::publish(SnapshotPtr snapshot) {
+  current_.store(std::move(snapshot), std::memory_order_release);
+}
+
+SnapshotPtr SnapshotPublisher::read() const {
+  return current_.load(std::memory_order_acquire);
+}
+
+const char* freshness_label(tr::Freshness freshness) {
+  switch (freshness) {
+    case tr::Freshness::kFresh: return "fresh";
+    case tr::Freshness::kStale: return "stale";
+    case tr::Freshness::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+}  // namespace rrr::serve

@@ -718,6 +718,15 @@ std::vector<tr::PairKey> StalenessEngine::stale_pairs() const {
   return out;
 }
 
+void StalenessEngine::collect_pair_states(
+    std::vector<PairStateView>& into) const {
+  for (const auto& [key, state] : corpus_) {
+    into.push_back(PairStateView{
+        key, state.freshness, state.watched_window,
+        static_cast<std::uint32_t>(state.active.size())});
+  }
+}
+
 const tracemap::ProcessedTrace* StalenessEngine::processed_of(
     const tr::PairKey& pair) const {
   auto it = corpus_.find(pair);

@@ -90,6 +90,16 @@ struct EngineParams {
   FeedHealthParams feed_health;
 };
 
+// One pair's verdict state as read out for the serving layer (src/serve).
+// A value copy of the corpus entry's dynamic fields — holders never point
+// back into the engine.
+struct PairStateView {
+  tr::PairKey pair;
+  tr::Freshness freshness = tr::Freshness::kFresh;
+  std::int64_t watched_window = 0;
+  std::uint32_t active_signals = 0;  // fired-and-unrevoked signals
+};
+
 // What a refresh revealed, returned to callers for their own accounting.
 struct RefreshOutcome {
   tr::PairKey pair;
@@ -203,6 +213,10 @@ class StalenessEngine {
   // --- queries ---
   tr::Freshness freshness(const tr::PairKey& pair) const;
   std::vector<tr::PairKey> stale_pairs() const;
+  // Appends this engine's per-pair verdict state (corpus order, i.e. sorted
+  // by pair). Pure read — no RNG draw, no state change — so the serving
+  // layer can call it every window without perturbing the signal stream.
+  void collect_pair_states(std::vector<PairStateView>& into) const;
   const Calibration& calibration() const { return *calibration_; }
   const CommunityReputation& community_reputation() const {
     return *reputation_;

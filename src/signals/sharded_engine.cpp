@@ -370,6 +370,19 @@ std::vector<tr::PairKey> ShardedStalenessEngine::stale_pairs() const {
   return out;
 }
 
+std::vector<PairStateView> ShardedStalenessEngine::pair_states() const {
+  std::vector<PairStateView> out;
+  out.reserve(corpus_size());
+  for (const auto& shard : shards_) shard->collect_pair_states(out);
+  // Each shard appends in pair order; the merged view re-sorts so the
+  // result is partition-invariant.
+  std::sort(out.begin(), out.end(),
+            [](const PairStateView& a, const PairStateView& b) {
+              return a.pair < b.pair;
+            });
+  return out;
+}
+
 const tracemap::ProcessedTrace* ShardedStalenessEngine::processed_of(
     const tr::PairKey& pair) const {
   return shards_[shard_of(pair)]->processed_of(pair);

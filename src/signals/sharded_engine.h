@@ -85,6 +85,13 @@ class ShardedStalenessEngine {
   tr::Freshness freshness(const tr::PairKey& pair) const;
   // Stale pairs across all shards, sorted by pair key.
   std::vector<tr::PairKey> stale_pairs() const;
+  // Per-pair verdict state merged across shards, sorted by pair key. Pure
+  // read (no RNG draw, no mutation) — the serving layer materializes its
+  // snapshots from this at every window boundary.
+  std::vector<PairStateView> pair_states() const;
+  // Publication counter of the epoch-flipped BGP table: increments once per
+  // absorbed window, captured into ServingSnapshot::table_epoch.
+  std::uint64_t table_epoch() const { return table_.epoch(); }
   const Calibration& calibration() const { return calibration_; }
   const CommunityReputation& community_reputation() const {
     return reputation_;

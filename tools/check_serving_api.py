@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""Keep docs/API.md and the HTTP routes in code from drifting apart.
+
+Two layers, both mechanical:
+
+  Static (always): extract the route inventory from the source
+  (src/serve/service.cpp `path == "/v1/..."` dispatch literals and
+  src/obs/http_export.cpp fixed-route literals) and from docs/API.md
+  (`### GET /route` headings). Any asymmetric difference — a route in
+  code that the docs don't describe, or a documented route that no
+  longer exists — fails.
+
+  Live (--probe PORT): curl every documented route against a running
+  server and validate each JSON body's *structure* against the worked
+  example under that route's heading in docs/API.md: same key set at
+  every object level, recursively (array elements are checked against
+  the example's first element; a documented null is allowed to be an
+  object and vice versa, e.g. `last_signal`). The /v1/verdict and
+  /v1/signals probes self-discover a live pair from /v1/pairs; the
+  error contract (400 on a malformed query, 404 on an unknown pair and
+  unknown route) is probed too.
+
+Usage:
+  check_serving_api.py [--repo ROOT] [--probe PORT]
+
+Exits non-zero listing every drift. CI runs the static half in
+lint-docs and the live half in the serving-introspection job, so a new
+route without docs (or docs for a removed route, or a body shape that
+no longer matches its example) fails the build.
+"""
+
+import argparse
+import json
+import re
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+ROUTE_HEADING_RE = re.compile(r"^### GET (/\S+)$", re.MULTILINE)
+# Dispatch literals in the serve layer: path == "/v1/...".
+SERVE_ROUTE_RE = re.compile(r'path == "(/v1/[^"]+)"')
+# Fixed routes in the obs server: path == "/metrics" etc.
+OBS_ROUTE_RE = re.compile(r'path == "(/[^"]+)"')
+JSON_BLOCK_RE = re.compile(r"```json\n(.*?)```", re.DOTALL)
+
+
+def code_routes(repo: Path) -> set:
+    routes = set()
+    service = repo / "src/serve/service.cpp"
+    if service.exists():
+        routes.update(SERVE_ROUTE_RE.findall(service.read_text()))
+    http = repo / "src/obs/http_export.cpp"
+    if http.exists():
+        routes.update(OBS_ROUTE_RE.findall(http.read_text()))
+    return routes
+
+
+def doc_routes(api_md: Path) -> dict:
+    """Route -> example JSON object (or None when the route documents no
+    JSON body, e.g. /healthz)."""
+    text = api_md.read_text()
+    routes = {}
+    headings = list(ROUTE_HEADING_RE.finditer(text))
+    for i, match in enumerate(headings):
+        section_end = (
+            headings[i + 1].start() if i + 1 < len(headings) else len(text)
+        )
+        section = text[match.start():section_end]
+        example = None
+        for block in JSON_BLOCK_RE.findall(section):
+            try:
+                example = json.loads(block)
+                break
+            except json.JSONDecodeError:
+                continue
+        routes[match.group(1)] = example
+    return routes
+
+
+def structure_errors(route: str, example, live, path: str = "$") -> list:
+    """Same-shape check: key sets must match at every object level."""
+    if example is None or live is None:
+        # A documented-null field (last_signal) may be live-populated and
+        # vice versa; nothing further to compare.
+        return []
+    if isinstance(example, dict) != isinstance(live, dict) or isinstance(
+        example, list
+    ) != isinstance(live, list):
+        return [
+            f"{route}: {path}: documented {type(example).__name__}, "
+            f"server sent {type(live).__name__}"
+        ]
+    errors = []
+    if isinstance(example, dict):
+        doc_keys, live_keys = set(example), set(live)
+        for key in sorted(doc_keys - live_keys):
+            errors.append(f"{route}: {path}.{key}: documented, missing from response")
+        for key in sorted(live_keys - doc_keys):
+            errors.append(f"{route}: {path}.{key}: in response, not documented")
+        for key in sorted(doc_keys & live_keys):
+            errors.extend(
+                structure_errors(route, example[key], live[key], f"{path}.{key}")
+            )
+    elif isinstance(example, list):
+        # Elements are homogeneous; compare against the first documented one.
+        if example and live:
+            errors.extend(
+                structure_errors(route, example[0], live[0], f"{path}[0]")
+            )
+    return errors
+
+
+def fetch(port: int, target: str):
+    url = f"http://127.0.0.1:{port}{target}"
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, response.read().decode("utf-8", "replace")
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode("utf-8", "replace")
+    except OSError as error:
+        return None, str(error)
+
+
+def probe(port: int, examples: dict, wait_pairs: float = 0.0) -> list:
+    errors = []
+
+    def get(target: str, expect_status: int):
+        status, body = fetch(port, target)
+        if status is None:
+            errors.append(f"{target}: request failed: {body}")
+            return None
+        if status != expect_status:
+            errors.append(f"{target}: expected {expect_status}, got {status}")
+            return None
+        return body
+
+    def get_json(target: str, route: str, expect_status: int = 200):
+        body = get(target, expect_status)
+        if body is None:
+            return None
+        try:
+            parsed = json.loads(body)
+        except json.JSONDecodeError as error:
+            errors.append(f"{target}: body is not JSON: {error}")
+            return None
+        if route in examples and examples[route] is not None:
+            errors.extend(structure_errors(route, examples[route], parsed))
+        return parsed
+
+    # Observability routes: liveness + content sanity.
+    healthz = get("/healthz", 200)
+    if healthz is not None and healthz != "ok\n":
+        errors.append(f"/healthz: expected 'ok', got {healthz!r}")
+    metrics = get("/metrics", 200)
+    if metrics is not None and "rrr_" not in metrics:
+        errors.append("/metrics: no rrr_ metric families in exposition")
+    body = get("/stats.json", 200)
+    if body is not None:
+        try:
+            json.loads(body)
+        except json.JSONDecodeError as error:
+            errors.append(f"/stats.json: body is not JSON: {error}")
+    trace = get("/trace.json", 200)
+    if trace is not None and "traceEvents" not in trace:
+        errors.append("/trace.json: no traceEvents key")
+
+    # /v1 family: roster first, then self-discover a pair to probe the
+    # per-pair routes with. A bench that just started serves an empty
+    # pre-corpus snapshot, so optionally wait for the corpus to appear —
+    # that is what makes the populated verdict/signals path reachable.
+    if wait_pairs > 0:
+        deadline = time.monotonic() + wait_pairs
+        while time.monotonic() < deadline:
+            status, body = fetch(port, "/v1/pairs?limit=1")
+            try:
+                if status == 200 and json.loads(body).get("pairs"):
+                    break
+            except json.JSONDecodeError:
+                pass
+            time.sleep(0.2)
+        else:
+            errors.append(
+                f"/v1/pairs: corpus still empty after {wait_pairs}s --wait-pairs"
+            )
+    pairs = get_json("/v1/pairs?limit=5", "/v1/pairs")
+    get_json("/v1/refresh-queue?k=5", "/v1/refresh-queue")
+    if pairs is not None and pairs.get("pairs"):
+        probe_id = pairs["pairs"][0].get("probe")
+        dst = pairs["pairs"][0].get("dst")
+        get_json(f"/v1/verdict?src={probe_id}&dst={dst}", "/v1/verdict")
+        get_json(f"/v1/signals?src={probe_id}&dst={dst}&limit=4", "/v1/signals")
+    elif pairs is not None:
+        print("note: corpus empty; per-pair routes checked on the 404 path only")
+
+    # The documented error contract.
+    get_json("/v1/verdict?src=abc&dst=0.0.0.1", "", expect_status=400)
+    get_json("/v1/verdict?src=4294967295&dst=255.255.255.254", "", expect_status=404)
+    get_json("/v1/nope", "", expect_status=404)
+    return errors
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo", type=Path, default=Path(__file__).resolve().parents[1])
+    parser.add_argument("--probe", type=int, metavar="PORT",
+                        help="also probe a live server on 127.0.0.1:PORT")
+    parser.add_argument("--wait-pairs", type=float, default=0.0, metavar="SECONDS",
+                        help="poll /v1/pairs up to SECONDS for a non-empty "
+                             "corpus before probing (fail if still empty)")
+    args = parser.parse_args(argv)
+
+    api_md = args.repo / "docs/API.md"
+    if not api_md.exists():
+        print(f"error: {api_md} does not exist", file=sys.stderr)
+        return 1
+    documented = doc_routes(api_md)
+    in_code = code_routes(args.repo)
+
+    errors = []
+    for route in sorted(in_code - set(documented)):
+        errors.append(f"route in code but not documented in docs/API.md: {route}")
+    for route in sorted(set(documented) - in_code):
+        errors.append(f"route documented in docs/API.md but absent from code: {route}")
+
+    if args.probe and not errors:
+        errors.extend(probe(args.probe, documented, args.wait_pairs))
+
+    for error in errors:
+        print(error, file=sys.stderr)
+    mode = "static+probe" if args.probe else "static"
+    print(f"{mode}: {len(in_code)} code route(s), {len(documented)} documented, "
+          f"{len(errors)} problem(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
